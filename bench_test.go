@@ -1,0 +1,341 @@
+// Benchmarks mirroring the paper's evaluation artefacts, one per table
+// and figure (see DESIGN.md §4 for the index). `go test -bench=.
+// -benchmem` reports the raw per-operation costs; the richer sweeps with
+// optimality measurements live in cmd/qasombench / internal/bench.
+package qasom_test
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"qasom"
+	"qasom/internal/baseline"
+	"qasom/internal/bpel"
+	"qasom/internal/core"
+	"qasom/internal/graph"
+	"qasom/internal/qos"
+	"qasom/internal/registry"
+	"qasom/internal/semantics"
+	"qasom/internal/task"
+	"qasom/internal/workload"
+)
+
+// benchInstance generates one selection problem.
+func benchInstance(n, services, constraints int, shape workload.TaskShape,
+	tight workload.Tightness, approach qos.Approach) (*core.Request, map[string][]registry.Candidate) {
+	ps := qos.StandardSet()
+	if constraints > ps.Len() {
+		ps = qos.ExtendedSet()
+	}
+	g := workload.NewGenerator(1)
+	laws := workload.DefaultLaws(ps)
+	tk := g.Task("B", n, shape)
+	cands := g.Candidates(tk, services, ps, laws)
+	req := &core.Request{
+		Task:        tk,
+		Properties:  ps,
+		Constraints: g.Constraints(tk, ps, laws, tight, constraints),
+		Approach:    approach,
+	}
+	return req, cands
+}
+
+// BenchmarkAggregation covers Table IV.1: one full aggregation of a
+// mixed-pattern task tree per iteration.
+func BenchmarkAggregation(b *testing.B) {
+	ps := qos.StandardSet()
+	g := workload.NewGenerator(1)
+	laws := workload.DefaultLaws(ps)
+	tk := g.Task("Agg", 10, workload.ShapeMixed)
+	assign := make(map[string]qos.Vector, tk.Size())
+	for _, a := range tk.Activities() {
+		assign[a.ID] = g.Vector(ps, laws)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v := tk.AggregateQoS(ps, assign, qos.Pessimistic)
+		if v[0] <= 0 {
+			b.Fatal("degenerate aggregate")
+		}
+	}
+}
+
+// BenchmarkQASSA_Services covers Fig. VI.5(a).
+func BenchmarkQASSA_Services(b *testing.B) {
+	for _, services := range []int{10, 50, 100, 300} {
+		b.Run(fmt.Sprintf("l=%d", services), func(b *testing.B) {
+			req, cands := benchInstance(10, services, 3, workload.ShapeMixed,
+				workload.AtMeanPlusSigma, qos.Pessimistic)
+			sel := core.NewSelector(core.Options{})
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := sel.Select(req, cands); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkQASSA_Constraints covers Fig. VI.5(b).
+func BenchmarkQASSA_Constraints(b *testing.B) {
+	for _, c := range []int{1, 3, 5, 8} {
+		b.Run(fmt.Sprintf("c=%d", c), func(b *testing.B) {
+			req, cands := benchInstance(10, 50, c, workload.ShapeMixed,
+				workload.AtMeanPlusSigma, qos.Pessimistic)
+			sel := core.NewSelector(core.Options{})
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := sel.Select(req, cands); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkQASSA_Aggregation covers Figs. VI.7/VI.8 (per-approach cost).
+func BenchmarkQASSA_Aggregation(b *testing.B) {
+	for _, approach := range qos.Approaches() {
+		b.Run(approach.String(), func(b *testing.B) {
+			req, cands := benchInstance(10, 50, 3, workload.ShapeChoiceHeavy,
+				workload.AtMeanPlusSigma, approach)
+			sel := core.NewSelector(core.Options{})
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := sel.Select(req, cands); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkQASSA_Tightness covers Figs. VI.10/VI.11.
+func BenchmarkQASSA_Tightness(b *testing.B) {
+	for _, tight := range []workload.Tightness{workload.AtMean, workload.AtMeanPlusSigma} {
+		b.Run(tight.String(), func(b *testing.B) {
+			req, cands := benchInstance(10, 50, 3, workload.ShapeMixed, tight, qos.Pessimistic)
+			sel := core.NewSelector(core.Options{})
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := sel.Select(req, cands); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkQASSA_Distributed covers Fig. VI.12 (in-process transport, no
+// artificial link latency so the benchmark measures computation).
+func BenchmarkQASSA_Distributed(b *testing.B) {
+	req, cands := benchInstance(10, 50, 3, workload.ShapeMixed,
+		workload.AtMeanPlusSigma, qos.Pessimistic)
+	devices := make(map[string]core.LocalSelector, len(cands))
+	for id, list := range cands {
+		dev := core.NewDeviceNode("dev-"+id, 0)
+		dev.Host(id, list)
+		devices[id] = dev
+	}
+	sel := core.NewDistributedSelector(core.Options{}, devices)
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sel.Select(ctx, req); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExhaustiveBaseline shows the cost wall QASSA avoids
+// (reference for Figs. VI.6/VI.8/VI.11; note the tiny instance).
+func BenchmarkExhaustiveBaseline(b *testing.B) {
+	req, cands := benchInstance(5, 10, 3, workload.ShapeMixed,
+		workload.AtMeanPlusSigma, qos.Pessimistic)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := baseline.Exhaustive(req, cands, baseline.ExhaustiveOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGreedyBaseline is the thesis's low-cost comparison point.
+func BenchmarkGreedyBaseline(b *testing.B) {
+	req, cands := benchInstance(10, 50, 3, workload.ShapeMixed,
+		workload.AtMeanPlusSigma, qos.Pessimistic)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := baseline.Greedy(req, cands); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBPELToGraph covers Fig. VI.13.
+func BenchmarkBPELToGraph(b *testing.B) {
+	for _, n := range []int{10, 100, 500} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			g := workload.NewGenerator(1)
+			tk := g.Task("T", n, workload.ShapeMixed)
+			doc, err := bpel.Marshal(tk)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				parsed, err := bpel.Parse(doc)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := graph.FromTask(parsed); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkHomeomorphism covers the Chapter V §7 matcher cost.
+func BenchmarkHomeomorphism(b *testing.B) {
+	onto := semantics.Scenarios()
+	for _, n := range []int{8, 16, 24} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			pattern := lineGraph(b, n, semantics.ShoppingService)
+			host := interleavedHost(b, n)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_, found, err := graph.FindHomeomorphism(pattern, host, graph.MatchOptions{Ontology: onto})
+				if err != nil || !found {
+					b.Fatalf("match failed: %v %v", found, err)
+				}
+			}
+		})
+	}
+}
+
+func lineGraph(b *testing.B, n int, concept semantics.ConceptID) *graph.Graph {
+	b.Helper()
+	nodes := make([]*task.Node, n)
+	for i := range nodes {
+		nodes[i] = task.NewActivity(&task.Activity{ID: fmt.Sprintf("p%d", i), Concept: concept})
+	}
+	tk := &task.Task{Name: "p", Concept: "C", Root: task.Sequence(nodes...)}
+	g, err := graph.FromTask(tk)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g
+}
+
+func interleavedHost(b *testing.B, n int) *graph.Graph {
+	b.Helper()
+	nodes := make([]*task.Node, 2*n)
+	for i := range nodes {
+		c := semantics.ShoppingService
+		if i%2 == 1 {
+			c = semantics.NotifyService
+		}
+		nodes[i] = task.NewActivity(&task.Activity{ID: fmt.Sprintf("h%d", i), Concept: c})
+	}
+	tk := &task.Task{Name: "h", Concept: "C", Root: task.Sequence(nodes...)}
+	g, err := graph.FromTask(tk)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g
+}
+
+// BenchmarkAdaptation measures one substitution-driven recovery through
+// the public API (Ch. V end-to-end).
+func BenchmarkAdaptation(b *testing.B) {
+	mw := newBenchMall(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		comp, err := mw.Compose(qasom.Request{Task: benchTask})
+		if err != nil {
+			b.Fatal(err)
+		}
+		victim := comp.Bindings()["order"]
+		mw.SetDown(victim)
+		b.StartTimer()
+		report, err := mw.Execute(context.Background(), comp)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !report.Completed || report.Substitutions == 0 {
+			b.Fatalf("recovery failed: %+v", report)
+		}
+		b.StopTimer()
+		mw.SetUp(victim)
+		b.StartTimer()
+	}
+}
+
+const benchTask = `<process name="bench-shopping" concept="Shopping">
+  <sequence>
+    <invoke activity="browse" concept="BrowseCatalog"/>
+    <invoke activity="order" concept="OrderItem"/>
+    <invoke activity="pay" concept="Payment"/>
+  </sequence>
+</process>`
+
+func newBenchMall(b *testing.B) *qasom.Middleware {
+	b.Helper()
+	mw, err := qasom.New()
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, spec := range []struct{ prefix, capability string }{
+		{"browse", "BrowseCatalog"}, {"order", "OrderItem"}, {"pay", "CardPayment"},
+	} {
+		for i := 0; i < 5; i++ {
+			err := mw.Publish(qasom.Service{
+				ID:         fmt.Sprintf("%s-%d", spec.prefix, i),
+				Capability: spec.capability,
+				QoS: map[string]float64{
+					"responseTime": 40 + float64(5*i), "price": 5,
+					"availability": 0.95, "reliability": 0.9, "throughput": 40,
+				},
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	return mw
+}
+
+// BenchmarkComposeFacade measures the full public-API composition path
+// (registry resolution + QASSA).
+func BenchmarkComposeFacade(b *testing.B) {
+	mw := newBenchMall(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		comp, err := mw.Compose(qasom.Request{
+			Task:        benchTask,
+			Constraints: []qasom.Constraint{{Property: "responseTime", Bound: 300}},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !comp.Feasible() {
+			b.Fatal("should be feasible")
+		}
+	}
+}

@@ -1,0 +1,212 @@
+// Command qasom is a demo CLI for the QASOM middleware: it boots a
+// simulated pervasive environment (a commercial centre with shopping,
+// payment and media services), then either runs a scripted demo of the
+// full select→execute→adapt loop or composes a user-supplied
+// abstract-BPEL task against the environment.
+//
+// Usage:
+//
+//	qasom demo                       # scripted end-to-end demo
+//	qasom services                   # list the simulated environment
+//	qasom compose -task file.bpel [-rt 400] [-price 30] [-distributed]
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"sort"
+
+	"qasom"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	if len(args) == 0 {
+		usage(stderr)
+		return 2
+	}
+	mw, err := bootEnvironment(42)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	switch args[0] {
+	case "demo":
+		return demo(mw, stdout, stderr)
+	case "services":
+		return listServices(mw, stdout)
+	case "compose":
+		return compose(mw, args[1:], stdout, stderr)
+	default:
+		usage(stderr)
+		return 2
+	}
+}
+
+func usage(stderr io.Writer) {
+	fmt.Fprintln(stderr, `usage: qasom <command>
+  demo        run the scripted select → execute → adapt demo
+  services    list the simulated environment's services
+  compose     compose a task: qasom compose -task file.bpel [-rt N] [-price N] [-distributed]`)
+}
+
+// bootEnvironment publishes a deterministic commercial-centre
+// environment.
+func bootEnvironment(seed int64) (*qasom.Middleware, error) {
+	mw, err := qasom.New(qasom.Options{Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	kinds := []struct {
+		prefix, capability string
+		count              int
+	}{
+		{"catalog", "BrowseCatalog", 3},
+		{"search", "SearchItem", 3},
+		{"bookshop", "BookSale", 6},
+		{"cdshop", "CDSale", 4},
+		{"dvdshop", "DVDSale", 4},
+		{"electro", "ElectronicsSale", 4},
+		{"kiosk", "Shopping", 3},
+		{"cashdesk", "CardPayment", 4},
+		{"mpay", "MobilePayment", 3},
+		{"notify", "Notification", 2},
+	}
+	for _, k := range kinds {
+		for i := 0; i < k.count; i++ {
+			err := mw.Publish(qasom.Service{
+				ID:         fmt.Sprintf("%s-%d", k.prefix, i),
+				Capability: k.capability,
+				QoS: map[string]float64{
+					"responseTime": 30 + rng.Float64()*150,
+					"price":        1 + rng.Float64()*12,
+					"availability": 0.85 + rng.Float64()*0.14,
+					"reliability":  0.85 + rng.Float64()*0.14,
+					"throughput":   20 + rng.Float64()*60,
+				},
+				Noise: 0.05,
+			})
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	return mw, nil
+}
+
+func listServices(mw *qasom.Middleware, stdout io.Writer) int {
+	fmt.Fprintf(stdout, "simulated environment: %d services, properties %v\n",
+		mw.ServiceCount(), mw.Properties())
+	return 0
+}
+
+const demoTask = `<process name="demo-shopping" concept="Shopping">
+  <sequence>
+    <invoke activity="browse" concept="BrowseCatalog"/>
+    <flow>
+      <invoke activity="book" concept="BookSale"/>
+      <invoke activity="cd" concept="CDSale"/>
+    </flow>
+    <invoke activity="pay" concept="Payment"/>
+  </sequence>
+</process>`
+
+func demo(mw *qasom.Middleware, stdout, stderr io.Writer) int {
+	fmt.Fprintln(stdout, "== QASOM demo: shopping in a simulated commercial centre ==")
+	comp, err := mw.Compose(qasom.Request{
+		Task: demoTask,
+		Constraints: []qasom.Constraint{
+			{Property: "responseTime", Bound: 400},
+			{Property: "price", Bound: 30},
+		},
+		Weights: map[string]float64{"price": 2, "responseTime": 1},
+	})
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	printComposition(stdout, comp)
+
+	victim := comp.Bindings()["book"]
+	fmt.Fprintf(stdout, "\ninjecting failure: %s goes down\n", victim)
+	mw.SetDown(victim)
+
+	report, err := mw.Execute(context.Background(), comp)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "execution: completed=%v invocations=%d failures=%d substitutions=%d behaviour-switches=%d\n",
+		report.Completed, report.Invocations, report.Failures, report.Substitutions, report.BehaviourSwitches)
+	fmt.Fprintf(stdout, "book is now served by %s\n", comp.Bindings()["book"])
+	return 0
+}
+
+func compose(mw *qasom.Middleware, args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("compose", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	taskPath := fs.String("task", "", "abstract-BPEL task file")
+	rt := fs.Float64("rt", 0, "responseTime bound (0 = none)")
+	price := fs.Float64("price", 0, "price bound (0 = none)")
+	distributed := fs.Bool("distributed", false, "run the local phase distributed")
+	execute := fs.Bool("exec", false, "execute the composition after selection")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *taskPath == "" {
+		fmt.Fprintln(stderr, "compose: -task is required")
+		return 2
+	}
+	doc, err := os.ReadFile(*taskPath)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	req := qasom.Request{Task: string(doc), Distributed: *distributed}
+	if *rt > 0 {
+		req.Constraints = append(req.Constraints, qasom.Constraint{Property: "responseTime", Bound: *rt})
+	}
+	if *price > 0 {
+		req.Constraints = append(req.Constraints, qasom.Constraint{Property: "price", Bound: *price})
+	}
+	comp, err := mw.Compose(req)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	printComposition(stdout, comp)
+	if *execute {
+		report, err := mw.Execute(context.Background(), comp)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "execution: completed=%v substitutions=%d in %v\n",
+			report.Completed, report.Substitutions, report.Duration)
+	}
+	return 0
+}
+
+func printComposition(stdout io.Writer, comp *qasom.Composition) {
+	fmt.Fprintf(stdout, "feasible=%v utility=%.3f behaviour=%s\n", comp.Feasible(), comp.Utility(), comp.Behaviour())
+	bindings := comp.Bindings()
+	acts := make([]string, 0, len(bindings))
+	for a := range bindings {
+		acts = append(acts, a)
+	}
+	sort.Strings(acts)
+	for _, a := range acts {
+		fmt.Fprintf(stdout, "  %-8s -> %-16s alternates=%v\n", a, bindings[a], comp.Alternates(a))
+	}
+	agg := comp.AggregatedQoS()
+	fmt.Fprintf(stdout, "aggregated: rt=%.0fms price=%.2f avail=%.3f rel=%.3f tput=%.0f\n",
+		agg["responseTime"], agg["price"], agg["availability"], agg["reliability"], agg["throughput"])
+}

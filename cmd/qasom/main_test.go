@@ -1,0 +1,97 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func runCLI(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var out, errBuf bytes.Buffer
+	code := run(args, &out, &errBuf)
+	return code, out.String(), errBuf.String()
+}
+
+func TestNoArgsUsage(t *testing.T) {
+	code, _, stderr := runCLI(t)
+	if code != 2 || !strings.Contains(stderr, "usage:") {
+		t.Errorf("code %d, stderr %q", code, stderr)
+	}
+}
+
+func TestUnknownCommand(t *testing.T) {
+	code, _, stderr := runCLI(t, "frobnicate")
+	if code != 2 || !strings.Contains(stderr, "usage:") {
+		t.Errorf("code %d, stderr %q", code, stderr)
+	}
+}
+
+func TestServicesCommand(t *testing.T) {
+	code, stdout, _ := runCLI(t, "services")
+	if code != 0 {
+		t.Fatalf("code %d", code)
+	}
+	if !strings.Contains(stdout, "36 services") {
+		t.Errorf("stdout = %q", stdout)
+	}
+}
+
+func TestDemoCommand(t *testing.T) {
+	code, stdout, stderr := runCLI(t, "demo")
+	if code != 0 {
+		t.Fatalf("code %d, stderr %q", code, stderr)
+	}
+	for _, want := range []string{"feasible=true", "injecting failure", "completed=true", "substitutions=1"} {
+		if !strings.Contains(stdout, want) {
+			t.Errorf("demo output missing %q:\n%s", want, stdout)
+		}
+	}
+}
+
+func TestComposeCommand(t *testing.T) {
+	dir := t.TempDir()
+	taskFile := filepath.Join(dir, "task.bpel")
+	doc := `<process name="cli-task" concept="Shopping">
+	  <sequence>
+	    <invoke activity="browse" concept="BrowseCatalog"/>
+	    <invoke activity="buy" concept="BookSale"/>
+	  </sequence>
+	</process>`
+	if err := os.WriteFile(taskFile, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, stdout, stderr := runCLI(t, "compose", "-task", taskFile, "-rt", "500", "-exec")
+	if code != 0 {
+		t.Fatalf("code %d, stderr %q", code, stderr)
+	}
+	for _, want := range []string{"feasible=true", "browse", "buy", "completed=true"} {
+		if !strings.Contains(stdout, want) {
+			t.Errorf("compose output missing %q:\n%s", want, stdout)
+		}
+	}
+	// Distributed flag path.
+	code, stdout, _ = runCLI(t, "compose", "-task", taskFile, "-distributed")
+	if code != 0 || !strings.Contains(stdout, "feasible=") {
+		t.Errorf("distributed compose failed: code %d\n%s", code, stdout)
+	}
+}
+
+func TestComposeErrors(t *testing.T) {
+	if code, _, _ := runCLI(t, "compose"); code != 2 {
+		t.Errorf("missing -task should exit 2, got %d", code)
+	}
+	if code, _, _ := runCLI(t, "compose", "-task", "/nonexistent.bpel"); code != 1 {
+		t.Errorf("unreadable task should exit 1, got %d", code)
+	}
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.bpel")
+	if err := os.WriteFile(bad, []byte("<nope"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code, _, _ := runCLI(t, "compose", "-task", bad); code != 1 {
+		t.Error("malformed task should exit 1")
+	}
+}

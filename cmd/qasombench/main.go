@@ -1,0 +1,108 @@
+// Command qasombench regenerates the evaluation artefacts of the paper:
+// every table and figure has a harness experiment (see DESIGN.md for the
+// index). Results print as aligned text tables and can be exported as
+// CSV files for plotting.
+//
+// Usage:
+//
+//	qasombench -list                 # show the experiment inventory
+//	qasombench -exp vi5a             # run one experiment
+//	qasombench -all                  # run everything (slow)
+//	qasombench -all -quick           # smoke-test sweep sizes
+//	qasombench -exp vi6a -csv out/   # also write out/vi6a.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"qasom/internal/bench"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("qasombench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		list    = fs.Bool("list", false, "list available experiments")
+		exp     = fs.String("exp", "", "comma-separated experiment IDs to run")
+		all     = fs.Bool("all", false, "run every experiment")
+		quick   = fs.Bool("quick", false, "use reduced sweep sizes")
+		seed    = fs.Int64("seed", 1, "workload seed")
+		reps    = fs.Int("reps", 0, "repetitions per measured point (0 = default)")
+		csvDir  = fs.String("csv", "", "directory to write <id>.csv files into")
+		verbose = fs.Bool("v", false, "print expected shapes alongside results")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *list {
+		fmt.Fprintf(stdout, "%-20s %-28s %s\n", "ID", "PAPER", "TITLE")
+		for _, e := range bench.Experiments() {
+			fmt.Fprintf(stdout, "%-20s %-28s %s\n", e.ID, e.Paper, e.Title)
+		}
+		return 0
+	}
+
+	var ids []string
+	switch {
+	case *all:
+		for _, e := range bench.Experiments() {
+			ids = append(ids, e.ID)
+		}
+	case *exp != "":
+		ids = strings.Split(*exp, ",")
+	default:
+		fmt.Fprintln(stderr, "nothing to do: pass -list, -all or -exp <id> (see -h)")
+		return 2
+	}
+
+	cfg := bench.Config{Quick: *quick, Seed: *seed, Repetitions: *reps}
+	failed := 0
+	for _, id := range ids {
+		id = strings.TrimSpace(id)
+		e := bench.ByID(id)
+		if e == nil {
+			fmt.Fprintf(stderr, "unknown experiment %q (use -list)\n", id)
+			failed++
+			continue
+		}
+		fmt.Fprintf(stdout, "### %s — %s\n", e.Paper, e.Title)
+		if *verbose {
+			fmt.Fprintf(stdout, "expected: %s\n", e.Expected)
+		}
+		start := time.Now()
+		table, err := e.Run(cfg)
+		if err != nil {
+			fmt.Fprintf(stderr, "experiment %s failed: %v\n", id, err)
+			failed++
+			continue
+		}
+		fmt.Fprint(stdout, table.String())
+		fmt.Fprintf(stdout, "(%s in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+		if *csvDir != "" {
+			if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+				fmt.Fprintf(stderr, "csv dir: %v\n", err)
+				return 1
+			}
+			path := filepath.Join(*csvDir, id+".csv")
+			if err := os.WriteFile(path, []byte(table.CSV()), 0o644); err != nil {
+				fmt.Fprintf(stderr, "write %s: %v\n", path, err)
+				return 1
+			}
+		}
+	}
+	if failed > 0 {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,66 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func runBench(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var out, errBuf bytes.Buffer
+	code := run(args, &out, &errBuf)
+	return code, out.String(), errBuf.String()
+}
+
+func TestListInventory(t *testing.T) {
+	code, stdout, _ := runBench(t, "-list")
+	if code != 0 {
+		t.Fatalf("code %d", code)
+	}
+	for _, want := range []string{"vi5a", "vi13", "adapt", "qosagg", "baselines"} {
+		if !strings.Contains(stdout, want) {
+			t.Errorf("inventory missing %q", want)
+		}
+	}
+}
+
+func TestNoArgs(t *testing.T) {
+	code, _, stderr := runBench(t)
+	if code != 2 || !strings.Contains(stderr, "nothing to do") {
+		t.Errorf("code %d, stderr %q", code, stderr)
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	code, _, stderr := runBench(t, "-exp", "nope")
+	if code != 1 || !strings.Contains(stderr, "unknown experiment") {
+		t.Errorf("code %d, stderr %q", code, stderr)
+	}
+}
+
+func TestRunOneWithCSV(t *testing.T) {
+	dir := t.TempDir()
+	code, stdout, stderr := runBench(t, "-exp", "qosagg", "-quick", "-v", "-csv", dir)
+	if code != 0 {
+		t.Fatalf("code %d, stderr %q", code, stderr)
+	}
+	if !strings.Contains(stdout, "Table IV.1") || !strings.Contains(stdout, "expected:") {
+		t.Errorf("stdout = %q", stdout)
+	}
+	csv, err := os.ReadFile(filepath.Join(dir, "qosagg.csv"))
+	if err != nil {
+		t.Fatalf("csv not written: %v", err)
+	}
+	if !strings.HasPrefix(string(csv), "kind,") {
+		t.Errorf("csv header = %q", string(csv)[:20])
+	}
+}
+
+func TestBadFlag(t *testing.T) {
+	if code, _, _ := runBench(t, "-definitely-not-a-flag"); code != 2 {
+		t.Errorf("bad flag should exit 2, got %d", code)
+	}
+}

@@ -1,0 +1,130 @@
+// Command qasomnode runs a standalone QASSA coordinator device: it hosts
+// the candidate services of one or more activities (loaded from a JSON
+// catalog) and serves the local selection phase over TCP, so a requester
+// running the distributed selector (see core.TCPClient) can compose
+// against a fleet of nodes — the ad hoc deployment of Fig. IV.4.
+//
+// Usage:
+//
+//	qasomnode -listen 127.0.0.1:9001 -catalog services.json [-latency 2ms]
+//
+// Catalog format (one entry per service):
+//
+//	[
+//	  {"activity": "book", "id": "bookshop-1", "capability": "BookSale",
+//	   "qos": {"responseTime": 80, "price": 6, "availability": 0.95,
+//	           "reliability": 0.9, "throughput": 40}}
+//	]
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"qasom/internal/core"
+	"qasom/internal/qos"
+	"qasom/internal/registry"
+	"qasom/internal/semantics"
+)
+
+// catalogEntry is one service in the JSON catalog.
+type catalogEntry struct {
+	Activity   string             `json:"activity"`
+	ID         string             `json:"id"`
+	Name       string             `json:"name"`
+	Capability string             `json:"capability"`
+	QoS        map[string]float64 `json:"qos"`
+}
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		listen  = flag.String("listen", "127.0.0.1:0", "TCP address to serve LocalSelect on")
+		catalog = flag.String("catalog", "", "JSON catalog of hosted services (required)")
+		name    = flag.String("name", "qasomnode", "device name (diagnostics)")
+		latency = flag.Duration("latency", 0, "simulated wireless round-trip added per request")
+	)
+	flag.Parse()
+	if *catalog == "" {
+		fmt.Fprintln(os.Stderr, "qasomnode: -catalog is required")
+		return 2
+	}
+	doc, err := os.ReadFile(*catalog)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	var entries []catalogEntry
+	if err := json.Unmarshal(doc, &entries); err != nil {
+		fmt.Fprintf(os.Stderr, "qasomnode: bad catalog: %v\n", err)
+		return 1
+	}
+	dev, count, err := buildDevice(*name, *latency, entries)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+	addr, stop, err := core.ServeTCP(ctx, *listen, dev)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	defer stop()
+	fmt.Printf("qasomnode %q serving %d services for activities %v on %s\n",
+		*name, count, dev.Activities(), addr)
+	<-ctx.Done()
+	fmt.Println("qasomnode: shutting down")
+	return 0
+}
+
+// buildDevice converts catalog entries into a hosted DeviceNode. The
+// standard property set names are accepted in qos keys, as are ontology
+// concepts/aliases.
+func buildDevice(name string, latency time.Duration, entries []catalogEntry) (*core.DeviceNode, int, error) {
+	ps := qos.StandardSet()
+	onto := semantics.PervasiveWithScenarios()
+	dev := core.NewDeviceNode(name, latency)
+	byActivity := make(map[string][]registry.Candidate)
+	for i, e := range entries {
+		if e.Activity == "" || e.ID == "" || e.Capability == "" {
+			return nil, 0, fmt.Errorf("qasomnode: catalog entry %d needs activity, id and capability", i)
+		}
+		offers := make([]registry.QoSOffer, 0, len(e.QoS))
+		for key, value := range e.QoS {
+			concept := semantics.ConceptID(key)
+			if j, ok := ps.Index(key); ok {
+				concept = ps.At(j).Concept
+			}
+			offers = append(offers, registry.QoSOffer{Property: concept, Value: value})
+		}
+		desc := registry.Description{
+			ID:      registry.ServiceID(e.ID),
+			Name:    e.Name,
+			Concept: semantics.ConceptID(e.Capability),
+			Offers:  offers,
+		}
+		vec, err := desc.VectorFor(ps, onto)
+		if err != nil {
+			return nil, 0, fmt.Errorf("qasomnode: catalog entry %d (%s): %w", i, e.ID, err)
+		}
+		byActivity[e.Activity] = append(byActivity[e.Activity], registry.Candidate{
+			Service: desc, Vector: vec, Match: semantics.MatchExact,
+		})
+	}
+	for act, cands := range byActivity {
+		dev.Host(act, cands)
+	}
+	return dev, len(entries), nil
+}

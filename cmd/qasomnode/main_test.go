@@ -1,0 +1,87 @@
+package main
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"qasom/internal/core"
+	"qasom/internal/qos"
+)
+
+func entries() []catalogEntry {
+	return []catalogEntry{
+		{Activity: "book", ID: "shop-1", Capability: "BookSale",
+			QoS: map[string]float64{"responseTime": 80, "price": 6, "availability": 0.95, "reliability": 0.9, "throughput": 40}},
+		{Activity: "book", ID: "shop-2", Capability: "BookSale",
+			QoS: map[string]float64{"responseTime": 40, "price": 9, "availability": 0.97, "reliability": 0.92, "throughput": 50}},
+		{Activity: "pay", ID: "pay-1", Capability: "CardPayment",
+			QoS: map[string]float64{"Delay": 30, "Fee": 1, "Uptime": 0.99, "SuccessRate": 0.95, "Rate": 60}},
+	}
+}
+
+func TestBuildDevice(t *testing.T) {
+	dev, count, err := buildDevice("n1", 0, entries())
+	if err != nil {
+		t.Fatalf("buildDevice: %v", err)
+	}
+	if count != 3 {
+		t.Errorf("count = %d", count)
+	}
+	acts := dev.Activities()
+	if len(acts) != 2 {
+		t.Errorf("activities = %v", acts)
+	}
+	// The device can actually serve a local selection, including the
+	// alias-vocabulary entry.
+	lr, err := dev.LocalSelect(context.Background(), core.LocalRequest{
+		ActivityID: "pay",
+		Properties: qos.StandardSet().Properties(),
+		K:          2,
+	})
+	if err != nil {
+		t.Fatalf("LocalSelect: %v", err)
+	}
+	if len(lr.Ranked) != 1 || lr.Ranked[0].Vector[0] != 30 {
+		t.Errorf("alias vocabulary not resolved: %+v", lr.Ranked)
+	}
+}
+
+func TestBuildDeviceValidation(t *testing.T) {
+	bad := entries()
+	bad[0].Activity = ""
+	if _, _, err := buildDevice("n", 0, bad); err == nil {
+		t.Error("entry without activity should fail")
+	}
+	incomplete := []catalogEntry{{Activity: "a", ID: "x", Capability: "BookSale",
+		QoS: map[string]float64{"responseTime": 10}}}
+	if _, _, err := buildDevice("n", 0, incomplete); err == nil {
+		t.Error("unresolvable offers should fail")
+	}
+}
+
+func TestNodeServesDistributedSelection(t *testing.T) {
+	dev, _, err := buildDevice("n1", 0, entries())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	addr, stop, err := core.ServeTCP(ctx, "127.0.0.1:0", dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+	client := &core.TCPClient{Addr: addr}
+	lr, err := client.LocalSelect(ctx, core.LocalRequest{
+		ActivityID: "book",
+		Properties: qos.StandardSet().Properties(),
+		K:          2,
+	})
+	if err != nil {
+		t.Fatalf("remote LocalSelect: %v", err)
+	}
+	if len(lr.Ranked) != 2 {
+		t.Errorf("ranked = %d, want 2", len(lr.Ranked))
+	}
+}

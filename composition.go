@@ -1,0 +1,455 @@
+package qasom
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"time"
+
+	"qasom/internal/adapt"
+	"qasom/internal/bpel"
+	"qasom/internal/core"
+	"qasom/internal/exec"
+	"qasom/internal/monitor"
+	"qasom/internal/qos"
+	"qasom/internal/registry"
+	"qasom/internal/task"
+)
+
+// RegisterTaskClass stores a set of behaviourally different but
+// functionally equivalent task definitions (abstract-BPEL documents) in
+// the task-class repository; behavioural adaptation switches between
+// them at run time. All behaviours must declare the same concept.
+func (m *Middleware) RegisterTaskClass(name string, bpelDocs ...string) error {
+	if len(bpelDocs) == 0 {
+		return fmt.Errorf("qasom: task class %q needs at least one behaviour", name)
+	}
+	behaviours := make([]*task.Task, 0, len(bpelDocs))
+	for i, doc := range bpelDocs {
+		t, err := bpel.ParseString(doc)
+		if err != nil {
+			return fmt.Errorf("qasom: behaviour %d of class %q: %w", i, name, err)
+		}
+		behaviours = append(behaviours, t)
+	}
+	return m.repo.Register(&task.Class{
+		Name:       name,
+		Concept:    behaviours[0].Concept,
+		Behaviours: behaviours,
+	})
+}
+
+// TaskClasses returns the names of the registered task classes.
+func (m *Middleware) TaskClasses() []string { return m.repo.Names() }
+
+// Composition is a selected, executable service composition.
+type Composition struct {
+	mw      *Middleware
+	runtime *adapt.Runtime
+	manager *adapt.Manager
+}
+
+// Compose resolves the request: it parses the task, gathers candidate
+// services from the registry (semantic matching) and runs QASSA under
+// the global constraints. The composition is returned even when
+// infeasible (best-effort, Feasible reports false).
+func (m *Middleware) Compose(req Request) (*Composition, error) {
+	t, err := m.resolveTask(req.Task)
+	if err != nil {
+		return nil, err
+	}
+	coreReq := &core.Request{
+		Task:       t,
+		Properties: m.props,
+	}
+	for _, c := range req.Constraints {
+		coreReq.Constraints = append(coreReq.Constraints, qos.Constraint{Property: c.Property, Bound: c.Bound})
+	}
+	if req.Weights != nil {
+		w := make(qos.Weights, m.props.Len())
+		for name, v := range req.Weights {
+			j, ok := m.props.Index(name)
+			if !ok {
+				return nil, fmt.Errorf("qasom: unknown weight property %q", name)
+			}
+			w[j] = v
+		}
+		coreReq.Weights = w
+	}
+	switch req.Approach {
+	case "", "pessimistic":
+		coreReq.Approach = qos.Pessimistic
+	case "optimistic":
+		coreReq.Approach = qos.Optimistic
+	case "mean-value", "mean":
+		coreReq.Approach = qos.MeanValue
+	default:
+		return nil, fmt.Errorf("qasom: unknown approach %q", req.Approach)
+	}
+
+	candidates := make(map[string][]registry.Candidate, t.Size())
+	for _, a := range t.Activities() {
+		cands := m.reg.CandidatesForActivity(a, m.props)
+		if len(cands) == 0 {
+			return nil, fmt.Errorf("qasom: no services for activity %q (capability %q)", a.ID, a.Concept)
+		}
+		candidates[a.ID] = cands
+	}
+	var res *core.Result
+	if req.Distributed {
+		devices := make(map[string]core.LocalSelector, len(candidates))
+		for id, list := range candidates {
+			dev := core.NewDeviceNode("dev-"+id, 2*time.Millisecond)
+			dev.Host(id, list)
+			devices[id] = dev
+		}
+		res, err = core.NewDistributedSelector(core.Options{K: m.opts.K, MaxAlternates: m.opts.MaxAlternates, Seed: m.opts.Seed}, devices).
+			Select(context.Background(), coreReq)
+	} else {
+		res, err = m.selector.Select(coreReq, candidates)
+	}
+	if err != nil {
+		return nil, err
+	}
+	manager := &adapt.Manager{
+		Registry: m.reg,
+		Repo:     m.repo,
+		Selector: m.selector,
+		Monitor:  m.mon,
+	}
+	manager.Options.Match.AllowSubsume = true
+	manager.Options.Match.AllowMerge = true
+	return &Composition{
+		mw:      m,
+		runtime: adapt.NewRuntime(coreReq, res),
+		manager: manager,
+	}, nil
+}
+
+// resolveTask accepts an abstract-BPEL document or the name of a
+// registered task-class behaviour.
+func (m *Middleware) resolveTask(spec string) (*task.Task, error) {
+	if spec == "" {
+		return nil, fmt.Errorf("qasom: empty task")
+	}
+	// A registered behaviour name?
+	for _, className := range m.repo.Names() {
+		for _, b := range m.repo.Class(className).Behaviours {
+			if b.Name == spec {
+				return b, nil
+			}
+		}
+	}
+	return bpel.ParseString(spec)
+}
+
+// Feasible reports whether the selection satisfies every constraint.
+func (c *Composition) Feasible() bool { return c.runtime.Result().Feasible }
+
+// Utility returns the composition utility F in [0,1].
+func (c *Composition) Utility() float64 { return c.runtime.Result().Utility }
+
+// Bindings maps activity IDs to the selected service IDs.
+func (c *Composition) Bindings() map[string]string {
+	res := c.runtime.Result()
+	out := make(map[string]string, len(res.Assignment))
+	for act, cand := range res.Assignment {
+		out[act] = string(cand.Service.ID)
+	}
+	return out
+}
+
+// Alternates returns the ranked substitute service IDs for an activity.
+func (c *Composition) Alternates(activityID string) []string {
+	res := c.runtime.Result()
+	alts := res.Alternates[activityID]
+	out := make([]string, len(alts))
+	for i, a := range alts {
+		out[i] = string(a.Service.ID)
+	}
+	return out
+}
+
+// AggregatedQoS returns the composition's aggregated QoS per property.
+func (c *Composition) AggregatedQoS() map[string]float64 {
+	res := c.runtime.Result()
+	out := make(map[string]float64, c.mw.props.Len())
+	for j, name := range c.mw.props.Names() {
+		out[name] = res.Aggregated[j]
+	}
+	return out
+}
+
+// Behaviour returns the name of the behaviour currently executing.
+func (c *Composition) Behaviour() string { return c.runtime.Behaviour.Name }
+
+// Report documents one execution.
+type Report struct {
+	// Completed reports whether the whole task finished.
+	Completed bool
+	// Substitutions counts service substitutions applied.
+	Substitutions int
+	// BehaviourSwitches counts behavioural adaptations applied.
+	BehaviourSwitches int
+	// Invocations counts service invocation attempts.
+	Invocations int
+	// Failures counts failed attempts.
+	Failures int
+	// Duration is the wall time of the execution.
+	Duration time.Duration
+}
+
+// Execute runs the composition over the simulated environment with the
+// full adaptation loop: dynamic binding, monitoring, substitution on
+// failure and behavioural adaptation when substitution is exhausted.
+func (m *Middleware) Execute(ctx context.Context, c *Composition) (*Report, error) {
+	report := &Report{}
+	start := time.Now()
+	defer func() { report.Duration = time.Since(start) }()
+
+	// A previously completed composition re-executes from the start
+	// (repeated runs of the same task, e.g. streaming segments).
+	if _, ok := c.remainingTask(); !ok {
+		c.runtime.ResetProgress()
+	}
+
+	for round := 0; round < 4; round++ {
+		remaining, ok := c.remainingTask()
+		if !ok {
+			report.Completed = true
+			report.Substitutions = c.runtime.Substitutions()
+			return report, nil
+		}
+		execu := &exec.Executor{
+			Invoker:    m.env,
+			Binder:     c.runtime,
+			Monitor:    m.mon,
+			OnFailure:  c.manager.FailureHandler(c.runtime),
+			OnComplete: c.manager.CompletionHook(c.runtime),
+			Options:    exec.Options{Seed: m.opts.Seed + int64(round)},
+		}
+		trace, err := execu.Run(ctx, remaining)
+		report.Invocations += len(trace.Records)
+		report.Failures += trace.Failures()
+		if err == nil {
+			report.Completed = true
+			report.Substitutions = c.runtime.Substitutions()
+			return report, nil
+		}
+		if ctx.Err() != nil {
+			return report, ctx.Err()
+		}
+		// Substitution exhausted inside the executor: behavioural
+		// adaptation is the second line of defence.
+		if _, aerr := c.manager.AdaptBehaviour(c.runtime); aerr != nil {
+			report.Substitutions = c.runtime.Substitutions()
+			return report, fmt.Errorf("qasom: execution failed and adaptation impossible: %w (execution: %v)", aerr, err)
+		}
+		report.BehaviourSwitches++
+	}
+	report.Substitutions = c.runtime.Substitutions()
+	return report, fmt.Errorf("qasom: execution did not converge after repeated adaptation")
+}
+
+// ExecutableBPEL renders the composition as an executable-BPEL document:
+// the abstract process with every activity bound to its selected concrete
+// service (Chapter VI §2.4).
+func (c *Composition) ExecutableBPEL() ([]byte, error) {
+	res := c.runtime.Result()
+	bindings := make(map[string]bpel.Binding, len(res.Assignment))
+	for act, cand := range res.Assignment {
+		bindings[act] = bpel.Binding{
+			Service: string(cand.Service.ID),
+			Address: cand.Service.Address,
+		}
+	}
+	return bpel.MarshalExecutable(c.runtime.Behaviour, bindings)
+}
+
+// Assessment is a composition-level health check against the request's
+// constraints, using run-time monitoring data.
+type Assessment struct {
+	// Current holds the aggregated run-time QoS per property.
+	Current map[string]float64
+	// Violated lists properties whose constraints the current aggregate
+	// breaks.
+	Violated []string
+	// PredictedViolated lists properties whose constraints the
+	// trend-predicted aggregate breaks (the proactive signal).
+	PredictedViolated []string
+}
+
+// Healthy reports whether nothing is (or is about to be) violated.
+func (a Assessment) Healthy() bool {
+	return len(a.Violated) == 0 && len(a.PredictedViolated) == 0
+}
+
+// Assess checks the composition's run-time QoS against its constraints:
+// globally (aggregated over the whole task from monitor estimates,
+// falling back to advertised values) and proactively (linear-trend
+// prediction `horizon` observations ahead).
+func (c *Composition) Assess(horizon int) Assessment {
+	res := c.runtime.Result()
+	advertised := make(map[string]qos.Vector, len(res.Assignment))
+	binding := make(map[string]registry.ServiceID, len(res.Assignment))
+	for act, cand := range res.Assignment {
+		advertised[act] = cand.Vector
+		binding[act] = cand.Service.ID
+	}
+	cm := monitor.NewCompositionMonitor(c.runtime.Behaviour, c.mw.props,
+		c.runtime.Req.Constraints, c.runtime.Req.EffectiveApproach(), advertised, binding)
+	a := cm.Assess(c.mw.mon, horizon)
+	out := Assessment{
+		Current:           make(map[string]float64, c.mw.props.Len()),
+		Violated:          a.Violated,
+		PredictedViolated: a.PredictedViolated,
+	}
+	for j, name := range c.mw.props.Names() {
+		out.Current[name] = a.Current[j]
+	}
+	return out
+}
+
+// Substitute replaces the service bound to an activity with its best
+// healthy alternate (the manual trigger for proactive adaptation); it
+// returns the substitute's service ID.
+func (c *Composition) Substitute(activityID string) (string, error) {
+	cand, err := c.manager.Substitute(c.runtime, activityID, nil)
+	if err != nil {
+		return "", err
+	}
+	return string(cand.Service.ID), nil
+}
+
+// HealReport documents one proactive healing pass.
+type HealReport struct {
+	// Healthy reports whether the composition ended the pass with no
+	// current or predicted violations.
+	Healthy bool
+	// Substitutions lists "activity: old → new" for each applied swap.
+	Substitutions []string
+	// BehaviourSwitched reports whether behavioural adaptation ran.
+	BehaviourSwitched bool
+}
+
+// Heal is the proactive QoS-driven adaptation controller: it assesses
+// the composition against its constraints (current and trend-predicted
+// aggregates) and, when unhealthy, applies ONE adaptation action — it
+// substitutes the worst-contributing bound service, or, when no
+// substitution is possible anywhere, falls back to behavioural
+// adaptation. One action per call by design: further actions need fresh
+// run-time observations of the new binding, so the caller interleaves
+// Heal with executions (e.g. one per streaming segment). Healing is
+// best-effort: when the environment has nothing better to offer, the
+// report returns Healthy=false without error.
+func (c *Composition) Heal(horizon int) (*HealReport, error) {
+	report := &HealReport{}
+	a := c.Assess(horizon)
+	if a.Healthy() {
+		report.Healthy = true
+		return report, nil
+	}
+	for _, target := range c.contributorsByImpact(a) {
+		old := c.Bindings()[target]
+		sub, err := c.Substitute(target)
+		if err != nil {
+			continue
+		}
+		report.Substitutions = append(report.Substitutions,
+			fmt.Sprintf("%s: %s → %s", target, old, sub))
+		report.Healthy = c.Assess(horizon).Healthy()
+		return report, nil
+	}
+	if len(a.Violated) == 0 {
+		// Only a predicted violation and no degraded substitutable
+		// binding: watchful waiting beats churning healthy bindings.
+		return report, nil
+	}
+	// Substitution exhausted everywhere: behavioural adaptation. A
+	// fully-completed runtime re-plans from the start.
+	if _, done := c.remainingTask(); !done {
+		c.runtime.ResetProgress()
+	}
+	if _, aerr := c.manager.AdaptBehaviour(c.runtime); aerr == nil {
+		report.BehaviourSwitched = true
+	}
+	report.Healthy = c.Assess(horizon).Healthy()
+	return report, nil
+}
+
+// healDriftMargin is the relative drift beyond the advertised value at
+// which a binding counts as degraded (and so substitutable by Heal):
+// smaller drifts are normal jitter/link cost, and churning a binding that
+// delivers what it promised never helps.
+const healDriftMargin = 0.25
+
+// contributorsByImpact returns the activities whose bound services are
+// *degraded* — their monitored estimate drifted beyond the advertised
+// value by healDriftMargin on the first violated (or predicted-violated)
+// property — ordered worst first. Activities still to run come before
+// completed ones (between executions everything is completed and all are
+// fair game).
+func (c *Composition) contributorsByImpact(a Assessment) []string {
+	props := a.Violated
+	if len(props) == 0 {
+		props = a.PredictedViolated
+	}
+	if len(props) == 0 {
+		return nil
+	}
+	j, ok := c.mw.props.Index(props[0])
+	if !ok {
+		return nil
+	}
+	p := c.mw.props.At(j)
+	res := c.runtime.Result()
+	type scored struct {
+		act     string
+		value   float64
+		pending bool
+	}
+	list := make([]scored, 0, len(res.Assignment))
+	for act, cand := range res.Assignment {
+		est, has := c.mw.mon.Estimate(cand.Service.ID)
+		if !has {
+			continue // unobserved: trust the advertisement
+		}
+		v := est[j]
+		advertised := cand.Vector[j]
+		degraded := false
+		if p.Direction == qos.Minimized {
+			degraded = v > advertised*(1+healDriftMargin)
+		} else {
+			degraded = v < advertised*(1-healDriftMargin)
+		}
+		if !degraded {
+			continue
+		}
+		list = append(list, scored{act: act, value: v, pending: !c.runtime.Completed(act)})
+	}
+	sort.SliceStable(list, func(x, y int) bool {
+		if list[x].pending != list[y].pending {
+			return list[x].pending
+		}
+		if list[x].value != list[y].value {
+			return p.Worse(list[x].value, list[y].value)
+		}
+		return list[x].act < list[y].act
+	})
+	out := make([]string, len(list))
+	for i, s := range list {
+		out[i] = s.act
+	}
+	return out
+}
+
+// remainingTask computes the still-to-run part of the current behaviour.
+func (c *Composition) remainingTask() (*task.Task, bool) {
+	completed := make(map[string]bool)
+	for _, a := range c.runtime.Behaviour.Activities() {
+		if c.runtime.Completed(a.ID) {
+			completed[a.ID] = true
+		}
+	}
+	return c.runtime.Behaviour.Remaining(completed)
+}

@@ -1,0 +1,41 @@
+package qasom_test
+
+import (
+	"fmt"
+
+	"qasom"
+)
+
+// Example shows the minimal publish → compose flow: two bookshops with
+// different QoS trade-offs, a one-activity task, and a budget constraint
+// that forces the cheaper shop.
+func Example() {
+	mw, err := qasom.New()
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	for _, s := range []qasom.Service{
+		{ID: "premium", Capability: "BookSale", QoS: map[string]float64{
+			"responseTime": 40, "price": 15, "availability": 0.99, "reliability": 0.97, "throughput": 60}},
+		{ID: "budget", Capability: "BookSale", QoS: map[string]float64{
+			"responseTime": 120, "price": 5, "availability": 0.92, "reliability": 0.9, "throughput": 30}},
+	} {
+		if err := mw.Publish(s); err != nil {
+			fmt.Println(err)
+			return
+		}
+	}
+	comp, err := mw.Compose(qasom.Request{
+		Task: `<process name="p" concept="Shopping">
+		         <invoke activity="buy" concept="BookSale"/>
+		       </process>`,
+		Constraints: []qasom.Constraint{{Property: "price", Bound: 10}},
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println(comp.Feasible(), comp.Bindings()["buy"])
+	// Output: true budget
+}

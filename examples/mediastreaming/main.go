@@ -1,0 +1,129 @@
+// Pervasive entertainment (Chapter I scenario): in a holiday camp, Bob
+// asks for the Top-10 chart and streams the first song from a neighbour's
+// device. As he walks around the camp the stream's QoS degrades; the
+// middleware's proactive monitoring spots the trend before the
+// constraint actually breaks and substitutes a better streaming service.
+// When every video-capable device finally leaves the camp, behavioural
+// adaptation falls back to the audio-only behaviour of the task class.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"qasom"
+)
+
+const videoTask = `<process name="camp-video" concept="Entertainment">
+  <sequence>
+    <invoke activity="chart" concept="TopTenList" outputs="SongList"/>
+    <invoke activity="stream" concept="VideoStreaming" inputs="SongList" outputs="MediaStreamData"/>
+  </sequence>
+</process>`
+
+const audioTask = `<process name="camp-audio" concept="Entertainment">
+  <sequence>
+    <invoke activity="chart2" concept="ChartList" outputs="SongList"/>
+    <invoke activity="audio" concept="AudioStreaming" inputs="SongList" outputs="MediaStreamData"/>
+  </sequence>
+</process>`
+
+func main() {
+	mw, err := qasom.New(qasom.Options{Seed: 5})
+	if err != nil {
+		log.Fatal(err)
+	}
+	publish := func(id, capability string, rt, avail float64) {
+		var in, out []string
+		switch capability {
+		case "TopTenList", "ChartList":
+			out = []string{"SongList"}
+		default:
+			in, out = []string{"SongList"}, []string{"MediaStreamData"}
+		}
+		if err := mw.Publish(qasom.Service{
+			ID: id, Capability: capability, Inputs: in, Outputs: out,
+			QoS: map[string]float64{
+				"responseTime": rt, "price": 0, "availability": avail,
+				"reliability": 0.9, "throughput": 50,
+			},
+			Noise: 0.02,
+		}); err != nil {
+			log.Fatal(err)
+		}
+	}
+	publish("chart-anna", "TopTenList", 60, 0.95)
+	publish("chart-leo", "ChartList", 90, 0.9)
+	publish("video-mia", "VideoStreaming", 120, 0.95)
+	publish("video-sam", "VideoStreaming", 150, 0.9)
+	publish("audio-kim", "AudioStreaming", 70, 0.93)
+	publish("audio-raj", "AudioStreaming", 80, 0.96)
+
+	if err := mw.RegisterTaskClass("camp-entertainment", videoTask, audioTask); err != nil {
+		log.Fatal(err)
+	}
+
+	comp, err := mw.Compose(qasom.Request{
+		Task:        videoTask,
+		Constraints: []qasom.Constraint{{Property: "responseTime", Bound: 320}},
+		Weights:     map[string]float64{"responseTime": 2, "availability": 1},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("watching the clip: chart=%s stream=%s (rt budget 320)\n",
+		comp.Bindings()["chart"], comp.Bindings()["stream"])
+
+	// Bob wanders off; the signal to the chosen streaming device decays
+	// a little with every segment. Each Execute = one streamed segment.
+	streamer := comp.Bindings()["stream"]
+	for segment := 1; segment <= 4; segment++ {
+		if err := mw.Degrade(streamer, map[string]float64{"responseTime": 35}); err != nil {
+			log.Fatal(err)
+		}
+		if _, err := mw.Execute(context.Background(), comp); err != nil {
+			log.Fatal(err)
+		}
+		a := comp.Assess(3)
+		fmt.Printf("segment %d: rt=%.0fms current-violations=%v predicted=%v\n",
+			segment, a.Current["responseTime"], a.Violated, a.PredictedViolated)
+		if !a.Healthy() {
+			sub, err := comp.Substitute("stream")
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  proactive adaptation: stream moved %s -> %s\n", streamer, sub)
+			streamer = sub
+			break
+		}
+	}
+
+	// Later, both video devices leave the camp: video streaming is
+	// impossible, so the class's audio-only behaviour takes over.
+	fmt.Println("\nvideo devices leave the camp...")
+	mw.Withdraw("video-mia")
+	mw.Withdraw("video-sam")
+	comp2, err := mw.Compose(qasom.Request{
+		Task:        videoTask,
+		Constraints: []qasom.Constraint{{Property: "responseTime", Bound: 320}},
+	})
+	if err != nil {
+		// Expected: no video services at composition time.
+		fmt.Printf("video composition impossible (%v)\n", err)
+	}
+	_ = comp2
+	audio, err := mw.Compose(qasom.Request{
+		Task:        audioTask,
+		Constraints: []qasom.Constraint{{Property: "responseTime", Bound: 320}},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	report, err := mw.Execute(context.Background(), audio)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("audio-only behaviour selected: chart=%s audio=%s — completed=%v\n",
+		audio.Bindings()["chart2"], audio.Bindings()["audio"], report.Completed)
+}

@@ -1,0 +1,90 @@
+// Pervasive medical visit (Chapter I scenario): Bob plans his hospital
+// visit from the waiting room. The hospital information system composes
+// registration, diagnosis, pharmacy and payment services with QoS
+// guarantees; when Bob's assigned doctor becomes unavailable mid-visit,
+// the middleware dynamically re-assigns him to another doctor of the
+// same specialty (service substitution) without restarting the visit.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"qasom"
+)
+
+const visitTask = `<process name="medical-visit" concept="MedicalService">
+  <sequence>
+    <invoke activity="register" concept="PatientRegistration" outputs="PatientRecord"/>
+    <invoke activity="diagnose" concept="DoctorDiagnosis" inputs="PatientRecord" outputs="Prescription"/>
+    <flow>
+      <invoke activity="pharmacy" concept="PharmacyOrder" inputs="Prescription"/>
+      <invoke activity="pay" concept="Payment" inputs="PatientRecord" outputs="Receipt"/>
+    </flow>
+  </sequence>
+</process>`
+
+func main() {
+	mw, err := qasom.New(qasom.Options{Seed: 7})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The hospital runs several parallel desks and doctors per role.
+	publish := func(id, capability string, rt, price, avail float64, in, out []string) {
+		if err := mw.Publish(qasom.Service{
+			ID: id, Capability: capability, Inputs: in, Outputs: out,
+			QoS: map[string]float64{
+				"responseTime": rt, "price": price, "availability": avail,
+				"reliability": 0.93, "throughput": 30,
+			},
+		}); err != nil {
+			log.Fatal(err)
+		}
+	}
+	publish("desk-1", "PatientRegistration", 120, 0, 0.99, nil, []string{"PatientRecord"})
+	publish("desk-2", "PatientRegistration", 60, 0, 0.95, nil, []string{"PatientRecord"})
+	publish("dr-martin", "GeneralPracticeDiagnosis", 900, 25, 0.9, []string{"PatientRecord"}, []string{"Prescription"})
+	publish("dr-chen", "GeneralPracticeDiagnosis", 1200, 25, 0.95, []string{"PatientRecord"}, []string{"Prescription"})
+	publish("dr-okafor", "CardiologyDiagnosis", 1500, 40, 0.92, []string{"PatientRecord"}, []string{"Prescription"})
+	publish("pharmacy-a", "PharmacyOrder", 300, 12, 0.97, []string{"Prescription"}, nil)
+	publish("pharmacy-b", "PharmacyOrder", 450, 9, 0.93, []string{"Prescription"}, nil)
+	publish("cashier", "CardPayment", 90, 0, 0.98, []string{"PatientRecord"}, []string{"Receipt"})
+	publish("app-pay", "MobilePayment", 45, 0, 0.95, []string{"PatientRecord"}, []string{"Receipt"})
+
+	// Bob wants the visit done within 45 simulated minutes (2700 units)
+	// and under 60 EUR, preferring short waits.
+	comp, err := mw.Compose(qasom.Request{
+		Task: visitTask,
+		Constraints: []qasom.Constraint{
+			{Property: "responseTime", Bound: 2700},
+			{Property: "price", Bound: 60},
+			{Property: "availability", Bound: 0.7},
+		},
+		Weights: map[string]float64{"responseTime": 2, "availability": 2, "price": 1},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("visit plan (feasible=%v):\n", comp.Feasible())
+	for _, act := range []string{"register", "diagnose", "pharmacy", "pay"} {
+		fmt.Printf("  %-9s -> %s\n", act, comp.Bindings()[act])
+	}
+	agg := comp.AggregatedQoS()
+	fmt.Printf("expected: %.0f time units, %.0f EUR, availability %.2f\n",
+		agg["responseTime"], agg["price"], agg["availability"])
+
+	// Bob's doctor is pulled into an emergency just before the
+	// consultation: the service goes down but stays advertised.
+	doctor := comp.Bindings()["diagnose"]
+	fmt.Printf("\n%s is called to an emergency — unavailable!\n", doctor)
+	mw.SetDown(doctor)
+
+	report, err := mw.Execute(context.Background(), comp)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("visit executed: completed=%v substitutions=%d\n", report.Completed, report.Substitutions)
+	fmt.Printf("Bob was re-assigned to %s (same specialty, next-best QoS)\n", comp.Bindings()["diagnose"])
+}

@@ -1,0 +1,88 @@
+// Mobile holiday camp: the entertainment scenario with a real mobility
+// model. Streaming providers are people carrying devices around the
+// camp; the wireless link to each provider degrades with distance and
+// breaks beyond radio range. As Bob walks, the middleware's monitoring
+// sees the delivered QoS decay and the Heal controller re-binds the
+// stream to whoever is close enough — no manual QoS bookkeeping at all.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"qasom"
+)
+
+const campTask = `<process name="camp-stream" concept="Entertainment">
+  <sequence>
+    <invoke activity="chart" concept="TopTenList"/>
+    <invoke activity="stream" concept="AudioStreaming"/>
+  </sequence>
+</process>`
+
+func main() {
+	mw, err := qasom.New(qasom.Options{Seed: 9})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Camp: 100×100 arena, 45-unit radio range, 3ms extra latency per
+	// distance unit. Bob starts at the centre.
+	if err := mw.EnableMobility(100, 45, 3); err != nil {
+		log.Fatal(err)
+	}
+
+	publish := func(id, capability, device string, x, y, speed float64) {
+		if err := mw.Publish(qasom.Service{
+			ID: id, Capability: capability, Device: device,
+			QoS: map[string]float64{
+				"responseTime": 60, "price": 0, "availability": 0.95,
+				"reliability": 0.9, "throughput": 50,
+			},
+		}); err != nil {
+			log.Fatal(err)
+		}
+		if err := mw.PlaceDevice(device, x, y, speed); err != nil {
+			log.Fatal(err)
+		}
+	}
+	publish("charts", "TopTenList", "kiosk", 50, 52, 0)
+	publish("stream-anna", "AudioStreaming", "anna", 48, 50, 0) // next to Bob
+	publish("stream-leo", "AudioStreaming", "leo", 20, 25, 0)   // south-west corner area
+	publish("stream-mia", "AudioStreaming", "mia", 80, 75, 0)   // north-east
+
+	comp, err := mw.Compose(qasom.Request{
+		Task:        campTask,
+		Constraints: []qasom.Constraint{{Property: "responseTime", Bound: 250}},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Bob starts at (50,50); streaming from %s (signal %.2f)\n",
+		comp.Bindings()["stream"], mw.SignalStrength("anna"))
+
+	// Bob walks toward the north-east corner, one segment per step.
+	path := []struct{ x, y float64 }{{58, 58}, {66, 66}, {74, 72}, {82, 78}}
+	for i, p := range path {
+		mw.MoveUser(p.x, p.y)
+		if _, err := mw.Execute(context.Background(), comp); err != nil {
+			log.Fatalf("segment %d: %v", i+1, err)
+		}
+		a := comp.Assess(3)
+		fmt.Printf("step %d @(%.0f,%.0f): delivered rt=%.0fms violations=%v predicted=%v\n",
+			i+1, p.x, p.y, a.Current["responseTime"], a.Violated, a.PredictedViolated)
+		if !a.Healthy() {
+			heal, err := comp.Heal(3)
+			if err != nil {
+				log.Fatal(err)
+			}
+			for _, s := range heal.Substitutions {
+				fmt.Printf("  healed: %s\n", s)
+			}
+			if heal.BehaviourSwitched {
+				fmt.Printf("  behaviour switched to %s\n", comp.Behaviour())
+			}
+		}
+	}
+	fmt.Printf("final stream provider: %s\n", comp.Bindings()["stream"])
+}

@@ -1,0 +1,89 @@
+// Quickstart: publish a handful of QoS-annotated services, submit a
+// user task with global QoS constraints, let QASSA select the best
+// composition and execute it with the full adaptation loop.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"sort"
+
+	"qasom"
+)
+
+const shoppingTask = `<process name="quick-shopping" concept="Shopping">
+  <sequence>
+    <invoke activity="browse" concept="BrowseCatalog"/>
+    <invoke activity="buy" concept="BookSale"/>
+    <invoke activity="pay" concept="Payment"/>
+  </sequence>
+</process>`
+
+func main() {
+	mw, err := qasom.New()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 1. Providers publish services with heterogeneous QoS. Note the
+	// mixed vocabularies: "Delay" and "Uptime" resolve through the
+	// shared ontology.
+	services := []qasom.Service{
+		{ID: "catalog-fast", Capability: "BrowseCatalog",
+			QoS: map[string]float64{"responseTime": 30, "price": 0, "availability": 0.99, "reliability": 0.95, "throughput": 80}},
+		{ID: "catalog-slow", Capability: "BrowseCatalog",
+			QoS: map[string]float64{"responseTime": 200, "price": 0, "availability": 0.90, "reliability": 0.9, "throughput": 30}},
+		{ID: "bookshop-premium", Capability: "BookSale",
+			QoS: map[string]float64{"Delay": 50, "price": 12, "Uptime": 0.99, "reliability": 0.97, "throughput": 60}},
+		{ID: "bookshop-budget", Capability: "BookSale",
+			QoS: map[string]float64{"Delay": 120, "price": 6, "Uptime": 0.92, "reliability": 0.9, "throughput": 40}},
+		{ID: "pay-card", Capability: "CardPayment",
+			QoS: map[string]float64{"responseTime": 80, "price": 0.5, "availability": 0.97, "reliability": 0.96, "throughput": 50}},
+		{ID: "pay-mobile", Capability: "MobilePayment",
+			QoS: map[string]float64{"responseTime": 40, "price": 1.0, "availability": 0.95, "reliability": 0.94, "throughput": 70}},
+	}
+	for _, s := range services {
+		if err := mw.Publish(s); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("published %d services\n", mw.ServiceCount())
+
+	// 2. The user submits the task with global QoS constraints and
+	// preferences (cheap over fast).
+	comp, err := mw.Compose(qasom.Request{
+		Task: shoppingTask,
+		Constraints: []qasom.Constraint{
+			{Property: "responseTime", Bound: 300},
+			{Property: "price", Bound: 10},
+			{Property: "availability", Bound: 0.8},
+		},
+		Weights: map[string]float64{"price": 3, "responseTime": 1, "availability": 1},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("feasible: %v, utility: %.3f\n", comp.Feasible(), comp.Utility())
+	bindings := comp.Bindings()
+	acts := make([]string, 0, len(bindings))
+	for a := range bindings {
+		acts = append(acts, a)
+	}
+	sort.Strings(acts)
+	for _, a := range acts {
+		fmt.Printf("  %-8s -> %s (alternates: %v)\n", a, bindings[a], comp.Alternates(a))
+	}
+	agg := comp.AggregatedQoS()
+	fmt.Printf("aggregated QoS: responseTime=%.0fms price=%.2fEUR availability=%.3f\n",
+		agg["responseTime"], agg["price"], agg["availability"])
+
+	// 3. Execute with dynamic binding, monitoring and adaptation.
+	report, err := mw.Execute(context.Background(), comp)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("executed: completed=%v invocations=%d failures=%d substitutions=%d in %v\n",
+		report.Completed, report.Invocations, report.Failures, report.Substitutions, report.Duration)
+}

@@ -1,0 +1,148 @@
+// Pervasive shopping (Chapter I scenario): Bob orders a book, a DVD and
+// pays, from the lounge hall of a commercial centre. The example then
+// replays the same task in an open-air market — an ad hoc,
+// infrastructure-less environment — where QASSA's local phase runs
+// distributed on the vendors' devices, and finally shows what happens
+// when a chosen shop's device leaves the market mid-composition.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"math/rand"
+
+	"qasom"
+)
+
+const shoppingTask = `<process name="bob-shopping" concept="Shopping">
+  <sequence>
+    <invoke activity="search" concept="SearchItem" outputs="ItemList"/>
+    <flow>
+      <invoke activity="book" concept="BookSale" inputs="ItemList" outputs="OrderRecord"/>
+      <invoke activity="dvd" concept="DVDSale" inputs="ItemList" outputs="OrderRecord"/>
+    </flow>
+    <invoke activity="pay" concept="Payment" inputs="OrderRecord" outputs="Receipt"/>
+  </sequence>
+</process>`
+
+// alternative behaviour: a single bundle shop handles both items.
+const bundleTask = `<process name="bob-shopping-bundle" concept="Shopping">
+  <sequence>
+    <invoke activity="search2" concept="SearchItem" outputs="ItemList"/>
+    <invoke activity="bundle" concept="Shopping" inputs="ItemList" outputs="OrderRecord"/>
+    <invoke activity="mpay" concept="MobilePayment" inputs="OrderRecord" outputs="Receipt"/>
+  </sequence>
+</process>`
+
+func populate(mw *qasom.Middleware, rng *rand.Rand) error {
+	shops := []struct {
+		prefix, capability string
+		count              int
+		inputs, outputs    []string
+	}{
+		{"search", "SearchItem", 3, nil, []string{"ItemList"}},
+		{"bookshop", "BookSale", 5, []string{"ItemList"}, []string{"OrderRecord"}},
+		{"dvdshop", "DVDSale", 5, []string{"ItemList"}, []string{"OrderRecord"}},
+		{"kiosk", "Shopping", 3, []string{"ItemList"}, []string{"OrderRecord"}}, // bundle shops
+		{"cashdesk", "CardPayment", 3, []string{"OrderRecord"}, []string{"Receipt"}},
+		{"mpay", "MobilePayment", 3, []string{"OrderRecord"}, []string{"Receipt"}},
+	}
+	for _, s := range shops {
+		for i := 0; i < s.count; i++ {
+			svc := qasom.Service{
+				ID:         fmt.Sprintf("%s-%d", s.prefix, i),
+				Capability: s.capability,
+				Device:     fmt.Sprintf("device-%s-%d", s.prefix, i),
+				Inputs:     s.inputs,
+				Outputs:    s.outputs,
+				QoS: map[string]float64{
+					"responseTime": 30 + rng.Float64()*120,
+					"price":        2 + rng.Float64()*10,
+					"availability": 0.85 + rng.Float64()*0.14,
+					"reliability":  0.85 + rng.Float64()*0.14,
+					"throughput":   20 + rng.Float64()*60,
+				},
+				Noise: 0.05,
+			}
+			if err := mw.Publish(svc); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func describe(label string, comp *qasom.Composition) {
+	agg := comp.AggregatedQoS()
+	fmt.Printf("%s: feasible=%v utility=%.3f rt=%.0fms price=%.2fEUR avail=%.3f\n",
+		label, comp.Feasible(), comp.Utility(), agg["responseTime"], agg["price"], agg["availability"])
+	for _, act := range []string{"search", "book", "dvd", "pay"} {
+		if svc, ok := comp.Bindings()[act]; ok {
+			fmt.Printf("  %-7s -> %s\n", act, svc)
+		}
+	}
+}
+
+func main() {
+	mw, err := qasom.New(qasom.Options{Seed: 42})
+	if err != nil {
+		log.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(42))
+	if err := populate(mw, rng); err != nil {
+		log.Fatal(err)
+	}
+	if err := mw.RegisterTaskClass("shopping", shoppingTask, bundleTask); err != nil {
+		log.Fatal(err)
+	}
+
+	request := qasom.Request{
+		Task: shoppingTask,
+		Constraints: []qasom.Constraint{
+			{Property: "price", Bound: 30},         // Bob's budget
+			{Property: "responseTime", Bound: 400}, // total waiting time
+			{Property: "availability", Bound: 0.6},
+		},
+		Weights: map[string]float64{"price": 2, "responseTime": 1, "availability": 1, "reliability": 1, "throughput": 0.5},
+	}
+
+	// --- Commercial centre: centralized shopping platform -----------
+	fmt.Println("== commercial centre (centralized platform) ==")
+	comp, err := mw.Compose(request)
+	if err != nil {
+		log.Fatal(err)
+	}
+	describe("selected composition", comp)
+	report, err := mw.Execute(context.Background(), comp)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("execution: completed=%v substitutions=%d failures=%d\n\n",
+		report.Completed, report.Substitutions, report.Failures)
+
+	// --- Open-air market: ad hoc, distributed local phase -----------
+	fmt.Println("== open-air market (ad hoc, distributed QASSA) ==")
+	adhoc := request
+	adhoc.Distributed = true
+	comp2, err := mw.Compose(adhoc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	describe("distributed selection", comp2)
+
+	// A vendor's device leaves the market before Bob picks up his book:
+	// the invocation fails and the middleware substitutes on the fly.
+	leaving := comp2.Bindings()["book"]
+	fmt.Printf("vendor %s leaves the market!\n", leaving)
+	mw.Withdraw(leaving)
+	report2, err := mw.Execute(context.Background(), comp2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("execution: completed=%v substitutions=%d (book now served by %s)\n",
+		report2.Completed, report2.Substitutions, comp2.Bindings()["book"])
+	if report2.BehaviourSwitches > 0 {
+		fmt.Printf("behavioural adaptation engaged: now running %q\n", comp2.Behaviour())
+	}
+}

@@ -1,0 +1,3 @@
+module qasom
+
+go 1.22

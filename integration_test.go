@@ -1,0 +1,172 @@
+package qasom_test
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"testing"
+
+	"qasom"
+)
+
+// TestGrandScenario drives the whole middleware through one story — the
+// thesis's pervasive-shopping day, end to end:
+//
+//  1. a commercial centre publishes heterogeneous services (mixed QoS
+//     vocabularies and units) across devices in a mobility arena;
+//  2. Bob composes a shopping task under budget and deadline constraints
+//     and establishes quality contracts with the selected providers;
+//  3. execution observes run-time QoS; a provider degrades, the contract
+//     check flags it, and proactive healing substitutes it;
+//  4. a whole capability leaves the market; behavioural adaptation
+//     switches to the one-stop behaviour and the task still completes;
+//  5. the final composition exports as an executable BPEL document.
+func TestGrandScenario(t *testing.T) {
+	mw, err := qasom.New(qasom.Options{Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mw.EnableMobility(100, 60, 0.5); err != nil {
+		t.Fatal(err)
+	}
+
+	// --- 1. The environment -------------------------------------------
+	type spec struct {
+		prefix, capability string
+		count              int
+		qos                map[string]float64
+	}
+	mkQoS := func(rt, price float64) map[string]float64 {
+		return map[string]float64{
+			"responseTime": rt, "price": price, "availability": 0.95,
+			"reliability": 0.92, "throughput": 45,
+		}
+	}
+	specs := []spec{
+		{"catalog", "BrowseCatalog", 3, mkQoS(40, 0)},
+		{"bookshop", "BookSale", 4, mkQoS(60, 9)},
+		{"cashdesk", "CardPayment", 2, mkQoS(30, 0.5)},
+		{"kiosk", "Shopping", 2, mkQoS(90, 11)},
+		{"mpay", "MobilePayment", 2, mkQoS(25, 1)},
+	}
+	for _, sp := range specs {
+		for i := 0; i < sp.count; i++ {
+			id := fmt.Sprintf("%s-%d", sp.prefix, i)
+			if err := mw.Publish(qasom.Service{
+				ID: id, Capability: sp.capability, Device: "dev-" + id, QoS: sp.qos,
+			}); err != nil {
+				t.Fatal(err)
+			}
+			if err := mw.PlaceDevice("dev-"+id, 45+float64(3*i), 50, 0); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	// One provider advertises in its own vocabulary and units.
+	if err := mw.Publish(qasom.Service{
+		ID: "bookshop-alias", Capability: "BookSale",
+		QoS: map[string]float64{"Delay": 55, "Fee": 7, "Uptime": 0.96, "SuccessRate": 0.93, "Rate": 50},
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	fine := `<process name="day-fine" concept="Shopping">
+	  <sequence>
+	    <invoke activity="browse" concept="BrowseCatalog"/>
+	    <invoke activity="buy" concept="BookSale"/>
+	    <invoke activity="pay" concept="Payment"/>
+	  </sequence>
+	</process>`
+	coarse := `<process name="day-coarse" concept="Shopping">
+	  <sequence>
+	    <invoke activity="onestop" concept="Shopping"/>
+	    <invoke activity="mpay" concept="MobilePayment"/>
+	  </sequence>
+	</process>`
+	if err := mw.RegisterTaskClass("day", fine, coarse); err != nil {
+		t.Fatal(err)
+	}
+
+	// --- 2. Composition + contracts ------------------------------------
+	comp, err := mw.Compose(qasom.Request{
+		Task: "day-fine",
+		Constraints: []qasom.Constraint{
+			{Property: "responseTime", Bound: 400},
+			{Property: "price", Bound: 25},
+		},
+		Weights: map[string]float64{"price": 2, "responseTime": 1, "availability": 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !comp.Feasible() {
+		t.Fatal("the day should start feasible")
+	}
+	contracts, err := mw.EstablishContracts(comp, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(contracts) != 3 {
+		t.Fatalf("contracts = %v", contracts)
+	}
+
+	// --- 3. Degradation → contract flag → healing ----------------------
+	buySvc := comp.Bindings()["buy"]
+	if err := mw.Degrade(buySvc, map[string]float64{"responseTime": 500}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mw.Execute(context.Background(), comp); err != nil {
+		t.Fatal(err)
+	}
+	flagged := false
+	for _, r := range mw.CheckContracts() {
+		if r.Service == buySvc && !r.Compliant {
+			flagged = true
+			if r.Tier == "SatisfiedTier" || r.Tier == "DelightedTier" {
+				t.Errorf("degraded provider tier = %s", r.Tier)
+			}
+		}
+	}
+	if !flagged {
+		t.Fatal("contract compliance should flag the degraded provider")
+	}
+	heal, err := comp.Heal(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(heal.Substitutions) == 0 {
+		t.Fatalf("healing should substitute the degraded provider: %+v", heal)
+	}
+	if comp.Bindings()["buy"] == buySvc {
+		t.Error("degraded provider still bound after healing")
+	}
+
+	// --- 4. Capability loss → behavioural adaptation --------------------
+	for i := 0; i < 4; i++ {
+		mw.Withdraw(fmt.Sprintf("bookshop-%d", i))
+	}
+	mw.Withdraw("bookshop-alias")
+	report, err := mw.Execute(context.Background(), comp)
+	if err != nil {
+		t.Fatalf("execution after capability loss: %v", err)
+	}
+	if !report.Completed {
+		t.Fatal("the day should still complete")
+	}
+	if report.BehaviourSwitches == 0 {
+		t.Fatal("behavioural adaptation expected after losing every bookshop")
+	}
+	if comp.Behaviour() != "day-coarse" {
+		t.Errorf("behaviour = %s, want day-coarse", comp.Behaviour())
+	}
+
+	// --- 5. Executable export -------------------------------------------
+	doc, err := comp.ExecutableBPEL()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(doc)
+	if !strings.Contains(s, `name="day-coarse"`) || !strings.Contains(s, "partner=") {
+		t.Errorf("executable document incomplete:\n%s", s)
+	}
+}

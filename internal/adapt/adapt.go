@@ -1,0 +1,265 @@
+// Package adapt implements QoS-driven composition adaptation (Chapter V):
+// the run-time state of a composition, the service-substitution strategy
+// (replace a failing/degraded service with a selection-time alternate)
+// and the behavioural-adaptation strategy (switch the remaining work to
+// an equivalent behaviour from the task-class repository, found through
+// subgraph-homeomorphism matching, then re-run QASSA on the remaining
+// subtask under residual constraints).
+package adapt
+
+import (
+	"fmt"
+	"sync"
+
+	"qasom/internal/core"
+	"qasom/internal/exec"
+	"qasom/internal/graph"
+	"qasom/internal/monitor"
+	"qasom/internal/qos"
+	"qasom/internal/registry"
+	"qasom/internal/task"
+)
+
+// Runtime is the adaptation-relevant state of one running composition.
+// Safe for concurrent use (the executor completes parallel activities
+// concurrently).
+type Runtime struct {
+	// Req is the originating request.
+	Req *core.Request
+	// Behaviour is the currently executing behaviour (initially
+	// Req.Task; replaced by behavioural adaptation).
+	Behaviour *task.Task
+
+	mu sync.Mutex
+	// result is the current selection (assignment + alternates).
+	result *core.Result
+	// completed marks finished activities of the current behaviour.
+	completed map[string]bool
+	// observed keeps the measured QoS of completed activities (feeding
+	// residual-constraint computation).
+	observed map[string]qos.Vector
+	// substitutions counts applied service substitutions.
+	substitutions int
+}
+
+// NewRuntime wraps a fresh selection into a runtime.
+func NewRuntime(req *core.Request, res *core.Result) *Runtime {
+	return &Runtime{
+		Req:       req,
+		Behaviour: req.Task,
+		result:    res,
+		completed: make(map[string]bool),
+		observed:  make(map[string]qos.Vector),
+	}
+}
+
+// Result returns the current selection result.
+func (rt *Runtime) Result() *core.Result {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.result
+}
+
+// Substitutions counts the service substitutions applied so far.
+func (rt *Runtime) Substitutions() int {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.substitutions
+}
+
+// ResetProgress clears completion tracking so the behaviour can run
+// again (repeated executions of the same composition, e.g. streaming
+// segments). Substitution history and the current assignment persist.
+func (rt *Runtime) ResetProgress() {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	rt.completed = make(map[string]bool)
+	rt.observed = make(map[string]qos.Vector)
+}
+
+// MarkCompleted records a finished activity and its measured QoS.
+func (rt *Runtime) MarkCompleted(activityID string, measured qos.Vector) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	rt.completed[activityID] = true
+	if measured != nil {
+		rt.observed[activityID] = measured.Clone()
+	}
+}
+
+// Completed reports whether the activity finished.
+func (rt *Runtime) Completed(activityID string) bool {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.completed[activityID]
+}
+
+// CompletedCount returns the number of finished activities.
+func (rt *Runtime) CompletedCount() int {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return len(rt.completed)
+}
+
+// Bind implements exec.Binder: dynamic binding against the current
+// assignment.
+func (rt *Runtime) Bind(act *task.Activity) (registry.Candidate, error) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	c, ok := rt.result.Assignment[act.ID]
+	if !ok {
+		return registry.Candidate{}, fmt.Errorf("adapt: no service bound to activity %q", act.ID)
+	}
+	return c, nil
+}
+
+var _ exec.Binder = (*Runtime)(nil)
+
+// Consumed aggregates the observed QoS of the completed part of the
+// behaviour (uncompleted activities contribute identity elements).
+func (rt *Runtime) Consumed() qos.Vector {
+	rt.mu.Lock()
+	assign := make(map[string]qos.Vector, len(rt.observed))
+	for id, v := range rt.observed {
+		assign[id] = v
+	}
+	behaviour := rt.Behaviour
+	rt.mu.Unlock()
+	return behaviour.AggregateQoS(rt.Req.Properties, assign, rt.Req.EffectiveApproach())
+}
+
+// switchBehaviour installs an alternative behaviour and its fresh
+// selection; activities of the new behaviour that the selection does not
+// schedule (they were matched to already-done work) are marked completed.
+func (rt *Runtime) switchBehaviour(newBehaviour *task.Task, sel *core.Result) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	rt.Behaviour = newBehaviour
+	rt.result = sel
+	// Completed activities of the old behaviour do not exist in the new
+	// one: keep only observations (for consumed QoS the old behaviour's
+	// aggregate was already folded into the residual constraints), and
+	// reset completion tracking to the new behaviour's frame.
+	rt.completed = make(map[string]bool)
+	for _, a := range newBehaviour.Activities() {
+		if _, scheduled := sel.Assignment[a.ID]; !scheduled {
+			rt.completed[a.ID] = true
+		}
+	}
+}
+
+// Options tune the adaptation manager.
+type Options struct {
+	// MinSuccessRate disqualifies substitutes the monitor has seen
+	// failing more often than this; 0 means 0.5.
+	MinSuccessRate float64
+	// Match configures the homeomorphism search of behavioural
+	// adaptation (the manager fills in the registry's ontology when the
+	// field is nil).
+	Match graph.MatchOptions
+	// RequireFeasible makes behavioural adaptation reject alternatives
+	// whose re-selection violates the residual constraints. Default
+	// false: the best-effort plan is returned when nothing feasible
+	// exists.
+	RequireFeasible bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.MinSuccessRate <= 0 {
+		o.MinSuccessRate = 0.5
+	}
+	return o
+}
+
+// Manager coordinates the two adaptation strategies.
+type Manager struct {
+	// Registry resolves candidate services.
+	Registry *registry.Registry
+	// Repo is the task-class repository.
+	Repo *task.Repository
+	// Selector re-runs QASSA during behavioural adaptation.
+	Selector *core.Selector
+	// Monitor, when set, filters substitutes by observed health.
+	Monitor *monitor.Monitor
+	// Options tune the strategies.
+	Options Options
+}
+
+// ErrNoSubstitute is wrapped when no alternate can replace a service.
+var ErrNoSubstitute = fmt.Errorf("adapt: no substitute available")
+
+// Substitute replaces the service bound to an activity by the best
+// alternate that is still published, healthy and not excluded. It
+// updates the runtime's assignment and returns the substitute.
+func (m *Manager) Substitute(rt *Runtime, activityID string, exclude map[registry.ServiceID]bool) (registry.Candidate, error) {
+	opts := m.Options.withDefaults()
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	alts := rt.result.Alternates[activityID]
+	for i, alt := range alts {
+		if exclude[alt.Service.ID] {
+			continue
+		}
+		if m.Registry != nil {
+			if _, ok := m.Registry.Get(alt.Service.ID); !ok {
+				continue // withdrawn from the environment
+			}
+		}
+		if m.Monitor != nil && m.Monitor.SuccessRate(alt.Service.ID) < opts.MinSuccessRate {
+			continue
+		}
+		// Commit: swap assignments and rotate the alternate out.
+		old := rt.result.Assignment[activityID]
+		rt.result.Assignment[activityID] = alt
+		rest := make([]registry.Candidate, 0, len(alts))
+		rest = append(rest, alts[:i]...)
+		rest = append(rest, alts[i+1:]...)
+		if old.Service.ID != "" {
+			rest = append(rest, old)
+		}
+		rt.result.Alternates[activityID] = rest
+		rt.substitutions++
+		return alt, nil
+	}
+	return registry.Candidate{}, fmt.Errorf("%w for activity %q", ErrNoSubstitute, activityID)
+}
+
+// FailureHandler wires substitution into the executor: each failed
+// attempt excludes the failed service and substitutes the next alternate.
+func (m *Manager) FailureHandler(rt *Runtime) exec.FailureHandler {
+	excluded := make(map[registry.ServiceID]bool)
+	var mu sync.Mutex
+	return func(act *task.Activity, failed registry.Candidate, attempt int) (registry.Candidate, error) {
+		mu.Lock()
+		excluded[failed.Service.ID] = true
+		snapshot := make(map[registry.ServiceID]bool, len(excluded))
+		for k, v := range excluded {
+			snapshot[k] = v
+		}
+		mu.Unlock()
+		return m.Substitute(rt, act.ID, snapshot)
+	}
+}
+
+// CompletionHook returns the executor OnComplete callback that keeps the
+// runtime's progress tracking up to date using monitor estimates for the
+// observed QoS (falling back to the advertised vector).
+func (m *Manager) CompletionHook(rt *Runtime) func(string) {
+	return func(activityID string) {
+		var measured qos.Vector
+		rt.mu.Lock()
+		bound, ok := rt.result.Assignment[activityID]
+		rt.mu.Unlock()
+		if ok {
+			if m.Monitor != nil {
+				if est, has := m.Monitor.Estimate(bound.Service.ID); has {
+					measured = est
+				}
+			}
+			if measured == nil {
+				measured = bound.Vector
+			}
+		}
+		rt.MarkCompleted(activityID, measured)
+	}
+}

@@ -1,0 +1,244 @@
+// Package baseline implements the comparison algorithms for QASSA's
+// evaluation: the exhaustive optimal search (the reference for the
+// optimality measurements of Figs. VI.6, VI.8 and VI.11), the greedy
+// per-activity selection the thesis's introduction discusses, and a
+// random-restart local search. All baselines share QASSA's Evaluator, so
+// utilities and feasibility are strictly comparable.
+package baseline
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"qasom/internal/core"
+	"qasom/internal/registry"
+)
+
+// ErrTooLarge is returned when the exhaustive search space exceeds the
+// configured bound.
+var ErrTooLarge = fmt.Errorf("baseline: search space exceeds the exhaustive bound")
+
+// ExhaustiveOptions bound the exhaustive search.
+type ExhaustiveOptions struct {
+	// MaxCombinations aborts the search when the full product exceeds
+	// this bound; 0 means 20 million.
+	MaxCombinations int
+}
+
+// Exhaustive enumerates every composition and returns the
+// maximum-utility feasible one; when no composition is feasible it
+// returns the minimum-violation one with Feasible=false. It is exact but
+// exponential (ℓ^n) — the evaluation uses it only on small instances.
+func Exhaustive(req *core.Request, candidates map[string][]registry.Candidate, opts ExhaustiveOptions) (*core.Result, error) {
+	candidates, err := filterLocal(req, candidates)
+	if err != nil {
+		return nil, err
+	}
+	eval, err := core.NewEvaluator(req, candidates)
+	if err != nil {
+		return nil, err
+	}
+	if opts.MaxCombinations <= 0 {
+		opts.MaxCombinations = 20_000_000
+	}
+	acts := req.Task.Activities()
+	total := 1
+	for _, a := range acts {
+		n := len(candidates[a.ID])
+		if n == 0 {
+			return nil, fmt.Errorf("baseline: activity %q has no candidates", a.ID)
+		}
+		if total > opts.MaxCombinations/n {
+			return nil, fmt.Errorf("%w: >%d combinations", ErrTooLarge, opts.MaxCombinations)
+		}
+		total *= n
+	}
+
+	assign := make(core.Assignment, len(acts))
+	var bestFeasible core.Assignment
+	bestUtility := math.Inf(-1)
+	var bestInfeasible core.Assignment
+	bestViolation := math.Inf(1)
+	evaluations := 0
+
+	var rec func(i int)
+	rec = func(i int) {
+		if i == len(acts) {
+			evaluations++
+			v := eval.Violation(assign)
+			if v == 0 {
+				if u := eval.Utility(assign); u > bestUtility {
+					bestUtility = u
+					bestFeasible = cloneAssignment(assign)
+				}
+			} else if bestFeasible == nil && v < bestViolation {
+				bestViolation = v
+				bestInfeasible = cloneAssignment(assign)
+			}
+			return
+		}
+		id := acts[i].ID
+		for _, c := range candidates[id] {
+			assign[id] = c
+			rec(i + 1)
+		}
+		delete(assign, id)
+	}
+	rec(0)
+
+	chosen := bestFeasible
+	feasible := true
+	if chosen == nil {
+		chosen = bestInfeasible
+		feasible = false
+	}
+	return finalize(eval, chosen, feasible, evaluations), nil
+}
+
+// Greedy picks, independently for every activity, the highest-utility
+// candidate — the low-cost strategy the thesis contrasts with global
+// selection: it ignores the global constraints entirely, so the result
+// may be infeasible.
+func Greedy(req *core.Request, candidates map[string][]registry.Candidate) (*core.Result, error) {
+	candidates, err := filterLocal(req, candidates)
+	if err != nil {
+		return nil, err
+	}
+	eval, err := core.NewEvaluator(req, candidates)
+	if err != nil {
+		return nil, err
+	}
+	acts := req.Task.Activities()
+	assign := make(core.Assignment, len(acts))
+	evaluations := 0
+	for _, a := range acts {
+		best := candidates[a.ID][0]
+		bestU := eval.CandidateUtility(a.ID, best)
+		for _, c := range candidates[a.ID][1:] {
+			evaluations++
+			if u := eval.CandidateUtility(a.ID, c); u > bestU {
+				best, bestU = c, u
+			}
+		}
+		assign[a.ID] = best
+	}
+	return finalize(eval, assign, eval.Feasible(assign), evaluations), nil
+}
+
+// LocalSearchOptions tune the random-restart local search.
+type LocalSearchOptions struct {
+	// Restarts is the number of random starting assignments; 0 means 10.
+	Restarts int
+	// MaxMoves bounds hill-climbing moves per restart; 0 means 200.
+	MaxMoves int
+	// Penalty scales constraint violation against utility in the
+	// objective; 0 means 10.
+	Penalty float64
+	// Seed drives the randomness; 0 means 1.
+	Seed int64
+}
+
+// LocalSearch runs a penalty-objective hill climb from random starts:
+// objective = utility − Penalty·violation, moves are single-activity
+// swaps. A simple metaheuristic baseline between greedy and exhaustive.
+func LocalSearch(req *core.Request, candidates map[string][]registry.Candidate, opts LocalSearchOptions) (*core.Result, error) {
+	candidates, err := filterLocal(req, candidates)
+	if err != nil {
+		return nil, err
+	}
+	eval, err := core.NewEvaluator(req, candidates)
+	if err != nil {
+		return nil, err
+	}
+	if opts.Restarts <= 0 {
+		opts.Restarts = 10
+	}
+	if opts.MaxMoves <= 0 {
+		opts.MaxMoves = 200
+	}
+	if opts.Penalty == 0 {
+		opts.Penalty = 10
+	}
+	if opts.Seed == 0 {
+		opts.Seed = 1
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	acts := req.Task.Activities()
+
+	objective := func(a core.Assignment) float64 {
+		return eval.Utility(a) - opts.Penalty*eval.Violation(a)
+	}
+
+	var best core.Assignment
+	bestObj := math.Inf(-1)
+	evaluations := 0
+
+	for r := 0; r < opts.Restarts; r++ {
+		assign := make(core.Assignment, len(acts))
+		for _, a := range acts {
+			pool := candidates[a.ID]
+			assign[a.ID] = pool[rng.Intn(len(pool))]
+		}
+		cur := objective(assign)
+		evaluations++
+		for move := 0; move < opts.MaxMoves; move++ {
+			improved := false
+			for _, a := range acts {
+				prev := assign[a.ID]
+				for _, c := range candidates[a.ID] {
+					if c.Service.ID == prev.Service.ID {
+						continue
+					}
+					assign[a.ID] = c
+					evaluations++
+					if obj := objective(assign); obj > cur {
+						cur = obj
+						prev = c
+						improved = true
+					} else {
+						assign[a.ID] = prev
+					}
+				}
+				assign[a.ID] = prev
+			}
+			if !improved {
+				break
+			}
+		}
+		if cur > bestObj {
+			bestObj = cur
+			best = cloneAssignment(assign)
+		}
+	}
+	return finalize(eval, best, eval.Feasible(best), evaluations), nil
+}
+
+func finalize(eval *core.Evaluator, assign core.Assignment, feasible bool, evaluations int) *core.Result {
+	return &core.Result{
+		Assignment: assign,
+		Alternates: map[string][]registry.Candidate{},
+		Aggregated: eval.Aggregate(assign),
+		Utility:    eval.Utility(assign),
+		Feasible:   feasible,
+		Violation:  eval.Violation(assign),
+		Stats:      core.Stats{Evaluations: evaluations},
+	}
+}
+
+// filterLocal enforces the request's local constraints so baselines and
+// QASSA search the same candidate space.
+func filterLocal(req *core.Request, candidates map[string][]registry.Candidate) (map[string][]registry.Candidate, error) {
+	if err := req.Validate(); err != nil {
+		return nil, err
+	}
+	return core.FilterLocal(req, candidates)
+}
+
+func cloneAssignment(a core.Assignment) core.Assignment {
+	out := make(core.Assignment, len(a))
+	for k, v := range a {
+		out[k] = v
+	}
+	return out
+}

@@ -1,0 +1,234 @@
+package baseline
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"qasom/internal/core"
+	"qasom/internal/registry"
+)
+
+// GeneticOptions tune the genetic-algorithm baseline (after Canfora et
+// al., the classic metaheuristic for QoS-aware selection the thesis's
+// related work surveys).
+type GeneticOptions struct {
+	// Population size; 0 means 40.
+	Population int
+	// Generations; 0 means 60.
+	Generations int
+	// CrossoverRate in [0,1]; 0 means 0.8.
+	CrossoverRate float64
+	// MutationRate per gene in [0,1]; 0 means 0.1.
+	MutationRate float64
+	// Elite individuals copied unchanged per generation; 0 means 2.
+	Elite int
+	// Penalty scales constraint violation in the fitness; 0 means 10.
+	Penalty float64
+	// Seed drives the randomness; 0 means 1.
+	Seed int64
+}
+
+func (o GeneticOptions) withDefaults() GeneticOptions {
+	if o.Population <= 0 {
+		o.Population = 40
+	}
+	if o.Generations <= 0 {
+		o.Generations = 60
+	}
+	if o.CrossoverRate <= 0 {
+		o.CrossoverRate = 0.8
+	}
+	if o.MutationRate <= 0 {
+		o.MutationRate = 0.1
+	}
+	if o.Elite <= 0 {
+		o.Elite = 2
+	}
+	if o.Penalty == 0 {
+		o.Penalty = 10
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// Genetic runs a penalty-fitness genetic algorithm: chromosomes are
+// per-activity candidate indices, tournament selection, single-point
+// crossover, per-gene mutation, elitism.
+func Genetic(req *core.Request, candidates map[string][]registry.Candidate, opts GeneticOptions) (*core.Result, error) {
+	candidates, err := filterLocal(req, candidates)
+	if err != nil {
+		return nil, err
+	}
+	eval, err := core.NewEvaluator(req, candidates)
+	if err != nil {
+		return nil, err
+	}
+	o := opts.withDefaults()
+	rng := rand.New(rand.NewSource(o.Seed))
+	acts := req.Task.Activities()
+	n := len(acts)
+	pools := make([][]registry.Candidate, n)
+	for i, a := range acts {
+		pools[i] = candidates[a.ID]
+	}
+
+	evaluations := 0
+	toAssign := func(genes []int) core.Assignment {
+		assign := make(core.Assignment, n)
+		for i, g := range genes {
+			assign[acts[i].ID] = pools[i][g]
+		}
+		return assign
+	}
+	fitness := func(genes []int) float64 {
+		evaluations++
+		assign := toAssign(genes)
+		return eval.Utility(assign) - o.Penalty*eval.Violation(assign)
+	}
+
+	type individual struct {
+		genes []int
+		fit   float64
+	}
+	pop := make([]individual, o.Population)
+	for p := range pop {
+		genes := make([]int, n)
+		for i := range genes {
+			genes[i] = rng.Intn(len(pools[i]))
+		}
+		pop[p] = individual{genes: genes, fit: fitness(genes)}
+	}
+	byFitness := func() {
+		sort.SliceStable(pop, func(a, b int) bool { return pop[a].fit > pop[b].fit })
+	}
+	byFitness()
+
+	tournament := func() individual {
+		best := pop[rng.Intn(len(pop))]
+		for k := 0; k < 2; k++ {
+			if c := pop[rng.Intn(len(pop))]; c.fit > best.fit {
+				best = c
+			}
+		}
+		return best
+	}
+
+	for gen := 0; gen < o.Generations; gen++ {
+		next := make([]individual, 0, o.Population)
+		for e := 0; e < o.Elite && e < len(pop); e++ {
+			elite := individual{genes: append([]int(nil), pop[e].genes...), fit: pop[e].fit}
+			next = append(next, elite)
+		}
+		for len(next) < o.Population {
+			a, b := tournament(), tournament()
+			child := append([]int(nil), a.genes...)
+			if rng.Float64() < o.CrossoverRate && n > 1 {
+				cut := 1 + rng.Intn(n-1)
+				copy(child[cut:], b.genes[cut:])
+			}
+			for i := range child {
+				if rng.Float64() < o.MutationRate {
+					child[i] = rng.Intn(len(pools[i]))
+				}
+			}
+			next = append(next, individual{genes: child, fit: fitness(child)})
+		}
+		pop = next
+		byFitness()
+	}
+
+	best := toAssign(pop[0].genes)
+	res := finalize(eval, best, eval.Feasible(best), evaluations)
+	return res, nil
+}
+
+// BranchAndBound is an exact solver that scales further than the plain
+// exhaustive search: it orders each activity's candidates by utility and
+// prunes any partial assignment whose utility upper bound (achieved
+// utility so far + per-activity maxima for the rest) cannot beat the
+// incumbent. Results are identical to Exhaustive; only the visit order
+// and the pruning differ.
+func BranchAndBound(req *core.Request, candidates map[string][]registry.Candidate) (*core.Result, error) {
+	candidates, err := filterLocal(req, candidates)
+	if err != nil {
+		return nil, err
+	}
+	eval, err := core.NewEvaluator(req, candidates)
+	if err != nil {
+		return nil, err
+	}
+	acts := req.Task.Activities()
+	n := len(acts)
+
+	// Per-activity candidate utilities, sorted descending so good
+	// branches are explored first and bounds tighten quickly.
+	type scored struct {
+		cand registry.Candidate
+		util float64
+	}
+	pools := make([][]scored, n)
+	maxUtil := make([]float64, n)
+	for i, a := range acts {
+		list := candidates[a.ID]
+		pool := make([]scored, len(list))
+		for k, c := range list {
+			pool[k] = scored{cand: c, util: eval.CandidateUtility(a.ID, c)}
+		}
+		sort.SliceStable(pool, func(x, y int) bool { return pool[x].util > pool[y].util })
+		pools[i] = pool
+		if len(pool) > 0 {
+			maxUtil[i] = pool[0].util
+		}
+	}
+	// Suffix sums of the best attainable utility from activity i on.
+	suffix := make([]float64, n+1)
+	for i := n - 1; i >= 0; i-- {
+		suffix[i] = suffix[i+1] + maxUtil[i]
+	}
+
+	assign := make(core.Assignment, n)
+	var bestFeasible core.Assignment
+	bestUtility := math.Inf(-1)
+	var bestInfeasible core.Assignment
+	bestViolation := math.Inf(1)
+	evaluations := 0
+
+	var rec func(i int, acc float64)
+	rec = func(i int, acc float64) {
+		if bestFeasible != nil && (acc+suffix[i])/float64(n) <= bestUtility {
+			return // even perfect completions cannot beat the incumbent
+		}
+		if i == n {
+			evaluations++
+			v := eval.Violation(assign)
+			if v == 0 {
+				if u := acc / float64(n); u > bestUtility {
+					bestUtility = u
+					bestFeasible = cloneAssignment(assign)
+				}
+			} else if bestFeasible == nil && v < bestViolation {
+				bestViolation = v
+				bestInfeasible = cloneAssignment(assign)
+			}
+			return
+		}
+		id := acts[i].ID
+		for _, s := range pools[i] {
+			assign[id] = s.cand
+			rec(i+1, acc+s.util)
+		}
+		delete(assign, id)
+	}
+	rec(0, 0)
+
+	chosen := bestFeasible
+	feasible := true
+	if chosen == nil {
+		chosen = bestInfeasible
+		feasible = false
+	}
+	return finalize(eval, chosen, feasible, evaluations), nil
+}

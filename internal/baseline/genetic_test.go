@@ -1,0 +1,146 @@
+package baseline
+
+import (
+	"testing"
+
+	"qasom/internal/core"
+	"qasom/internal/qos"
+	"qasom/internal/workload"
+)
+
+func TestGeneticFindsFeasible(t *testing.T) {
+	req, cands := tinyInstance()
+	res, err := Genetic(req, cands, GeneticOptions{})
+	if err != nil {
+		t.Fatalf("Genetic: %v", err)
+	}
+	if !res.Feasible {
+		t.Errorf("genetic should find the feasible composition, violation %g", res.Violation)
+	}
+	if res.Stats.Evaluations == 0 {
+		t.Error("evaluations not counted")
+	}
+}
+
+func TestGeneticOnRealisticWorkload(t *testing.T) {
+	ps := qos.StandardSet()
+	laws := workload.DefaultLaws(ps)
+	g := workload.NewGenerator(3)
+	tk := g.Task("T", 5, workload.ShapeMixed)
+	cands := g.Candidates(tk, 10, ps, laws)
+	req := &core.Request{
+		Task:        tk,
+		Properties:  ps,
+		Constraints: g.Constraints(tk, ps, laws, workload.AtMeanPlusSigma, 3),
+	}
+	opt, err := Exhaustive(req, cands, ExhaustiveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := Genetic(req, cands, GeneticOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.Feasible && !gen.Feasible {
+		t.Error("genetic missed a feasible composition")
+	}
+	if opt.Feasible && gen.Utility < 0.7*opt.Utility {
+		t.Errorf("genetic utility %.3f too far below optimum %.3f", gen.Utility, opt.Utility)
+	}
+}
+
+func TestGeneticDeterministic(t *testing.T) {
+	req, cands := tinyInstance()
+	a, err := Genetic(req, cands, GeneticOptions{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Genetic(req, cands, GeneticOptions{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := range a.Assignment {
+		if a.Assignment[id].Service.ID != b.Assignment[id].Service.ID {
+			t.Fatal("same seed should reproduce the selection")
+		}
+	}
+}
+
+func TestBranchAndBoundMatchesExhaustive(t *testing.T) {
+	ps := qos.StandardSet()
+	laws := workload.DefaultLaws(ps)
+	for seed := int64(1); seed <= 6; seed++ {
+		g := workload.NewGenerator(seed)
+		tk := g.Task("T", 4, workload.ShapeMixed)
+		cands := g.Candidates(tk, 8, ps, laws)
+		req := &core.Request{
+			Task:        tk,
+			Properties:  ps,
+			Constraints: g.Constraints(tk, ps, laws, workload.AtMeanPlusSigma, 3),
+		}
+		exh, err := Exhaustive(req, cands, ExhaustiveOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		bb, err := BranchAndBound(req, cands)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if exh.Feasible != bb.Feasible {
+			t.Fatalf("seed %d: feasibility differs (exh %v, bb %v)", seed, exh.Feasible, bb.Feasible)
+		}
+		if diff := exh.Utility - bb.Utility; diff > 1e-9 || diff < -1e-9 {
+			t.Fatalf("seed %d: utilities differ (exh %.6f, bb %.6f)", seed, exh.Utility, bb.Utility)
+		}
+		if exh.Feasible && bb.Stats.Evaluations > exh.Stats.Evaluations {
+			t.Errorf("seed %d: B&B visited %d leaves, exhaustive only %d — pruning ineffective",
+				seed, bb.Stats.Evaluations, exh.Stats.Evaluations)
+		}
+	}
+}
+
+func TestBranchAndBoundInfeasible(t *testing.T) {
+	req, cands := tinyInstance()
+	req.Constraints = qos.Constraints{{Property: "rt", Bound: 5}}
+	res, err := BranchAndBound(req, cands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Feasible {
+		t.Fatal("nothing satisfies rt ≤ 5")
+	}
+	if res.Aggregated[0] != 20 {
+		t.Errorf("min-violation composition should have rt 20, got %g", res.Aggregated[0])
+	}
+}
+
+func TestLocalConstraintsAcrossAlgorithms(t *testing.T) {
+	req, cands := tinyInstance()
+	// Local constraint on activity a: rt ≤ 50 kills a1 (rt 100).
+	req.Local = map[string]qos.Constraints{"a": {{Property: "rt", Bound: 50}}}
+	for name, run := range map[string]func() (*core.Result, error){
+		"exhaustive": func() (*core.Result, error) { return Exhaustive(req, cands, ExhaustiveOptions{}) },
+		"greedy":     func() (*core.Result, error) { return Greedy(req, cands) },
+		"genetic":    func() (*core.Result, error) { return Genetic(req, cands, GeneticOptions{}) },
+		"bnb":        func() (*core.Result, error) { return BranchAndBound(req, cands) },
+		"qassa": func() (*core.Result, error) {
+			return core.NewSelector(core.Options{}).Select(req, cands)
+		},
+	} {
+		res, err := run()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if got := res.Assignment["a"].Service.ID; got != "a2" {
+			t.Errorf("%s: local constraint ignored, chose %s", name, got)
+		}
+	}
+	// Unsatisfiable local constraints fail cleanly everywhere.
+	req.Local = map[string]qos.Constraints{"a": {{Property: "rt", Bound: 1}}}
+	if _, err := Greedy(req, cands); err == nil {
+		t.Error("unsatisfiable local constraint should error")
+	}
+	if _, err := core.NewSelector(core.Options{}).Select(req, cands); err == nil {
+		t.Error("unsatisfiable local constraint should error in QASSA")
+	}
+}

@@ -1,0 +1,115 @@
+package bench
+
+import (
+	"qasom/internal/core"
+	"qasom/internal/qos"
+	"qasom/internal/workload"
+)
+
+func aggregationExperiments() []*Experiment {
+	return []*Experiment{expTableIV1(), expVI7(), expVI8()}
+}
+
+// expTableIV1 prints the aggregation-formula matrix of Table IV.1 with
+// worked values, verifying every cell operationally.
+func expTableIV1() *Experiment {
+	return &Experiment{
+		ID:    "qosagg",
+		Paper: "Table IV.1",
+		Title: "QoS aggregation formulas per composition pattern",
+		Expected: "Time: sum/max/branch/k·x; cost: sum/sum/branch/k·x; " +
+			"probability: product/product/branch/x^k; bottleneck: min/min/branch/x.",
+		Run: func(cfg Config) (*Table, error) {
+			kinds := []struct {
+				name string
+				prop *qos.Property
+				vals []float64
+				loop float64
+			}{
+				{"time", &qos.Property{Name: "t", Direction: qos.Minimized, Kind: qos.KindTime}, []float64{10, 20, 30}, 10},
+				{"cost", &qos.Property{Name: "c", Direction: qos.Minimized, Kind: qos.KindCost}, []float64{1, 2, 3}, 1},
+				{"probability", &qos.Property{Name: "p", Direction: qos.Maximized, Kind: qos.KindProbability}, []float64{0.9, 0.8, 0.95}, 0.9},
+				{"bottleneck", &qos.Property{Name: "b", Direction: qos.Maximized, Kind: qos.KindBottleneck}, []float64{40, 20, 60}, 40},
+			}
+			loop := qos.Loop{Min: 1, Max: 3, Expected: 2}
+			t := NewTable("Table IV.1 — aggregation formulas (example values in parentheses)",
+				"kind", "sequence", "parallel", "choice_pess", "choice_opt", "choice_mean", "loop_pess(x,k=3)")
+			for _, k := range kinds {
+				t.AddRow(
+					k.name,
+					qos.AggregateSequence(k.prop, k.vals),
+					qos.AggregateParallel(k.prop, k.vals),
+					qos.AggregateChoice(k.prop, k.vals, nil, qos.Pessimistic),
+					qos.AggregateChoice(k.prop, k.vals, nil, qos.Optimistic),
+					qos.AggregateChoice(k.prop, k.vals, nil, qos.MeanValue),
+					qos.AggregateLoop(k.prop, k.loop, loop, qos.Pessimistic),
+				)
+			}
+			return t, nil
+		},
+	}
+}
+
+func expVI7() *Experiment {
+	return &Experiment{
+		ID:    "vi7",
+		Paper: "Fig. VI.7(a-c)",
+		Title: "QASSA execution time per aggregation approach",
+		Expected: "All three approaches cost similar time (the approach " +
+			"changes the folded value, not the search structure); the sweep " +
+			"shape stays linear in services.",
+		Run: func(cfg Config) (*Table, error) {
+			cfg = cfg.withDefaults()
+			ps := qos.StandardSet()
+			sweep := pick(cfg, []int{10, 50}, []int{10, 25, 50, 100, 200})
+			t := NewTable("QASSA time per aggregation approach (choice-heavy task, n=10, c=3)",
+				"approach", "services", "total_ms", "feasible")
+			for _, approach := range qos.Approaches() {
+				for _, services := range sweep {
+					inst := genInstance(cfg.Seed, 10, services, 3, ps,
+						workload.ShapeChoiceHeavy, workload.AtMeanPlusSigma, approach)
+					var last *core.Result
+					total, err := medianDuration(cfg.Repetitions, func() error {
+						res, err := runQASSA(inst, core.Options{})
+						last = res
+						return err
+					})
+					if err != nil {
+						return nil, err
+					}
+					t.AddRow(approach.String(), services, total, last.Feasible)
+				}
+			}
+			return t, nil
+		},
+	}
+}
+
+func expVI8() *Experiment {
+	return &Experiment{
+		ID:    "vi8",
+		Paper: "Fig. VI.8(a-c)",
+		Title: "QASSA optimality per aggregation approach",
+		Expected: "Optimality stays high for every approach; the optimistic " +
+			"approach accepts more compositions (it assumes best branches), " +
+			"the pessimistic one is the most conservative.",
+		Run: func(cfg Config) (*Table, error) {
+			cfg = cfg.withDefaults()
+			ps := qos.StandardSet()
+			sweep := pick(cfg, []int{5, 10}, []int{5, 10, 15, 20})
+			t := NewTable("Optimality per aggregation approach (choice-heavy task, n=5, c=3)",
+				"approach", "services", "optimality_pct", "feasible_rate")
+			for _, approach := range qos.Approaches() {
+				for _, services := range sweep {
+					ratio, feas, err := meanOptimality(cfg, 5, services, 3, ps,
+						workload.ShapeChoiceHeavy, workload.AtMeanPlusSigma, approach, core.Options{})
+					if err != nil {
+						return nil, err
+					}
+					t.AddRow(approach.String(), services, ratio, feas)
+				}
+			}
+			return t, nil
+		},
+	}
+}

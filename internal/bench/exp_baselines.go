@@ -1,0 +1,157 @@
+package bench
+
+import (
+	"time"
+
+	"qasom/internal/baseline"
+	"qasom/internal/core"
+	"qasom/internal/qos"
+	"qasom/internal/workload"
+)
+
+func baselineExperiments() []*Experiment {
+	return []*Experiment{expBaselines(), expAblationPareto()}
+}
+
+// expBaselines compares every implemented selection algorithm on the
+// same instances: time, utility relative to the exact optimum, and
+// feasibility — the cross-algorithm view the thesis's related-work
+// chapter frames (greedy vs global selection vs metaheuristics).
+func expBaselines() *Experiment {
+	return &Experiment{
+		ID:    "baselines",
+		Paper: "Ch. II §4 / Ch. IV §5 framing",
+		Title: "QASSA vs greedy, local search, genetic, branch-and-bound, exhaustive",
+		Expected: "Exact methods (exhaustive, B&B) set the optimum at " +
+			"exponential cost; greedy is fastest but constraint-blind; " +
+			"QASSA reaches near-optimal utility at milliseconds.",
+		Run: func(cfg Config) (*Table, error) {
+			cfg = cfg.withDefaults()
+			ps := qos.StandardSet()
+			n, services := 5, pick(cfg, 8, 12)
+			seeds := pick(cfg, 3, 8)
+			t := NewTable("Selection algorithms compared (n=5 activities, tight constraints, mean over seeds)",
+				"algorithm", "mean_ms", "mean_optimality_pct", "feasible_rate")
+			type stats struct {
+				dur      time.Duration
+				optSum   float64
+				feasible int
+				counted  int
+			}
+			algos := []string{"qassa", "greedy", "local-search", "genetic", "branch-and-bound", "exhaustive"}
+			acc := make(map[string]*stats, len(algos))
+			for _, a := range algos {
+				acc[a] = &stats{}
+			}
+			for s := 0; s < seeds; s++ {
+				inst := genInstance(cfg.Seed+int64(s), n, services, 3, ps,
+					workload.ShapeMixed, workload.AtMean, qos.Pessimistic)
+				opt, err := baseline.Exhaustive(inst.req, inst.cands, baseline.ExhaustiveOptions{})
+				if err != nil {
+					return nil, err
+				}
+				if !opt.Feasible {
+					continue
+				}
+				run := func(name string, f func() (*core.Result, error)) error {
+					start := time.Now()
+					res, err := f()
+					if err != nil {
+						return err
+					}
+					st := acc[name]
+					st.dur += time.Since(start)
+					st.counted++
+					if res.Feasible {
+						st.feasible++
+						st.optSum += 100 * res.Utility / opt.Utility
+					}
+					return nil
+				}
+				steps := []struct {
+					name string
+					f    func() (*core.Result, error)
+				}{
+					{"qassa", func() (*core.Result, error) {
+						return core.NewSelector(core.Options{}).Select(inst.req, inst.cands)
+					}},
+					{"greedy", func() (*core.Result, error) { return baseline.Greedy(inst.req, inst.cands) }},
+					{"local-search", func() (*core.Result, error) {
+						return baseline.LocalSearch(inst.req, inst.cands, baseline.LocalSearchOptions{})
+					}},
+					{"genetic", func() (*core.Result, error) {
+						return baseline.Genetic(inst.req, inst.cands, baseline.GeneticOptions{})
+					}},
+					{"branch-and-bound", func() (*core.Result, error) {
+						return baseline.BranchAndBound(inst.req, inst.cands)
+					}},
+					{"exhaustive", func() (*core.Result, error) {
+						return baseline.Exhaustive(inst.req, inst.cands, baseline.ExhaustiveOptions{})
+					}},
+				}
+				for _, s := range steps {
+					if err := run(s.name, s.f); err != nil {
+						return nil, err
+					}
+				}
+			}
+			for _, name := range algos {
+				st := acc[name]
+				if st.counted == 0 {
+					t.AddRow(name, "-", "-", "-")
+					continue
+				}
+				meanMs := st.dur / time.Duration(st.counted)
+				optimality := 0.0
+				if st.feasible > 0 {
+					optimality = st.optSum / float64(st.feasible)
+				}
+				t.AddRow(name, meanMs, optimality, float64(st.feasible)/float64(st.counted))
+			}
+			t.AddNote("optimality is utility relative to the exhaustive optimum, over feasible runs")
+			return t, nil
+		},
+	}
+}
+
+// expAblationPareto measures the effect of Pareto-dominance pruning on
+// QASSA's pool sizes, time and optimality.
+func expAblationPareto() *Experiment {
+	return &Experiment{
+		ID:    "ablation-pareto",
+		Paper: "design choice (local phase pre-filtering)",
+		Title: "Pareto-dominance pruning of candidate pools",
+		Expected: "Pruning removes dominated candidates without hurting " +
+			"optimality (the optimum is always on the Pareto front), " +
+			"shrinking the pools the global phase touches.",
+		Run: func(cfg Config) (*Table, error) {
+			cfg = cfg.withDefaults()
+			ps := qos.StandardSet()
+			t := NewTable("Pareto pruning (n=5 activities, 15 services/activity, c=3)",
+				"pruning", "total_ms", "optimality_pct", "feasible_rate")
+			for _, prune := range []bool{false, true} {
+				opts := core.Options{PruneDominated: prune}
+				inst := genInstance(cfg.Seed, 5, 15, 3, ps, workload.ShapeMixed,
+					workload.AtMeanPlusSigma, qos.Pessimistic)
+				total, err := medianDuration(cfg.Repetitions, func() error {
+					_, err := runQASSA(inst, opts)
+					return err
+				})
+				if err != nil {
+					return nil, err
+				}
+				ratio, feas, err := meanOptimality(cfg, 5, 15, 3, ps,
+					workload.ShapeMixed, workload.AtMeanPlusSigma, qos.Pessimistic, opts)
+				if err != nil {
+					return nil, err
+				}
+				label := "off"
+				if prune {
+					label = "on"
+				}
+				t.AddRow(label, total, ratio, feas)
+			}
+			return t, nil
+		},
+	}
+}

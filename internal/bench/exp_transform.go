@@ -1,0 +1,169 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"qasom/internal/bpel"
+	"qasom/internal/graph"
+	"qasom/internal/semantics"
+	"qasom/internal/task"
+	"qasom/internal/workload"
+)
+
+func transformExperiments() []*Experiment {
+	return []*Experiment{expVI13(), expV7()}
+}
+
+func expVI13() *Experiment {
+	return &Experiment{
+		ID:    "vi13",
+		Paper: "Fig. VI.13",
+		Title: "Time to transform abstract BPEL into a behavioural graph",
+		Expected: "The transformation (XML parse + task tree + graph " +
+			"construction with loop simplification) is linear in the number " +
+			"of activities and stays far below selection time.",
+		Run: func(cfg Config) (*Table, error) {
+			cfg = cfg.withDefaults()
+			sweep := pick(cfg, []int{10, 50, 100}, []int{10, 25, 50, 100, 200, 350, 500})
+			g := workload.NewGenerator(cfg.Seed)
+			t := NewTable("Abstract BPEL → behavioural graph transformation time",
+				"activities", "doc_bytes", "parse_us", "tograph_us", "total_us", "vertices", "edges")
+			for _, n := range sweep {
+				tk := g.Task(fmt.Sprintf("N%d", n), n, workload.ShapeMixed)
+				doc, err := bpel.Marshal(tk)
+				if err != nil {
+					return nil, err
+				}
+				var parsed *task.Task
+				var bg *graph.Graph
+				reps := cfg.Repetitions * 5 // cheap op: more reps for stable numbers
+				parseDur, err := medianDuration(reps, func() error {
+					parsed, err = bpel.Parse(doc)
+					return err
+				})
+				if err != nil {
+					return nil, err
+				}
+				graphDur, err := medianDuration(reps, func() error {
+					bg, err = graph.FromTask(parsed)
+					return err
+				})
+				if err != nil {
+					return nil, err
+				}
+				t.AddRow(n, len(doc),
+					us(parseDur), us(graphDur), us(parseDur+graphDur),
+					bg.VertexCount(), bg.EdgeCount())
+			}
+			return t, nil
+		},
+	}
+}
+
+func us(d time.Duration) string {
+	return fmt.Sprintf("%.1f", float64(d)/float64(time.Microsecond))
+}
+
+// expV7 measures the behavioural-adaptation matcher (Chapter V §7): the
+// homeomorphism decision time as the remaining task and the alternative
+// behaviours grow.
+func expV7() *Experiment {
+	return &Experiment{
+		ID:    "v7",
+		Paper: "Ch. V §7",
+		Title: "Subgraph-homeomorphism matching time vs graph size",
+		Expected: "Matching stays in the sub-millisecond-to-milliseconds " +
+			"regime at user-task scale (tens of activities); the preliminary " +
+			"verifications reject unmatchable behaviours almost for free.",
+		Run: func(cfg Config) (*Table, error) {
+			cfg = cfg.withDefaults()
+			sweep := pick(cfg, []int{4, 8}, []int{4, 8, 12, 16, 24, 32})
+			t := NewTable("Homeomorphism matching time (pattern n vs host 2n, semantic matching)",
+				"pattern_acts", "host_acts", "match_us", "steps", "reject_us")
+			onto := semantics.Scenarios()
+			for _, n := range sweep {
+				pattern, host := matchInstance(n)
+				var res *graph.MatchResult
+				dur, err := medianDuration(cfg.Repetitions, func() error {
+					var found bool
+					var err error
+					res, found, err = graph.FindHomeomorphism(pattern, host, graph.MatchOptions{Ontology: onto})
+					if err != nil {
+						return err
+					}
+					if !found {
+						return fmt.Errorf("bench: expected match at n=%d", n)
+					}
+					return nil
+				})
+				if err != nil {
+					return nil, err
+				}
+				// Rejection cost: a pattern with an unmatchable label.
+				badPattern := lineOfConcepts(append(repeatConcept("Shopping", n-1), "NoSuchConcept"))
+				rejectDur, err := medianDuration(cfg.Repetitions, func() error {
+					_, found, err := graph.FindHomeomorphism(badPattern, host, graph.MatchOptions{Ontology: onto})
+					if err != nil {
+						return err
+					}
+					if found {
+						return fmt.Errorf("bench: unexpected match")
+					}
+					return nil
+				})
+				if err != nil {
+					return nil, err
+				}
+				t.AddRow(n, 2*n, us(dur), res.Steps, us(rejectDur))
+			}
+			return t, nil
+		},
+	}
+}
+
+// matchInstance builds a pattern line of n activities and a host line of
+// 2n activities where every other vertex matches the pattern in order
+// (the interleaved vertices are absorbed into edge paths).
+func matchInstance(n int) (pattern, host *graph.Graph) {
+	concepts := make([]semantics.ConceptID, n)
+	for i := range concepts {
+		concepts[i] = semantics.ShoppingService
+	}
+	pattern = lineOfConcepts(concepts)
+	hostConcepts := make([]semantics.ConceptID, 2*n)
+	for i := range hostConcepts {
+		if i%2 == 0 {
+			hostConcepts[i] = semantics.ShoppingService
+		} else {
+			hostConcepts[i] = semantics.NotifyService
+		}
+	}
+	host = lineOfConcepts(hostConcepts)
+	return pattern, host
+}
+
+func repeatConcept(c semantics.ConceptID, n int) []semantics.ConceptID {
+	out := make([]semantics.ConceptID, n)
+	for i := range out {
+		out[i] = c
+	}
+	return out
+}
+
+func lineOfConcepts(concepts []semantics.ConceptID) *graph.Graph {
+	nodes := make([]*task.Node, len(concepts))
+	for i, c := range concepts {
+		nodes[i] = task.NewActivity(&task.Activity{ID: fmt.Sprintf("a%d", i), Concept: c})
+	}
+	root := task.Sequence(nodes...)
+	if len(nodes) == 1 {
+		root = nodes[0]
+	}
+	tk := &task.Task{Name: "line", Concept: "C", Root: root}
+	g, err := graph.FromTask(tk)
+	if err != nil {
+		panic(err) // static construction cannot fail
+	}
+	return g
+}

@@ -1,0 +1,324 @@
+// Package bpel implements the abstract-BPEL front end of QASOM: user
+// tasks are specified as abstract BPEL processes (Chapter VI §2.3) and
+// transformed into the internal task model and, from there, into
+// behavioural graphs (the transformation measured in Fig. VI.13).
+//
+// The dialect covers the subset of abstract BPEL the thesis uses:
+//
+//	<process name="..." concept="...">
+//	  <sequence> ... </sequence>
+//	  <flow> ... </flow>                            (parallel)
+//	  <if> <branch probability="0.7">...</branch> ... </if>
+//	  <while minIterations="1" maxIterations="3" expectedIterations="2"> ... </while>
+//	  <invoke activity="a1" name="..." concept="..." inputs="X,Y" outputs="Z"/>
+//	</process>
+package bpel
+
+import (
+	"encoding/xml"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"qasom/internal/qos"
+	"qasom/internal/semantics"
+	"qasom/internal/task"
+)
+
+// xmlNode is the generic parse tree: every element keeps its name,
+// attributes and ordered children.
+type xmlNode struct {
+	XMLName  xml.Name
+	Name     string    `xml:"name,attr"`
+	Concept  string    `xml:"concept,attr"`
+	Activity string    `xml:"activity,attr"`
+	Inputs   string    `xml:"inputs,attr"`
+	Outputs  string    `xml:"outputs,attr"`
+	Prob     string    `xml:"probability,attr"`
+	Partner  string    `xml:"partner,attr"`
+	Address  string    `xml:"address,attr"`
+	MinIter  string    `xml:"minIterations,attr"`
+	MaxIter  string    `xml:"maxIterations,attr"`
+	ExpIter  string    `xml:"expectedIterations,attr"`
+	Children []xmlNode `xml:",any"`
+}
+
+// Parse reads an abstract-BPEL document and returns the equivalent task.
+func Parse(doc []byte) (*task.Task, error) {
+	var root xmlNode
+	if err := xml.Unmarshal(doc, &root); err != nil {
+		return nil, fmt.Errorf("bpel: malformed XML: %w", err)
+	}
+	if root.XMLName.Local != "process" {
+		return nil, fmt.Errorf("bpel: root element is <%s>, want <process>", root.XMLName.Local)
+	}
+	if root.Name == "" {
+		return nil, fmt.Errorf("bpel: <process> without name attribute")
+	}
+	body, err := convertChildren(root.Children)
+	if err != nil {
+		return nil, err
+	}
+	if body == nil {
+		return nil, fmt.Errorf("bpel: process %q has no body", root.Name)
+	}
+	t := &task.Task{
+		Name:    root.Name,
+		Concept: semantics.ConceptID(root.Concept),
+		Root:    body,
+	}
+	if err := t.Validate(); err != nil {
+		return nil, fmt.Errorf("bpel: process %q: %w", root.Name, err)
+	}
+	return t, nil
+}
+
+// ParseString is Parse over a string document.
+func ParseString(doc string) (*task.Task, error) { return Parse([]byte(doc)) }
+
+// convertChildren converts a sibling list: one child converts directly,
+// several form an implicit sequence.
+func convertChildren(children []xmlNode) (*task.Node, error) {
+	nodes := make([]*task.Node, 0, len(children))
+	for i := range children {
+		n, err := convert(&children[i])
+		if err != nil {
+			return nil, err
+		}
+		nodes = append(nodes, n)
+	}
+	switch len(nodes) {
+	case 0:
+		return nil, nil
+	case 1:
+		return nodes[0], nil
+	default:
+		return task.Sequence(nodes...), nil
+	}
+}
+
+func convert(x *xmlNode) (*task.Node, error) {
+	switch x.XMLName.Local {
+	case "invoke":
+		return convertInvoke(x)
+	case "sequence":
+		return convertPattern(x, task.PatternSequence)
+	case "flow":
+		return convertPattern(x, task.PatternParallel)
+	case "if", "pick", "switch":
+		return convertChoice(x)
+	case "while", "repeatUntil", "forEach":
+		return convertLoop(x)
+	default:
+		return nil, fmt.Errorf("bpel: unsupported element <%s>", x.XMLName.Local)
+	}
+}
+
+func convertInvoke(x *xmlNode) (*task.Node, error) {
+	id := x.Activity
+	if id == "" {
+		id = x.Name
+	}
+	if id == "" {
+		return nil, fmt.Errorf("bpel: <invoke> without activity or name attribute")
+	}
+	if len(x.Children) != 0 {
+		return nil, fmt.Errorf("bpel: <invoke %s> must be empty", id)
+	}
+	return task.NewActivity(&task.Activity{
+		ID:      id,
+		Name:    x.Name,
+		Concept: semantics.ConceptID(x.Concept),
+		Inputs:  splitConcepts(x.Inputs),
+		Outputs: splitConcepts(x.Outputs),
+	}), nil
+}
+
+func convertPattern(x *xmlNode, kind task.Pattern) (*task.Node, error) {
+	if len(x.Children) == 0 {
+		return nil, fmt.Errorf("bpel: empty <%s>", x.XMLName.Local)
+	}
+	children := make([]*task.Node, 0, len(x.Children))
+	for i := range x.Children {
+		n, err := convert(&x.Children[i])
+		if err != nil {
+			return nil, err
+		}
+		children = append(children, n)
+	}
+	return &task.Node{Kind: kind, Children: children}, nil
+}
+
+func convertChoice(x *xmlNode) (*task.Node, error) {
+	if len(x.Children) == 0 {
+		return nil, fmt.Errorf("bpel: empty <%s>", x.XMLName.Local)
+	}
+	branches := make([]*task.Node, 0, len(x.Children))
+	var probs []float64
+	haveProbs := false
+	for i := range x.Children {
+		child := &x.Children[i]
+		var n *task.Node
+		var err error
+		p := 0.0
+		if child.XMLName.Local == "branch" || child.XMLName.Local == "else" || child.XMLName.Local == "elseif" {
+			n, err = convertChildren(child.Children)
+			if err == nil && n == nil {
+				err = fmt.Errorf("bpel: empty <%s> branch", child.XMLName.Local)
+			}
+			if child.Prob != "" {
+				p, err2 := strconv.ParseFloat(child.Prob, 64)
+				if err2 != nil || p < 0 {
+					return nil, fmt.Errorf("bpel: invalid branch probability %q", child.Prob)
+				}
+				haveProbs = true
+				probs = append(probs, p)
+			} else {
+				probs = append(probs, 0)
+			}
+		} else {
+			n, err = convert(child)
+			probs = append(probs, p)
+		}
+		if err != nil {
+			return nil, err
+		}
+		branches = append(branches, n)
+	}
+	if !haveProbs {
+		probs = nil
+	}
+	return task.Choice(probs, branches...), nil
+}
+
+func convertLoop(x *xmlNode) (*task.Node, error) {
+	body, err := convertChildren(x.Children)
+	if err != nil {
+		return nil, err
+	}
+	if body == nil {
+		return nil, fmt.Errorf("bpel: empty <%s>", x.XMLName.Local)
+	}
+	loop := qos.Loop{Min: 1, Max: 1}
+	if x.MinIter != "" {
+		if loop.Min, err = strconv.Atoi(x.MinIter); err != nil {
+			return nil, fmt.Errorf("bpel: invalid minIterations %q", x.MinIter)
+		}
+	}
+	if x.MaxIter != "" {
+		if loop.Max, err = strconv.Atoi(x.MaxIter); err != nil {
+			return nil, fmt.Errorf("bpel: invalid maxIterations %q", x.MaxIter)
+		}
+	} else {
+		loop.Max = loop.Min
+	}
+	if x.ExpIter != "" {
+		if loop.Expected, err = strconv.ParseFloat(x.ExpIter, 64); err != nil {
+			return nil, fmt.Errorf("bpel: invalid expectedIterations %q", x.ExpIter)
+		}
+	}
+	if loop.Min < 0 || loop.Max < loop.Min {
+		return nil, fmt.Errorf("bpel: loop bounds [%d,%d] invalid", loop.Min, loop.Max)
+	}
+	return task.LoopNode(loop, body), nil
+}
+
+func splitConcepts(s string) []semantics.ConceptID {
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]semantics.ConceptID, 0, len(parts))
+	for _, p := range parts {
+		p = strings.TrimSpace(p)
+		if p != "" {
+			out = append(out, semantics.ConceptID(p))
+		}
+	}
+	return out
+}
+
+// Marshal renders a task back into the abstract-BPEL dialect.
+func Marshal(t *task.Task) ([]byte, error) {
+	if err := t.Validate(); err != nil {
+		return nil, fmt.Errorf("bpel: cannot marshal invalid task: %w", err)
+	}
+	var b strings.Builder
+	b.WriteString(xml.Header)
+	fmt.Fprintf(&b, "<process name=%q concept=%q>\n", t.Name, string(t.Concept))
+	if err := writeNode(&b, t.Root, 1); err != nil {
+		return nil, err
+	}
+	b.WriteString("</process>\n")
+	return []byte(b.String()), nil
+}
+
+func writeNode(b *strings.Builder, n *task.Node, depth int) error {
+	indent := strings.Repeat("  ", depth)
+	switch n.Kind {
+	case task.PatternActivity:
+		a := n.Activity
+		fmt.Fprintf(b, "%s<invoke activity=%q", indent, a.ID)
+		if a.Name != "" {
+			fmt.Fprintf(b, " name=%q", a.Name)
+		}
+		if a.Concept != "" {
+			fmt.Fprintf(b, " concept=%q", string(a.Concept))
+		}
+		if len(a.Inputs) > 0 {
+			fmt.Fprintf(b, " inputs=%q", joinConcepts(a.Inputs))
+		}
+		if len(a.Outputs) > 0 {
+			fmt.Fprintf(b, " outputs=%q", joinConcepts(a.Outputs))
+		}
+		b.WriteString("/>\n")
+	case task.PatternSequence, task.PatternParallel:
+		tag := "sequence"
+		if n.Kind == task.PatternParallel {
+			tag = "flow"
+		}
+		fmt.Fprintf(b, "%s<%s>\n", indent, tag)
+		for _, c := range n.Children {
+			if err := writeNode(b, c, depth+1); err != nil {
+				return err
+			}
+		}
+		fmt.Fprintf(b, "%s</%s>\n", indent, tag)
+	case task.PatternChoice:
+		fmt.Fprintf(b, "%s<if>\n", indent)
+		for i, c := range n.Children {
+			if n.Probs != nil {
+				fmt.Fprintf(b, "%s  <branch probability=%q>\n", indent, strconv.FormatFloat(n.Probs[i], 'g', -1, 64))
+			} else {
+				fmt.Fprintf(b, "%s  <branch>\n", indent)
+			}
+			if err := writeNode(b, c, depth+2); err != nil {
+				return err
+			}
+			fmt.Fprintf(b, "%s  </branch>\n", indent)
+		}
+		fmt.Fprintf(b, "%s</if>\n", indent)
+	case task.PatternLoop:
+		fmt.Fprintf(b, "%s<while minIterations=%q maxIterations=%q", indent,
+			strconv.Itoa(n.Loop.Min), strconv.Itoa(n.Loop.Max))
+		if n.Loop.Expected > 0 {
+			fmt.Fprintf(b, " expectedIterations=%q", strconv.FormatFloat(n.Loop.Expected, 'g', -1, 64))
+		}
+		b.WriteString(">\n")
+		if err := writeNode(b, n.Children[0], depth+1); err != nil {
+			return err
+		}
+		fmt.Fprintf(b, "%s</while>\n", indent)
+	default:
+		return fmt.Errorf("bpel: cannot marshal pattern %v", n.Kind)
+	}
+	return nil
+}
+
+func joinConcepts(cs []semantics.ConceptID) string {
+	parts := make([]string, len(cs))
+	for i, c := range cs {
+		parts[i] = string(c)
+	}
+	return strings.Join(parts, ",")
+}

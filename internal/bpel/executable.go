@@ -1,0 +1,139 @@
+package bpel
+
+import (
+	"encoding/xml"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"qasom/internal/task"
+)
+
+// Binding is the concrete service bound to one abstract activity in an
+// executable composition.
+type Binding struct {
+	// Service is the bound service's ID.
+	Service string
+	// Address is the invocation endpoint (transport-specific; may be
+	// empty for in-process services).
+	Address string
+}
+
+// MarshalExecutable renders an executable service composition (Chapter
+// VI §2.4): the abstract process with every <invoke> bound to its
+// selected concrete service via partner/address attributes. Activities
+// without a binding stay abstract (legal: late binding resolves them at
+// run time).
+func MarshalExecutable(t *task.Task, bindings map[string]Binding) ([]byte, error) {
+	if err := t.Validate(); err != nil {
+		return nil, fmt.Errorf("bpel: cannot marshal invalid task: %w", err)
+	}
+	var b strings.Builder
+	b.WriteString(xml.Header)
+	fmt.Fprintf(&b, "<process name=%q concept=%q executable=\"true\">\n", t.Name, string(t.Concept))
+	if err := writeExecutableNode(&b, t.Root, bindings, 1); err != nil {
+		return nil, err
+	}
+	b.WriteString("</process>\n")
+	return []byte(b.String()), nil
+}
+
+func writeExecutableNode(b *strings.Builder, n *task.Node, bindings map[string]Binding, depth int) error {
+	indent := strings.Repeat("  ", depth)
+	switch n.Kind {
+	case task.PatternActivity:
+		a := n.Activity
+		fmt.Fprintf(b, "%s<invoke activity=%q", indent, a.ID)
+		if a.Name != "" {
+			fmt.Fprintf(b, " name=%q", a.Name)
+		}
+		if a.Concept != "" {
+			fmt.Fprintf(b, " concept=%q", string(a.Concept))
+		}
+		if len(a.Inputs) > 0 {
+			fmt.Fprintf(b, " inputs=%q", joinConcepts(a.Inputs))
+		}
+		if len(a.Outputs) > 0 {
+			fmt.Fprintf(b, " outputs=%q", joinConcepts(a.Outputs))
+		}
+		if bind, ok := bindings[a.ID]; ok {
+			fmt.Fprintf(b, " partner=%q", bind.Service)
+			if bind.Address != "" {
+				fmt.Fprintf(b, " address=%q", bind.Address)
+			}
+		}
+		b.WriteString("/>\n")
+	case task.PatternSequence, task.PatternParallel:
+		tag := "sequence"
+		if n.Kind == task.PatternParallel {
+			tag = "flow"
+		}
+		fmt.Fprintf(b, "%s<%s>\n", indent, tag)
+		for _, c := range n.Children {
+			if err := writeExecutableNode(b, c, bindings, depth+1); err != nil {
+				return err
+			}
+		}
+		fmt.Fprintf(b, "%s</%s>\n", indent, tag)
+	case task.PatternChoice:
+		fmt.Fprintf(b, "%s<if>\n", indent)
+		for i, c := range n.Children {
+			if n.Probs != nil {
+				fmt.Fprintf(b, "%s  <branch probability=%q>\n", indent,
+					strconv.FormatFloat(n.Probs[i], 'g', -1, 64))
+			} else {
+				fmt.Fprintf(b, "%s  <branch>\n", indent)
+			}
+			if err := writeExecutableNode(b, c, bindings, depth+2); err != nil {
+				return err
+			}
+			fmt.Fprintf(b, "%s  </branch>\n", indent)
+		}
+		fmt.Fprintf(b, "%s</if>\n", indent)
+	case task.PatternLoop:
+		fmt.Fprintf(b, "%s<while minIterations=%q maxIterations=%q", indent,
+			strconv.Itoa(n.Loop.Min), strconv.Itoa(n.Loop.Max))
+		if n.Loop.Expected > 0 {
+			fmt.Fprintf(b, " expectedIterations=%q", strconv.FormatFloat(n.Loop.Expected, 'g', -1, 64))
+		}
+		b.WriteString(">\n")
+		if err := writeExecutableNode(b, n.Children[0], bindings, depth+1); err != nil {
+			return err
+		}
+		fmt.Fprintf(b, "%s</while>\n", indent)
+	default:
+		return fmt.Errorf("bpel: cannot marshal pattern %v", n.Kind)
+	}
+	return nil
+}
+
+// ParseExecutable reads an executable composition back into its task and
+// bindings.
+func ParseExecutable(doc []byte) (*task.Task, map[string]Binding, error) {
+	var root xmlNode
+	if err := xml.Unmarshal(doc, &root); err != nil {
+		return nil, nil, fmt.Errorf("bpel: malformed XML: %w", err)
+	}
+	t, err := Parse(doc)
+	if err != nil {
+		return nil, nil, err
+	}
+	bindings := make(map[string]Binding)
+	collectBindings(&root, bindings)
+	return t, bindings, nil
+}
+
+// executable attributes are parsed through the generic tree; xmlNode
+// needs the extra fields (see bpel.go).
+func collectBindings(x *xmlNode, out map[string]Binding) {
+	if x.XMLName.Local == "invoke" && x.Partner != "" {
+		id := x.Activity
+		if id == "" {
+			id = x.Name
+		}
+		out[id] = Binding{Service: x.Partner, Address: x.Address}
+	}
+	for i := range x.Children {
+		collectBindings(&x.Children[i], out)
+	}
+}

@@ -1,0 +1,94 @@
+package bpel
+
+import (
+	"strings"
+	"testing"
+
+	"qasom/internal/task"
+)
+
+func TestExecutableRoundTrip(t *testing.T) {
+	orig, err := ParseString(shoppingBPEL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bindings := map[string]Binding{
+		"browse": {Service: "catalog-1", Address: "inproc://catalog-1"},
+		"book":   {Service: "bookshop-3"},
+		"card":   {Service: "pay-7", Address: "tcp://10.0.0.7:9000"},
+	}
+	doc, err := MarshalExecutable(orig, bindings)
+	if err != nil {
+		t.Fatalf("MarshalExecutable: %v", err)
+	}
+	s := string(doc)
+	if !strings.Contains(s, `executable="true"`) {
+		t.Error("executable marker missing")
+	}
+	if !strings.Contains(s, `partner="catalog-1"`) || !strings.Contains(s, `address="inproc://catalog-1"`) {
+		t.Errorf("binding attributes missing:\n%s", s)
+	}
+
+	back, gotBindings, err := ParseExecutable(doc)
+	if err != nil {
+		t.Fatalf("ParseExecutable: %v", err)
+	}
+	if back.String() != orig.String() {
+		t.Errorf("structure changed:\n  orig: %s\n  back: %s", orig, back)
+	}
+	if len(gotBindings) != 3 {
+		t.Fatalf("bindings = %v", gotBindings)
+	}
+	if gotBindings["browse"] != bindings["browse"] {
+		t.Errorf("browse binding = %+v", gotBindings["browse"])
+	}
+	if gotBindings["card"].Address != "tcp://10.0.0.7:9000" {
+		t.Errorf("card address = %q", gotBindings["card"].Address)
+	}
+	// Unbound activities stay abstract.
+	if _, bound := gotBindings["media"]; bound {
+		t.Error("media should be unbound")
+	}
+}
+
+func TestExecutablePreservesPatternDetails(t *testing.T) {
+	orig, err := ParseString(shoppingBPEL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc, err := MarshalExecutable(orig, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, _, err := ParseExecutable(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var choice, loop *task.Node
+	back.Walk(func(n *task.Node) {
+		switch n.Kind {
+		case task.PatternChoice:
+			choice = n
+		case task.PatternLoop:
+			loop = n
+		}
+	})
+	if choice == nil || choice.Probs == nil || choice.Probs[0] != 0.8 {
+		t.Error("choice probabilities lost")
+	}
+	if loop == nil || loop.Loop.Max != 3 || loop.Loop.Expected != 2 {
+		t.Error("loop bounds lost")
+	}
+}
+
+func TestMarshalExecutableInvalidTask(t *testing.T) {
+	if _, err := MarshalExecutable(&task.Task{Name: "bad"}, nil); err == nil {
+		t.Error("invalid task should fail")
+	}
+}
+
+func TestParseExecutableMalformed(t *testing.T) {
+	if _, _, err := ParseExecutable([]byte("<nope")); err == nil {
+		t.Error("malformed document should fail")
+	}
+}

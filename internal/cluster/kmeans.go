@@ -1,0 +1,340 @@
+// Package cluster provides the K-means clustering substrate of QASSA's
+// local selection phase: candidate services are clustered per QoS
+// property into ranked quality clusters. Both the general k-dimensional
+// algorithm and a fast 1-D specialisation are provided; seeding is
+// deterministic given the caller's random source (k-means++ by default,
+// with a naive uniform alternative kept for the seeding ablation).
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Seeding selects the initial-centroid strategy.
+type Seeding int
+
+// Seeding strategies.
+const (
+	// SeedPlusPlus is k-means++ (D² sampling): spread initial centroids,
+	// better and more stable clusters.
+	SeedPlusPlus Seeding = iota + 1
+	// SeedUniform picks k distinct points uniformly at random; kept as
+	// the ablation baseline.
+	SeedUniform
+)
+
+// Options tune a clustering run.
+type Options struct {
+	// MaxIterations bounds Lloyd iterations; 0 means the default (50).
+	MaxIterations int
+	// Seeding selects the initialisation strategy; 0 means SeedPlusPlus.
+	Seeding Seeding
+	// Rand drives all random choices; nil means a fixed-seed source so
+	// results are reproducible by default.
+	Rand *rand.Rand
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxIterations <= 0 {
+		o.MaxIterations = 50
+	}
+	if o.Seeding == 0 {
+		o.Seeding = SeedPlusPlus
+	}
+	if o.Rand == nil {
+		o.Rand = rand.New(rand.NewSource(1))
+	}
+	return o
+}
+
+// Result is the outcome of a clustering run.
+type Result struct {
+	// Centroids holds the K cluster centres.
+	Centroids [][]float64
+	// Assign maps each input point to its cluster index.
+	Assign []int
+	// Sizes counts the points per cluster.
+	Sizes []int
+	// Iterations is the number of Lloyd iterations performed.
+	Iterations int
+	// Inertia is the total within-cluster sum of squared distances.
+	Inertia float64
+}
+
+// K returns the number of clusters.
+func (r *Result) K() int { return len(r.Centroids) }
+
+// KMeans clusters points into k groups with Lloyd's algorithm. Points
+// must be non-empty and share one dimensionality; when k exceeds the
+// number of distinct points the effective k is reduced accordingly (every
+// returned cluster is non-empty).
+func KMeans(points [][]float64, k int, opts Options) (*Result, error) {
+	if len(points) == 0 {
+		return nil, fmt.Errorf("cluster: no points")
+	}
+	if k <= 0 {
+		return nil, fmt.Errorf("cluster: k = %d, must be positive", k)
+	}
+	dim := len(points[0])
+	if dim == 0 {
+		return nil, fmt.Errorf("cluster: zero-dimensional points")
+	}
+	for i, p := range points {
+		if len(p) != dim {
+			return nil, fmt.Errorf("cluster: point %d has dimension %d, want %d", i, len(p), dim)
+		}
+		for _, x := range p {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				return nil, fmt.Errorf("cluster: point %d contains NaN/Inf", i)
+			}
+		}
+	}
+	if d := distinctCount(points); k > d {
+		k = d
+	}
+	o := opts.withDefaults()
+
+	centroids := seed(points, k, o)
+	assign := make([]int, len(points))
+	sizes := make([]int, k)
+	res := &Result{}
+	for iter := 0; iter < o.MaxIterations; iter++ {
+		res.Iterations = iter + 1
+		changed := assignPoints(points, centroids, assign)
+		for i := range sizes {
+			sizes[i] = 0
+		}
+		for _, c := range assign {
+			sizes[c]++
+		}
+		repairEmpty(points, centroids, assign, sizes, o.Rand)
+		updateCentroids(points, centroids, assign, sizes)
+		if !changed && iter > 0 {
+			break
+		}
+	}
+	// Final assignment against the last centroids.
+	assignPoints(points, centroids, assign)
+	for i := range sizes {
+		sizes[i] = 0
+	}
+	for _, c := range assign {
+		sizes[c]++
+	}
+	res.Centroids = centroids
+	res.Assign = assign
+	res.Sizes = sizes
+	res.Inertia = inertia(points, centroids, assign)
+	return res, nil
+}
+
+// KMeans1D clusters scalar values; it is the hot path of QASSA's local
+// phase (one run per QoS property per activity).
+func KMeans1D(values []float64, k int, opts Options) (*Result, error) {
+	points := make([][]float64, len(values))
+	backing := make([]float64, len(values))
+	for i, v := range values {
+		backing[i] = v
+		points[i] = backing[i : i+1 : i+1]
+	}
+	return KMeans(points, k, opts)
+}
+
+// RankCentroids1D returns cluster indices ordered from best to worst for
+// a 1-D clustering, where "best" is the largest centroid when higherBetter
+// and the smallest otherwise. The returned slice maps rank → cluster.
+func RankCentroids1D(r *Result, higherBetter bool) []int {
+	order := make([]int, r.K())
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		ca, cb := r.Centroids[order[a]][0], r.Centroids[order[b]][0]
+		if higherBetter {
+			return ca > cb
+		}
+		return ca < cb
+	})
+	return order
+}
+
+// Ranks1D returns, for each input point, its cluster's quality rank
+// (1 = best) for a 1-D clustering.
+func Ranks1D(r *Result, higherBetter bool) []int {
+	order := RankCentroids1D(r, higherBetter)
+	rankOf := make([]int, r.K())
+	for rank, cl := range order {
+		rankOf[cl] = rank + 1
+	}
+	out := make([]int, len(r.Assign))
+	for i, cl := range r.Assign {
+		out[i] = rankOf[cl]
+	}
+	return out
+}
+
+func distinctCount(points [][]float64) int {
+	seen := make(map[string]struct{}, len(points))
+	var key []byte
+	for _, p := range points {
+		key = key[:0]
+		for _, x := range p {
+			bits := math.Float64bits(x)
+			for s := 0; s < 64; s += 8 {
+				key = append(key, byte(bits>>s))
+			}
+		}
+		seen[string(key)] = struct{}{}
+	}
+	return len(seen)
+}
+
+func seed(points [][]float64, k int, o Options) [][]float64 {
+	centroids := make([][]float64, 0, k)
+	switch o.Seeding {
+	case SeedUniform:
+		perm := o.Rand.Perm(len(points))
+		used := make(map[string]struct{}, k)
+		for _, idx := range perm {
+			key := fmt.Sprint(points[idx])
+			if _, dup := used[key]; dup {
+				continue
+			}
+			used[key] = struct{}{}
+			centroids = append(centroids, clonePoint(points[idx]))
+			if len(centroids) == k {
+				break
+			}
+		}
+	default: // SeedPlusPlus
+		first := o.Rand.Intn(len(points))
+		centroids = append(centroids, clonePoint(points[first]))
+		dists := make([]float64, len(points))
+		for len(centroids) < k {
+			total := 0.0
+			for i, p := range points {
+				d := math.Inf(1)
+				for _, c := range centroids {
+					d = math.Min(d, sqDist(p, c))
+				}
+				dists[i] = d
+				total += d
+			}
+			var next int
+			if total <= 0 {
+				next = o.Rand.Intn(len(points))
+			} else {
+				target := o.Rand.Float64() * total
+				acc := 0.0
+				next = len(points) - 1
+				for i, d := range dists {
+					acc += d
+					if acc >= target {
+						next = i
+						break
+					}
+				}
+			}
+			centroids = append(centroids, clonePoint(points[next]))
+		}
+	}
+	return centroids
+}
+
+func assignPoints(points, centroids [][]float64, assign []int) bool {
+	changed := false
+	for i, p := range points {
+		best, bestD := 0, math.Inf(1)
+		for c, centroid := range centroids {
+			if d := sqDist(p, centroid); d < bestD {
+				best, bestD = c, d
+			}
+		}
+		if assign[i] != best {
+			assign[i] = best
+			changed = true
+		}
+	}
+	return changed
+}
+
+// repairEmpty re-seeds empty clusters with the point farthest from its
+// centroid, preserving the invariant that every cluster is non-empty.
+func repairEmpty(points, centroids [][]float64, assign []int, sizes []int, rng *rand.Rand) {
+	for c, size := range sizes {
+		if size > 0 {
+			continue
+		}
+		farIdx, farD := -1, -1.0
+		for i, p := range points {
+			if sizes[assign[i]] <= 1 {
+				continue
+			}
+			if d := sqDist(p, centroids[assign[i]]); d > farD {
+				farIdx, farD = i, d
+			}
+		}
+		if farIdx < 0 {
+			farIdx = rng.Intn(len(points))
+			if sizes[assign[farIdx]] <= 1 {
+				continue
+			}
+		}
+		sizes[assign[farIdx]]--
+		assign[farIdx] = c
+		sizes[c]++
+		copy(centroids[c], points[farIdx])
+	}
+}
+
+func updateCentroids(points, centroids [][]float64, assign []int, sizes []int) {
+	dim := len(points[0])
+	for c := range centroids {
+		if sizes[c] == 0 {
+			continue
+		}
+		for d := 0; d < dim; d++ {
+			centroids[c][d] = 0
+		}
+	}
+	for i, p := range points {
+		c := assign[i]
+		for d, x := range p {
+			centroids[c][d] += x
+		}
+	}
+	for c := range centroids {
+		if sizes[c] == 0 {
+			continue
+		}
+		for d := 0; d < dim; d++ {
+			centroids[c][d] /= float64(sizes[c])
+		}
+	}
+}
+
+func inertia(points, centroids [][]float64, assign []int) float64 {
+	total := 0.0
+	for i, p := range points {
+		total += sqDist(p, centroids[assign[i]])
+	}
+	return total
+}
+
+func sqDist(a, b []float64) float64 {
+	total := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		total += d * d
+	}
+	return total
+}
+
+func clonePoint(p []float64) []float64 {
+	out := make([]float64, len(p))
+	copy(out, p)
+	return out
+}

@@ -1,0 +1,308 @@
+package cluster
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestKMeansValidation(t *testing.T) {
+	tests := []struct {
+		name   string
+		points [][]float64
+		k      int
+	}{
+		{"no points", nil, 2},
+		{"k zero", [][]float64{{1}}, 0},
+		{"k negative", [][]float64{{1}}, -1},
+		{"zero dim", [][]float64{{}}, 1},
+		{"ragged", [][]float64{{1}, {1, 2}}, 1},
+		{"nan", [][]float64{{math.NaN()}}, 1},
+		{"inf", [][]float64{{math.Inf(1)}}, 1},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := KMeans(tt.points, tt.k, Options{}); err == nil {
+				t.Error("expected error")
+			}
+		})
+	}
+}
+
+func TestKMeansSeparatesObviousClusters(t *testing.T) {
+	points := [][]float64{
+		{0.1}, {0.2}, {0.15}, // low group
+		{5.0}, {5.1}, {4.9}, // high group
+	}
+	res, err := KMeans(points, 2, Options{})
+	if err != nil {
+		t.Fatalf("KMeans: %v", err)
+	}
+	if res.K() != 2 {
+		t.Fatalf("K = %d, want 2", res.K())
+	}
+	if res.Assign[0] != res.Assign[1] || res.Assign[1] != res.Assign[2] {
+		t.Errorf("low group split: %v", res.Assign)
+	}
+	if res.Assign[3] != res.Assign[4] || res.Assign[4] != res.Assign[5] {
+		t.Errorf("high group split: %v", res.Assign)
+	}
+	if res.Assign[0] == res.Assign[3] {
+		t.Errorf("groups merged: %v", res.Assign)
+	}
+}
+
+func TestKMeansReducesKForFewDistinctPoints(t *testing.T) {
+	points := [][]float64{{1}, {1}, {2}, {2}}
+	res, err := KMeans(points, 5, Options{})
+	if err != nil {
+		t.Fatalf("KMeans: %v", err)
+	}
+	if res.K() != 2 {
+		t.Errorf("K = %d, want 2 (only 2 distinct points)", res.K())
+	}
+	for c, size := range res.Sizes {
+		if size == 0 {
+			t.Errorf("cluster %d is empty", c)
+		}
+	}
+}
+
+func TestKMeansDeterministicByDefault(t *testing.T) {
+	points := make([][]float64, 100)
+	rng := rand.New(rand.NewSource(7))
+	for i := range points {
+		points[i] = []float64{rng.Float64() * 100, rng.Float64() * 100}
+	}
+	a, err := KMeans(points, 4, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := KMeans(points, 4, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Assign {
+		if a.Assign[i] != b.Assign[i] {
+			t.Fatal("default options should be deterministic")
+		}
+	}
+}
+
+func TestKMeans1D(t *testing.T) {
+	values := []float64{1, 2, 1.5, 10, 11, 10.5, 20, 21}
+	res, err := KMeans1D(values, 3, Options{})
+	if err != nil {
+		t.Fatalf("KMeans1D: %v", err)
+	}
+	if res.K() != 3 {
+		t.Fatalf("K = %d, want 3", res.K())
+	}
+	if res.Assign[0] != res.Assign[1] {
+		t.Errorf("1,2 should share a cluster: %v", res.Assign)
+	}
+	if res.Assign[0] == res.Assign[6] {
+		t.Errorf("1 and 20 should be in different clusters: %v", res.Assign)
+	}
+}
+
+func TestRankCentroids1D(t *testing.T) {
+	values := []float64{1, 1.1, 10, 10.1, 20, 20.2}
+	res, err := KMeans1D(values, 3, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// higherBetter: rank 1 should be the ~20 cluster.
+	order := RankCentroids1D(res, true)
+	if got := res.Centroids[order[0]][0]; got < 15 {
+		t.Errorf("best cluster centroid = %g, want ~20", got)
+	}
+	// lower better: rank 1 should be the ~1 cluster.
+	order = RankCentroids1D(res, false)
+	if got := res.Centroids[order[0]][0]; got > 5 {
+		t.Errorf("best cluster centroid = %g, want ~1", got)
+	}
+}
+
+func TestRanks1D(t *testing.T) {
+	values := []float64{1, 20, 1.2, 19.5}
+	res, err := KMeans1D(values, 2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ranks := Ranks1D(res, false) // lower better
+	if ranks[0] != 1 || ranks[2] != 1 {
+		t.Errorf("low values should have rank 1: %v", ranks)
+	}
+	if ranks[1] != 2 || ranks[3] != 2 {
+		t.Errorf("high values should have rank 2: %v", ranks)
+	}
+}
+
+func TestSeedingStrategies(t *testing.T) {
+	points := make([][]float64, 60)
+	rng := rand.New(rand.NewSource(3))
+	for i := range points {
+		points[i] = []float64{rng.NormFloat64()}
+	}
+	for _, s := range []Seeding{SeedPlusPlus, SeedUniform} {
+		res, err := KMeans(points, 4, Options{Seeding: s, Rand: rand.New(rand.NewSource(5))})
+		if err != nil {
+			t.Fatalf("seeding %d: %v", s, err)
+		}
+		if res.K() != 4 {
+			t.Errorf("seeding %d: K = %d, want 4", s, res.K())
+		}
+		for c, size := range res.Sizes {
+			if size == 0 {
+				t.Errorf("seeding %d: cluster %d empty", s, c)
+			}
+		}
+	}
+}
+
+func TestKMeansSinglePoint(t *testing.T) {
+	res, err := KMeans([][]float64{{3.5}}, 3, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.K() != 1 || res.Assign[0] != 0 {
+		t.Errorf("single point should yield one cluster: %+v", res)
+	}
+	if res.Inertia != 0 {
+		t.Errorf("single point inertia = %g, want 0", res.Inertia)
+	}
+}
+
+func TestQuickKMeansInvariants(t *testing.T) {
+	// For any input: every point assigned, every cluster non-empty,
+	// inertia non-negative, centroid count ≤ min(k, distinct points).
+	f := func(raw []float64, kRaw uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		values := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				continue
+			}
+			values = append(values, math.Mod(x, 1e6))
+		}
+		if len(values) == 0 {
+			return true
+		}
+		k := int(kRaw%5) + 1
+		res, err := KMeans1D(values, k, Options{})
+		if err != nil {
+			return false
+		}
+		if len(res.Assign) != len(values) {
+			return false
+		}
+		if res.K() > k {
+			return false
+		}
+		for _, c := range res.Assign {
+			if c < 0 || c >= res.K() {
+				return false
+			}
+		}
+		for _, size := range res.Sizes {
+			if size == 0 {
+				return false
+			}
+		}
+		return res.Inertia >= 0 && !math.IsNaN(res.Inertia)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickRanksCoverAllRanks(t *testing.T) {
+	f := func(raw []float64) bool {
+		values := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				values = append(values, math.Mod(x, 1000))
+			}
+		}
+		if len(values) < 3 {
+			return true
+		}
+		res, err := KMeans1D(values, 3, Options{})
+		if err != nil {
+			return false
+		}
+		ranks := Ranks1D(res, false)
+		seen := make(map[int]bool)
+		for _, r := range ranks {
+			if r < 1 || r > res.K() {
+				return false
+			}
+			seen[r] = true
+		}
+		return len(seen) == res.K()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkKMeans1D(b *testing.B) {
+	rng := rand.New(rand.NewSource(11))
+	values := make([]float64, 300)
+	for i := range values {
+		values[i] = rng.NormFloat64()*15 + 50
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := KMeans1D(values, 4, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestRepairEmptyClusters(t *testing.T) {
+	// Adversarial seeding: uniform seeding can pick two near-identical
+	// seeds, leaving one cluster empty after the first assignment; the
+	// repair step must re-seed it so every returned cluster is non-empty.
+	values := []float64{0, 0.0001, 0.0002, 100, 100.0001, 200}
+	for seed := int64(1); seed <= 20; seed++ {
+		res, err := KMeans1D(values, 3, Options{
+			Seeding: SeedUniform,
+			Rand:    rand.New(rand.NewSource(seed)),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for c, size := range res.Sizes {
+			if size == 0 {
+				t.Fatalf("seed %d: cluster %d empty (sizes %v)", seed, c, res.Sizes)
+			}
+		}
+	}
+}
+
+func TestKMeansManyDuplicatePoints(t *testing.T) {
+	// Mostly duplicates with k near the distinct count stresses the
+	// empty-cluster repair path.
+	values := make([]float64, 40)
+	for i := range values {
+		values[i] = float64(i % 3) // only 3 distinct values
+	}
+	res, err := KMeans1D(values, 3, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.K() != 3 {
+		t.Fatalf("K = %d", res.K())
+	}
+	for _, size := range res.Sizes {
+		if size == 0 {
+			t.Fatal("empty cluster survived repair")
+		}
+	}
+}

@@ -1,0 +1,282 @@
+// Package contract implements the quality-contract layer that the
+// thesis grounds in WSQM (Chapter III §1): establishing per-service
+// quality agreements between consumers and providers (the provider's
+// advertised QoS must satisfy the consumer's required QoS), checking
+// compliance at run time against monitored QoS, accumulating penalties
+// for violations, and mapping delivered quality onto the satisfaction
+// tiers of the User QoS ontology (delighted / satisfied / tolerable /
+// frustrated).
+package contract
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"qasom/internal/monitor"
+	"qasom/internal/qos"
+	"qasom/internal/registry"
+	"qasom/internal/semantics"
+)
+
+// ErrIncompatible is returned when an offer cannot satisfy the
+// requirements, so no contract can be established.
+var ErrIncompatible = fmt.Errorf("contract: offer does not satisfy the requirements")
+
+// Contract is an established quality agreement for one service.
+type Contract struct {
+	// ID identifies the contract.
+	ID string
+	// Service is the provider side.
+	Service registry.ServiceID
+	// Consumer labels the consumer side (free-form).
+	Consumer string
+	// Terms are the agreed service-level objectives: per-property bounds
+	// the provider committed to (the consumer's requirements, which the
+	// advertised QoS satisfies at establishment time).
+	Terms qos.Constraints
+	// PenaltyRate is the penalty accrued per unit of relative violation
+	// per compliance check.
+	PenaltyRate float64
+	// EstablishedAt stamps the agreement.
+	EstablishedAt time.Time
+}
+
+// Violation describes one broken term at check time.
+type Violation struct {
+	// Property names the broken term.
+	Property string
+	// Agreed is the contracted bound.
+	Agreed float64
+	// Observed is the monitored value.
+	Observed float64
+}
+
+// Report is the outcome of one compliance check.
+type Report struct {
+	// ContractID names the checked contract.
+	ContractID string
+	// CheckedAt stamps the check.
+	CheckedAt time.Time
+	// Observed reports whether run-time observations existed (false
+	// means the check ran against advertised values only).
+	Observed bool
+	// Violations lists the broken terms (empty when compliant).
+	Violations []Violation
+	// Penalty is the penalty accrued by this check.
+	Penalty float64
+	// Tier is the perceived satisfaction tier of the delivered quality.
+	Tier semantics.ConceptID
+}
+
+// Compliant reports whether every term held.
+func (r *Report) Compliant() bool { return len(r.Violations) == 0 }
+
+// Manager establishes and checks contracts. Safe for concurrent use.
+type Manager struct {
+	ps       *qos.PropertySet
+	ontology *semantics.Ontology
+
+	mu        sync.Mutex
+	contracts map[string]*Contract
+	penalties map[string]float64
+	nextID    int
+	// now is injectable for tests.
+	now func() time.Time
+}
+
+// NewManager creates a contract manager over the given property set; the
+// ontology (may be nil) resolves heterogeneous offer vocabularies.
+func NewManager(ps *qos.PropertySet, o *semantics.Ontology) *Manager {
+	return &Manager{
+		ps:        ps,
+		ontology:  o,
+		contracts: make(map[string]*Contract),
+		penalties: make(map[string]float64),
+		now:       time.Now,
+	}
+}
+
+// SetClock injects a time source (tests).
+func (m *Manager) SetClock(now func() time.Time) { m.now = now }
+
+// Establish negotiates a contract: the provider's advertised QoS must
+// satisfy every required bound, otherwise ErrIncompatible is returned.
+// On success the consumer's requirements become the agreed terms.
+func (m *Manager) Establish(consumer string, d registry.Description, required qos.Constraints, penaltyRate float64) (*Contract, error) {
+	if err := required.Validate(m.ps); err != nil {
+		return nil, fmt.Errorf("contract: %w", err)
+	}
+	advertised, err := d.VectorFor(m.ps, m.ontology)
+	if err != nil {
+		return nil, fmt.Errorf("contract: %w", err)
+	}
+	if !required.Satisfied(m.ps, advertised) {
+		return nil, fmt.Errorf("%w: service %q advertises %v against %s",
+			ErrIncompatible, d.ID, advertised, required)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.nextID++
+	c := &Contract{
+		ID:            fmt.Sprintf("ct-%d", m.nextID),
+		Service:       d.ID,
+		Consumer:      consumer,
+		Terms:         append(qos.Constraints(nil), required...),
+		PenaltyRate:   penaltyRate,
+		EstablishedAt: m.now(),
+	}
+	m.contracts[c.ID] = c
+	return c, nil
+}
+
+// Terminate removes a contract; it reports whether it existed. Accrued
+// penalties remain queryable.
+func (m *Manager) Terminate(id string) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	_, ok := m.contracts[id]
+	delete(m.contracts, id)
+	return ok
+}
+
+// Get returns a copy of the contract.
+func (m *Manager) Get(id string) (Contract, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c, ok := m.contracts[id]
+	if !ok {
+		return Contract{}, false
+	}
+	return *c, true
+}
+
+// Contracts returns all contract IDs, sorted.
+func (m *Manager) Contracts() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]string, 0, len(m.contracts))
+	for id := range m.contracts {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// AccruedPenalty returns the total penalty accrued by a contract so far.
+func (m *Manager) AccruedPenalty(id string) float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.penalties[id]
+}
+
+// Check evaluates one contract against the monitor's current run-time
+// estimate for the service (advertised compliance is assumed when the
+// service has never been observed) and accrues penalties for violations.
+func (m *Manager) Check(id string, mon *monitor.Monitor) (*Report, error) {
+	m.mu.Lock()
+	c, ok := m.contracts[id]
+	m.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("contract: unknown contract %q", id)
+	}
+	report := &Report{ContractID: id, CheckedAt: m.now()}
+	var observed qos.Vector
+	if mon != nil {
+		if est, has := mon.Estimate(c.Service); has {
+			observed = est
+			report.Observed = true
+		}
+	}
+	if observed == nil {
+		// Never observed: terms held at establishment, nothing to accrue.
+		report.Tier = semantics.TierSatisfied
+		return report, nil
+	}
+	violation := 0.0
+	for _, term := range c.Terms {
+		j, okIdx := m.ps.Index(term.Property)
+		if !okIdx {
+			continue
+		}
+		p := m.ps.At(j)
+		broken := false
+		if p.Direction == qos.Minimized {
+			broken = observed[j] > term.Bound
+		} else {
+			broken = observed[j] < term.Bound
+		}
+		if broken {
+			report.Violations = append(report.Violations, Violation{
+				Property: term.Property,
+				Agreed:   term.Bound,
+				Observed: observed[j],
+			})
+		}
+	}
+	violation = c.Terms.Violation(m.ps, observed)
+	report.Penalty = c.PenaltyRate * violation
+	report.Tier = m.perceive(c.Terms, observed)
+	if report.Penalty > 0 {
+		m.mu.Lock()
+		m.penalties[id] += report.Penalty
+		m.mu.Unlock()
+	}
+	return report, nil
+}
+
+// CheckAll checks every active contract and returns reports sorted by
+// contract ID.
+func (m *Manager) CheckAll(mon *monitor.Monitor) []*Report {
+	ids := m.Contracts()
+	out := make([]*Report, 0, len(ids))
+	for _, id := range ids {
+		r, err := m.Check(id, mon)
+		if err != nil {
+			continue // terminated concurrently
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+// perceive maps delivered quality onto the satisfaction tiers of the
+// User QoS ontology: delighted when every term is beaten by ≥20%,
+// satisfied when all terms hold, tolerable when the total relative
+// violation stays under 10%, frustrated otherwise.
+func (m *Manager) perceive(terms qos.Constraints, observed qos.Vector) semantics.ConceptID {
+	v := terms.Violation(m.ps, observed)
+	switch {
+	case v == 0 && m.beatsBy(terms, observed, 0.2):
+		return semantics.TierDelighted
+	case v == 0:
+		return semantics.TierSatisfied
+	case v <= 0.1:
+		return semantics.TierTolerable
+	default:
+		return semantics.TierFrustrated
+	}
+}
+
+// beatsBy reports whether the observed vector beats every term by at
+// least the given relative margin.
+func (m *Manager) beatsBy(terms qos.Constraints, observed qos.Vector, margin float64) bool {
+	for _, term := range terms {
+		j, ok := m.ps.Index(term.Property)
+		if !ok || j >= len(observed) {
+			return false
+		}
+		p := m.ps.At(j)
+		if p.Direction == qos.Minimized {
+			if observed[j] > term.Bound*(1-margin) {
+				return false
+			}
+		} else {
+			if observed[j] < term.Bound*(1+margin) {
+				return false
+			}
+		}
+	}
+	return true
+}

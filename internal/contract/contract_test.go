@@ -1,0 +1,254 @@
+package contract
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"qasom/internal/monitor"
+	"qasom/internal/qos"
+	"qasom/internal/registry"
+	"qasom/internal/semantics"
+)
+
+func newManager() *Manager {
+	m := NewManager(qos.StandardSet(), semantics.PervasiveWithScenarios())
+	fixed := time.Date(2026, 7, 5, 12, 0, 0, 0, time.UTC)
+	m.SetClock(func() time.Time { return fixed })
+	return m
+}
+
+func goodService() registry.Description {
+	return registry.Description{
+		ID:      "svc-1",
+		Concept: semantics.BookSale,
+		Offers: []registry.QoSOffer{
+			{Property: semantics.ResponseTime, Value: 80},
+			{Property: semantics.Price, Value: 5},
+			{Property: semantics.Availability, Value: 0.97},
+			{Property: semantics.Reliability, Value: 0.95},
+			{Property: semantics.Throughput, Value: 60},
+		},
+	}
+}
+
+func requirements() qos.Constraints {
+	return qos.Constraints{
+		{Property: "responseTime", Bound: 100},
+		{Property: "availability", Bound: 0.95},
+	}
+}
+
+func TestEstablish(t *testing.T) {
+	m := newManager()
+	c, err := m.Establish("bob", goodService(), requirements(), 2)
+	if err != nil {
+		t.Fatalf("Establish: %v", err)
+	}
+	if c.ID == "" || c.Service != "svc-1" || c.Consumer != "bob" {
+		t.Errorf("contract = %+v", c)
+	}
+	if len(c.Terms) != 2 {
+		t.Errorf("terms = %v", c.Terms)
+	}
+	if got, ok := m.Get(c.ID); !ok || got.Service != "svc-1" {
+		t.Error("Get failed")
+	}
+	if ids := m.Contracts(); len(ids) != 1 || ids[0] != c.ID {
+		t.Errorf("Contracts = %v", ids)
+	}
+}
+
+func TestEstablishIncompatible(t *testing.T) {
+	m := newManager()
+	tight := qos.Constraints{{Property: "responseTime", Bound: 50}} // offer is 80
+	_, err := m.Establish("bob", goodService(), tight, 1)
+	if !errors.Is(err, ErrIncompatible) {
+		t.Errorf("expected ErrIncompatible, got %v", err)
+	}
+	// Invalid requirements.
+	if _, err := m.Establish("bob", goodService(), qos.Constraints{{Property: "zz", Bound: 1}}, 1); err == nil {
+		t.Error("unknown property should fail")
+	}
+	// Unresolvable offers.
+	bare := registry.Description{ID: "bare", Concept: semantics.BookSale}
+	if _, err := m.Establish("bob", bare, requirements(), 1); err == nil {
+		t.Error("unresolvable offers should fail")
+	}
+}
+
+func TestCheckUnobservedIsBenign(t *testing.T) {
+	m := newManager()
+	c, err := m.Establish("bob", goodService(), requirements(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon := monitor.New(qos.StandardSet(), monitor.Options{})
+	r, err := m.Check(c.ID, mon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Observed || !r.Compliant() || r.Penalty != 0 {
+		t.Errorf("unobserved check = %+v", r)
+	}
+	if r.Tier != semantics.TierSatisfied {
+		t.Errorf("tier = %v", r.Tier)
+	}
+}
+
+func report(t *testing.T, m *Manager, id string, mon *monitor.Monitor) *Report {
+	t.Helper()
+	r, err := m.Check(id, mon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func observe(t *testing.T, mon *monitor.Monitor, svc string, rt, avail float64) {
+	t.Helper()
+	if err := mon.Report(monitor.Observation{
+		Service: registry.ServiceID(svc),
+		Vector:  qos.Vector{rt, 5, avail, 0.95, 60},
+		Success: true,
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckCompliantAndTiers(t *testing.T) {
+	m := newManager()
+	c, err := m.Establish("bob", goodService(), requirements(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon := monitor.New(qos.StandardSet(), monitor.Options{Alpha: 1})
+
+	// Delivered much better than agreed (rt 40 ≤ 80% of 100, avail 0.99...
+	// needs ≥ 0.95·1.2 = 1.14 — impossible for a probability, so expect
+	// Satisfied, not Delighted, with an availability term present.
+	observe(t, mon, "svc-1", 40, 0.99)
+	r := report(t, m, c.ID, mon)
+	if !r.Compliant() || r.Tier != semantics.TierSatisfied {
+		t.Errorf("report = %+v", r)
+	}
+
+	// Slight violation → tolerable, penalty accrues.
+	observe(t, mon, "svc-1", 105, 0.96)
+	r = report(t, m, c.ID, mon)
+	if r.Compliant() {
+		t.Error("rt 105 > 100 should violate")
+	}
+	if r.Tier != semantics.TierTolerable {
+		t.Errorf("tier = %v, want tolerable", r.Tier)
+	}
+	if r.Penalty <= 0 {
+		t.Error("penalty should accrue")
+	}
+	if len(r.Violations) != 1 || r.Violations[0].Property != "responseTime" {
+		t.Errorf("violations = %+v", r.Violations)
+	}
+
+	// Gross violation → frustrated.
+	observe(t, mon, "svc-1", 500, 0.5)
+	r = report(t, m, c.ID, mon)
+	if r.Tier != semantics.TierFrustrated {
+		t.Errorf("tier = %v, want frustrated", r.Tier)
+	}
+	if m.AccruedPenalty(c.ID) <= 0 {
+		t.Error("accrued penalty should be positive")
+	}
+}
+
+func TestDelightedTier(t *testing.T) {
+	m := NewManager(qos.StandardSet(), nil)
+	// Terms only on minimized properties so the 20% margin is reachable.
+	d := goodService()
+	c, err := m.Establish("bob", d, qos.Constraints{
+		{Property: "responseTime", Bound: 100},
+		{Property: "price", Bound: 10},
+	}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon := monitor.New(qos.StandardSet(), monitor.Options{Alpha: 1})
+	if err := mon.Report(monitor.Observation{
+		Service: "svc-1", Vector: qos.Vector{40, 2, 0.99, 0.95, 60}, Success: true,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	r, err := m.Check(c.ID, mon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Tier != semantics.TierDelighted {
+		t.Errorf("tier = %v, want delighted", r.Tier)
+	}
+}
+
+func TestPenaltyAccumulates(t *testing.T) {
+	m := newManager()
+	c, err := m.Establish("bob", goodService(), requirements(), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon := monitor.New(qos.StandardSet(), monitor.Options{Alpha: 1})
+	observe(t, mon, "svc-1", 150, 0.9)
+	first, err := m.Check(c.ID, mon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Check(c.ID, mon); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.AccruedPenalty(c.ID); got < 2*first.Penalty-1e-9 {
+		t.Errorf("accrued %g, want ≥ %g", got, 2*first.Penalty)
+	}
+}
+
+func TestTerminate(t *testing.T) {
+	m := newManager()
+	c, err := m.Establish("bob", goodService(), requirements(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Terminate(c.ID) {
+		t.Error("Terminate should report presence")
+	}
+	if m.Terminate(c.ID) {
+		t.Error("double Terminate should report absence")
+	}
+	if _, err := m.Check(c.ID, nil); err == nil {
+		t.Error("checking a terminated contract should fail")
+	}
+}
+
+func TestCheckAll(t *testing.T) {
+	m := newManager()
+	c1, err := m.Establish("bob", goodService(), requirements(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2 := goodService()
+	d2.ID = "svc-2"
+	c2, err := m.Establish("alice", d2, requirements(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon := monitor.New(qos.StandardSet(), monitor.Options{Alpha: 1})
+	observe(t, mon, "svc-2", 300, 0.5) // only svc-2 violates
+	reports := m.CheckAll(mon)
+	if len(reports) != 2 {
+		t.Fatalf("reports = %d", len(reports))
+	}
+	byID := map[string]*Report{}
+	for _, r := range reports {
+		byID[r.ContractID] = r
+	}
+	if !byID[c1.ID].Compliant() {
+		t.Error("unobserved contract should be compliant")
+	}
+	if byID[c2.ID].Compliant() {
+		t.Error("violating contract should be flagged")
+	}
+}

@@ -1,0 +1,326 @@
+package core
+
+import (
+	"context"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+
+	"qasom/internal/cluster"
+	"qasom/internal/qos"
+	"qasom/internal/registry"
+)
+
+// The distributed version of QASSA (Chapter IV §4, evaluated in
+// Fig. VI.12) spreads the local selection phase over the devices of an
+// ad hoc environment: each coordinator device clusters the candidates of
+// the activities it is responsible for, in parallel, and the requester's
+// device gathers the ranked shortlists and runs the global phase.
+
+// LocalRequest is the unit of work shipped to a coordinator device.
+type LocalRequest struct {
+	// ActivityID names the abstract activity to rank candidates for.
+	ActivityID string
+	// Properties carries the request's QoS property definitions (the
+	// coordinator rebuilds the property set from them).
+	Properties []*qos.Property
+	// Weights is the requester's preference vector.
+	Weights qos.Weights
+	// Local holds the activity's local constraints; candidates violating
+	// them are dropped device-side before clustering.
+	Local qos.Constraints
+	// K is the cluster count per property.
+	K int
+	// Seeding selects the K-means initialisation.
+	Seeding cluster.Seeding
+	// Seed drives the coordinator's K-means randomness.
+	Seed int64
+}
+
+// LocalSelector is a device able to run the local phase for an activity.
+type LocalSelector interface {
+	LocalSelect(ctx context.Context, req LocalRequest) (*LocalResult, error)
+}
+
+// DeviceNode is a coordinator device holding candidate services for a
+// set of activities; it serves LocalSelect either in-process or behind a
+// TCP endpoint (see ServeTCP).
+type DeviceNode struct {
+	// Name identifies the device (diagnostics only).
+	Name string
+	// Latency simulates the wireless round-trip added to every request
+	// served by this device.
+	Latency time.Duration
+
+	mu         sync.RWMutex
+	candidates map[string][]registry.Candidate
+}
+
+// NewDeviceNode creates an empty coordinator device.
+func NewDeviceNode(name string, latency time.Duration) *DeviceNode {
+	return &DeviceNode{
+		Name:       name,
+		Latency:    latency,
+		candidates: make(map[string][]registry.Candidate),
+	}
+}
+
+// Host assigns the candidate list of an activity to this device.
+func (d *DeviceNode) Host(activityID string, cands []registry.Candidate) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.candidates[activityID] = append([]registry.Candidate(nil), cands...)
+}
+
+// Activities returns the activity IDs the device hosts.
+func (d *DeviceNode) Activities() []string {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	out := make([]string, 0, len(d.candidates))
+	for id := range d.candidates {
+		out = append(out, id)
+	}
+	return out
+}
+
+var _ LocalSelector = (*DeviceNode)(nil)
+
+// LocalSelect runs the local phase for one hosted activity.
+func (d *DeviceNode) LocalSelect(ctx context.Context, req LocalRequest) (*LocalResult, error) {
+	if d.Latency > 0 {
+		t := time.NewTimer(d.Latency)
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+			return nil, ctx.Err()
+		}
+	}
+	d.mu.RLock()
+	cands := d.candidates[req.ActivityID]
+	d.mu.RUnlock()
+	if len(cands) == 0 {
+		return nil, fmt.Errorf("core: device %q hosts no candidates for %q", d.Name, req.ActivityID)
+	}
+	ps, err := qos.NewPropertySet(req.Properties...)
+	if err != nil {
+		return nil, fmt.Errorf("core: device %q: %w", d.Name, err)
+	}
+	if len(req.Local) > 0 {
+		if err := req.Local.Validate(ps); err != nil {
+			return nil, fmt.Errorf("core: device %q: %w", d.Name, err)
+		}
+		kept := make([]registry.Candidate, 0, len(cands))
+		for _, c := range cands {
+			if req.Local.Satisfied(ps, c.Vector) {
+				kept = append(kept, c)
+			}
+		}
+		if len(kept) == 0 {
+			return nil, fmt.Errorf("core: device %q: no candidate for %q meets the local constraints",
+				d.Name, req.ActivityID)
+		}
+		cands = kept
+	}
+	seed := req.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	return localSelect(req.ActivityID, cands, ps, req.Weights, req.K, req.Seeding, rand.New(rand.NewSource(seed)))
+}
+
+// DistributedSelector fans the local phase out to one LocalSelector per
+// activity (in parallel) and runs the global phase on the gathered
+// shortlists.
+type DistributedSelector struct {
+	selector *Selector
+	devices  map[string]LocalSelector // activity ID → device
+}
+
+// NewDistributedSelector builds a distributed selector; devices maps
+// every task activity to the coordinator responsible for it.
+func NewDistributedSelector(opts Options, devices map[string]LocalSelector) *DistributedSelector {
+	cp := make(map[string]LocalSelector, len(devices))
+	for k, v := range devices {
+		cp[k] = v
+	}
+	return &DistributedSelector{selector: NewSelector(opts), devices: cp}
+}
+
+// Select runs the distributed algorithm. The returned result's stats
+// report the parallel local-phase wall time and the global-phase time
+// separately (the split Fig. VI.12 plots).
+func (d *DistributedSelector) Select(ctx context.Context, req *Request) (*Result, error) {
+	if err := req.Validate(); err != nil {
+		return nil, err
+	}
+	acts := req.Task.Activities()
+	opts := d.selector.opts.withDefaults(len(acts))
+	for _, a := range acts {
+		if d.devices[a.ID] == nil {
+			return nil, fmt.Errorf("core: no device for activity %q", a.ID)
+		}
+	}
+
+	startLocal := time.Now()
+	type reply struct {
+		id  string
+		lr  *LocalResult
+		err error
+	}
+	replies := make(chan reply, len(acts))
+	var wg sync.WaitGroup
+	for _, a := range acts {
+		wg.Add(1)
+		go func(id string) {
+			defer wg.Done()
+			lr, err := d.devices[id].LocalSelect(ctx, LocalRequest{
+				ActivityID: id,
+				Properties: req.Properties.Properties(),
+				Weights:    req.weights(),
+				Local:      req.Local[id],
+				K:          opts.K,
+				Seeding:    opts.Seeding,
+				Seed:       opts.Seed,
+			})
+			replies <- reply{id: id, lr: lr, err: err}
+		}(a.ID)
+	}
+	wg.Wait()
+	close(replies)
+
+	locals := make(map[string]*LocalResult, len(acts))
+	var errs []error
+	for r := range replies {
+		if r.err != nil {
+			errs = append(errs, fmt.Errorf("activity %q: %w", r.id, r.err))
+			continue
+		}
+		locals[r.id] = r.lr
+	}
+	if len(errs) > 0 {
+		return nil, fmt.Errorf("core: distributed local phase failed: %w", errors.Join(errs...))
+	}
+	localDur := time.Since(startLocal)
+
+	res, err := d.selector.SelectFromLocal(req, locals)
+	if err != nil {
+		return nil, err
+	}
+	res.Stats.LocalDuration = localDur
+	return res, nil
+}
+
+// --- TCP transport -------------------------------------------------------
+
+// rpcEnvelope frames one LocalSelect exchange over the wire.
+type rpcEnvelope struct {
+	Request LocalRequest
+}
+
+type rpcReply struct {
+	Result *LocalResult
+	Err    string
+}
+
+// ServeTCP exposes a LocalSelector on a TCP listener until ctx is
+// cancelled; each connection carries one gob-encoded request/response
+// exchange. It returns the bound address immediately and serves in the
+// background; the returned stop function closes the listener and waits
+// for in-flight connections.
+func ServeTCP(ctx context.Context, addr string, sel LocalSelector) (string, func(), error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, fmt.Errorf("core: listen: %w", err)
+	}
+	serveCtx, cancel := context.WithCancel(ctx)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return // listener closed
+			}
+			wg.Add(1)
+			go func(conn net.Conn) {
+				defer wg.Done()
+				defer func() {
+					if cerr := conn.Close(); cerr != nil {
+						_ = cerr // closing best-effort; the exchange already ended
+					}
+				}()
+				serveConn(serveCtx, conn, sel)
+			}(conn)
+		}
+	}()
+	stop := func() {
+		cancel()
+		if cerr := ln.Close(); cerr != nil {
+			_ = cerr
+		}
+		wg.Wait()
+	}
+	return ln.Addr().String(), stop, nil
+}
+
+func serveConn(ctx context.Context, conn net.Conn, sel LocalSelector) {
+	var env rpcEnvelope
+	if err := gob.NewDecoder(conn).Decode(&env); err != nil {
+		return
+	}
+	lr, err := sel.LocalSelect(ctx, env.Request)
+	reply := rpcReply{Result: lr}
+	if err != nil {
+		reply.Err = err.Error()
+	}
+	_ = gob.NewEncoder(conn).Encode(&reply)
+}
+
+// TCPClient is a LocalSelector that forwards requests to a remote
+// coordinator over TCP.
+type TCPClient struct {
+	// Addr is the coordinator's endpoint.
+	Addr string
+	// DialTimeout bounds connection establishment; 0 means 2s.
+	DialTimeout time.Duration
+}
+
+var _ LocalSelector = (*TCPClient)(nil)
+
+// LocalSelect performs one remote exchange.
+func (c *TCPClient) LocalSelect(ctx context.Context, req LocalRequest) (*LocalResult, error) {
+	timeout := c.DialTimeout
+	if timeout == 0 {
+		timeout = 2 * time.Second
+	}
+	dialer := net.Dialer{Timeout: timeout}
+	conn, err := dialer.DialContext(ctx, "tcp", c.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("core: dial %s: %w", c.Addr, err)
+	}
+	defer func() {
+		_ = conn.Close()
+	}()
+	if deadline, ok := ctx.Deadline(); ok {
+		if err := conn.SetDeadline(deadline); err != nil {
+			return nil, fmt.Errorf("core: set deadline: %w", err)
+		}
+	}
+	if err := gob.NewEncoder(conn).Encode(&rpcEnvelope{Request: req}); err != nil {
+		return nil, fmt.Errorf("core: send to %s: %w", c.Addr, err)
+	}
+	var reply rpcReply
+	if err := gob.NewDecoder(conn).Decode(&reply); err != nil {
+		return nil, fmt.Errorf("core: receive from %s: %w", c.Addr, err)
+	}
+	if reply.Err != "" {
+		return nil, fmt.Errorf("core: remote %s: %s", c.Addr, reply.Err)
+	}
+	return reply.Result, nil
+}

@@ -1,0 +1,319 @@
+package core
+
+import (
+	"math"
+	"sort"
+
+	"qasom/internal/registry"
+)
+
+// globalState carries one global-phase run (§3.3): level-wise pool
+// widening, constraint repair and utility hill-climbing.
+type globalState struct {
+	req    *Request
+	eval   *Evaluator
+	locals map[string]*LocalResult
+	opts   Options
+	stats  Stats
+}
+
+// run executes the global selection phase and assembles the result.
+func (g *globalState) run() *Result {
+	acts := g.activityIDs()
+	maxLevel := 1
+	for _, id := range acts {
+		if l := g.locals[id].Levels; l > maxLevel {
+			maxLevel = l
+		}
+	}
+	if g.opts.FlatGlobal {
+		// Ablation: one iteration over the full candidate lists.
+		maxLevel = 1
+	}
+
+	var bestInfeasible Assignment
+	bestViolation := math.Inf(1)
+
+	for level := 1; level <= maxLevel; level++ {
+		g.stats.LevelsExplored++
+		pools := g.pools(acts, level)
+		// Try several starting points: the utility-best assignment first,
+		// then one "constraint-friendly" start per constrained property
+		// (each activity's best candidate for that property). For a single
+		// additive constraint the friendly start is the global optimum of
+		// that property, so feasibility is found whenever it exists; for
+		// multiple constraints the starts diversify the repair search.
+		for _, start := range g.startingPoints(acts, pools) {
+			assign := start
+			if g.repair(acts, assign, pools) {
+				g.improve(acts, assign, pools)
+				return g.finish(acts, assign, true)
+			}
+			if v := g.violation(assign); v < bestViolation {
+				bestViolation = v
+				bestInfeasible = cloneAssignment(assign)
+			}
+		}
+	}
+
+	// No feasible composition found at any level: return the best-effort
+	// minimum-violation assignment over the full pools.
+	pools := g.pools(acts, maxLevel)
+	if bestInfeasible == nil {
+		bestInfeasible = g.bestUtilityAssignment(acts, pools)
+	}
+	return g.finish(acts, bestInfeasible, false)
+}
+
+func (g *globalState) activityIDs() []string {
+	acts := g.req.Task.Activities()
+	out := make([]string, len(acts))
+	for i, a := range acts {
+		out[i] = a.ID
+	}
+	return out
+}
+
+// pools returns, per activity, the candidates whose QoS level is at most
+// level (the cumulative shortlist of §3.3); with FlatGlobal every
+// candidate is in the pool regardless of level.
+func (g *globalState) pools(acts []string, level int) map[string][]RankedCandidate {
+	out := make(map[string][]RankedCandidate, len(acts))
+	for _, id := range acts {
+		ranked := g.locals[id].Ranked
+		if g.opts.FlatGlobal {
+			out[id] = ranked
+			continue
+		}
+		// Ranked is sorted by level first: take the prefix.
+		end := 0
+		for end < len(ranked) && ranked[end].Level <= level {
+			end++
+		}
+		if end == 0 {
+			end = 1 // always keep at least the top candidate
+		}
+		out[id] = ranked[:end]
+	}
+	return out
+}
+
+// startingPoints yields the repair starting assignments for one level:
+// the utility-best assignment, then one per constrained property where
+// each activity picks its best candidate for that property.
+func (g *globalState) startingPoints(acts []string, pools map[string][]RankedCandidate) []Assignment {
+	out := make([]Assignment, 0, 1+len(g.req.Constraints))
+	out = append(out, g.bestUtilityAssignment(acts, pools))
+	for _, c := range g.req.Constraints {
+		j, ok := g.req.Properties.Index(c.Property)
+		if !ok {
+			continue
+		}
+		p := g.req.Properties.At(j)
+		assign := make(Assignment, len(acts))
+		for _, id := range acts {
+			best := &pools[id][0]
+			for i := 1; i < len(pools[id]); i++ {
+				if p.Better(pools[id][i].Vector[j], best.Vector[j]) {
+					best = &pools[id][i]
+				}
+			}
+			assign[id] = best.Candidate()
+		}
+		out = append(out, assign)
+	}
+	return out
+}
+
+// utilOf scores a pool member with the evaluator's utility function —
+// the single scale every phase of the global algorithm compares on
+// (RankedCandidate.Utility is normalized over the possibly-pruned local
+// pool and may differ).
+func (g *globalState) utilOf(id string, rc *RankedCandidate) float64 {
+	return g.eval.CandidateUtility(id, registry.Candidate{Service: rc.Service, Vector: rc.Vector})
+}
+
+// bestUtilityAssignment picks, per activity, the highest-utility pool
+// member.
+func (g *globalState) bestUtilityAssignment(acts []string, pools map[string][]RankedCandidate) Assignment {
+	assign := make(Assignment, len(acts))
+	for _, id := range acts {
+		best := &pools[id][0]
+		bestU := g.utilOf(id, best)
+		for i := 1; i < len(pools[id]); i++ {
+			if u := g.utilOf(id, &pools[id][i]); u > bestU {
+				best, bestU = &pools[id][i], u
+			}
+		}
+		assign[id] = best.Candidate()
+	}
+	return assign
+}
+
+func (g *globalState) violation(assign Assignment) float64 {
+	g.stats.Evaluations++
+	return g.eval.Violation(assign)
+}
+
+// repair drives the assignment toward feasibility: each pass applies the
+// single swap (one activity, one pool candidate) that reduces the total
+// constraint violation the most, preferring higher utility among equal
+// reductions. It stops at feasibility, when no swap helps, or when the
+// pass budget is spent.
+func (g *globalState) repair(acts []string, assign Assignment, pools map[string][]RankedCandidate) bool {
+	cur := g.violation(assign)
+	if cur == 0 {
+		return true
+	}
+	for pass := 0; pass < g.opts.RepairPasses; pass++ {
+		bestAct := ""
+		var bestCand registry.Candidate
+		bestViol := cur
+		bestUtil := math.Inf(-1)
+		for _, id := range acts {
+			prev := assign[id]
+			for i := range pools[id] {
+				rc := &pools[id][i]
+				if rc.Service.ID == prev.Service.ID {
+					continue
+				}
+				assign[id] = rc.Candidate()
+				v := g.violation(assign)
+				u := g.utilOf(id, rc)
+				if v < bestViol || (v == bestViol && bestAct != "" && u > bestUtil) {
+					bestViol = v
+					bestUtil = u
+					bestAct = id
+					bestCand = rc.Candidate()
+				}
+			}
+			assign[id] = prev
+		}
+		if bestAct == "" || bestViol >= cur {
+			return false
+		}
+		assign[bestAct] = bestCand
+		g.stats.RepairSwaps++
+		cur = bestViol
+		if cur == 0 {
+			return true
+		}
+	}
+	return g.violation(assign) == 0
+}
+
+// improve hill-climbs utility while preserving feasibility. Utility is
+// separable per activity, so each sweep tries, per activity, the
+// pool candidates in descending utility and keeps the best feasible one.
+func (g *globalState) improve(acts []string, assign Assignment, pools map[string][]RankedCandidate) {
+	for pass := 0; pass < g.opts.ImprovePasses; pass++ {
+		improved := false
+		for _, id := range acts {
+			prev := assign[id]
+			bestUtil := g.eval.CandidateUtility(id, assign[id])
+			var bestCand *RankedCandidate
+			for i := range pools[id] {
+				rc := &pools[id][i]
+				if rc.Service.ID == prev.Service.ID {
+					continue
+				}
+				u := g.utilOf(id, rc)
+				if u <= bestUtil {
+					continue
+				}
+				assign[id] = rc.Candidate()
+				g.stats.Evaluations++
+				if g.eval.Feasible(assign) {
+					bestUtil = u
+					bestCand = rc
+				}
+			}
+			if bestCand != nil {
+				assign[id] = bestCand.Candidate()
+				improved = true
+			} else {
+				assign[id] = prev
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+}
+
+// finish assembles the result: aggregated QoS, utility, and per-activity
+// alternates ordered substitution-first (candidates that keep the
+// composition feasible when swapped in alone, then by utility).
+func (g *globalState) finish(acts []string, assign Assignment, feasible bool) *Result {
+	res := &Result{
+		Assignment: assign,
+		Alternates: make(map[string][]registry.Candidate, len(acts)),
+		Aggregated: g.eval.Aggregate(assign),
+		Utility:    g.eval.Utility(assign),
+		Feasible:   feasible,
+		Violation:  g.eval.Violation(assign),
+		Stats:      g.stats,
+	}
+	for _, id := range acts {
+		// Alternates draw from the FULL ranked shortlist, not just the
+		// level pool the winner came from: the thesis's design keeps
+		// "several concrete services per abstract activity" available for
+		// run-time substitution even when the top level alone satisfied
+		// the request.
+		res.Alternates[id] = g.alternatesFor(id, assign, g.locals[id].Ranked)
+	}
+	res.Stats = g.stats
+	return res
+}
+
+// altEntry is one substitution candidate under evaluation.
+type altEntry struct {
+	cand    registry.Candidate
+	keepsOK bool
+	utility float64
+}
+
+// alternatesFor ranks the remaining pool members of one activity as
+// substitution fallbacks: candidates that keep the composition feasible
+// when swapped in alone come first, then by utility, then by ID.
+func (g *globalState) alternatesFor(id string, assign Assignment, pool []RankedCandidate) []registry.Candidate {
+	chosen := assign[id].Service.ID
+	prev := assign[id]
+	alts := make([]altEntry, 0, len(pool))
+	for i := range pool {
+		rc := &pool[i]
+		if rc.Service.ID == chosen {
+			continue
+		}
+		assign[id] = rc.Candidate()
+		g.stats.Evaluations++
+		alts = append(alts, altEntry{cand: rc.Candidate(), keepsOK: g.eval.Feasible(assign), utility: g.utilOf(id, rc)})
+	}
+	assign[id] = prev
+	sort.SliceStable(alts, func(a, b int) bool {
+		if alts[a].keepsOK != alts[b].keepsOK {
+			return alts[a].keepsOK
+		}
+		if alts[a].utility != alts[b].utility {
+			return alts[a].utility > alts[b].utility
+		}
+		return alts[a].cand.Service.ID < alts[b].cand.Service.ID
+	})
+	limit := g.opts.MaxAlternates
+	if limit > len(alts) {
+		limit = len(alts)
+	}
+	out := make([]registry.Candidate, limit)
+	for i := 0; i < limit; i++ {
+		out[i] = alts[i].cand
+	}
+	return out
+}
+
+func cloneAssignment(a Assignment) Assignment {
+	out := make(Assignment, len(a))
+	for k, v := range a {
+		out[k] = v
+	}
+	return out
+}

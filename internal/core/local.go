@@ -1,0 +1,134 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"qasom/internal/cluster"
+	"qasom/internal/qos"
+	"qasom/internal/registry"
+)
+
+// RankedCandidate is one service after the local selection phase: its
+// normalized scores, utility, and its position in the QoS level/class
+// structure of §3.2 (Level is the best cluster rank r* the service
+// reaches on any property; ClassSize is e, the number of properties
+// whose cluster has that rank — the service belongs to QoS class
+// QC_{r*,e}).
+type RankedCandidate struct {
+	Service registry.Description
+	// Vector is the raw advertised QoS vector.
+	Vector qos.Vector
+	// Scores is the direction-adjusted normalized vector ([0,1], 1 best).
+	Scores qos.Vector
+	// Utility is the weighted utility of Scores.
+	Utility float64
+	// Level is the service's QoS level r* (1 = best).
+	Level int
+	// ClassSize is e: how many properties sit in rank-r* clusters.
+	ClassSize int
+}
+
+// LocalResult is the outcome of the local phase for one activity: the
+// candidates ordered best-first by (Level asc, ClassSize desc, Utility
+// desc), plus the number of levels produced by the clustering.
+type LocalResult struct {
+	ActivityID string
+	Ranked     []RankedCandidate
+	Levels     int
+}
+
+// Candidate converts a ranked entry back to a registry candidate.
+func (rc *RankedCandidate) Candidate() registry.Candidate {
+	return registry.Candidate{Service: rc.Service, Vector: rc.Vector}
+}
+
+// localSelect runs the local selection phase of QASSA for one activity
+// (§3.2): min–max normalize the candidate population, cluster each
+// property's scores into K ranked clusters with K-means, grade every
+// service into its QoS level and class, and emit the ranked shortlist.
+func localSelect(activityID string, cands []registry.Candidate, ps *qos.PropertySet,
+	weights qos.Weights, k int, seeding cluster.Seeding, rng *rand.Rand) (*LocalResult, error) {
+	if len(cands) == 0 {
+		return nil, fmt.Errorf("core: activity %q has no candidates", activityID)
+	}
+	if k < 1 {
+		k = 1
+	}
+	vecs := make([]qos.Vector, len(cands))
+	for i, c := range cands {
+		vecs[i] = c.Vector
+	}
+	nz, err := qos.NewNormalizer(ps, vecs)
+	if err != nil {
+		return nil, fmt.Errorf("core: activity %q: %w", activityID, err)
+	}
+
+	ranked := make([]RankedCandidate, len(cands))
+	for i, c := range cands {
+		scores := nz.Normalize(c.Vector)
+		ranked[i] = RankedCandidate{
+			Service: c.Service,
+			Vector:  c.Vector,
+			Scores:  scores,
+			Utility: qos.Utility(scores, weights),
+		}
+	}
+
+	// Cluster each property's score column into ranked quality clusters.
+	levels := 1
+	ranks := make([][]int, ps.Len()) // property → per-candidate rank
+	values := make([]float64, len(cands))
+	for j := 0; j < ps.Len(); j++ {
+		for i := range ranked {
+			values[i] = ranked[i].Scores[j]
+		}
+		res, err := cluster.KMeans1D(values, k, cluster.Options{
+			Seeding: seeding,
+			Rand:    rng,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("core: clustering %q/%s: %w", activityID, ps.At(j).Name, err)
+		}
+		ranks[j] = cluster.Ranks1D(res, true) // scores: higher is better
+		if res.K() > levels {
+			levels = res.K()
+		}
+	}
+
+	// Grade services: Level = best (minimum) cluster rank over the
+	// properties; ClassSize = number of properties at that rank.
+	for i := range ranked {
+		best := ranks[0][i]
+		for j := 1; j < ps.Len(); j++ {
+			if ranks[j][i] < best {
+				best = ranks[j][i]
+			}
+		}
+		e := 0
+		for j := 0; j < ps.Len(); j++ {
+			if ranks[j][i] == best {
+				e++
+			}
+		}
+		ranked[i].Level = best
+		ranked[i].ClassSize = e
+	}
+
+	sort.SliceStable(ranked, func(a, b int) bool {
+		ra, rb := &ranked[a], &ranked[b]
+		if ra.Level != rb.Level {
+			return ra.Level < rb.Level
+		}
+		if ra.ClassSize != rb.ClassSize {
+			return ra.ClassSize > rb.ClassSize
+		}
+		if ra.Utility != rb.Utility {
+			return ra.Utility > rb.Utility
+		}
+		return ra.Service.ID < rb.Service.ID
+	})
+
+	return &LocalResult{ActivityID: activityID, Ranked: ranked, Levels: levels}, nil
+}

@@ -1,0 +1,198 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"qasom/internal/cluster"
+	"qasom/internal/qos"
+	"qasom/internal/registry"
+)
+
+// Options tune QASSA.
+type Options struct {
+	// K is the number of quality clusters per property in the local
+	// phase; 0 means 4.
+	K int
+	// Seeding selects the K-means initialisation (ablation knob); 0
+	// means k-means++.
+	Seeding cluster.Seeding
+	// RepairPasses bounds the violation-repair swaps per level; 0 means
+	// 4× the activity count.
+	RepairPasses int
+	// ImprovePasses bounds the utility hill-climbing sweeps; 0 means 3.
+	ImprovePasses int
+	// FlatGlobal disables the level-wise descent: the global phase runs
+	// once over the full utility-sorted candidate lists (ablation knob).
+	FlatGlobal bool
+	// MaxAlternates caps the per-activity alternate list in the result;
+	// 0 means 8.
+	MaxAlternates int
+	// PruneDominated drops Pareto-dominated candidates before the local
+	// phase: a service worse on every property than some other candidate
+	// can never improve the composition (ablation knob; shrinks the
+	// alternate pool).
+	PruneDominated bool
+	// Seed drives the algorithm's randomness (K-means seeding); the
+	// default 0 is replaced by 1 so runs are reproducible.
+	Seed int64
+}
+
+func (o Options) withDefaults(activities int) Options {
+	if o.K <= 0 {
+		o.K = 4
+	}
+	if o.RepairPasses <= 0 {
+		o.RepairPasses = 4 * activities
+	}
+	if o.ImprovePasses <= 0 {
+		o.ImprovePasses = 3
+	}
+	if o.MaxAlternates <= 0 {
+		o.MaxAlternates = 8
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// Stats reports the work QASSA performed.
+type Stats struct {
+	// LevelsExplored counts global-phase level iterations.
+	LevelsExplored int
+	// Evaluations counts aggregated-QoS evaluations.
+	Evaluations int
+	// RepairSwaps counts applied violation-repair swaps.
+	RepairSwaps int
+	// LocalDuration and GlobalDuration split the wall time per phase.
+	LocalDuration  time.Duration
+	GlobalDuration time.Duration
+}
+
+// Result is the outcome of a selection run.
+type Result struct {
+	// Assignment maps every activity to its selected service.
+	Assignment Assignment
+	// Alternates holds, per activity, ranked fallback candidates for
+	// run-time substitution (services that keep the composition feasible
+	// when swapped in come first).
+	Alternates map[string][]registry.Candidate
+	// Aggregated is the composition's aggregated QoS vector.
+	Aggregated qos.Vector
+	// Utility is the composition utility F in [0,1].
+	Utility float64
+	// Feasible reports whether all global constraints hold; when false
+	// the assignment is the best-effort minimum-violation composition.
+	Feasible bool
+	// Violation is the residual constraint violation (0 when feasible).
+	Violation float64
+	// Stats reports the algorithm's work.
+	Stats Stats
+}
+
+// Selector runs QASSA. Create with NewSelector; safe for sequential
+// reuse (each Select call re-derives its random source from Seed).
+type Selector struct {
+	opts Options
+}
+
+// NewSelector creates a selector with the given options.
+func NewSelector(opts Options) *Selector { return &Selector{opts: opts} }
+
+// Select runs the full algorithm: local phase per activity, then the
+// global level-wise phase.
+func (s *Selector) Select(req *Request, candidates map[string][]registry.Candidate) (*Result, error) {
+	if err := req.Validate(); err != nil {
+		return nil, err
+	}
+	candidates, err := FilterLocal(req, candidates)
+	if err != nil {
+		return nil, err
+	}
+	// The evaluator (and so the utility function) is defined over the
+	// full admissible pools; Pareto pruning only shrinks the search
+	// space — the optimum always sits on the Pareto front, so results
+	// stay comparable with unpruned runs and with the baselines.
+	eval, err := NewEvaluator(req, candidates)
+	if err != nil {
+		return nil, err
+	}
+	if s.opts.PruneDominated {
+		candidates = pruneDominated(req.Properties, candidates)
+	}
+	acts := req.Task.Activities()
+	opts := s.opts.withDefaults(len(acts))
+	rng := rand.New(rand.NewSource(opts.Seed))
+	weights := req.weights()
+
+	startLocal := time.Now()
+	locals := make(map[string]*LocalResult, len(acts))
+	for _, a := range acts {
+		lr, err := localSelect(a.ID, candidates[a.ID], req.Properties, weights, opts.K, opts.Seeding, rng)
+		if err != nil {
+			return nil, err
+		}
+		locals[a.ID] = lr
+	}
+	localDur := time.Since(startLocal)
+
+	res, err := s.selectGlobal(req, eval, locals, opts)
+	if err != nil {
+		return nil, err
+	}
+	res.Stats.LocalDuration = localDur
+	return res, nil
+}
+
+// SelectFromLocal runs only the global phase over pre-computed local
+// results (the distributed mode gathers LocalResults from remote devices
+// and calls this).
+func (s *Selector) SelectFromLocal(req *Request, locals map[string]*LocalResult) (*Result, error) {
+	candidates := make(map[string][]registry.Candidate, len(locals))
+	for id, lr := range locals {
+		list := make([]registry.Candidate, len(lr.Ranked))
+		for i := range lr.Ranked {
+			list[i] = lr.Ranked[i].Candidate()
+		}
+		candidates[id] = list
+	}
+	eval, err := NewEvaluator(req, candidates)
+	if err != nil {
+		return nil, err
+	}
+	opts := s.opts.withDefaults(req.Task.Size())
+	return s.selectGlobal(req, eval, locals, opts)
+}
+
+// pruneDominated keeps only each activity's Pareto-optimal candidates.
+func pruneDominated(ps *qos.PropertySet, candidates map[string][]registry.Candidate) map[string][]registry.Candidate {
+	out := make(map[string][]registry.Candidate, len(candidates))
+	for id, list := range candidates {
+		vecs := make([]qos.Vector, len(list))
+		for i, c := range list {
+			vecs[i] = c.Vector
+		}
+		front := qos.ParetoFront(ps, vecs)
+		kept := make([]registry.Candidate, len(front))
+		for i, idx := range front {
+			kept[i] = list[idx]
+		}
+		out[id] = kept
+	}
+	return out
+}
+
+func (s *Selector) selectGlobal(req *Request, eval *Evaluator, locals map[string]*LocalResult, opts Options) (*Result, error) {
+	for _, a := range req.Task.Activities() {
+		if locals[a.ID] == nil || len(locals[a.ID].Ranked) == 0 {
+			return nil, fmt.Errorf("core: missing local result for activity %q", a.ID)
+		}
+	}
+	start := time.Now()
+	g := &globalState{req: req, eval: eval, locals: locals, opts: opts}
+	res := g.run()
+	res.Stats.GlobalDuration = time.Since(start)
+	return res, nil
+}

@@ -1,0 +1,97 @@
+package graph
+
+import (
+	"fmt"
+
+	"qasom/internal/semantics"
+	"qasom/internal/task"
+)
+
+// FromTask transforms a user task into its behavioural graph (Chapter V
+// §4): activities become labelled vertices, the composition patterns
+// become precedence edges, and a unique initial and final vertex frame
+// the graph. Loop activities are simplified per Fig. V.4: the loop body
+// appears once with its vertices annotated by loop depth, and no back
+// edge is produced, so the result is a DAG.
+func FromTask(t *task.Task) (*Graph, error) {
+	if err := t.Validate(); err != nil {
+		return nil, fmt.Errorf("graph: %w", err)
+	}
+	g := New()
+	initial := g.AddVertex(&Vertex{Kind: KindInitial})
+	entries, exits, err := buildNode(g, t.Root, 0)
+	if err != nil {
+		return nil, err
+	}
+	final := g.AddVertex(&Vertex{Kind: KindFinal})
+	for _, e := range entries {
+		if err := g.AddEdge(initial, e); err != nil {
+			return nil, err
+		}
+	}
+	for _, x := range exits {
+		if err := g.AddEdge(x, final); err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}
+
+// buildNode adds the subgraph of a task node and returns its entry and
+// exit vertices.
+func buildNode(g *Graph, n *task.Node, loopDepth int) (entries, exits []VertexID, err error) {
+	switch n.Kind {
+	case task.PatternActivity:
+		a := n.Activity
+		id := g.AddVertex(&Vertex{
+			Kind:       KindActivity,
+			ActivityID: a.ID,
+			Concept:    a.Concept,
+			Inputs:     append([]semantics.ConceptID(nil), a.Inputs...),
+			Outputs:    append([]semantics.ConceptID(nil), a.Outputs...),
+			LoopDepth:  loopDepth,
+		})
+		return []VertexID{id}, []VertexID{id}, nil
+
+	case task.PatternSequence:
+		var prevExits []VertexID
+		for i, c := range n.Children {
+			en, ex, err := buildNode(g, c, loopDepth)
+			if err != nil {
+				return nil, nil, err
+			}
+			if i == 0 {
+				entries = en
+			} else {
+				for _, u := range prevExits {
+					for _, v := range en {
+						if err := g.AddEdge(u, v); err != nil {
+							return nil, nil, err
+						}
+					}
+				}
+			}
+			prevExits = ex
+		}
+		return entries, prevExits, nil
+
+	case task.PatternParallel, task.PatternChoice:
+		for _, c := range n.Children {
+			en, ex, err := buildNode(g, c, loopDepth)
+			if err != nil {
+				return nil, nil, err
+			}
+			entries = append(entries, en...)
+			exits = append(exits, ex...)
+		}
+		return entries, exits, nil
+
+	case task.PatternLoop:
+		// Fig. V.4: the loop collapses to its body with a depth
+		// annotation; no back edge, keeping the graph acyclic.
+		return buildNode(g, n.Children[0], loopDepth+1)
+
+	default:
+		return nil, nil, fmt.Errorf("graph: unknown pattern %v", n.Kind)
+	}
+}

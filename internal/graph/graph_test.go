@@ -1,0 +1,272 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+
+	"qasom/internal/qos"
+	"qasom/internal/semantics"
+	"qasom/internal/task"
+)
+
+func mkAct(id string) *task.Node {
+	return task.NewActivity(&task.Activity{ID: id, Concept: semantics.ConceptID("C" + id)})
+}
+
+func TestGraphBasics(t *testing.T) {
+	g := New()
+	a := g.AddVertex(&Vertex{Kind: KindActivity, ActivityID: "a"})
+	b := g.AddVertex(&Vertex{Kind: KindActivity, ActivityID: "b"})
+	c := g.AddVertex(&Vertex{Kind: KindActivity, ActivityID: "c"})
+	if err := g.AddEdge(a, b); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddEdge(b, c); err != nil {
+		t.Fatal(err)
+	}
+	// Duplicate edges are silently ignored.
+	if err := g.AddEdge(a, b); err != nil {
+		t.Fatal(err)
+	}
+	if g.EdgeCount() != 2 {
+		t.Errorf("EdgeCount = %d, want 2", g.EdgeCount())
+	}
+	if g.VertexCount() != 3 {
+		t.Errorf("VertexCount = %d, want 3", g.VertexCount())
+	}
+	if !g.HasEdge(a, b) || g.HasEdge(b, a) {
+		t.Error("HasEdge direction wrong")
+	}
+	if err := g.AddEdge(a, a); err == nil {
+		t.Error("self-loop should be rejected")
+	}
+	if err := g.AddEdge(a, 99); err == nil {
+		t.Error("unknown endpoint should be rejected")
+	}
+	if g.OutDegree(a) != 1 || g.InDegree(c) != 1 || g.InDegree(a) != 0 {
+		t.Error("degree bookkeeping wrong")
+	}
+	if !g.Reachable(a, c) || g.Reachable(c, a) {
+		t.Error("reachability wrong")
+	}
+	if !g.Reachable(a, a) {
+		t.Error("vertex should reach itself")
+	}
+	if g.Vertex(99) != nil {
+		t.Error("unknown vertex should be nil")
+	}
+}
+
+func TestZeroValueGraph(t *testing.T) {
+	var g Graph
+	a := g.AddVertex(&Vertex{Kind: KindActivity})
+	b := g.AddVertex(&Vertex{Kind: KindActivity})
+	if err := g.AddEdge(a, b); err != nil {
+		t.Fatalf("zero-value graph should work: %v", err)
+	}
+}
+
+func TestTopoSort(t *testing.T) {
+	g := New()
+	a := g.AddVertex(&Vertex{Kind: KindActivity, ActivityID: "a"})
+	b := g.AddVertex(&Vertex{Kind: KindActivity, ActivityID: "b"})
+	c := g.AddVertex(&Vertex{Kind: KindActivity, ActivityID: "c"})
+	_ = g.AddEdge(a, b)
+	_ = g.AddEdge(b, c)
+	order, acyclic := g.TopoSort()
+	if !acyclic || len(order) != 3 || order[0] != a || order[2] != c {
+		t.Errorf("TopoSort = %v, acyclic %v", order, acyclic)
+	}
+	// Introduce a cycle.
+	_ = g.AddEdge(c, a)
+	if _, acyclic := g.TopoSort(); acyclic {
+		t.Error("cycle not detected")
+	}
+}
+
+func TestFromTaskShoppingShape(t *testing.T) {
+	// Bob's shopping task (Fig. V.3 style):
+	// seq(browse, par(book, media), pay)
+	tk := &task.Task{
+		Name:    "shopping",
+		Concept: semantics.ShoppingService,
+		Root: task.Sequence(
+			mkAct("browse"),
+			task.Parallel(mkAct("book"), mkAct("media")),
+			mkAct("pay"),
+		),
+	}
+	g, err := FromTask(tk)
+	if err != nil {
+		t.Fatalf("FromTask: %v", err)
+	}
+	// 5 activity vertices? No: 4 activities + initial + final = 6.
+	if g.VertexCount() != 6 {
+		t.Fatalf("VertexCount = %d, want 6\n%s", g.VertexCount(), g)
+	}
+	init, fin := g.Initial(), g.Final()
+	if init == nil || fin == nil {
+		t.Fatal("initial/final vertices missing")
+	}
+	byAct := map[string]VertexID{}
+	for _, v := range g.ActivityVertices() {
+		byAct[v.ActivityID] = v.ID
+	}
+	wantEdges := []struct{ from, to VertexID }{
+		{init.ID, byAct["browse"]},
+		{byAct["browse"], byAct["book"]},
+		{byAct["browse"], byAct["media"]},
+		{byAct["book"], byAct["pay"]},
+		{byAct["media"], byAct["pay"]},
+		{byAct["pay"], fin.ID},
+	}
+	for _, e := range wantEdges {
+		if !g.HasEdge(e.from, e.to) {
+			t.Errorf("missing edge %s -> %s\n%s", g.Vertex(e.from).Label(), g.Vertex(e.to).Label(), g)
+		}
+	}
+	if g.EdgeCount() != len(wantEdges) {
+		t.Errorf("EdgeCount = %d, want %d\n%s", g.EdgeCount(), len(wantEdges), g)
+	}
+	if _, acyclic := g.TopoSort(); !acyclic {
+		t.Error("behavioural graph must be a DAG")
+	}
+}
+
+func TestFromTaskChoiceShape(t *testing.T) {
+	tk := &task.Task{
+		Name: "t", Concept: "C",
+		Root: task.Sequence(
+			mkAct("a"),
+			task.Choice(nil, mkAct("x"), mkAct("y")),
+			mkAct("z"),
+		),
+	}
+	g, err := FromTask(tk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byAct := map[string]VertexID{}
+	for _, v := range g.ActivityVertices() {
+		byAct[v.ActivityID] = v.ID
+	}
+	// Choice branches both hang off a and both lead to z.
+	for _, branch := range []string{"x", "y"} {
+		if !g.HasEdge(byAct["a"], byAct[branch]) || !g.HasEdge(byAct[branch], byAct["z"]) {
+			t.Errorf("choice branch %s wired wrong\n%s", branch, g)
+		}
+	}
+}
+
+func TestFromTaskLoopSimplification(t *testing.T) {
+	tk := &task.Task{
+		Name: "t", Concept: "C",
+		Root: task.Sequence(
+			mkAct("a"),
+			task.LoopNode(qos.Loop{Min: 1, Max: 5}, task.Sequence(mkAct("body1"), mkAct("body2"))),
+			mkAct("b"),
+		),
+	}
+	g, err := FromTask(tk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Loop body appears once, annotated, no back edge → DAG.
+	if _, acyclic := g.TopoSort(); !acyclic {
+		t.Fatal("loop simplification must keep the graph acyclic")
+	}
+	var body1 *Vertex
+	for _, v := range g.ActivityVertices() {
+		if v.ActivityID == "body1" {
+			body1 = v
+		}
+	}
+	if body1 == nil || body1.LoopDepth != 1 {
+		t.Errorf("loop body should be annotated with depth 1: %+v", body1)
+	}
+	var a *Vertex
+	for _, v := range g.ActivityVertices() {
+		if v.ActivityID == "a" {
+			a = v
+		}
+	}
+	if a.LoopDepth != 0 {
+		t.Errorf("non-loop activity should have depth 0: %+v", a)
+	}
+}
+
+func TestFromTaskNestedLoops(t *testing.T) {
+	tk := &task.Task{
+		Name: "t", Concept: "C",
+		Root: task.LoopNode(qos.Loop{Min: 1, Max: 2},
+			task.LoopNode(qos.Loop{Min: 1, Max: 2}, mkAct("deep"))),
+	}
+	g, err := FromTask(tk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := g.ActivityVertices()[0].LoopDepth; got != 2 {
+		t.Errorf("nested loop depth = %d, want 2", got)
+	}
+}
+
+func TestFromTaskRejectsInvalid(t *testing.T) {
+	if _, err := FromTask(&task.Task{Name: "bad"}); err == nil {
+		t.Error("invalid task should be rejected")
+	}
+}
+
+func TestFromTaskCopiesData(t *testing.T) {
+	a := &task.Activity{
+		ID: "a", Concept: "C",
+		Inputs:  []semantics.ConceptID{"In"},
+		Outputs: []semantics.ConceptID{"Out"},
+	}
+	tk := &task.Task{Name: "t", Concept: "C", Root: task.NewActivity(a)}
+	g, err := FromTask(tk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := g.ActivityVertices()[0]
+	a.Inputs[0] = "Mutated"
+	if v.Inputs[0] != "In" {
+		t.Error("graph should copy activity data at the boundary")
+	}
+}
+
+func TestGraphString(t *testing.T) {
+	g := New()
+	a := g.AddVertex(&Vertex{Kind: KindInitial})
+	b := g.AddVertex(&Vertex{Kind: KindActivity, ActivityID: "x"})
+	_ = g.AddEdge(a, b)
+	s := g.String()
+	if !strings.Contains(s, "⊤ -> x") {
+		t.Errorf("String = %q", s)
+	}
+}
+
+func TestVertexKindString(t *testing.T) {
+	for k, want := range map[VertexKind]string{
+		KindActivity: "activity", KindInitial: "initial", KindFinal: "final",
+		VertexKind(9): "VertexKind(9)",
+	} {
+		if got := k.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(k), got, want)
+		}
+	}
+}
+
+func TestVertexLabel(t *testing.T) {
+	if (&Vertex{Kind: KindInitial}).Label() != "⊤" {
+		t.Error("initial label")
+	}
+	if (&Vertex{Kind: KindFinal}).Label() != "⊥" {
+		t.Error("final label")
+	}
+	if (&Vertex{Kind: KindActivity, ActivityID: "a"}).Label() != "a" {
+		t.Error("activity label")
+	}
+	if (&Vertex{Kind: KindActivity, ID: 7}).Label() != "v7" {
+		t.Error("anonymous label")
+	}
+}

@@ -1,0 +1,399 @@
+package graph
+
+import (
+	"errors"
+	"testing"
+
+	"qasom/internal/semantics"
+	"qasom/internal/task"
+)
+
+// lineGraph builds ⊤ → c1 → c2 → ... → ⊥ with the given concepts.
+func lineGraph(t *testing.T, concepts ...semantics.ConceptID) *Graph {
+	t.Helper()
+	g := New()
+	prev := g.AddVertex(&Vertex{Kind: KindInitial})
+	for i, c := range concepts {
+		v := g.AddVertex(&Vertex{Kind: KindActivity, ActivityID: string(c) + "_" + string(rune('a'+i)), Concept: c})
+		if err := g.AddEdge(prev, v); err != nil {
+			t.Fatal(err)
+		}
+		prev = v
+	}
+	fin := g.AddVertex(&Vertex{Kind: KindFinal})
+	if err := g.AddEdge(prev, fin); err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func mustMatch(t *testing.T, pattern, host *Graph, opts MatchOptions) *MatchResult {
+	t.Helper()
+	res, found, err := FindHomeomorphism(pattern, host, opts)
+	if err != nil {
+		t.Fatalf("FindHomeomorphism error: %v", err)
+	}
+	if !found {
+		t.Fatalf("expected a match\npattern:\n%s\nhost:\n%s", pattern, host)
+	}
+	return res
+}
+
+func mustNotMatch(t *testing.T, pattern, host *Graph, opts MatchOptions) {
+	t.Helper()
+	_, found, err := FindHomeomorphism(pattern, host, opts)
+	if err != nil {
+		t.Fatalf("FindHomeomorphism error: %v", err)
+	}
+	if found {
+		t.Fatalf("expected no match\npattern:\n%s\nhost:\n%s", pattern, host)
+	}
+}
+
+func TestHomeomorphismIdentity(t *testing.T) {
+	g := lineGraph(t, "A", "B", "C")
+	res := mustMatch(t, g, lineGraph(t, "A", "B", "C"), MatchOptions{})
+	if len(res.Mapping) != g.VertexCount() {
+		t.Errorf("mapping covers %d vertices, want %d", len(res.Mapping), g.VertexCount())
+	}
+}
+
+func TestHomeomorphismSubdivision(t *testing.T) {
+	// Pattern A→B; host A→X→B: the pattern edge maps to a 2-edge path.
+	pattern := lineGraph(t, "A", "B")
+	host := lineGraph(t, "A", "X", "B")
+	res := mustMatch(t, pattern, host, MatchOptions{})
+	// Find the pattern edge between the A and B images and check its path
+	// has one interior vertex.
+	var foundPath bool
+	for _, p := range res.Paths {
+		if len(p) == 3 {
+			foundPath = true
+		}
+	}
+	if !foundPath {
+		t.Errorf("expected a subdivided path, got %v", res.Paths)
+	}
+}
+
+func TestHomeomorphismRespectsConcepts(t *testing.T) {
+	pattern := lineGraph(t, "A", "B")
+	host := lineGraph(t, "A", "Z") // Z does not match B
+	mustNotMatch(t, pattern, host, MatchOptions{})
+}
+
+func TestHomeomorphismEmptyConceptMatchesAnything(t *testing.T) {
+	pattern := lineGraph(t, "", "")
+	host := lineGraph(t, "X", "Y", "Z")
+	mustMatch(t, pattern, host, MatchOptions{})
+}
+
+func TestHomeomorphismSemanticMatching(t *testing.T) {
+	o := semantics.Scenarios()
+	// Pattern requires generic MediaSale; host offers CDSale (plugin).
+	pattern := lineGraph(t, semantics.MediaSale)
+	host := lineGraph(t, semantics.CDSale)
+	mustMatch(t, pattern, host, MatchOptions{Ontology: o})
+	// Without the ontology the same pair fails.
+	mustNotMatch(t, pattern, host, MatchOptions{})
+	// Subsume direction only with AllowSubsume.
+	patternSpecific := lineGraph(t, semantics.CDSale)
+	hostGeneric := lineGraph(t, semantics.MediaSale)
+	mustNotMatch(t, patternSpecific, hostGeneric, MatchOptions{Ontology: o})
+	mustMatch(t, patternSpecific, hostGeneric, MatchOptions{Ontology: o, AllowSubsume: true})
+}
+
+func TestHomeomorphismVertexDisjointness(t *testing.T) {
+	// Pattern: ⊤→a, ⊤→b, a→⊥, b→⊥ (two parallel branches).
+	// Host: a single chain ⊤→x→⊥ cannot host two disjoint branches.
+	pt := &task.Task{Name: "p", Concept: "C", Root: task.Parallel(
+		task.NewActivity(&task.Activity{ID: "a", Concept: "X"}),
+		task.NewActivity(&task.Activity{ID: "b", Concept: "X"}),
+	)}
+	pattern, err := FromTask(pt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	host := lineGraph(t, "X")
+	mustNotMatch(t, pattern, host, MatchOptions{})
+
+	// A host with two parallel X branches matches.
+	ht := &task.Task{Name: "h", Concept: "C", Root: task.Parallel(
+		task.NewActivity(&task.Activity{ID: "h1", Concept: "X"}),
+		task.NewActivity(&task.Activity{ID: "h2", Concept: "X"}),
+	)}
+	host2, err := FromTask(ht)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := mustMatch(t, pattern, host2, MatchOptions{})
+	// Images must be distinct (injective).
+	seen := map[VertexID]bool{}
+	for _, h := range res.Mapping {
+		if seen[h] {
+			t.Error("mapping is not injective")
+		}
+		seen[h] = true
+	}
+}
+
+func TestHomeomorphismPathsInternallyDisjoint(t *testing.T) {
+	// Pattern: two branches a→c and b→c. Host has two candidate routes to
+	// c but they share the interior vertex m — only one branch may use m,
+	// so the other must use the direct edge.
+	pattern := New()
+	pi := pattern.AddVertex(&Vertex{Kind: KindInitial})
+	pa := pattern.AddVertex(&Vertex{Kind: KindActivity, Concept: "A"})
+	pb := pattern.AddVertex(&Vertex{Kind: KindActivity, Concept: "B"})
+	pc := pattern.AddVertex(&Vertex{Kind: KindActivity, Concept: "C"})
+	pf := pattern.AddVertex(&Vertex{Kind: KindFinal})
+	for _, e := range []Edge{{pi, pa}, {pi, pb}, {pa, pc}, {pb, pc}, {pc, pf}} {
+		if err := pattern.AddEdge(e.From, e.To); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	host := New()
+	hi := host.AddVertex(&Vertex{Kind: KindInitial})
+	ha := host.AddVertex(&Vertex{Kind: KindActivity, Concept: "A"})
+	hb := host.AddVertex(&Vertex{Kind: KindActivity, Concept: "B"})
+	hm := host.AddVertex(&Vertex{Kind: KindActivity, Concept: "M"})
+	hc := host.AddVertex(&Vertex{Kind: KindActivity, Concept: "C"})
+	hf := host.AddVertex(&Vertex{Kind: KindFinal})
+	for _, e := range []Edge{{hi, ha}, {hi, hb}, {ha, hm}, {hm, hc}, {hb, hm}, {hb, hc}, {hc, hf}} {
+		if err := host.AddEdge(e.From, e.To); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res := mustMatch(t, pattern, host, MatchOptions{})
+	// Count how many routed paths use hm as interior: must be ≤ 1.
+	uses := 0
+	for _, p := range res.Paths {
+		for _, v := range p[1 : len(p)-1] {
+			if v == hm {
+				uses++
+			}
+		}
+	}
+	if uses > 1 {
+		t.Errorf("interior vertex reused by %d paths", uses)
+	}
+}
+
+func TestHomeomorphismPins(t *testing.T) {
+	pattern := lineGraph(t, "A")
+	host := New()
+	hi := host.AddVertex(&Vertex{Kind: KindInitial})
+	h1 := host.AddVertex(&Vertex{Kind: KindActivity, Concept: "A", ActivityID: "first"})
+	h2 := host.AddVertex(&Vertex{Kind: KindActivity, Concept: "A", ActivityID: "second"})
+	hf := host.AddVertex(&Vertex{Kind: KindFinal})
+	for _, e := range []Edge{{hi, h1}, {hi, h2}, {h1, hf}, {h2, hf}} {
+		if err := host.AddEdge(e.From, e.To); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pa := pattern.ActivityVertices()[0].ID
+
+	// Pin the pattern activity onto the second host activity.
+	res := mustMatch(t, pattern, host, MatchOptions{Pins: map[VertexID]VertexID{pa: h2}})
+	if res.Mapping[pa] != h2 {
+		t.Errorf("pin ignored: mapped to %d, want %d", res.Mapping[pa], h2)
+	}
+	// An impossible pin fails.
+	mustNotMatch(t, pattern, host, MatchOptions{Pins: map[VertexID]VertexID{pa: hi}})
+	// Unknown pin errors.
+	if _, _, err := FindHomeomorphism(pattern, host, MatchOptions{Pins: map[VertexID]VertexID{99: h2}}); err == nil {
+		t.Error("unknown pin should error")
+	}
+}
+
+func TestHomeomorphismInitialFinalImplicitPins(t *testing.T) {
+	pattern := lineGraph(t, "A")
+	host := lineGraph(t, "A")
+	res := mustMatch(t, pattern, host, MatchOptions{})
+	if res.Mapping[pattern.Initial().ID] != host.Initial().ID {
+		t.Error("initial should map to initial")
+	}
+	if res.Mapping[pattern.Final().ID] != host.Final().ID {
+		t.Error("final should map to final")
+	}
+}
+
+func TestHomeomorphismDataConstraints(t *testing.T) {
+	// Pattern: A→B. Host: A→X→B where interior X requires an input that A
+	// does not produce → data constraint kills the only path.
+	build := func(xInput semantics.ConceptID) *Graph {
+		g := New()
+		gi := g.AddVertex(&Vertex{Kind: KindInitial})
+		a := g.AddVertex(&Vertex{Kind: KindActivity, Concept: "A", Outputs: []semantics.ConceptID{"D1"}})
+		x := g.AddVertex(&Vertex{Kind: KindActivity, Concept: "X", Inputs: []semantics.ConceptID{xInput}})
+		b := g.AddVertex(&Vertex{Kind: KindActivity, Concept: "B"})
+		gf := g.AddVertex(&Vertex{Kind: KindFinal})
+		for _, e := range []Edge{{gi, a}, {a, x}, {x, b}, {b, gf}} {
+			if err := g.AddEdge(e.From, e.To); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return g
+	}
+	pattern := lineGraph(t, "A", "B")
+	okHost := build("D1")
+	badHost := build("D2")
+	mustMatch(t, pattern, okHost, MatchOptions{CheckData: true})
+	mustNotMatch(t, pattern, badHost, MatchOptions{CheckData: true})
+	// Without data constraints the bad host matches.
+	mustMatch(t, pattern, badHost, MatchOptions{})
+}
+
+func TestPreVerify(t *testing.T) {
+	small := lineGraph(t, "A")
+	big := lineGraph(t, "A", "B", "C")
+
+	if rep := PreVerify(big, small, MatchOptions{}); rep.OK {
+		t.Error("pattern larger than host should fail preverify")
+	}
+	if rep := PreVerify(lineGraph(t, "Z"), big, MatchOptions{}); rep.OK {
+		t.Error("unmatchable concept should fail preverify")
+	}
+	rep := PreVerify(small, big, MatchOptions{})
+	if !rep.OK {
+		t.Fatalf("preverify failed: %s", rep.Reason)
+	}
+	if len(rep.Candidates) != small.VertexCount() {
+		t.Errorf("candidates for %d vertices, want %d", len(rep.Candidates), small.VertexCount())
+	}
+	if rep := PreVerify(New(), big, MatchOptions{}); rep.OK {
+		t.Error("empty pattern should fail preverify")
+	}
+}
+
+func TestPreVerifyBipartiteInfeasible(t *testing.T) {
+	// Two pattern vertices both only matchable onto one host vertex.
+	pattern := New()
+	p1 := pattern.AddVertex(&Vertex{Kind: KindActivity, Concept: "A"})
+	p2 := pattern.AddVertex(&Vertex{Kind: KindActivity, Concept: "A"})
+	if err := pattern.AddEdge(p1, p2); err != nil {
+		t.Fatal(err)
+	}
+	host := New()
+	h1 := host.AddVertex(&Vertex{Kind: KindActivity, Concept: "A"})
+	h2 := host.AddVertex(&Vertex{Kind: KindActivity, Concept: "Z"})
+	h3 := host.AddVertex(&Vertex{Kind: KindActivity, Concept: "Z"})
+	_ = host.AddEdge(h1, h2)
+	_ = host.AddEdge(h2, h3)
+	rep := PreVerify(pattern, host, MatchOptions{})
+	if rep.OK {
+		t.Error("bipartite-infeasible instance should fail preverify")
+	}
+}
+
+func TestSkipPreVerify(t *testing.T) {
+	pattern := lineGraph(t, "A", "B")
+	host := lineGraph(t, "A", "X", "B")
+	res, found, err := FindHomeomorphism(pattern, host, MatchOptions{SkipPreVerify: true})
+	if err != nil || !found || res == nil {
+		t.Fatalf("SkipPreVerify run failed: %v %v", found, err)
+	}
+	// Unmatchable still fails cleanly without preverify.
+	_, found, err = FindHomeomorphism(lineGraph(t, "Z"), host, MatchOptions{SkipPreVerify: true})
+	if err != nil || found {
+		t.Errorf("unmatchable with SkipPreVerify = (%v, %v)", found, err)
+	}
+}
+
+func TestHomeomorphismBudget(t *testing.T) {
+	// A pattern with many interchangeable vertices against a large host
+	// with a poisoned tail exhausts a tiny budget.
+	mk := func(n int, tail semantics.ConceptID) *Graph {
+		concepts := make([]semantics.ConceptID, n)
+		for i := range concepts {
+			concepts[i] = "X"
+		}
+		concepts[n-1] = tail
+		return lineGraph(t, concepts...)
+	}
+	pattern := mk(8, "NEVER")
+	host := mk(16, "X") // preverify passes per-vertex? NEVER has no candidate...
+	// Give the pattern tail a concept present in the host so preverify
+	// passes but ordering forces real search.
+	pattern = mk(8, "X")
+	host = mk(16, "X")
+	_, found, err := FindHomeomorphism(pattern, host, MatchOptions{MaxSteps: 3})
+	if err == nil && found {
+		return // found within budget: acceptable on trivially easy instances
+	}
+	if err != nil && !errors.Is(err, ErrBudgetExhausted) {
+		t.Errorf("unexpected error: %v", err)
+	}
+}
+
+func TestHomeomorphismTaskToTaskAdaptationScenario(t *testing.T) {
+	// The core behavioural-adaptation use case: the remaining user task
+	// (pattern) matched against an alternative behaviour (host) that
+	// splits one activity into two (finer granularity).
+	o := semantics.Scenarios()
+	remaining := &task.Task{
+		Name: "rem", Concept: semantics.ShoppingService,
+		Root: task.Sequence(
+			task.NewActivity(&task.Activity{ID: "order", Concept: semantics.OrderItem}),
+			task.NewActivity(&task.Activity{ID: "pay", Concept: semantics.PaymentService}),
+		),
+	}
+	alternative := &task.Task{
+		Name: "alt", Concept: semantics.ShoppingService,
+		Root: task.Sequence(
+			task.NewActivity(&task.Activity{ID: "bundle", Concept: semantics.BundleOrder}),
+			task.NewActivity(&task.Activity{ID: "notify", Concept: semantics.NotifyService}),
+			task.NewActivity(&task.Activity{ID: "mpay", Concept: semantics.MobilePayment}),
+		),
+	}
+	pattern, err := FromTask(remaining)
+	if err != nil {
+		t.Fatal(err)
+	}
+	host, err := FromTask(alternative)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := mustMatch(t, pattern, host, MatchOptions{Ontology: o})
+	// order→bundle (plugin), pay→mpay (plugin), notify absorbed into a path.
+	var orderImage, payImage VertexID
+	for _, pv := range pattern.ActivityVertices() {
+		switch pv.ActivityID {
+		case "order":
+			orderImage = res.Mapping[pv.ID]
+		case "pay":
+			payImage = res.Mapping[pv.ID]
+		}
+	}
+	if host.Vertex(orderImage).ActivityID != "bundle" {
+		t.Errorf("order mapped to %s, want bundle", host.Vertex(orderImage).ActivityID)
+	}
+	if host.Vertex(payImage).ActivityID != "mpay" {
+		t.Errorf("pay mapped to %s, want mpay", host.Vertex(payImage).ActivityID)
+	}
+}
+
+func BenchmarkHomeomorphismLine(b *testing.B) {
+	concepts := make([]semantics.ConceptID, 10)
+	for i := range concepts {
+		concepts[i] = semantics.ConceptID(rune('A' + i))
+	}
+	hostConcepts := make([]semantics.ConceptID, 20)
+	for i := range hostConcepts {
+		hostConcepts[i] = "F"
+	}
+	for i, c := range concepts {
+		hostConcepts[i*2] = c
+	}
+	tt := &testing.T{}
+	pattern := lineGraph(tt, concepts...)
+	host := lineGraph(tt, hostConcepts...)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, found, err := FindHomeomorphism(pattern, host, MatchOptions{}); err != nil || !found {
+			b.Fatalf("match failed: %v %v", found, err)
+		}
+	}
+}

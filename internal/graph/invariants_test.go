@@ -1,0 +1,65 @@
+package graph
+
+import (
+	"testing"
+
+	"qasom/internal/workload"
+)
+
+// TestFromTaskInvariantsRandomized checks structural invariants of the
+// task→graph transformation over randomized task shapes: exactly one
+// initial and one final vertex, vertex count = activities + 2, acyclic,
+// every activity vertex on a path initial→final.
+func TestFromTaskInvariantsRandomized(t *testing.T) {
+	shapes := []workload.TaskShape{workload.ShapeLinear, workload.ShapeMixed, workload.ShapeChoiceHeavy}
+	for seed := int64(1); seed <= 6; seed++ {
+		g := workload.NewGenerator(seed)
+		for _, shape := range shapes {
+			for _, n := range []int{1, 3, 7, 15} {
+				tk := g.Task("T", n, shape)
+				bg, err := FromTask(tk)
+				if err != nil {
+					t.Fatalf("seed %d shape %d n %d: %v", seed, shape, n, err)
+				}
+				if bg.VertexCount() != n+2 {
+					t.Fatalf("vertex count %d, want %d", bg.VertexCount(), n+2)
+				}
+				initials, finals := 0, 0
+				for _, v := range bg.Vertices() {
+					switch v.Kind {
+					case KindInitial:
+						initials++
+					case KindFinal:
+						finals++
+					}
+				}
+				if initials != 1 || finals != 1 {
+					t.Fatalf("initial/final counts = %d/%d", initials, finals)
+				}
+				if _, acyclic := bg.TopoSort(); !acyclic {
+					t.Fatal("behavioural graph must be acyclic")
+				}
+				init, fin := bg.Initial().ID, bg.Final().ID
+				for _, v := range bg.ActivityVertices() {
+					if !bg.Reachable(init, v.ID) {
+						t.Fatalf("activity %s unreachable from initial", v.ActivityID)
+					}
+					if !bg.Reachable(v.ID, fin) {
+						t.Fatalf("final unreachable from activity %s", v.ActivityID)
+					}
+				}
+				// Every graph is homeomorphic to itself under the identity.
+				res, found, err := FindHomeomorphism(bg, bg, MatchOptions{})
+				if err != nil || !found {
+					t.Fatalf("self-match failed: %v %v", found, err)
+				}
+				for pv, hv := range res.Mapping {
+					pvx, hvx := bg.Vertex(pv), bg.Vertex(hv)
+					if pvx.Concept != hvx.Concept {
+						t.Fatal("self-match mapped across concepts")
+					}
+				}
+			}
+		}
+	}
+}

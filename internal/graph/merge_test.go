@@ -1,0 +1,138 @@
+package graph
+
+import (
+	"testing"
+
+	"qasom/internal/semantics"
+	"qasom/internal/task"
+)
+
+// TestMergeMapping covers the AllowMerge extension: a fine-grained
+// remaining task embeds into a coarser behaviour whose single activity
+// realises several remaining activities.
+func TestMergeMapping(t *testing.T) {
+	o := semantics.Scenarios()
+	// Pattern: ⊤ → book(BookSale) → dvd(DVDSale) → pay(Payment) → ⊥.
+	pattern := lineGraph(t, semantics.BookSale, semantics.DVDSale, semantics.PaymentService)
+	// Host: ⊤ → kiosk(Shopping) → mpay(MobilePayment) → ⊥ — the kiosk is a
+	// one-stop shop that must absorb both sale activities.
+	host := lineGraph(t, semantics.ShoppingService, semantics.MobilePayment)
+
+	// Without merging the 5-vertex pattern cannot embed in 4 vertices.
+	_, found, err := FindHomeomorphism(pattern, host, MatchOptions{Ontology: o, AllowSubsume: true})
+	if err != nil || found {
+		t.Fatalf("injective match should fail: %v %v", found, err)
+	}
+
+	res, found, err := FindHomeomorphism(pattern, host, MatchOptions{
+		Ontology: o, AllowSubsume: true, AllowMerge: true,
+	})
+	if err != nil || !found {
+		t.Fatalf("merge match failed: %v %v", found, err)
+	}
+	// Both sale activities map onto the kiosk; pay maps onto mpay.
+	var kiosk, mpay VertexID
+	for _, hv := range host.ActivityVertices() {
+		if hv.Concept == semantics.ShoppingService {
+			kiosk = hv.ID
+		} else {
+			mpay = hv.ID
+		}
+	}
+	images := map[semantics.ConceptID]VertexID{}
+	for _, pv := range pattern.ActivityVertices() {
+		images[pv.Concept] = res.Mapping[pv.ID]
+	}
+	if images[semantics.BookSale] != kiosk || images[semantics.DVDSale] != kiosk {
+		t.Errorf("sale activities should merge onto the kiosk: %v", images)
+	}
+	if images[semantics.PaymentService] != mpay {
+		t.Errorf("pay should map to mpay: %v", images)
+	}
+	// The book→dvd edge collapsed into the merged activity.
+	merged := 0
+	for _, p := range res.Paths {
+		if len(p) == 1 {
+			merged++
+		}
+	}
+	if merged == 0 {
+		t.Error("expected at least one collapsed (empty-path) edge")
+	}
+}
+
+func TestMergeRequiresConceptCompatibility(t *testing.T) {
+	o := semantics.Scenarios()
+	// The host activity is a BookSale specialist: it cannot absorb the
+	// DVD purchase even with merging enabled.
+	pattern := lineGraph(t, semantics.BookSale, semantics.DVDSale)
+	host := lineGraph(t, semantics.BookSale)
+	_, found, err := FindHomeomorphism(pattern, host, MatchOptions{
+		Ontology: o, AllowMerge: true,
+	})
+	if err != nil || found {
+		t.Errorf("incompatible merge should fail: %v %v", found, err)
+	}
+}
+
+func TestMergeInitialFinalStayBijective(t *testing.T) {
+	// Initial/final vertices are pinned 1:1; merging applies to activity
+	// vertices only — the implicit pins already force this, and a direct
+	// self-merge attempt must not be possible.
+	o := semantics.Scenarios()
+	pattern := lineGraph(t, semantics.BookSale, semantics.DVDSale)
+	host := lineGraph(t, semantics.ShoppingService)
+	res, found, err := FindHomeomorphism(pattern, host, MatchOptions{
+		Ontology: o, AllowSubsume: true, AllowMerge: true,
+	})
+	if err != nil || !found {
+		t.Fatalf("merge match failed: %v %v", found, err)
+	}
+	if res.Mapping[pattern.Initial().ID] != host.Initial().ID {
+		t.Error("initial must map to initial")
+	}
+	if res.Mapping[pattern.Final().ID] != host.Final().ID {
+		t.Error("final must map to final")
+	}
+}
+
+func TestMergeAdaptationScenario(t *testing.T) {
+	// End-to-end through FromTask: remaining seq(book, dvd, pay) adapts
+	// onto the bundle behaviour seq(kiosk, notify, mpay).
+	o := semantics.Scenarios()
+	remaining := &task.Task{Name: "rem", Concept: semantics.ShoppingService, Root: task.Sequence(
+		task.NewActivity(&task.Activity{ID: "book", Concept: semantics.BookSale}),
+		task.NewActivity(&task.Activity{ID: "dvd", Concept: semantics.DVDSale}),
+		task.NewActivity(&task.Activity{ID: "pay", Concept: semantics.PaymentService}),
+	)}
+	alt := &task.Task{Name: "alt", Concept: semantics.ShoppingService, Root: task.Sequence(
+		task.NewActivity(&task.Activity{ID: "kiosk", Concept: semantics.ShoppingService}),
+		task.NewActivity(&task.Activity{ID: "notify", Concept: semantics.NotifyService}),
+		task.NewActivity(&task.Activity{ID: "mpay", Concept: semantics.MobilePayment}),
+	)}
+	pattern, err := FromTask(remaining)
+	if err != nil {
+		t.Fatal(err)
+	}
+	host, err := FromTask(alt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, found, err := FindHomeomorphism(pattern, host, MatchOptions{
+		Ontology: o, AllowSubsume: true, AllowMerge: true,
+	})
+	if err != nil || !found {
+		t.Fatalf("adaptation merge failed: %v %v", found, err)
+	}
+	// book and dvd co-map on the kiosk.
+	byID := map[string]VertexID{}
+	for _, pv := range pattern.ActivityVertices() {
+		byID[pv.ActivityID] = res.Mapping[pv.ID]
+	}
+	if byID["book"] != byID["dvd"] {
+		t.Errorf("book and dvd should merge: %v", byID)
+	}
+	if host.Vertex(byID["pay"]).ActivityID != "mpay" {
+		t.Errorf("pay should land on mpay, got %s", host.Vertex(byID["pay"]).ActivityID)
+	}
+}

@@ -1,0 +1,361 @@
+// Package monitor implements the global and proactive QoS monitoring of
+// Chapter V §1.1: per-service observation windows with EWMA estimation
+// and linear-trend prediction, and a composition-level assessor that
+// aggregates run-time QoS over the task tree and flags current and
+// predicted violations of the user's global constraints — the trigger of
+// QoS-driven adaptation.
+package monitor
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"time"
+
+	"qasom/internal/qos"
+	"qasom/internal/registry"
+	"qasom/internal/task"
+)
+
+// Observation is one measured invocation of a service.
+type Observation struct {
+	// Service is the observed service.
+	Service registry.ServiceID
+	// Vector is the measured QoS (aligned to the monitor's property set).
+	Vector qos.Vector
+	// Time stamps the observation.
+	Time time.Time
+	// Success reports whether the invocation succeeded.
+	Success bool
+}
+
+// Options tune the monitor.
+type Options struct {
+	// WindowSize is the per-service observation ring size; 0 means 20.
+	WindowSize int
+	// Alpha is the EWMA smoothing factor in (0,1]; 0 means 0.3.
+	Alpha float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.WindowSize <= 0 {
+		o.WindowSize = 20
+	}
+	if o.Alpha <= 0 || o.Alpha > 1 {
+		o.Alpha = 0.3
+	}
+	return o
+}
+
+type window struct {
+	obs      []Observation // ring, oldest first after rotation
+	next     int
+	filled   bool
+	ewma     qos.Vector
+	total    int
+	failures int
+}
+
+// Monitor collects run-time QoS observations per service. Safe for
+// concurrent use.
+type Monitor struct {
+	mu      sync.RWMutex
+	ps      *qos.PropertySet
+	opts    Options
+	windows map[registry.ServiceID]*window
+}
+
+// New creates a monitor for the given property set.
+func New(ps *qos.PropertySet, opts Options) *Monitor {
+	return &Monitor{
+		ps:      ps,
+		opts:    opts.withDefaults(),
+		windows: make(map[registry.ServiceID]*window),
+	}
+}
+
+// Report records one observation. Vectors of the wrong arity are
+// rejected.
+func (m *Monitor) Report(obs Observation) error {
+	if len(obs.Vector) != m.ps.Len() {
+		return fmt.Errorf("monitor: observation arity %d, want %d", len(obs.Vector), m.ps.Len())
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	w := m.windows[obs.Service]
+	if w == nil {
+		w = &window{obs: make([]Observation, m.opts.WindowSize)}
+		m.windows[obs.Service] = w
+	}
+	w.obs[w.next] = obs
+	w.next = (w.next + 1) % len(w.obs)
+	if w.next == 0 {
+		w.filled = true
+	}
+	w.total++
+	if !obs.Success {
+		w.failures++
+	}
+	if w.ewma == nil {
+		w.ewma = obs.Vector.Clone()
+	} else {
+		a := m.opts.Alpha
+		for j := range w.ewma {
+			w.ewma[j] = a*obs.Vector[j] + (1-a)*w.ewma[j]
+		}
+	}
+	return nil
+}
+
+// Len returns the number of observations held for a service (capped at
+// the window size).
+func (m *Monitor) Len(id registry.ServiceID) int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	w := m.windows[id]
+	if w == nil {
+		return 0
+	}
+	if w.filled {
+		return len(w.obs)
+	}
+	return w.next
+}
+
+// Estimate returns the EWMA run-time QoS estimate for a service; false
+// when the service has never been observed.
+func (m *Monitor) Estimate(id registry.ServiceID) (qos.Vector, bool) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	w := m.windows[id]
+	if w == nil || w.ewma == nil {
+		return nil, false
+	}
+	return w.ewma.Clone(), true
+}
+
+// SuccessRate returns the observed success ratio of a service (1 when
+// unobserved: optimistic prior).
+func (m *Monitor) SuccessRate(id registry.ServiceID) float64 {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	w := m.windows[id]
+	if w == nil || w.total == 0 {
+		return 1
+	}
+	return 1 - float64(w.failures)/float64(w.total)
+}
+
+// ordered returns the window's observations oldest-first.
+func (w *window) ordered() []Observation {
+	if !w.filled {
+		out := make([]Observation, w.next)
+		copy(out, w.obs[:w.next])
+		return out
+	}
+	out := make([]Observation, 0, len(w.obs))
+	out = append(out, w.obs[w.next:]...)
+	out = append(out, w.obs[:w.next]...)
+	return out
+}
+
+// Percentile returns the q-quantile (q in [0,1]) of property j over the
+// service's observation window, using nearest-rank interpolation; false
+// when the service has no observations. Tail percentiles (P95/P99) catch
+// degradation modes a mean hides.
+func (m *Monitor) Percentile(id registry.ServiceID, j int, q float64) (float64, bool) {
+	if j < 0 || j >= m.ps.Len() {
+		return 0, false
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	m.mu.RLock()
+	w := m.windows[id]
+	var obs []Observation
+	if w != nil {
+		obs = w.ordered()
+	}
+	m.mu.RUnlock()
+	if len(obs) == 0 {
+		return 0, false
+	}
+	values := make([]float64, len(obs))
+	for i, o := range obs {
+		values[i] = o.Vector[j]
+	}
+	sort.Float64s(values)
+	idx := int(math.Ceil(q*float64(len(values)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	return values[idx], true
+}
+
+// Predict extrapolates each property `steps` observations ahead with a
+// least-squares linear trend over the window — the proactive part of the
+// monitoring: a degrading service is flagged before it actually violates
+// the constraints. It returns false when fewer than three observations
+// exist.
+func (m *Monitor) Predict(id registry.ServiceID, steps int) (qos.Vector, bool) {
+	if steps < 1 {
+		steps = 1
+	}
+	m.mu.RLock()
+	w := m.windows[id]
+	var obs []Observation
+	if w != nil {
+		obs = w.ordered()
+	}
+	m.mu.RUnlock()
+	if len(obs) < 3 {
+		return nil, false
+	}
+	n := float64(len(obs))
+	out := m.ps.NewVector()
+	for j := 0; j < m.ps.Len(); j++ {
+		// Least squares over x = 0..n-1.
+		var sumX, sumY, sumXY, sumXX float64
+		for i, o := range obs {
+			x := float64(i)
+			y := o.Vector[j]
+			sumX += x
+			sumY += y
+			sumXY += x * y
+			sumXX += x * x
+		}
+		den := n*sumXX - sumX*sumX
+		var slope, intercept float64
+		if den != 0 {
+			slope = (n*sumXY - sumX*sumY) / den
+			intercept = (sumY - slope*sumX) / n
+		} else {
+			intercept = sumY / n
+		}
+		x := n - 1 + float64(steps)
+		v := intercept + slope*x
+		// Keep probabilities physical.
+		if m.ps.At(j).Kind == qos.KindProbability {
+			if v < 0 {
+				v = 0
+			}
+			if v > 1 {
+				v = 1
+			}
+		}
+		if v < 0 && m.ps.At(j).Kind != qos.KindProbability {
+			v = 0
+		}
+		out[j] = v
+	}
+	return out, true
+}
+
+// Assessment is the outcome of a composition-level check.
+type Assessment struct {
+	// Current is the aggregated QoS using run-time estimates (advertised
+	// values where a service is unobserved).
+	Current qos.Vector
+	// Predicted is the aggregated QoS using trend predictions where
+	// available.
+	Predicted qos.Vector
+	// Violated lists properties whose constraints the current aggregate
+	// breaks.
+	Violated []string
+	// PredictedViolated lists properties whose constraints the predicted
+	// aggregate breaks (the proactive trigger).
+	PredictedViolated []string
+}
+
+// Healthy reports whether nothing is (or is about to be) violated.
+func (a *Assessment) Healthy() bool {
+	return len(a.Violated) == 0 && len(a.PredictedViolated) == 0
+}
+
+// CompositionMonitor assesses a running composition against the request's
+// global constraints, on current estimates and proactively on predicted
+// trends.
+type CompositionMonitor struct {
+	task        *task.Task
+	ps          *qos.PropertySet
+	constraints qos.Constraints
+	approach    qos.Approach
+	// advertised holds the selection-time vectors, the fallback for
+	// services without run-time observations yet.
+	advertised map[string]qos.Vector
+	// binding maps activity IDs to the currently bound service.
+	mu      sync.RWMutex
+	binding map[string]registry.ServiceID
+}
+
+// NewCompositionMonitor builds an assessor for one running composition.
+func NewCompositionMonitor(t *task.Task, ps *qos.PropertySet, constraints qos.Constraints,
+	approach qos.Approach, advertised map[string]qos.Vector, binding map[string]registry.ServiceID) *CompositionMonitor {
+	adv := make(map[string]qos.Vector, len(advertised))
+	for k, v := range advertised {
+		adv[k] = v.Clone()
+	}
+	b := make(map[string]registry.ServiceID, len(binding))
+	for k, v := range binding {
+		b[k] = v
+	}
+	return &CompositionMonitor{
+		task: t, ps: ps, constraints: constraints, approach: approach,
+		advertised: adv, binding: b,
+	}
+}
+
+// Rebind updates the bound service (and its advertised vector) for an
+// activity after a substitution.
+func (cm *CompositionMonitor) Rebind(activityID string, id registry.ServiceID, advertised qos.Vector) {
+	cm.mu.Lock()
+	defer cm.mu.Unlock()
+	cm.binding[activityID] = id
+	cm.advertised[activityID] = advertised.Clone()
+}
+
+// Binding returns the currently bound service for an activity.
+func (cm *CompositionMonitor) Binding(activityID string) (registry.ServiceID, bool) {
+	cm.mu.RLock()
+	defer cm.mu.RUnlock()
+	id, ok := cm.binding[activityID]
+	return id, ok
+}
+
+// Assess aggregates current and predicted QoS over the task tree and
+// checks the constraints. steps is the prediction horizon.
+func (cm *CompositionMonitor) Assess(m *Monitor, steps int) Assessment {
+	cm.mu.RLock()
+	binding := make(map[string]registry.ServiceID, len(cm.binding))
+	for k, v := range cm.binding {
+		binding[k] = v
+	}
+	cm.mu.RUnlock()
+
+	current := make(map[string]qos.Vector, len(binding))
+	predicted := make(map[string]qos.Vector, len(binding))
+	for act, svc := range binding {
+		adv := cm.advertised[act]
+		if est, ok := m.Estimate(svc); ok {
+			current[act] = est
+		} else if adv != nil {
+			current[act] = adv
+		}
+		if pred, ok := m.Predict(svc, steps); ok {
+			predicted[act] = pred
+		} else if cur, ok := current[act]; ok {
+			predicted[act] = cur
+		}
+	}
+	a := Assessment{
+		Current:   cm.task.AggregateQoS(cm.ps, current, cm.approach),
+		Predicted: cm.task.AggregateQoS(cm.ps, predicted, cm.approach),
+	}
+	a.Violated = cm.constraints.Violated(cm.ps, a.Current)
+	a.PredictedViolated = cm.constraints.Violated(cm.ps, a.Predicted)
+	return a
+}

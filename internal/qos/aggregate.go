@@ -1,0 +1,225 @@
+package qos
+
+import (
+	"fmt"
+	"math"
+)
+
+// Approach selects how non-deterministic patterns (choice branches, loop
+// iteration counts) are folded into a single aggregated value. The thesis
+// compares all three in Figs. VI.7 and VI.8.
+type Approach int
+
+// Aggregation approaches.
+const (
+	// Pessimistic assumes the worst branch is taken and loops run their
+	// maximum iterations: the aggregate is a guaranteed bound.
+	Pessimistic Approach = iota + 1
+	// Optimistic assumes the best branch and minimum iterations: the
+	// aggregate is the best case the composition can deliver.
+	Optimistic
+	// MeanValue weighs branches by their probabilities and loops by their
+	// expected iteration count: the aggregate is the expected QoS.
+	MeanValue
+)
+
+// Approaches lists all aggregation approaches in presentation order.
+func Approaches() []Approach { return []Approach{Pessimistic, Optimistic, MeanValue} }
+
+// String returns the conventional name of the approach.
+func (a Approach) String() string {
+	switch a {
+	case Pessimistic:
+		return "pessimistic"
+	case Optimistic:
+		return "optimistic"
+	case MeanValue:
+		return "mean-value"
+	default:
+		return fmt.Sprintf("Approach(%d)", int(a))
+	}
+}
+
+// Loop bounds the iterations of a loop pattern.
+type Loop struct {
+	// Min and Max bound the iteration count (Min ≥ 0, Max ≥ Min).
+	Min, Max int
+	// Expected is the mean iteration count used by the mean-value
+	// approach; when zero it defaults to (Min+Max)/2.
+	Expected float64
+}
+
+// Iterations returns the iteration count the given approach assumes.
+func (l Loop) Iterations(a Approach) float64 {
+	switch a {
+	case Optimistic:
+		return float64(l.Min)
+	case MeanValue:
+		if l.Expected > 0 {
+			return l.Expected
+		}
+		return float64(l.Min+l.Max) / 2
+	default: // Pessimistic
+		return float64(l.Max)
+	}
+}
+
+// AggregateSequence folds the QoS values of activities executed in
+// sequence (Table IV.1): sum for time and cost, product for
+// probabilities, min for bottleneck capacities.
+func AggregateSequence(p *Property, vals []float64) float64 {
+	acc := identity(p)
+	for _, x := range vals {
+		switch p.Kind {
+		case KindProbability:
+			acc *= x
+		case KindBottleneck:
+			acc = math.Min(acc, x)
+		default: // KindTime, KindCost
+			acc += x
+		}
+	}
+	return acc
+}
+
+// AggregateParallel folds the QoS values of activities executed in
+// parallel (Table IV.1): max for time (the slowest branch gates the
+// flow), sum for cost, product for probabilities, min for capacities.
+func AggregateParallel(p *Property, vals []float64) float64 {
+	switch p.Kind {
+	case KindTime:
+		acc := 0.0
+		for _, x := range vals {
+			acc = math.Max(acc, x)
+		}
+		return acc
+	case KindCost:
+		acc := 0.0
+		for _, x := range vals {
+			acc += x
+		}
+		return acc
+	case KindProbability:
+		acc := 1.0
+		for _, x := range vals {
+			acc *= x
+		}
+		return acc
+	default: // KindBottleneck
+		acc := math.Inf(1)
+		for _, x := range vals {
+			acc = math.Min(acc, x)
+		}
+		return acc
+	}
+}
+
+// AggregateChoice folds the QoS values of mutually exclusive branches.
+// The pessimistic approach keeps the worst branch, the optimistic one the
+// best branch, and the mean-value approach the probability-weighted mean
+// (uniform when probs is nil or inconsistent).
+func AggregateChoice(p *Property, vals, probs []float64, a Approach) float64 {
+	if len(vals) == 0 {
+		return identity(p)
+	}
+	switch a {
+	case Optimistic:
+		best := vals[0]
+		for _, x := range vals[1:] {
+			if p.Better(x, best) {
+				best = x
+			}
+		}
+		return best
+	case MeanValue:
+		if len(probs) != len(vals) {
+			probs = nil
+		}
+		total, acc := 0.0, 0.0
+		for i, x := range vals {
+			w := 1.0
+			if probs != nil {
+				w = probs[i]
+			}
+			total += w
+			acc += w * x
+		}
+		if total == 0 {
+			return vals[0]
+		}
+		return acc / total
+	default: // Pessimistic
+		worst := vals[0]
+		for _, x := range vals[1:] {
+			if p.Worse(x, worst) {
+				worst = x
+			}
+		}
+		return worst
+	}
+}
+
+// AggregateLoop folds the QoS value of a loop body repeated per the loop
+// bounds (Table IV.1): k·x for time and cost, x^k for probabilities,
+// unchanged for capacities.
+func AggregateLoop(p *Property, val float64, loop Loop, a Approach) float64 {
+	k := loop.Iterations(a)
+	if k < 0 {
+		k = 0
+	}
+	switch p.Kind {
+	case KindProbability:
+		return math.Pow(val, k)
+	case KindBottleneck:
+		return val
+	default: // KindTime, KindCost
+		return k * val
+	}
+}
+
+// AggregateSequenceVec applies AggregateSequence property-wise to aligned
+// vectors.
+func AggregateSequenceVec(ps *PropertySet, vecs []Vector) Vector {
+	return foldVec(ps, vecs, AggregateSequence)
+}
+
+// AggregateParallelVec applies AggregateParallel property-wise to aligned
+// vectors.
+func AggregateParallelVec(ps *PropertySet, vecs []Vector) Vector {
+	return foldVec(ps, vecs, AggregateParallel)
+}
+
+// AggregateChoiceVec applies AggregateChoice property-wise to aligned
+// vectors.
+func AggregateChoiceVec(ps *PropertySet, vecs []Vector, probs []float64, a Approach) Vector {
+	out := ps.NewVector()
+	vals := make([]float64, len(vecs))
+	for j := 0; j < ps.Len(); j++ {
+		for i, v := range vecs {
+			vals[i] = v[j]
+		}
+		out[j] = AggregateChoice(ps.At(j), vals, probs, a)
+	}
+	return out
+}
+
+// AggregateLoopVec applies AggregateLoop property-wise to a vector.
+func AggregateLoopVec(ps *PropertySet, v Vector, loop Loop, a Approach) Vector {
+	out := ps.NewVector()
+	for j := 0; j < ps.Len(); j++ {
+		out[j] = AggregateLoop(ps.At(j), v[j], loop, a)
+	}
+	return out
+}
+
+func foldVec(ps *PropertySet, vecs []Vector, agg func(*Property, []float64) float64) Vector {
+	out := ps.NewVector()
+	vals := make([]float64, len(vecs))
+	for j := 0; j < ps.Len(); j++ {
+		for i, v := range vecs {
+			vals[i] = v[j]
+		}
+		out[j] = agg(ps.At(j), vals)
+	}
+	return out
+}

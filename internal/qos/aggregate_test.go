@@ -1,0 +1,237 @@
+package qos
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func approxEq(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+// TestTableIV1 verifies every cell of Table IV.1: the aggregation formula
+// for each (aggregation class, composition pattern) pair.
+func TestTableIV1(t *testing.T) {
+	timeP := &Property{Name: "t", Direction: Minimized, Kind: KindTime}
+	costP := &Property{Name: "c", Direction: Minimized, Kind: KindCost}
+	probP := &Property{Name: "p", Direction: Maximized, Kind: KindProbability}
+	bottP := &Property{Name: "b", Direction: Maximized, Kind: KindBottleneck}
+	vals := []float64{10, 20, 5}
+	probs := []float64{0.9, 0.8, 0.5}
+	loop := Loop{Min: 1, Max: 4, Expected: 2}
+
+	tests := []struct {
+		name string
+		got  float64
+		want float64
+	}{
+		{"time/sequence = sum", AggregateSequence(timeP, vals), 35},
+		{"cost/sequence = sum", AggregateSequence(costP, vals), 35},
+		{"prob/sequence = product", AggregateSequence(probP, probs), 0.36},
+		{"bottleneck/sequence = min", AggregateSequence(bottP, vals), 5},
+
+		{"time/parallel = max", AggregateParallel(timeP, vals), 20},
+		{"cost/parallel = sum", AggregateParallel(costP, vals), 35},
+		{"prob/parallel = product", AggregateParallel(probP, probs), 0.36},
+		{"bottleneck/parallel = min", AggregateParallel(bottP, vals), 5},
+
+		{"time/loop = k·x (pessimistic k=max)", AggregateLoop(timeP, 10, loop, Pessimistic), 40},
+		{"time/loop optimistic k=min", AggregateLoop(timeP, 10, loop, Optimistic), 10},
+		{"time/loop mean k=expected", AggregateLoop(timeP, 10, loop, MeanValue), 20},
+		{"cost/loop = k·x", AggregateLoop(costP, 3, loop, Pessimistic), 12},
+		{"prob/loop = x^k", AggregateLoop(probP, 0.9, loop, Pessimistic), math.Pow(0.9, 4)},
+		{"bottleneck/loop = x", AggregateLoop(bottP, 7, loop, Pessimistic), 7},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if !approxEq(tt.got, tt.want) {
+				t.Errorf("got %g, want %g", tt.got, tt.want)
+			}
+		})
+	}
+}
+
+func TestAggregateChoiceApproaches(t *testing.T) {
+	timeP := &Property{Name: "t", Direction: Minimized, Kind: KindTime}
+	probP := &Property{Name: "p", Direction: Maximized, Kind: KindProbability}
+	vals := []float64{10, 30, 20}
+	weights := []float64{0.5, 0.25, 0.25}
+
+	tests := []struct {
+		name  string
+		prop  *Property
+		probs []float64
+		a     Approach
+		want  float64
+	}{
+		{"pessimistic minimized keeps worst (max)", timeP, nil, Pessimistic, 30},
+		{"optimistic minimized keeps best (min)", timeP, nil, Optimistic, 10},
+		{"mean uniform", timeP, nil, MeanValue, 20},
+		{"mean weighted", timeP, weights, MeanValue, 0.5*10 + 0.25*30 + 0.25*20},
+		{"pessimistic maximized keeps worst (min)", probP, nil, Pessimistic, 10},
+		{"optimistic maximized keeps best (max)", probP, nil, Optimistic, 30},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := AggregateChoice(tt.prop, vals, tt.probs, tt.a); !approxEq(got, tt.want) {
+				t.Errorf("got %g, want %g", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestAggregateChoiceEdgeCases(t *testing.T) {
+	timeP := &Property{Name: "t", Direction: Minimized, Kind: KindTime}
+	if got := AggregateChoice(timeP, nil, nil, Pessimistic); got != 0 {
+		t.Errorf("empty choice should yield identity, got %g", got)
+	}
+	// Mismatched probabilities fall back to uniform mean.
+	if got := AggregateChoice(timeP, []float64{10, 20}, []float64{1}, MeanValue); !approxEq(got, 15) {
+		t.Errorf("mismatched probs: got %g, want 15", got)
+	}
+	// All-zero probabilities fall back to the first value.
+	if got := AggregateChoice(timeP, []float64{10, 20}, []float64{0, 0}, MeanValue); !approxEq(got, 10) {
+		t.Errorf("zero probs: got %g, want 10", got)
+	}
+}
+
+func TestLoopIterations(t *testing.T) {
+	l := Loop{Min: 2, Max: 6}
+	if got := l.Iterations(Pessimistic); got != 6 {
+		t.Errorf("pessimistic iterations = %g, want 6", got)
+	}
+	if got := l.Iterations(Optimistic); got != 2 {
+		t.Errorf("optimistic iterations = %g, want 2", got)
+	}
+	if got := l.Iterations(MeanValue); got != 4 {
+		t.Errorf("default mean iterations = %g, want 4", got)
+	}
+	l.Expected = 3.5
+	if got := l.Iterations(MeanValue); got != 3.5 {
+		t.Errorf("explicit mean iterations = %g, want 3.5", got)
+	}
+}
+
+func TestAggregateLoopNegativeGuard(t *testing.T) {
+	timeP := &Property{Name: "t", Direction: Minimized, Kind: KindTime}
+	if got := AggregateLoop(timeP, 10, Loop{Min: -3, Max: -1}, Pessimistic); got != 0 {
+		t.Errorf("negative iteration counts should clamp to 0, got %g", got)
+	}
+}
+
+func TestVectorAggregators(t *testing.T) {
+	ps := StandardSet() // responseTime, price, availability, reliability, throughput
+	a := Vector{100, 2, 0.9, 0.95, 50}
+	b := Vector{200, 3, 0.8, 0.90, 30}
+
+	seq := AggregateSequenceVec(ps, []Vector{a, b})
+	want := Vector{300, 5, 0.72, 0.855, 30}
+	if !seq.Equal(want, 1e-9) {
+		t.Errorf("sequence vec = %v, want %v", seq, want)
+	}
+
+	par := AggregateParallelVec(ps, []Vector{a, b})
+	want = Vector{200, 5, 0.72, 0.855, 30}
+	if !par.Equal(want, 1e-9) {
+		t.Errorf("parallel vec = %v, want %v", par, want)
+	}
+
+	cho := AggregateChoiceVec(ps, []Vector{a, b}, nil, Pessimistic)
+	want = Vector{200, 3, 0.8, 0.90, 30}
+	if !cho.Equal(want, 1e-9) {
+		t.Errorf("pessimistic choice vec = %v, want %v", cho, want)
+	}
+
+	lp := AggregateLoopVec(ps, a, Loop{Min: 2, Max: 2}, MeanValue)
+	want = Vector{200, 4, 0.81, 0.95 * 0.95, 50}
+	if !lp.Equal(want, 1e-9) {
+		t.Errorf("loop vec = %v, want %v", lp, want)
+	}
+}
+
+// Property-based invariants of the aggregation algebra.
+
+func clampProb(x float64) float64 {
+	x = math.Abs(x)
+	x -= math.Floor(x)
+	return x
+}
+
+func TestQuickSequenceOrderInvariance(t *testing.T) {
+	timeP := &Property{Name: "t", Direction: Minimized, Kind: KindTime}
+	probP := &Property{Name: "p", Direction: Maximized, Kind: KindProbability}
+	f := func(a, b, c float64) bool {
+		a, b, c = math.Mod(a, 1e6), math.Mod(b, 1e6), math.Mod(c, 1e6)
+		s1 := AggregateSequence(timeP, []float64{a, b, c})
+		s2 := AggregateSequence(timeP, []float64{c, a, b})
+		if math.Abs(s1-s2) > 1e-6*(1+math.Abs(s1)) {
+			return false
+		}
+		pa, pb, pc := clampProb(a), clampProb(b), clampProb(c)
+		p1 := AggregateSequence(probP, []float64{pa, pb, pc})
+		p2 := AggregateSequence(probP, []float64{pc, pb, pa})
+		return math.Abs(p1-p2) <= 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickPessimisticBoundsOptimistic(t *testing.T) {
+	// For any branch values, the pessimistic choice is never better than
+	// the optimistic one, and the mean lies between them.
+	for _, dir := range []Direction{Minimized, Maximized} {
+		p := &Property{Name: "x", Direction: dir, Kind: KindTime}
+		f := func(a, b, c float64) bool {
+			vals := []float64{math.Mod(a, 1e6), math.Mod(b, 1e6), math.Mod(c, 1e6)}
+			worst := AggregateChoice(p, vals, nil, Pessimistic)
+			best := AggregateChoice(p, vals, nil, Optimistic)
+			mean := AggregateChoice(p, vals, nil, MeanValue)
+			if p.Better(worst, best) {
+				return false
+			}
+			const eps = 1e-9
+			if p.Better(mean, best) && math.Abs(mean-best) > eps {
+				return false
+			}
+			if p.Better(worst, mean) && math.Abs(mean-worst) > eps {
+				return false
+			}
+			return true
+		}
+		if err := quick.Check(f, nil); err != nil {
+			t.Errorf("direction %v: %v", dir, err)
+		}
+	}
+}
+
+func TestQuickProbabilityStaysInUnitInterval(t *testing.T) {
+	probP := &Property{Name: "p", Direction: Maximized, Kind: KindProbability}
+	f := func(a, b, c float64, k uint8) bool {
+		vals := []float64{clampProb(a), clampProb(b), clampProb(c)}
+		seq := AggregateSequence(probP, vals)
+		par := AggregateParallel(probP, vals)
+		lp := AggregateLoop(probP, vals[0], Loop{Min: 0, Max: int(k % 16)}, Pessimistic)
+		for _, x := range []float64{seq, par, lp} {
+			if x < 0 || x > 1 || math.IsNaN(x) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestApproachStrings(t *testing.T) {
+	if Pessimistic.String() != "pessimistic" || Optimistic.String() != "optimistic" ||
+		MeanValue.String() != "mean-value" {
+		t.Error("approach strings")
+	}
+	if Approach(9).String() != "Approach(9)" {
+		t.Error("unknown approach string")
+	}
+	if len(Approaches()) != 3 {
+		t.Error("Approaches should list all three")
+	}
+}

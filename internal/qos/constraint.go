@@ -1,0 +1,116 @@
+package qos
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Constraint is one global QoS requirement u_i of the user request: a
+// bound on the aggregated value of one property over the whole
+// composition. For minimized properties the aggregate must not exceed the
+// bound; for maximized properties it must not fall below it.
+type Constraint struct {
+	// Property names the constrained property in the request's set.
+	Property string
+	// Bound is the threshold, expressed in the property's canonical unit.
+	Bound float64
+}
+
+// String renders the constraint with its comparison operator.
+func (c Constraint) String() string {
+	return fmt.Sprintf("%s?%g", c.Property, c.Bound)
+}
+
+// Render formats the constraint against a property set, choosing the
+// operator from the property direction.
+func (c Constraint) Render(ps *PropertySet) string {
+	op := "≤"
+	if j, ok := ps.Index(c.Property); ok && ps.At(j).Direction == Maximized {
+		op = "≥"
+	}
+	return fmt.Sprintf("%s %s %g", c.Property, op, c.Bound)
+}
+
+// Constraints is the global requirement set U.
+type Constraints []Constraint
+
+// Validate checks that every constraint names a property of the set and
+// that no property is constrained twice.
+func (cs Constraints) Validate(ps *PropertySet) error {
+	seen := make(map[string]struct{}, len(cs))
+	for _, c := range cs {
+		if _, ok := ps.Index(c.Property); !ok {
+			return fmt.Errorf("qos: constraint on unknown property %q", c.Property)
+		}
+		if _, dup := seen[c.Property]; dup {
+			return fmt.Errorf("qos: duplicate constraint on %q", c.Property)
+		}
+		if math.IsNaN(c.Bound) {
+			return fmt.Errorf("qos: NaN bound on %q", c.Property)
+		}
+		seen[c.Property] = struct{}{}
+	}
+	return nil
+}
+
+// Satisfied reports whether the aggregated vector meets every constraint.
+func (cs Constraints) Satisfied(ps *PropertySet, agg Vector) bool {
+	return cs.Violation(ps, agg) == 0
+}
+
+// Violation measures by how much the aggregated vector misses the
+// constraint set: the sum over violated constraints of the relative
+// excess |agg−bound| / max(|bound|, 1). Zero means all constraints hold.
+func (cs Constraints) Violation(ps *PropertySet, agg Vector) float64 {
+	total := 0.0
+	for _, c := range cs {
+		j, ok := ps.Index(c.Property)
+		if !ok || j >= len(agg) {
+			continue
+		}
+		v := agg[j]
+		var excess float64
+		if ps.At(j).Direction == Minimized {
+			excess = v - c.Bound
+		} else {
+			excess = c.Bound - v
+		}
+		if excess > 0 {
+			total += excess / math.Max(math.Abs(c.Bound), 1)
+		}
+	}
+	return total
+}
+
+// Violated returns the names of the properties whose constraints the
+// aggregated vector breaks, in constraint order.
+func (cs Constraints) Violated(ps *PropertySet, agg Vector) []string {
+	var out []string
+	for _, c := range cs {
+		j, ok := ps.Index(c.Property)
+		if !ok || j >= len(agg) {
+			continue
+		}
+		v := agg[j]
+		broken := false
+		if ps.At(j).Direction == Minimized {
+			broken = v > c.Bound
+		} else {
+			broken = v < c.Bound
+		}
+		if broken {
+			out = append(out, c.Property)
+		}
+	}
+	return out
+}
+
+// String renders the constraint set.
+func (cs Constraints) String() string {
+	parts := make([]string, len(cs))
+	for i, c := range cs {
+		parts[i] = c.String()
+	}
+	return "{" + strings.Join(parts, ", ") + "}"
+}

@@ -1,0 +1,48 @@
+package qos
+
+// Dominates reports whether vector a Pareto-dominates vector b under the
+// property set's directions: a is at least as good on every property and
+// strictly better on at least one.
+func Dominates(ps *PropertySet, a, b Vector) bool {
+	if len(a) != ps.Len() || len(b) != ps.Len() {
+		return false
+	}
+	strict := false
+	for j := 0; j < ps.Len(); j++ {
+		p := ps.At(j)
+		switch {
+		case p.Better(b[j], a[j]):
+			return false
+		case p.Better(a[j], b[j]):
+			strict = true
+		}
+	}
+	return strict
+}
+
+// ParetoFront returns the indices of the non-dominated vectors, in input
+// order. It is O(n²) — fine at candidate-set scale.
+func ParetoFront(ps *PropertySet, vectors []Vector) []int {
+	out := make([]int, 0, len(vectors))
+	for i, v := range vectors {
+		dominated := false
+		for k, w := range vectors {
+			if k == i {
+				continue
+			}
+			if Dominates(ps, w, v) {
+				dominated = true
+				break
+			}
+			// Among duplicates keep only the first occurrence.
+			if k < i && w.Equal(v, 0) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			out = append(out, i)
+		}
+	}
+	return out
+}

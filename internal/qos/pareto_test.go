@@ -1,0 +1,103 @@
+package qos
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func paretoPS() *PropertySet {
+	return MustNewPropertySet(
+		&Property{Name: "rt", Direction: Minimized, Kind: KindTime},
+		&Property{Name: "av", Direction: Maximized, Kind: KindProbability},
+	)
+}
+
+func TestDominates(t *testing.T) {
+	ps := paretoPS()
+	tests := []struct {
+		name string
+		a, b Vector
+		want bool
+	}{
+		{"strictly better both", Vector{10, 0.9}, Vector{20, 0.8}, true},
+		{"better one equal other", Vector{10, 0.9}, Vector{20, 0.9}, true},
+		{"equal", Vector{10, 0.9}, Vector{10, 0.9}, false},
+		{"tradeoff", Vector{10, 0.8}, Vector{20, 0.9}, false},
+		{"worse", Vector{30, 0.7}, Vector{20, 0.9}, false},
+		{"arity mismatch", Vector{10}, Vector{20, 0.9}, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := Dominates(ps, tt.a, tt.b); got != tt.want {
+				t.Errorf("Dominates(%v, %v) = %v, want %v", tt.a, tt.b, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestParetoFront(t *testing.T) {
+	ps := paretoPS()
+	vectors := []Vector{
+		{10, 0.9},  // 0: non-dominated
+		{20, 0.95}, // 1: non-dominated (tradeoff with 0)
+		{30, 0.8},  // 2: dominated by 0 and 1
+		{10, 0.9},  // 3: duplicate of 0 — dropped
+		{5, 0.99},  // 4: dominates everything
+	}
+	front := ParetoFront(ps, vectors)
+	// 4 dominates 0, 1, 2, 3 → only 4 remains.
+	if len(front) != 1 || front[0] != 4 {
+		t.Errorf("front = %v, want [4]", front)
+	}
+	// Without the dominator the front is {0, 1}.
+	front = ParetoFront(ps, vectors[:4])
+	if len(front) != 2 || front[0] != 0 || front[1] != 1 {
+		t.Errorf("front = %v, want [0 1]", front)
+	}
+}
+
+func TestQuickParetoFrontInvariants(t *testing.T) {
+	ps := paretoPS()
+	f := func(raw [8][2]float64) bool {
+		vectors := make([]Vector, 0, len(raw))
+		for _, r := range raw {
+			vectors = append(vectors, Vector{clampProb(r[0]) * 100, clampProb(r[1])})
+		}
+		front := ParetoFront(ps, vectors)
+		if len(front) == 0 {
+			return false // at least one vector always survives
+		}
+		inFront := make(map[int]bool, len(front))
+		for _, i := range front {
+			inFront[i] = true
+		}
+		// No front member is dominated by any vector.
+		for _, i := range front {
+			for k, w := range vectors {
+				if k != i && Dominates(ps, w, vectors[i]) {
+					return false
+				}
+			}
+		}
+		// Every dropped vector is dominated by (or duplicates) a survivor.
+		for i, v := range vectors {
+			if inFront[i] {
+				continue
+			}
+			covered := false
+			for _, k := range front {
+				if Dominates(ps, vectors[k], v) || vectors[k].Equal(v, 0) {
+					covered = true
+					break
+				}
+			}
+			if !covered {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,157 @@
+package registry
+
+import (
+	"encoding/xml"
+	"fmt"
+	"strings"
+
+	"qasom/internal/semantics"
+)
+
+// This file implements Quality-Based Service Descriptions (QSD, Ch. II
+// §2.2): the XML documents providers publish, combining the functional
+// description of a service (capability, inputs, outputs) with its QoS
+// offers — the white-box counterpart of the in-memory Description.
+//
+//	<service id="bookshop-1" name="Books4U" capability="BookSale" provider="dev-7">
+//	  <inputs>ItemList</inputs>
+//	  <outputs>OrderRecord</outputs>
+//	  <qos property="ResponseTime" value="80" unit="ms"/>
+//	  <qos property="Uptime" value="99" unit="%"/>
+//	</service>
+//
+// Units are symbolic ("ms", "s", "EUR", "ct", "%", "ratio", "req/s");
+// an empty unit means the property's canonical unit.
+
+// qsdDocument mirrors the XML structure.
+type qsdDocument struct {
+	XMLName    xml.Name   `xml:"service"`
+	ID         string     `xml:"id,attr"`
+	Name       string     `xml:"name,attr"`
+	Capability string     `xml:"capability,attr"`
+	Provider   string     `xml:"provider,attr"`
+	Address    string     `xml:"address,attr"`
+	Inputs     string     `xml:"inputs"`
+	Outputs    string     `xml:"outputs"`
+	Offers     []qsdOffer `xml:"qos"`
+}
+
+type qsdOffer struct {
+	Property string  `xml:"property,attr"`
+	Value    float64 `xml:"value,attr"`
+	Unit     string  `xml:"unit,attr"`
+}
+
+// qsdUnits maps the symbolic unit names of QSD documents.
+var qsdUnits = map[string]struct {
+	name   string
+	factor float64
+}{
+	"":      {"", 1},
+	"ms":    {"ms", 1},
+	"s":     {"s", 1000},
+	"EUR":   {"EUR", 1},
+	"ct":    {"ct", 0.01},
+	"%":     {"%", 0.01},
+	"ratio": {"ratio", 1},
+	"req/s": {"req/s", 1},
+}
+
+// MarshalQSD renders a description as a QSD document.
+func MarshalQSD(d Description) ([]byte, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	doc := qsdDocument{
+		ID:         string(d.ID),
+		Name:       d.Name,
+		Capability: string(d.Concept),
+		Provider:   string(d.Provider),
+		Address:    d.Address,
+		Inputs:     joinConceptList(d.Inputs),
+		Outputs:    joinConceptList(d.Outputs),
+	}
+	for _, o := range d.Offers {
+		unit := o.Unit.Name
+		if o.Unit.Factor == 0 {
+			unit = ""
+		}
+		doc.Offers = append(doc.Offers, qsdOffer{
+			Property: string(o.Property),
+			Value:    o.Value,
+			Unit:     unit,
+		})
+	}
+	out, err := xml.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("registry: marshalling QSD for %q: %w", d.ID, err)
+	}
+	return append([]byte(xml.Header), append(out, '\n')...), nil
+}
+
+// ParseQSD reads a QSD document into a description.
+func ParseQSD(doc []byte) (Description, error) {
+	var q qsdDocument
+	if err := xml.Unmarshal(doc, &q); err != nil {
+		return Description{}, fmt.Errorf("registry: malformed QSD: %w", err)
+	}
+	d := Description{
+		ID:       ServiceID(q.ID),
+		Name:     q.Name,
+		Concept:  semantics.ConceptID(q.Capability),
+		Provider: DeviceID(q.Provider),
+		Address:  q.Address,
+		Inputs:   splitConceptList(q.Inputs),
+		Outputs:  splitConceptList(q.Outputs),
+	}
+	for _, o := range q.Offers {
+		spec, ok := qsdUnits[o.Unit]
+		if !ok {
+			return Description{}, fmt.Errorf("registry: QSD for %q uses unknown unit %q", q.ID, o.Unit)
+		}
+		offer := QoSOffer{Property: semantics.ConceptID(o.Property), Value: o.Value}
+		if o.Unit != "" {
+			offer.Unit.Name = spec.name
+			offer.Unit.Factor = spec.factor
+		}
+		d.Offers = append(d.Offers, offer)
+	}
+	if err := d.Validate(); err != nil {
+		return Description{}, err
+	}
+	return d, nil
+}
+
+// PublishQSD parses a QSD document and publishes it.
+func (r *Registry) PublishQSD(doc []byte) (ServiceID, error) {
+	d, err := ParseQSD(doc)
+	if err != nil {
+		return "", err
+	}
+	if err := r.Publish(d); err != nil {
+		return "", err
+	}
+	return d.ID, nil
+}
+
+func joinConceptList(cs []semantics.ConceptID) string {
+	parts := make([]string, len(cs))
+	for i, c := range cs {
+		parts[i] = string(c)
+	}
+	return strings.Join(parts, ",")
+}
+
+func splitConceptList(s string) []semantics.ConceptID {
+	if s == "" {
+		return nil
+	}
+	var out []semantics.ConceptID
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part != "" {
+			out = append(out, semantics.ConceptID(part))
+		}
+	}
+	return out
+}

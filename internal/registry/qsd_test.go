@@ -1,0 +1,140 @@
+package registry
+
+import (
+	"strings"
+	"testing"
+
+	"qasom/internal/qos"
+	"qasom/internal/semantics"
+)
+
+const sampleQSD = `<?xml version="1.0"?>
+<service id="bookshop-1" name="Books4U" capability="BookSale" provider="dev-7" address="tcp://10.0.0.7:9000">
+  <inputs>ItemList</inputs>
+  <outputs>OrderRecord, Receipt</outputs>
+  <qos property="Delay" value="0.08" unit="s"/>
+  <qos property="Fee" value="600" unit="ct"/>
+  <qos property="Uptime" value="97" unit="%"/>
+  <qos property="SuccessRate" value="0.93" unit="ratio"/>
+  <qos property="Rate" value="45" unit="req/s"/>
+</service>`
+
+func TestParseQSD(t *testing.T) {
+	d, err := ParseQSD([]byte(sampleQSD))
+	if err != nil {
+		t.Fatalf("ParseQSD: %v", err)
+	}
+	if d.ID != "bookshop-1" || d.Name != "Books4U" || d.Concept != semantics.BookSale {
+		t.Errorf("header = %+v", d)
+	}
+	if d.Provider != "dev-7" || d.Address != "tcp://10.0.0.7:9000" {
+		t.Errorf("provider/address = %q %q", d.Provider, d.Address)
+	}
+	if len(d.Inputs) != 1 || d.Inputs[0] != semantics.ItemList {
+		t.Errorf("inputs = %v", d.Inputs)
+	}
+	if len(d.Outputs) != 2 || d.Outputs[1] != semantics.Receipt {
+		t.Errorf("outputs = %v", d.Outputs)
+	}
+	// Units and vocabulary resolve through the shared model.
+	vec, err := d.VectorFor(qos.StandardSet(), semantics.PervasiveWithScenarios())
+	if err != nil {
+		t.Fatalf("VectorFor: %v", err)
+	}
+	want := qos.Vector{80, 6, 0.97, 0.93, 45}
+	if !vec.Equal(want, 1e-9) {
+		t.Errorf("vector = %v, want %v", vec, want)
+	}
+}
+
+func TestParseQSDErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		doc  string
+	}{
+		{"malformed", "<service"},
+		{"no id", `<service capability="BookSale"/>`},
+		{"no capability", `<service id="x"/>`},
+		{"bad unit", `<service id="x" capability="BookSale"><qos property="Delay" value="1" unit="parsec"/></service>`},
+	}
+	for _, tt := range cases {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := ParseQSD([]byte(tt.doc)); err == nil {
+				t.Error("expected error")
+			}
+		})
+	}
+}
+
+func TestQSDRoundTrip(t *testing.T) {
+	orig, err := ParseQSD([]byte(sampleQSD))
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc, err := MarshalQSD(orig)
+	if err != nil {
+		t.Fatalf("MarshalQSD: %v", err)
+	}
+	back, err := ParseQSD(doc)
+	if err != nil {
+		t.Fatalf("re-parse: %v\n%s", err, doc)
+	}
+	if back.ID != orig.ID || back.Concept != orig.Concept || len(back.Offers) != len(orig.Offers) {
+		t.Errorf("round trip changed description:\n%+v\nvs\n%+v", orig, back)
+	}
+	// Vectors resolve identically after the round trip.
+	ps := qos.StandardSet()
+	onto := semantics.PervasiveWithScenarios()
+	v1, err := orig.VectorFor(ps, onto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err := back.VectorFor(ps, onto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v1.Equal(v2, 1e-9) {
+		t.Errorf("vectors differ after round trip: %v vs %v", v1, v2)
+	}
+}
+
+func TestMarshalQSDValidation(t *testing.T) {
+	if _, err := MarshalQSD(Description{}); err == nil {
+		t.Error("invalid description should fail")
+	}
+}
+
+func TestPublishQSD(t *testing.T) {
+	r := newTestRegistry()
+	id, err := r.PublishQSD([]byte(sampleQSD))
+	if err != nil {
+		t.Fatalf("PublishQSD: %v", err)
+	}
+	if id != "bookshop-1" || r.Len() != 1 {
+		t.Errorf("id %q len %d", id, r.Len())
+	}
+	got := r.Candidates(semantics.BookSale, qos.StandardSet())
+	if len(got) != 1 {
+		t.Fatalf("published QSD should resolve: %d candidates", len(got))
+	}
+	if _, err := r.PublishQSD([]byte("<junk")); err == nil {
+		t.Error("malformed QSD should fail")
+	}
+}
+
+func TestMarshalQSDDocumentShape(t *testing.T) {
+	d := Description{
+		ID: "s1", Concept: semantics.CDSale,
+		Offers: []QoSOffer{{Property: semantics.ResponseTime, Value: 50}},
+	}
+	doc, err := MarshalQSD(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(doc)
+	for _, want := range []string{`id="s1"`, `capability="CDSale"`, `property="ResponseTime"`, `value="50"`} {
+		if !strings.Contains(s, want) {
+			t.Errorf("document missing %q:\n%s", want, s)
+		}
+	}
+}

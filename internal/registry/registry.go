@@ -1,0 +1,354 @@
+// Package registry implements QASOM's semantic service registry: the
+// directory where providers in the pervasive environment publish
+// QoS-annotated service descriptions and where the composition framework
+// resolves abstract activities to candidate services. Matching is
+// semantic (capability concepts via the shared ontology, with alias
+// resolution for heterogeneous QoS vocabularies) and QoS offers are
+// converted into vectors aligned to the requester's property set.
+package registry
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"qasom/internal/qos"
+	"qasom/internal/semantics"
+	"qasom/internal/task"
+)
+
+// ServiceID identifies a published service.
+type ServiceID string
+
+// DeviceID identifies the hosting device.
+type DeviceID string
+
+// QoSOffer is one advertised QoS statement, expressed in the provider's
+// own vocabulary and unit.
+type QoSOffer struct {
+	// Property is the provider's name for the QoS property; it may be a
+	// canonical concept or any alias the shared ontology knows.
+	Property semantics.ConceptID
+	// Value is the advertised value in Unit.
+	Value float64
+	// Unit is the unit of Value; the zero Unit means the canonical unit.
+	Unit qos.Unit
+}
+
+// Description is a published service description.
+type Description struct {
+	// ID uniquely identifies the service in the registry.
+	ID ServiceID
+	// Name is a human-readable label.
+	Name string
+	// Concept is the functional capability the service offers.
+	Concept semantics.ConceptID
+	// Inputs and Outputs are the data concepts consumed and produced.
+	Inputs  []semantics.ConceptID
+	Outputs []semantics.ConceptID
+	// Provider is the hosting device.
+	Provider DeviceID
+	// Address is the invocation endpoint (transport-specific).
+	Address string
+	// Offers are the advertised QoS statements.
+	Offers []QoSOffer
+}
+
+// Validate reports whether the description can be published.
+func (d *Description) Validate() error {
+	switch {
+	case d == nil:
+		return fmt.Errorf("registry: nil description")
+	case d.ID == "":
+		return fmt.Errorf("registry: service without ID")
+	case d.Concept == "":
+		return fmt.Errorf("registry: service %q without capability concept", d.ID)
+	}
+	return nil
+}
+
+// OfferFor returns the advertised value for the given canonical property,
+// resolving vocabulary heterogeneity through the ontology and converting
+// units. The bool reports whether a usable offer exists.
+func (d *Description) OfferFor(p *qos.Property, o *semantics.Ontology) (float64, bool) {
+	for _, offer := range d.Offers {
+		name := offer.Property
+		if o != nil {
+			name = o.Canonical(name)
+		}
+		matched := name == p.Concept
+		if !matched && o != nil {
+			matched = o.Match(p.Concept, name) == semantics.MatchPlugin
+		}
+		if !matched {
+			continue
+		}
+		unit := offer.Unit
+		if unit.Factor == 0 {
+			unit = p.Unit
+		}
+		v, err := qos.Convert(offer.Value, unit, p.Unit)
+		if err != nil {
+			continue
+		}
+		return v, true
+	}
+	return 0, false
+}
+
+// VectorFor resolves the full advertised QoS vector aligned to the
+// property set. It fails when any property lacks a usable offer.
+func (d *Description) VectorFor(ps *qos.PropertySet, o *semantics.Ontology) (qos.Vector, error) {
+	out := ps.NewVector()
+	for j := 0; j < ps.Len(); j++ {
+		v, ok := d.OfferFor(ps.At(j), o)
+		if !ok {
+			return nil, fmt.Errorf("registry: service %q offers no %q", d.ID, ps.At(j).Name)
+		}
+		out[j] = v
+	}
+	return out, nil
+}
+
+// clone deep-copies the description so registry internals never alias
+// caller slices.
+func (d Description) clone() Description {
+	d.Inputs = append([]semantics.ConceptID(nil), d.Inputs...)
+	d.Outputs = append([]semantics.ConceptID(nil), d.Outputs...)
+	d.Offers = append([]QoSOffer(nil), d.Offers...)
+	return d
+}
+
+// Candidate is a service resolved for an abstract activity: the
+// description, its QoS vector aligned to the request's properties, and
+// the semantic match level of its capability.
+type Candidate struct {
+	Service Description
+	Vector  qos.Vector
+	Match   semantics.MatchLevel
+}
+
+// EventKind tags registry change notifications.
+type EventKind int
+
+// Event kinds.
+const (
+	// EventPublished fires when a service joins or is updated.
+	EventPublished EventKind = iota + 1
+	// EventWithdrawn fires when a service leaves.
+	EventWithdrawn
+)
+
+// Event is a registry change notification.
+type Event struct {
+	Kind    EventKind
+	Service Description
+}
+
+// Registry is the concurrent service directory. Create instances with
+// New.
+type Registry struct {
+	mu       sync.RWMutex
+	services map[ServiceID]Description
+	ontology *semantics.Ontology
+	watchers map[int]chan Event
+	nextW    int
+}
+
+// New creates a registry bound to the shared ontology (nil restricts
+// matching to exact concept equality).
+func New(o *semantics.Ontology) *Registry {
+	return &Registry{
+		services: make(map[ServiceID]Description),
+		ontology: o,
+		watchers: make(map[int]chan Event),
+	}
+}
+
+// Ontology returns the registry's shared ontology (may be nil).
+func (r *Registry) Ontology() *semantics.Ontology { return r.ontology }
+
+// Publish validates and stores a description, replacing any previous
+// version, and notifies watchers.
+func (r *Registry) Publish(d Description) error {
+	if err := d.Validate(); err != nil {
+		return err
+	}
+	cp := d.clone()
+	r.mu.Lock()
+	r.services[cp.ID] = cp
+	r.mu.Unlock()
+	r.notify(Event{Kind: EventPublished, Service: cp})
+	return nil
+}
+
+// Withdraw removes a service and notifies watchers; it reports whether
+// the service was present.
+func (r *Registry) Withdraw(id ServiceID) bool {
+	r.mu.Lock()
+	d, ok := r.services[id]
+	if ok {
+		delete(r.services, id)
+	}
+	r.mu.Unlock()
+	if ok {
+		r.notify(Event{Kind: EventWithdrawn, Service: d})
+	}
+	return ok
+}
+
+// Get returns a copy of the description for id.
+func (r *Registry) Get(id ServiceID) (Description, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	d, ok := r.services[id]
+	if !ok {
+		return Description{}, false
+	}
+	return d.clone(), true
+}
+
+// Len returns the number of published services.
+func (r *Registry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.services)
+}
+
+// All returns copies of every description, sorted by ID.
+func (r *Registry) All() []Description {
+	r.mu.RLock()
+	out := make([]Description, 0, len(r.services))
+	for _, d := range r.services {
+		out = append(out, d.clone())
+	}
+	r.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Candidates resolves the services able to provide the required
+// capability, with their QoS vectors aligned to ps. Services whose
+// capability fails to match (subsume matches are excluded: a more
+// general service does not guarantee the required function) or whose
+// offers cannot cover ps are skipped. Results are sorted by match level
+// then ID.
+func (r *Registry) Candidates(required semantics.ConceptID, ps *qos.PropertySet) []Candidate {
+	r.mu.RLock()
+	services := make([]Description, 0, len(r.services))
+	for _, d := range r.services {
+		services = append(services, d)
+	}
+	r.mu.RUnlock()
+
+	out := make([]Candidate, 0, len(services))
+	for _, d := range services {
+		level := r.matchCapability(required, d.Concept)
+		if level != semantics.MatchExact && level != semantics.MatchPlugin {
+			continue
+		}
+		vec, err := d.VectorFor(ps, r.ontology)
+		if err != nil {
+			continue
+		}
+		out = append(out, Candidate{Service: d.clone(), Vector: vec, Match: level})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Match != out[j].Match {
+			return out[i].Match.Beats(out[j].Match)
+		}
+		return out[i].Service.ID < out[j].Service.ID
+	})
+	return out
+}
+
+// CandidatesForActivity resolves candidates for an abstract activity,
+// additionally enforcing data compatibility when both sides declare it:
+// every input the service requires must be provided by the activity, and
+// every output the activity expects must be produced by the service.
+func (r *Registry) CandidatesForActivity(a *task.Activity, ps *qos.PropertySet) []Candidate {
+	base := r.Candidates(a.Concept, ps)
+	out := base[:0]
+	for _, c := range base {
+		if r.dataCompatible(a, &c.Service) {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+func (r *Registry) dataCompatible(a *task.Activity, d *Description) bool {
+	for _, in := range d.Inputs {
+		if len(a.Inputs) == 0 {
+			break // activity declares nothing: do not constrain
+		}
+		if !r.conceptCovered(in, a.Inputs) {
+			return false
+		}
+	}
+	for _, want := range a.Outputs {
+		if len(d.Outputs) == 0 {
+			return false
+		}
+		if !r.conceptCovered(want, d.Outputs) {
+			return false
+		}
+	}
+	return true
+}
+
+func (r *Registry) conceptCovered(required semantics.ConceptID, available []semantics.ConceptID) bool {
+	for _, offered := range available {
+		if r.matchCapability(required, offered).Satisfies() {
+			return true
+		}
+	}
+	return false
+}
+
+func (r *Registry) matchCapability(required, offered semantics.ConceptID) semantics.MatchLevel {
+	if r.ontology == nil {
+		if required == offered {
+			return semantics.MatchExact
+		}
+		return semantics.MatchFail
+	}
+	return r.ontology.Match(required, offered)
+}
+
+// Watch subscribes to registry change events. The returned cancel
+// function unsubscribes and closes the channel. Events are delivered
+// best-effort: when the subscriber's buffer is full the event is dropped
+// rather than blocking publishers.
+func (r *Registry) Watch(buffer int) (<-chan Event, func()) {
+	if buffer <= 0 {
+		buffer = 16
+	}
+	ch := make(chan Event, buffer)
+	r.mu.Lock()
+	id := r.nextW
+	r.nextW++
+	r.watchers[id] = ch
+	r.mu.Unlock()
+	var once sync.Once
+	cancel := func() {
+		once.Do(func() {
+			r.mu.Lock()
+			delete(r.watchers, id)
+			r.mu.Unlock()
+			close(ch)
+		})
+	}
+	return ch, cancel
+}
+
+func (r *Registry) notify(e Event) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for _, ch := range r.watchers {
+		select {
+		case ch <- e:
+		default: // drop rather than block
+		}
+	}
+}

@@ -1,0 +1,317 @@
+package registry
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"qasom/internal/qos"
+	"qasom/internal/semantics"
+	"qasom/internal/task"
+)
+
+func stdOffers(rt, price, avail, rel, tput float64) []QoSOffer {
+	return []QoSOffer{
+		{Property: semantics.ResponseTime, Value: rt},
+		{Property: semantics.Price, Value: price},
+		{Property: semantics.Availability, Value: avail},
+		{Property: semantics.Reliability, Value: rel},
+		{Property: semantics.Throughput, Value: tput},
+	}
+}
+
+func bookService(id string, rt float64) Description {
+	return Description{
+		ID:      ServiceID(id),
+		Name:    "Book shop " + id,
+		Concept: semantics.BookSale,
+		Offers:  stdOffers(rt, 10, 0.95, 0.9, 50),
+	}
+}
+
+func newTestRegistry() *Registry {
+	return New(semantics.PervasiveWithScenarios())
+}
+
+func TestPublishValidation(t *testing.T) {
+	r := newTestRegistry()
+	if err := r.Publish(Description{}); err == nil {
+		t.Error("empty description should be rejected")
+	}
+	if err := r.Publish(Description{ID: "x"}); err == nil {
+		t.Error("description without concept should be rejected")
+	}
+	if err := r.Publish(bookService("s1", 100)); err != nil {
+		t.Fatalf("Publish: %v", err)
+	}
+	if r.Len() != 1 {
+		t.Errorf("Len = %d, want 1", r.Len())
+	}
+}
+
+func TestPublishCopiesAtBoundary(t *testing.T) {
+	r := newTestRegistry()
+	d := bookService("s1", 100)
+	if err := r.Publish(d); err != nil {
+		t.Fatal(err)
+	}
+	d.Offers[0].Value = 99999
+	got, ok := r.Get("s1")
+	if !ok {
+		t.Fatal("Get failed")
+	}
+	if got.Offers[0].Value != 100 {
+		t.Error("Publish should copy offers at the boundary")
+	}
+	// Mutating the returned copy must not affect the registry either.
+	got.Offers[0].Value = -1
+	got2, _ := r.Get("s1")
+	if got2.Offers[0].Value != 100 {
+		t.Error("Get should return copies")
+	}
+}
+
+func TestWithdraw(t *testing.T) {
+	r := newTestRegistry()
+	if err := r.Publish(bookService("s1", 100)); err != nil {
+		t.Fatal(err)
+	}
+	if !r.Withdraw("s1") {
+		t.Error("Withdraw should report presence")
+	}
+	if r.Withdraw("s1") {
+		t.Error("second Withdraw should report absence")
+	}
+	if _, ok := r.Get("s1"); ok {
+		t.Error("withdrawn service still present")
+	}
+}
+
+func TestAllSorted(t *testing.T) {
+	r := newTestRegistry()
+	for _, id := range []string{"c", "a", "b"} {
+		if err := r.Publish(bookService(id, 100)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	all := r.All()
+	if len(all) != 3 || all[0].ID != "a" || all[2].ID != "c" {
+		t.Errorf("All not sorted: %v", []ServiceID{all[0].ID, all[1].ID, all[2].ID})
+	}
+}
+
+func TestCandidatesSemanticMatch(t *testing.T) {
+	r := newTestRegistry()
+	ps := qos.StandardSet()
+	if err := r.Publish(bookService("book1", 100)); err != nil {
+		t.Fatal(err)
+	}
+	cd := Description{ID: "cd1", Concept: semantics.CDSale, Offers: stdOffers(80, 5, 0.9, 0.9, 40)}
+	if err := r.Publish(cd); err != nil {
+		t.Fatal(err)
+	}
+	generic := Description{ID: "gen1", Concept: semantics.ShoppingService, Offers: stdOffers(60, 4, 0.9, 0.9, 40)}
+	if err := r.Publish(generic); err != nil {
+		t.Fatal(err)
+	}
+
+	// Request for generic Shopping: exact (gen1) + plugin (book1, cd1).
+	got := r.Candidates(semantics.ShoppingService, ps)
+	if len(got) != 3 {
+		t.Fatalf("Candidates(Shopping) = %d, want 3", len(got))
+	}
+	if got[0].Service.ID != "gen1" || got[0].Match != semantics.MatchExact {
+		t.Errorf("exact match should sort first: %v", got[0].Service.ID)
+	}
+
+	// Request for BookSale: only book1 (gen1 would be a subsume match,
+	// which is excluded).
+	got = r.Candidates(semantics.BookSale, ps)
+	if len(got) != 1 || got[0].Service.ID != "book1" {
+		t.Errorf("Candidates(BookSale) = %v", got)
+	}
+	// Vector resolved in canonical units.
+	if got[0].Vector[0] != 100 {
+		t.Errorf("responseTime = %g, want 100", got[0].Vector[0])
+	}
+}
+
+func TestCandidatesSkipIncompleteOffers(t *testing.T) {
+	r := newTestRegistry()
+	ps := qos.StandardSet()
+	incomplete := Description{
+		ID: "inc", Concept: semantics.BookSale,
+		Offers: []QoSOffer{{Property: semantics.ResponseTime, Value: 10}},
+	}
+	if err := r.Publish(incomplete); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Candidates(semantics.BookSale, ps); len(got) != 0 {
+		t.Errorf("service with incomplete offers should be skipped, got %d", len(got))
+	}
+}
+
+func TestOfferVocabularyAndUnits(t *testing.T) {
+	r := newTestRegistry()
+	ps := qos.StandardSet()
+	// Provider uses "Delay" in seconds, "Uptime" in percent, "Fee" in cents.
+	d := Description{
+		ID: "het", Concept: semantics.BookSale,
+		Offers: []QoSOffer{
+			{Property: "Delay", Value: 0.2, Unit: qos.Seconds},
+			{Property: "Fee", Value: 250, Unit: qos.Cents},
+			{Property: "Uptime", Value: 95, Unit: qos.Percent},
+			{Property: "SuccessRate", Value: 0.9},
+			{Property: "Rate", Value: 40},
+		},
+	}
+	if err := r.Publish(d); err != nil {
+		t.Fatal(err)
+	}
+	got := r.Candidates(semantics.BookSale, ps)
+	if len(got) != 1 {
+		t.Fatalf("heterogeneous offers should resolve, got %d candidates", len(got))
+	}
+	want := qos.Vector{200, 2.5, 0.95, 0.9, 40}
+	if !got[0].Vector.Equal(want, 1e-9) {
+		t.Errorf("vector = %v, want %v", got[0].Vector, want)
+	}
+}
+
+func TestOfferForSpecializedConcept(t *testing.T) {
+	// A provider advertising ExecutionTime satisfies a ResponseTime
+	// requirement (plugin match on the property concept).
+	r := newTestRegistry()
+	d := Description{
+		ID: "s", Concept: semantics.BookSale,
+		Offers: []QoSOffer{{Property: semantics.ExecutionTime, Value: 120}},
+	}
+	rt := qos.StandardSet().At(0)
+	v, ok := d.OfferFor(rt, r.Ontology())
+	if !ok || v != 120 {
+		t.Errorf("OfferFor(responseTime) = (%g, %v), want (120, true)", v, ok)
+	}
+}
+
+func TestCandidatesForActivityDataCompatibility(t *testing.T) {
+	r := newTestRegistry()
+	ps := qos.StandardSet()
+	good := bookService("good", 100)
+	good.Inputs = []semantics.ConceptID{semantics.ItemList}
+	good.Outputs = []semantics.ConceptID{semantics.Order, semantics.Receipt}
+	if err := r.Publish(good); err != nil {
+		t.Fatal(err)
+	}
+	needy := bookService("needy", 90)
+	needy.Inputs = []semantics.ConceptID{semantics.Prescription} // activity cannot provide
+	if err := r.Publish(needy); err != nil {
+		t.Fatal(err)
+	}
+	silent := bookService("silent", 80) // declares no outputs
+	if err := r.Publish(silent); err != nil {
+		t.Fatal(err)
+	}
+
+	act := &task.Activity{
+		ID: "buy", Concept: semantics.BookSale,
+		Inputs:  []semantics.ConceptID{semantics.ItemList},
+		Outputs: []semantics.ConceptID{semantics.Order},
+	}
+	got := r.CandidatesForActivity(act, ps)
+	if len(got) != 1 || got[0].Service.ID != "good" {
+		ids := make([]ServiceID, len(got))
+		for i, c := range got {
+			ids[i] = c.Service.ID
+		}
+		t.Errorf("CandidatesForActivity = %v, want [good]", ids)
+	}
+
+	// An activity declaring no data does not constrain inputs but still
+	// requires declared outputs.
+	lax := &task.Activity{ID: "buy2", Concept: semantics.BookSale}
+	got = r.CandidatesForActivity(lax, ps)
+	if len(got) != 3 {
+		t.Errorf("activity without data declarations should accept all: %d", len(got))
+	}
+}
+
+func TestWatch(t *testing.T) {
+	r := newTestRegistry()
+	ch, cancel := r.Watch(4)
+	defer cancel()
+	if err := r.Publish(bookService("s1", 100)); err != nil {
+		t.Fatal(err)
+	}
+	r.Withdraw("s1")
+
+	var events []Event
+	timeout := time.After(time.Second)
+	for len(events) < 2 {
+		select {
+		case e := <-ch:
+			events = append(events, e)
+		case <-timeout:
+			t.Fatalf("timed out after %d events", len(events))
+		}
+	}
+	if events[0].Kind != EventPublished || events[0].Service.ID != "s1" {
+		t.Errorf("event 0 = %+v", events[0])
+	}
+	if events[1].Kind != EventWithdrawn {
+		t.Errorf("event 1 = %+v", events[1])
+	}
+}
+
+func TestWatchCancelIdempotent(t *testing.T) {
+	r := newTestRegistry()
+	ch, cancel := r.Watch(1)
+	cancel()
+	cancel() // second cancel must not panic
+	if _, open := <-ch; open {
+		t.Error("channel should be closed after cancel")
+	}
+	// Publishing after cancel must not panic.
+	if err := r.Publish(bookService("s1", 100)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWatchDoesNotBlockPublishers(t *testing.T) {
+	r := newTestRegistry()
+	_, cancel := r.Watch(1) // tiny buffer, never drained
+	defer cancel()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			_ = r.Publish(bookService(fmt.Sprintf("s%d", i), 100))
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("publisher blocked on a slow watcher")
+	}
+}
+
+func TestConcurrentPublishWithdraw(t *testing.T) {
+	r := newTestRegistry()
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				id := fmt.Sprintf("w%d-s%d", w, i)
+				_ = r.Publish(bookService(id, float64(i)))
+				_ = r.Candidates(semantics.BookSale, qos.StandardSet())
+				r.Withdraw(ServiceID(id))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if r.Len() != 0 {
+		t.Errorf("registry should be empty, has %d", r.Len())
+	}
+}

@@ -1,0 +1,520 @@
+// Package semantics implements the lightweight description-logic fragment
+// that QASOM uses in place of OWL: named concepts organised in a
+// multiple-inheritance subsumption hierarchy, concept aliases (to map the
+// heterogeneous vocabularies of users and providers onto a shared model),
+// a small triple store for non-hierarchical relations, and the
+// matchmaking levels (exact / plugin / subsume / fail) used throughout the
+// middleware for semantic service and QoS-property matching.
+//
+// The four QoS ontologies of the thesis (QoS Core, Infrastructure QoS,
+// Service QoS and User QoS — Chapter III) are provided as ready-made
+// instances; see CoreQoS, InfrastructureQoS, ServiceQoS, UserQoS and the
+// merged Pervasive ontology.
+package semantics
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// ConceptID names a concept in an ontology. IDs are case-sensitive and
+// unique within an ontology (aliases share the namespace).
+type ConceptID string
+
+// MatchLevel grades how well an offered concept satisfies a required one,
+// following the classic semantic matchmaking scale (exact > plugin >
+// subsume > fail) used by Amigo and PERSE, which the thesis builds on.
+type MatchLevel int
+
+// Match levels, ordered from best to worst.
+const (
+	// MatchExact means the two concepts are identical (after alias
+	// resolution).
+	MatchExact MatchLevel = iota + 1
+	// MatchPlugin means the offered concept is a specialisation of the
+	// required one and can therefore be plugged in wherever the required
+	// concept is expected.
+	MatchPlugin
+	// MatchSubsume means the offered concept is a generalisation of the
+	// required one; it may satisfy the request but gives weaker
+	// guarantees.
+	MatchSubsume
+	// MatchFail means the concepts are unrelated.
+	MatchFail
+)
+
+// String returns the conventional name of the match level.
+func (m MatchLevel) String() string {
+	switch m {
+	case MatchExact:
+		return "exact"
+	case MatchPlugin:
+		return "plugin"
+	case MatchSubsume:
+		return "subsume"
+	case MatchFail:
+		return "fail"
+	default:
+		return fmt.Sprintf("MatchLevel(%d)", int(m))
+	}
+}
+
+// Beats reports whether m is a strictly better match than other.
+func (m MatchLevel) Beats(other MatchLevel) bool { return m < other }
+
+// Satisfies reports whether the level denotes a usable match (anything
+// better than fail).
+func (m MatchLevel) Satisfies() bool { return m != MatchFail && m != 0 }
+
+// Triple is a non-hierarchical statement (subject, predicate, object)
+// attached to the ontology, e.g. (ResponseTime, hasUnit, Millisecond).
+type Triple struct {
+	Subject   ConceptID
+	Predicate string
+	Object    ConceptID
+}
+
+type conceptNode struct {
+	id      ConceptID
+	comment string
+	parents map[ConceptID]struct{}
+}
+
+// Ontology is a concept store with subsumption reasoning. The zero value
+// is not usable; create instances with New. All methods are safe for
+// concurrent use.
+type Ontology struct {
+	mu       sync.RWMutex
+	name     string
+	concepts map[ConceptID]*conceptNode
+	aliases  map[ConceptID]ConceptID
+	triples  []Triple
+	// ancestors memoises the transitive closure of the parent relation;
+	// invalidated on every mutation.
+	ancestors map[ConceptID]map[ConceptID]struct{}
+}
+
+// New creates an empty ontology with the given name.
+func New(name string) *Ontology {
+	return &Ontology{
+		name:     name,
+		concepts: make(map[ConceptID]*conceptNode),
+		aliases:  make(map[ConceptID]ConceptID),
+	}
+}
+
+// Name returns the ontology name.
+func (o *Ontology) Name() string { return o.name }
+
+// Len returns the number of concepts (aliases excluded).
+func (o *Ontology) Len() int {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	return len(o.concepts)
+}
+
+// AddConcept registers a concept with the given parent concepts. All
+// parents must already exist. Re-adding an existing concept merges the
+// parent sets. It returns an error if id is empty, clashes with an alias,
+// or any parent is unknown.
+func (o *Ontology) AddConcept(id ConceptID, parents ...ConceptID) error {
+	if id == "" {
+		return fmt.Errorf("semantics: empty concept id")
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if _, clash := o.aliases[id]; clash {
+		return fmt.Errorf("semantics: concept %q clashes with an alias", id)
+	}
+	for _, p := range parents {
+		if _, ok := o.concepts[p]; !ok {
+			return fmt.Errorf("semantics: unknown parent concept %q for %q", p, id)
+		}
+	}
+	node, ok := o.concepts[id]
+	if !ok {
+		node = &conceptNode{id: id, parents: make(map[ConceptID]struct{}, len(parents))}
+		o.concepts[id] = node
+	}
+	for _, p := range parents {
+		node.parents[p] = struct{}{}
+	}
+	o.ancestors = nil
+	return nil
+}
+
+// MustAddConcept is AddConcept but panics on error. It is intended for
+// building the static QoS ontologies at construction time.
+func (o *Ontology) MustAddConcept(id ConceptID, parents ...ConceptID) {
+	if err := o.AddConcept(id, parents...); err != nil {
+		panic(err)
+	}
+}
+
+// SetComment attaches a human-readable comment to a concept.
+func (o *Ontology) SetComment(id ConceptID, comment string) error {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	node, ok := o.concepts[o.resolveLocked(id)]
+	if !ok {
+		return fmt.Errorf("semantics: unknown concept %q", id)
+	}
+	node.comment = comment
+	return nil
+}
+
+// Comment returns the comment attached to a concept, if any.
+func (o *Ontology) Comment(id ConceptID) string {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	if node, ok := o.concepts[o.resolveLocked(id)]; ok {
+		return node.comment
+	}
+	return ""
+}
+
+// AddAlias declares alias as an alternative name for canonical. Aliases
+// let heterogeneous vocabularies (e.g. "Delay" vs "ResponseTime") resolve
+// to the shared model.
+func (o *Ontology) AddAlias(alias, canonical ConceptID) error {
+	if alias == "" || canonical == "" {
+		return fmt.Errorf("semantics: empty alias or canonical id")
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if _, clash := o.concepts[alias]; clash {
+		return fmt.Errorf("semantics: alias %q clashes with a concept", alias)
+	}
+	target := canonical
+	if t, ok := o.aliases[canonical]; ok {
+		target = t
+	}
+	if _, ok := o.concepts[target]; !ok {
+		return fmt.Errorf("semantics: alias %q targets unknown concept %q", alias, canonical)
+	}
+	o.aliases[alias] = target
+	return nil
+}
+
+// MustAddAlias is AddAlias but panics on error.
+func (o *Ontology) MustAddAlias(alias, canonical ConceptID) {
+	if err := o.AddAlias(alias, canonical); err != nil {
+		panic(err)
+	}
+}
+
+// AddTriple records a non-hierarchical statement about a concept.
+func (o *Ontology) AddTriple(subject ConceptID, predicate string, object ConceptID) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.triples = append(o.triples, Triple{
+		Subject:   o.resolveLocked(subject),
+		Predicate: predicate,
+		Object:    o.resolveLocked(object),
+	})
+}
+
+// Objects returns the objects of all triples with the given subject and
+// predicate, in insertion order.
+func (o *Ontology) Objects(subject ConceptID, predicate string) []ConceptID {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	subject = o.resolveLocked(subject)
+	var out []ConceptID
+	for _, t := range o.triples {
+		if t.Subject == subject && t.Predicate == predicate {
+			out = append(out, t.Object)
+		}
+	}
+	return out
+}
+
+// Canonical resolves aliases to their canonical concept; unknown IDs are
+// returned unchanged.
+func (o *Ontology) Canonical(id ConceptID) ConceptID {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	return o.resolveLocked(id)
+}
+
+func (o *Ontology) resolveLocked(id ConceptID) ConceptID {
+	if c, ok := o.aliases[id]; ok {
+		return c
+	}
+	return id
+}
+
+// Has reports whether the concept (or an alias of it) exists.
+func (o *Ontology) Has(id ConceptID) bool {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	_, ok := o.concepts[o.resolveLocked(id)]
+	return ok
+}
+
+// Parents returns the direct parents of a concept in sorted order.
+func (o *Ontology) Parents(id ConceptID) []ConceptID {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	node, ok := o.concepts[o.resolveLocked(id)]
+	if !ok {
+		return nil
+	}
+	out := make([]ConceptID, 0, len(node.parents))
+	for p := range node.parents {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Children returns the direct children of a concept in sorted order.
+func (o *Ontology) Children(id ConceptID) []ConceptID {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	id = o.resolveLocked(id)
+	var out []ConceptID
+	for cid, node := range o.concepts {
+		if _, ok := node.parents[id]; ok {
+			out = append(out, cid)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Concepts returns all concept IDs in sorted order.
+func (o *Ontology) Concepts() []ConceptID {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	out := make([]ConceptID, 0, len(o.concepts))
+	for id := range o.concepts {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// IsA reports whether sub is the same concept as, or a (transitive)
+// specialisation of, sup. Unknown concepts are related only to themselves.
+func (o *Ontology) IsA(sub, sup ConceptID) bool {
+	o.mu.RLock()
+	sub = o.resolveLocked(sub)
+	sup = o.resolveLocked(sup)
+	o.mu.RUnlock()
+	if sub == sup {
+		return true
+	}
+	anc := o.closure()
+	_, ok := anc[sub][sup]
+	return ok
+}
+
+// Subsumes reports whether sup subsumes sub, i.e. sub IsA sup.
+func (o *Ontology) Subsumes(sup, sub ConceptID) bool { return o.IsA(sub, sup) }
+
+// Ancestors returns all transitive ancestors of a concept (excluding the
+// concept itself), in sorted order.
+func (o *Ontology) Ancestors(id ConceptID) []ConceptID {
+	id = o.Canonical(id)
+	set, ok := o.closure()[id]
+	if !ok {
+		return nil
+	}
+	out := make([]ConceptID, 0, len(set))
+	for a := range set {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// closure returns the memoised transitive closure of the parent relation,
+// rebuilding it under the write lock when a mutation invalidated it. The
+// returned map is never mutated after publication and is safe to read
+// without holding mu.
+func (o *Ontology) closure() map[ConceptID]map[ConceptID]struct{} {
+	o.mu.RLock()
+	cached := o.ancestors
+	o.mu.RUnlock()
+	if cached != nil {
+		return cached
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if o.ancestors != nil {
+		return o.ancestors
+	}
+	closure := make(map[ConceptID]map[ConceptID]struct{}, len(o.concepts))
+	var visit func(id ConceptID) map[ConceptID]struct{}
+	visit = func(id ConceptID) map[ConceptID]struct{} {
+		if set, ok := closure[id]; ok {
+			return set
+		}
+		set := make(map[ConceptID]struct{})
+		closure[id] = set // break cycles defensively
+		node := o.concepts[id]
+		if node == nil {
+			return set
+		}
+		for p := range node.parents {
+			set[p] = struct{}{}
+			for a := range visit(p) {
+				set[a] = struct{}{}
+			}
+		}
+		return set
+	}
+	for id := range o.concepts {
+		visit(id)
+	}
+	o.ancestors = closure
+	return closure
+}
+
+// Match grades how well the offered concept satisfies the required one:
+// exact when identical, plugin when offered specialises required, subsume
+// when offered generalises required, fail otherwise.
+func (o *Ontology) Match(required, offered ConceptID) MatchLevel {
+	required = o.Canonical(required)
+	offered = o.Canonical(offered)
+	switch {
+	case required == offered:
+		return MatchExact
+	case o.IsA(offered, required):
+		return MatchPlugin
+	case o.IsA(required, offered):
+		return MatchSubsume
+	default:
+		return MatchFail
+	}
+}
+
+// Distance returns the length of the shortest directed specialisation
+// chain between two concepts (in either direction), and false when the
+// concepts are unrelated. Distance 0 means identity. It is used to rank
+// equally-levelled matches (a closer plugin match beats a remote one).
+func (o *Ontology) Distance(a, b ConceptID) (int, bool) {
+	a = o.Canonical(a)
+	b = o.Canonical(b)
+	if a == b {
+		return 0, true
+	}
+	if d, ok := o.upDistance(a, b); ok {
+		return d, true
+	}
+	if d, ok := o.upDistance(b, a); ok {
+		return d, true
+	}
+	return 0, false
+}
+
+// upDistance returns the shortest chain length from sub upward to sup.
+func (o *Ontology) upDistance(sub, sup ConceptID) (int, bool) {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	type item struct {
+		id ConceptID
+		d  int
+	}
+	seen := map[ConceptID]struct{}{sub: {}}
+	queue := []item{{sub, 0}}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		if cur.id == sup {
+			return cur.d, true
+		}
+		node := o.concepts[cur.id]
+		if node == nil {
+			continue
+		}
+		for p := range node.parents {
+			if _, ok := seen[p]; ok {
+				continue
+			}
+			seen[p] = struct{}{}
+			queue = append(queue, item{p, cur.d + 1})
+		}
+	}
+	return 0, false
+}
+
+// Merge copies every concept, alias and triple of src into o. Concepts
+// already present have their parent sets merged. Merge returns an error
+// on alias/concept namespace clashes.
+func (o *Ontology) Merge(src *Ontology) error {
+	if src == nil {
+		return nil
+	}
+	src.mu.RLock()
+	type conceptData struct {
+		id      ConceptID
+		comment string
+		parents []ConceptID
+	}
+	nodes := make([]conceptData, 0, len(src.concepts))
+	for id, node := range src.concepts {
+		cd := conceptData{id: id, comment: node.comment, parents: make([]ConceptID, 0, len(node.parents))}
+		for p := range node.parents {
+			cd.parents = append(cd.parents, p)
+		}
+		nodes = append(nodes, cd)
+	}
+	aliases := make(map[ConceptID]ConceptID, len(src.aliases))
+	for a, c := range src.aliases {
+		aliases[a] = c
+	}
+	triples := make([]Triple, len(src.triples))
+	copy(triples, src.triples)
+	src.mu.RUnlock()
+
+	// Insert concepts in dependency order (parents first).
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i].id < nodes[j].id })
+	pending := nodes
+	for len(pending) > 0 {
+		progressed := false
+		var next []conceptData
+		for _, cd := range pending {
+			ready := true
+			for _, p := range cd.parents {
+				if !o.Has(p) {
+					ready = false
+					break
+				}
+			}
+			if !ready {
+				next = append(next, cd)
+				continue
+			}
+			if err := o.AddConcept(cd.id, cd.parents...); err != nil {
+				return fmt.Errorf("semantics: merging %q: %w", src.name, err)
+			}
+			if cd.comment != "" {
+				if err := o.SetComment(cd.id, cd.comment); err != nil {
+					return err
+				}
+			}
+			progressed = true
+		}
+		if !progressed {
+			return fmt.Errorf("semantics: merging %q: unresolved parent cycle among %d concepts", src.name, len(next))
+		}
+		pending = next
+	}
+	aliasNames := make([]ConceptID, 0, len(aliases))
+	for a := range aliases {
+		aliasNames = append(aliasNames, a)
+	}
+	sort.Slice(aliasNames, func(i, j int) bool { return aliasNames[i] < aliasNames[j] })
+	for _, a := range aliasNames {
+		if err := o.AddAlias(a, aliases[a]); err != nil {
+			return fmt.Errorf("semantics: merging %q: %w", src.name, err)
+		}
+	}
+	for _, t := range triples {
+		o.AddTriple(t.Subject, t.Predicate, t.Object)
+	}
+	return nil
+}

@@ -1,0 +1,187 @@
+package semantics
+
+import "testing"
+
+func TestCoreQoSStructure(t *testing.T) {
+	o := CoreQoS()
+	for _, c := range []ConceptID{QoSProperty, QoSMetric, QoSUnit, QoSValue, QoSDirection} {
+		if !o.IsA(c, QoSConcept) {
+			t.Errorf("%s should specialise %s", c, QoSConcept)
+		}
+	}
+	if !o.IsA(UnitMillisecond, QoSUnit) {
+		t.Error("Millisecond should be a QoSUnit")
+	}
+	if !o.IsA(MeasuredValue, QoSValue) {
+		t.Error("MeasuredValue should be a QoSValue")
+	}
+}
+
+func TestServiceQoSHierarchy(t *testing.T) {
+	o := ServiceQoS()
+	tests := []struct {
+		sub, sup ConceptID
+	}{
+		{ResponseTime, Performance},
+		{ExecutionTime, ResponseTime},
+		{Availability, Dependability},
+		{Price, Cost},
+		{EncryptionLevel, Security},
+		{MediaQuality, ContentQuality},
+		{ResponseTime, QoSProperty},
+		{Availability, ServiceQoSProperty},
+	}
+	for _, tt := range tests {
+		if !o.IsA(tt.sub, tt.sup) {
+			t.Errorf("%s should be a %s", tt.sub, tt.sup)
+		}
+	}
+	if o.IsA(Price, Performance) {
+		t.Error("Price must not be a Performance property")
+	}
+}
+
+func TestServiceQoSAliases(t *testing.T) {
+	o := ServiceQoS()
+	aliases := map[ConceptID]ConceptID{
+		"Delay":       ResponseTime,
+		"Uptime":      Availability,
+		"SuccessRate": Reliability,
+		"Fee":         Price,
+	}
+	for alias, want := range aliases {
+		if got := o.Canonical(alias); got != want {
+			t.Errorf("Canonical(%s) = %s, want %s", alias, got, want)
+		}
+	}
+	// Heterogeneous vocabularies match through aliases.
+	if got := o.Match(ResponseTime, "Delay"); got != MatchExact {
+		t.Errorf("Match(ResponseTime, Delay) = %v, want exact", got)
+	}
+}
+
+func TestDirectionsRecorded(t *testing.T) {
+	o := ServiceQoS()
+	down := o.Objects(ResponseTime, PredHasDirection)
+	if len(down) != 1 || down[0] != DirectionDownward {
+		t.Errorf("ResponseTime direction = %v, want downward", down)
+	}
+	up := o.Objects(Availability, PredHasDirection)
+	if len(up) != 1 || up[0] != DirectionUpward {
+		t.Errorf("Availability direction = %v, want upward", up)
+	}
+}
+
+func TestInfrastructureQoSHierarchy(t *testing.T) {
+	o := InfrastructureQoS()
+	for _, c := range []ConceptID{Bandwidth, NetworkLatency, PacketLoss, SignalStrength} {
+		if !o.IsA(c, NetworkQoS) {
+			t.Errorf("%s should be a NetworkQoS", c)
+		}
+	}
+	for _, c := range []ConceptID{CPUSpeed, BatteryLife, MemoryCapacity} {
+		if !o.IsA(c, DeviceQoS) {
+			t.Errorf("%s should be a DeviceQoS", c)
+		}
+	}
+	if !o.IsA(NetworkQoS, QoSProperty) {
+		t.Error("NetworkQoS should be a QoSProperty")
+	}
+}
+
+func TestUserQoSHierarchy(t *testing.T) {
+	o := UserQoS()
+	if !o.IsA(GlobalConstraint, QoSRequirement) {
+		t.Error("GlobalConstraint should be a QoSRequirement")
+	}
+	if !o.IsA(TierSatisfied, PerceivedQoS) {
+		t.Error("TierSatisfied should be a PerceivedQoS")
+	}
+}
+
+func TestPervasiveEndToEnd(t *testing.T) {
+	o := Pervasive()
+	// All four sub-models are present.
+	for _, c := range []ConceptID{ResponseTime, NetworkLatency, GlobalConstraint, QoSMetric} {
+		if !o.Has(c) {
+			t.Errorf("merged ontology missing %s", c)
+		}
+	}
+	// End-to-end dependencies link service QoS to infrastructure QoS.
+	deps := o.Objects(ResponseTime, PredDependsOn)
+	if len(deps) == 0 {
+		t.Fatal("ResponseTime should depend on infrastructure properties")
+	}
+	foundLatency := false
+	for _, d := range deps {
+		if d == NetworkLatency {
+			foundLatency = true
+		}
+	}
+	if !foundLatency {
+		t.Errorf("ResponseTime dependencies %v should include NetworkLatency", deps)
+	}
+	// Service- and infrastructure-level properties share the QoSProperty root.
+	if !o.IsA(NetworkLatency, QoSProperty) || !o.IsA(ResponseTime, QoSProperty) {
+		t.Error("end-to-end model must unify service and infrastructure properties under QoSProperty")
+	}
+}
+
+func TestScenariosOntology(t *testing.T) {
+	o := Scenarios()
+	tests := []struct {
+		sub, sup ConceptID
+	}{
+		{BookSale, ShoppingService},
+		{CDSale, MediaSale},
+		{CardPayment, PaymentService},
+		{Cardiology, DoctorDiagnosis},
+		{AudioStreaming, MediaStreaming},
+		{TopTenList, ChartList},
+		{Prescription, DataConcept},
+	}
+	for _, tt := range tests {
+		if !o.IsA(tt.sub, tt.sup) {
+			t.Errorf("%s should be a %s", tt.sub, tt.sup)
+		}
+	}
+	// A request for MediaSale is satisfied by a CDSale provider (plugin).
+	if got := o.Match(MediaSale, CDSale); got != MatchPlugin {
+		t.Errorf("Match(MediaSale, CDSale) = %v, want plugin", got)
+	}
+}
+
+func TestPervasiveWithScenarios(t *testing.T) {
+	o := PervasiveWithScenarios()
+	if !o.Has(ResponseTime) || !o.Has(BookSale) {
+		t.Fatal("combined ontology should contain QoS and functional concepts")
+	}
+	if got := o.Match(PaymentService, MobilePayment); got != MatchPlugin {
+		t.Errorf("Match(Payment, MobilePayment) = %v, want plugin", got)
+	}
+	if got := o.Canonical("Checkout"); got != PaymentService {
+		t.Errorf("Canonical(Checkout) = %s, want %s", got, PaymentService)
+	}
+}
+
+func BenchmarkSubsumption(b *testing.B) {
+	o := PervasiveWithScenarios()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !o.IsA(CDSale, ServiceCapability) {
+			b.Fatal("unexpected subsumption result")
+		}
+	}
+}
+
+func BenchmarkMatch(b *testing.B) {
+	o := PervasiveWithScenarios()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if o.Match(MediaSale, DVDSale) != MatchPlugin {
+			b.Fatal("unexpected match result")
+		}
+	}
+}

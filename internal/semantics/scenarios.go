@@ -1,0 +1,137 @@
+package semantics
+
+// Functional (task/service capability) concepts for the three motivating
+// scenarios of Chapter I: pervasive shopping, pervasive medical visit and
+// pervasive entertainment. These are the vocabularies used by the example
+// applications and by the behavioural-adaptation tests for semantic vertex
+// matching.
+
+// Functional root and shared concepts.
+const (
+	ServiceCapability ConceptID = "ServiceCapability"
+	PaymentService    ConceptID = "Payment"
+	CardPayment       ConceptID = "CardPayment"
+	CashPayment       ConceptID = "CashPayment"
+	MobilePayment     ConceptID = "MobilePayment"
+	NotifyService     ConceptID = "Notification"
+)
+
+// Shopping scenario concepts.
+const (
+	ShoppingService ConceptID = "Shopping"
+	BrowseCatalog   ConceptID = "BrowseCatalog"
+	SearchItem      ConceptID = "SearchItem"
+	BookSale        ConceptID = "BookSale"
+	MediaSale       ConceptID = "MediaSale"
+	CDSale          ConceptID = "CDSale"
+	DVDSale         ConceptID = "DVDSale"
+	ElectronicsSale ConceptID = "ElectronicsSale"
+	OrderItem       ConceptID = "OrderItem"
+	BundleOrder     ConceptID = "BundleOrder"
+	PickupDesk      ConceptID = "PickupDesk"
+)
+
+// Medical-visit scenario concepts.
+const (
+	MedicalService      ConceptID = "MedicalService"
+	PatientRegistration ConceptID = "PatientRegistration"
+	DoctorDiagnosis     ConceptID = "DoctorDiagnosis"
+	Cardiology          ConceptID = "CardiologyDiagnosis"
+	GeneralPractice     ConceptID = "GeneralPracticeDiagnosis"
+	PharmacyOrder       ConceptID = "PharmacyOrder"
+	LabAnalysis         ConceptID = "LabAnalysis"
+)
+
+// Entertainment scenario concepts.
+const (
+	EntertainmentService ConceptID = "Entertainment"
+	ChartList            ConceptID = "ChartList"
+	TopTenList           ConceptID = "TopTenList"
+	MediaStreaming       ConceptID = "MediaStreaming"
+	AudioStreaming       ConceptID = "AudioStreaming"
+	VideoStreaming       ConceptID = "VideoStreaming"
+	MediaDownload        ConceptID = "MediaDownload"
+)
+
+// Data concepts exchanged between activities (inputs/outputs).
+const (
+	DataConcept     ConceptID = "Data"
+	ItemDescription ConceptID = "ItemDescription"
+	ItemList        ConceptID = "ItemList"
+	Order           ConceptID = "OrderRecord"
+	Receipt         ConceptID = "Receipt"
+	Invoice         ConceptID = "Invoice"
+	PatientRecord   ConceptID = "PatientRecord"
+	Prescription    ConceptID = "Prescription"
+	Appointment     ConceptID = "Appointment"
+	SongList        ConceptID = "SongList"
+	MediaURI        ConceptID = "MediaURI"
+	MediaStream     ConceptID = "MediaStreamData"
+)
+
+// Scenarios builds the functional ontology shared by the example
+// applications: capabilities of the shopping, medical and entertainment
+// scenarios plus the data concepts they exchange.
+func Scenarios() *Ontology {
+	o := New("scenarios")
+	o.MustAddConcept(ServiceCapability)
+	o.MustAddConcept(PaymentService, ServiceCapability)
+	o.MustAddConcept(CardPayment, PaymentService)
+	o.MustAddConcept(CashPayment, PaymentService)
+	o.MustAddConcept(MobilePayment, PaymentService)
+	o.MustAddConcept(NotifyService, ServiceCapability)
+
+	o.MustAddConcept(ShoppingService, ServiceCapability)
+	o.MustAddConcept(BrowseCatalog, ShoppingService)
+	o.MustAddConcept(SearchItem, ShoppingService)
+	o.MustAddConcept(BookSale, ShoppingService)
+	o.MustAddConcept(MediaSale, ShoppingService)
+	o.MustAddConcept(CDSale, MediaSale)
+	o.MustAddConcept(DVDSale, MediaSale)
+	o.MustAddConcept(ElectronicsSale, ShoppingService)
+	o.MustAddConcept(OrderItem, ShoppingService)
+	o.MustAddConcept(BundleOrder, OrderItem)
+	o.MustAddConcept(PickupDesk, ShoppingService)
+
+	o.MustAddConcept(MedicalService, ServiceCapability)
+	o.MustAddConcept(PatientRegistration, MedicalService)
+	o.MustAddConcept(DoctorDiagnosis, MedicalService)
+	o.MustAddConcept(Cardiology, DoctorDiagnosis)
+	o.MustAddConcept(GeneralPractice, DoctorDiagnosis)
+	o.MustAddConcept(PharmacyOrder, MedicalService)
+	o.MustAddConcept(LabAnalysis, MedicalService)
+
+	o.MustAddConcept(EntertainmentService, ServiceCapability)
+	o.MustAddConcept(ChartList, EntertainmentService)
+	o.MustAddConcept(TopTenList, ChartList)
+	o.MustAddConcept(MediaStreaming, EntertainmentService)
+	o.MustAddConcept(AudioStreaming, MediaStreaming)
+	o.MustAddConcept(VideoStreaming, MediaStreaming)
+	o.MustAddConcept(MediaDownload, EntertainmentService)
+
+	o.MustAddConcept(DataConcept)
+	for _, d := range []ConceptID{
+		ItemDescription, ItemList, Order, Receipt, Invoice, PatientRecord,
+		Prescription, Appointment, SongList, MediaURI, MediaStream,
+	} {
+		o.MustAddConcept(d, DataConcept)
+	}
+
+	o.MustAddAlias("Buy", OrderItem)
+	o.MustAddAlias("Purchase", OrderItem)
+	o.MustAddAlias("Checkout", PaymentService)
+	o.MustAddAlias("Streaming", MediaStreaming)
+	return o
+}
+
+// PervasiveWithScenarios merges the end-to-end QoS model with the scenario
+// functional vocabulary: the one-stop ontology used by the examples, the
+// simulator and most tests.
+func PervasiveWithScenarios() *Ontology {
+	o := Pervasive()
+	o.name = "pervasive-scenarios"
+	if err := o.Merge(Scenarios()); err != nil {
+		panic(err)
+	}
+	return o
+}

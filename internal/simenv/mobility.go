@@ -1,0 +1,183 @@
+package simenv
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file adds the mobility and radio model of the pervasive
+// environment: devices (and the user) have positions in a square arena,
+// mobile devices follow a random-waypoint model, and the wireless link
+// quality degrades with distance — the infrastructure-level half of the
+// end-to-end QoS model (Chapter III): a service's *delivered* response
+// time and availability depend on NetworkLatency and SignalStrength,
+// not only on its own performance.
+
+// Position is a point in the arena.
+type Position struct {
+	X, Y float64
+}
+
+// Distance returns the Euclidean distance to other.
+func (p Position) Distance(other Position) float64 {
+	dx, dy := p.X-other.X, p.Y-other.Y
+	return math.Sqrt(dx*dx + dy*dy)
+}
+
+// RadioModel maps distance to link quality.
+type RadioModel struct {
+	// Arena is the side length of the square devices roam in.
+	Arena float64
+	// Range is the maximum usable link distance: services hosted on
+	// devices farther than Range from the user are unreachable (signal
+	// lost) even though still advertised.
+	Range float64
+	// LatencyPerUnit adds this many milliseconds of response time per
+	// distance unit between user and provider.
+	LatencyPerUnit float64
+}
+
+// mobile is the per-device movement state.
+type mobile struct {
+	pos      Position
+	speed    float64
+	waypoint Position
+}
+
+// EnableMobility activates the radio model. The user starts at the
+// arena's centre; devices default to the centre until placed.
+func (e *Environment) EnableMobility(radio RadioModel) error {
+	if radio.Arena <= 0 || radio.Range <= 0 {
+		return fmt.Errorf("simenv: radio model needs positive arena and range")
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.radio = &radio
+	centre := Position{X: radio.Arena / 2, Y: radio.Arena / 2}
+	e.userPos = centre
+	if e.mobiles == nil {
+		e.mobiles = make(map[string]*mobile)
+	}
+	return nil
+}
+
+// SetUserPosition moves the user's device.
+func (e *Environment) SetUserPosition(p Position) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.userPos = p
+}
+
+// UserPosition returns the user's position.
+func (e *Environment) UserPosition() Position {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.userPos
+}
+
+// PlaceDevice positions a device; speed > 0 makes it roam with the
+// random-waypoint model on Tick.
+func (e *Environment) PlaceDevice(id string, p Position, speed float64) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.radio == nil {
+		return fmt.Errorf("simenv: mobility not enabled")
+	}
+	if e.mobiles == nil {
+		e.mobiles = make(map[string]*mobile)
+	}
+	m := &mobile{pos: p, speed: speed, waypoint: p}
+	if speed > 0 {
+		m.waypoint = e.randomPointLocked()
+	}
+	e.mobiles[id] = m
+	return nil
+}
+
+// DevicePosition returns a device's position (the arena centre when it
+// was never placed).
+func (e *Environment) DevicePosition(id string) Position {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.devicePosLocked(id)
+}
+
+func (e *Environment) devicePosLocked(id string) Position {
+	if m, ok := e.mobiles[id]; ok {
+		return m.pos
+	}
+	if e.radio != nil {
+		return Position{X: e.radio.Arena / 2, Y: e.radio.Arena / 2}
+	}
+	return Position{}
+}
+
+func (e *Environment) randomPointLocked() Position {
+	return Position{
+		X: e.rng.Float64() * e.radio.Arena,
+		Y: e.rng.Float64() * e.radio.Arena,
+	}
+}
+
+// Tick advances the mobility simulation by dt time units: every mobile
+// device moves speed·dt toward its waypoint, drawing a fresh waypoint on
+// arrival.
+func (e *Environment) Tick(dt float64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.radio == nil || dt <= 0 {
+		return
+	}
+	for _, m := range e.mobiles {
+		if m.speed <= 0 {
+			continue
+		}
+		remaining := m.speed * dt
+		for remaining > 0 {
+			d := m.pos.Distance(m.waypoint)
+			if d <= remaining {
+				m.pos = m.waypoint
+				remaining -= d
+				m.waypoint = e.randomPointLocked()
+				if d == 0 {
+					break // degenerate: waypoint == position
+				}
+				continue
+			}
+			frac := remaining / d
+			m.pos.X += (m.waypoint.X - m.pos.X) * frac
+			m.pos.Y += (m.waypoint.Y - m.pos.Y) * frac
+			remaining = 0
+		}
+	}
+}
+
+// linkEffectLocked computes the radio effect for a service hosted on the
+// given device: extra response-time milliseconds and reachability.
+// Callers must hold e.mu.
+func (e *Environment) linkEffectLocked(provider string) (extraMs float64, reachable bool) {
+	if e.radio == nil {
+		return 0, true
+	}
+	d := e.userPos.Distance(e.devicePosLocked(provider))
+	if d > e.radio.Range {
+		return 0, false
+	}
+	return d * e.radio.LatencyPerUnit, true
+}
+
+// SignalStrength returns the normalized signal strength in [0,1] between
+// the user and a device (1 at distance 0, 0 at or beyond radio range;
+// 1 when mobility is disabled).
+func (e *Environment) SignalStrength(provider string) float64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.radio == nil {
+		return 1
+	}
+	d := e.userPos.Distance(e.devicePosLocked(provider))
+	if d >= e.radio.Range {
+		return 0
+	}
+	return 1 - d/e.radio.Range
+}

@@ -1,0 +1,179 @@
+package simenv
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"qasom/internal/registry"
+)
+
+func mobilityEnv(t *testing.T) *Environment {
+	t.Helper()
+	env := newEnv(t)
+	if err := env.EnableMobility(RadioModel{Arena: 100, Range: 40, LatencyPerUnit: 2}); err != nil {
+		t.Fatal(err)
+	}
+	return env
+}
+
+func deployOn(t *testing.T, env *Environment, svcID, deviceID string) {
+	t.Helper()
+	d := desc(svcID, 50, 5, 0.95, 0.9, 40)
+	d.Provider = registry.DeviceID(deviceID)
+	if err := env.Deploy(Service{Desc: d}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEnableMobilityValidation(t *testing.T) {
+	env := newEnv(t)
+	if err := env.EnableMobility(RadioModel{}); err == nil {
+		t.Error("zero radio model should be rejected")
+	}
+	if err := env.EnableMobility(RadioModel{Arena: 100, Range: 10}); err != nil {
+		t.Errorf("valid model rejected: %v", err)
+	}
+	if env.UserPosition() != (Position{X: 50, Y: 50}) {
+		t.Errorf("user should start at the centre: %+v", env.UserPosition())
+	}
+}
+
+func TestPlaceDeviceRequiresMobility(t *testing.T) {
+	env := newEnv(t)
+	if err := env.PlaceDevice("d", Position{}, 0); err == nil {
+		t.Error("placing without mobility should fail")
+	}
+}
+
+func TestDistanceAddsLatency(t *testing.T) {
+	env := mobilityEnv(t)
+	deployOn(t, env, "near", "dev-near")
+	deployOn(t, env, "far", "dev-far")
+	if err := env.PlaceDevice("dev-near", Position{X: 50, Y: 50}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := env.PlaceDevice("dev-far", Position{X: 50, Y: 80}, 0); err != nil { // 30 units away
+		t.Fatal(err)
+	}
+	nearRes, err := env.Invoke(context.Background(), "near", act("a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	farRes, err := env.Invoke(context.Background(), "far", act("a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nearRes.Measured[0] != 50 {
+		t.Errorf("co-located service rt = %g, want 50", nearRes.Measured[0])
+	}
+	// 30 units × 2 ms/unit = +60 ms.
+	if math.Abs(farRes.Measured[0]-110) > 1e-9 {
+		t.Errorf("distant service rt = %g, want 110", farRes.Measured[0])
+	}
+	if !farRes.Success {
+		t.Error("within range should succeed")
+	}
+}
+
+func TestOutOfRangeFails(t *testing.T) {
+	env := mobilityEnv(t)
+	deployOn(t, env, "remote", "dev-remote")
+	if err := env.PlaceDevice("dev-remote", Position{X: 0, Y: 0}, 0); err != nil { // ~70.7 from centre
+		t.Fatal(err)
+	}
+	res, err := env.Invoke(context.Background(), "remote", act("a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Success {
+		t.Error("out-of-range service should fail (signal lost)")
+	}
+	if env.SignalStrength("dev-remote") != 0 {
+		t.Errorf("signal = %g, want 0", env.SignalStrength("dev-remote"))
+	}
+	// Moving the user closer restores the link.
+	env.SetUserPosition(Position{X: 10, Y: 10})
+	res, err = env.Invoke(context.Background(), "remote", act("a"))
+	if err != nil || !res.Success {
+		t.Error("service should be reachable after the user moves closer")
+	}
+	if s := env.SignalStrength("dev-remote"); s <= 0 || s > 1 {
+		t.Errorf("signal = %g, want (0,1]", s)
+	}
+}
+
+func TestTickMovesMobileDevices(t *testing.T) {
+	env := mobilityEnv(t)
+	if err := env.PlaceDevice("walker", Position{X: 10, Y: 10}, 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := env.PlaceDevice("pole", Position{X: 20, Y: 20}, 0); err != nil {
+		t.Fatal(err)
+	}
+	start := env.DevicePosition("walker")
+	moved := false
+	for i := 0; i < 20; i++ {
+		env.Tick(1)
+		if env.DevicePosition("walker").Distance(start) > 1e-9 {
+			moved = true
+			break
+		}
+	}
+	if !moved {
+		t.Error("mobile device never moved")
+	}
+	if env.DevicePosition("pole") != (Position{X: 20, Y: 20}) {
+		t.Error("static device moved")
+	}
+	// Positions stay inside the arena.
+	for i := 0; i < 200; i++ {
+		env.Tick(3)
+		p := env.DevicePosition("walker")
+		if p.X < 0 || p.X > 100 || p.Y < 0 || p.Y > 100 {
+			t.Fatalf("device left the arena: %+v", p)
+		}
+	}
+}
+
+func TestMobilityDegradesStreamOverTime(t *testing.T) {
+	// The holiday-camp story: the provider wanders; as distance grows the
+	// delivered response time climbs even though the service itself is
+	// unchanged — the end-to-end effect the middleware must monitor.
+	env := mobilityEnv(t)
+	deployOn(t, env, "stream", "walkman")
+	if err := env.PlaceDevice("walkman", Position{X: 50, Y: 50}, 0); err != nil {
+		t.Fatal(err)
+	}
+	near, err := env.Invoke(context.Background(), "stream", act("a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Provider drifts to the edge of the range.
+	if err := env.PlaceDevice("walkman", Position{X: 50, Y: 85}, 0); err != nil {
+		t.Fatal(err)
+	}
+	farther, err := env.Invoke(context.Background(), "stream", act("a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if farther.Measured[0] <= near.Measured[0] {
+		t.Errorf("delivered rt should degrade with distance: %g vs %g",
+			near.Measured[0], farther.Measured[0])
+	}
+}
+
+func TestMobilityDisabledIsNeutral(t *testing.T) {
+	env := newEnv(t)
+	if err := env.Deploy(Service{Desc: desc("s1", 50, 5, 0.95, 0.9, 40)}); err != nil {
+		t.Fatal(err)
+	}
+	if got := env.SignalStrength("whatever"); got != 1 {
+		t.Errorf("signal without mobility = %g, want 1", got)
+	}
+	env.Tick(10) // no-op, must not panic
+	res, err := env.Invoke(context.Background(), "s1", act("a"))
+	if err != nil || !res.Success || res.Measured[0] != 50 {
+		t.Errorf("mobility-off invocation changed: %+v %v", res, err)
+	}
+}

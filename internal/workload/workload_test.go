@@ -1,0 +1,306 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"qasom/internal/qos"
+	"qasom/internal/registry"
+	"qasom/internal/semantics"
+	"qasom/internal/task"
+)
+
+func TestLawSampleClipping(t *testing.T) {
+	g := NewGenerator(1)
+	l := Law{Mean: 0, Std: 100, Min: 5, Max: 10}
+	for i := 0; i < 1000; i++ {
+		v := l.Sample(g.Rand())
+		if v < 5 || v > 10 {
+			t.Fatalf("sample %g outside [5,10]", v)
+		}
+	}
+}
+
+func TestDefaultLaws(t *testing.T) {
+	ps := qos.StandardSet()
+	laws := DefaultLaws(ps)
+	if len(laws) != ps.Len() {
+		t.Fatalf("laws arity %d, want %d", len(laws), ps.Len())
+	}
+	jAvail, _ := ps.Index("availability")
+	if laws[jAvail].Mean != 0.9 || laws[jAvail].Max != 0.9999 {
+		t.Errorf("availability law = %+v", laws[jAvail])
+	}
+	jRT, _ := ps.Index("responseTime")
+	if laws[jRT].Mean != 50 || laws[jRT].Std != 15 {
+		t.Errorf("responseTime law = %+v", laws[jRT])
+	}
+}
+
+func TestGeneratorReproducible(t *testing.T) {
+	ps := qos.StandardSet()
+	laws := DefaultLaws(ps)
+	a := NewGenerator(42).Vector(ps, laws)
+	b := NewGenerator(42).Vector(ps, laws)
+	if !a.Equal(b, 0) {
+		t.Error("same seed should give same vectors")
+	}
+	c := NewGenerator(43).Vector(ps, laws)
+	if a.Equal(c, 1e-12) {
+		t.Error("different seeds should differ")
+	}
+}
+
+func TestNormalLawShape(t *testing.T) {
+	// The generated values should empirically follow 𝒩(50, 15): the
+	// sample mean within 1 and the sample std within 1.5 of the law.
+	g := NewGenerator(7)
+	l := Law{Mean: 50, Std: 15, Min: 0.001}
+	n := 20000
+	sum, sumSq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		v := l.Sample(g.Rand())
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / float64(n)
+	std := math.Sqrt(sumSq/float64(n) - mean*mean)
+	if math.Abs(mean-50) > 1 {
+		t.Errorf("sample mean = %g, want ≈50", mean)
+	}
+	if math.Abs(std-15) > 1.5 {
+		t.Errorf("sample std = %g, want ≈15", std)
+	}
+}
+
+func TestServiceAndCandidates(t *testing.T) {
+	ps := qos.StandardSet()
+	laws := DefaultLaws(ps)
+	g := NewGenerator(1)
+	tk := g.Task("T", 4, ShapeLinear)
+	cands := g.Candidates(tk, 10, ps, laws)
+	if len(cands) != 4 {
+		t.Fatalf("candidate map covers %d activities, want 4", len(cands))
+	}
+	for id, list := range cands {
+		if len(list) != 10 {
+			t.Errorf("activity %s has %d candidates, want 10", id, len(list))
+		}
+		for _, c := range list {
+			if len(c.Vector) != ps.Len() {
+				t.Fatalf("candidate vector arity %d", len(c.Vector))
+			}
+			jAvail, _ := ps.Index("availability")
+			if c.Vector[jAvail] < 0.5 || c.Vector[jAvail] > 1 {
+				t.Errorf("availability %g outside law clip", c.Vector[jAvail])
+			}
+		}
+	}
+}
+
+func TestPopulate(t *testing.T) {
+	ps := qos.StandardSet()
+	laws := DefaultLaws(ps)
+	g := NewGenerator(1)
+	tk := g.Task("T", 3, ShapeLinear)
+	r := registry.New(semantics.PervasiveWithScenarios())
+	if err := g.Populate(r, tk, 5, ps, laws); err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 15 {
+		t.Errorf("registry has %d services, want 15", r.Len())
+	}
+	// Candidates resolvable per activity.
+	for _, a := range tk.Activities() {
+		got := r.Candidates(a.Concept, ps)
+		if len(got) != 5 {
+			t.Errorf("activity %s resolves %d candidates, want 5", a.ID, len(got))
+		}
+	}
+}
+
+func TestTaskShapes(t *testing.T) {
+	g := NewGenerator(3)
+	for _, tt := range []struct {
+		shape TaskShape
+		n     int
+	}{
+		{ShapeLinear, 10}, {ShapeMixed, 10}, {ShapeChoiceHeavy, 10},
+		{ShapeLinear, 1}, {ShapeMixed, 1}, {ShapeChoiceHeavy, 3},
+	} {
+		tk := g.Task("X", tt.n, tt.shape)
+		if err := tk.Validate(); err != nil {
+			t.Errorf("shape %d n %d: invalid task: %v", tt.shape, tt.n, err)
+		}
+		if tk.Size() != tt.n {
+			t.Errorf("shape %d: size %d, want %d", tt.shape, tk.Size(), tt.n)
+		}
+	}
+	// Mixed shape should actually contain non-sequence patterns for
+	// reasonably sized tasks.
+	tk := g.Task("Y", 12, ShapeMixed)
+	kinds := map[task.Pattern]bool{}
+	tk.Walk(func(n *task.Node) { kinds[n.Kind] = true })
+	if !kinds[task.PatternParallel] && !kinds[task.PatternChoice] && !kinds[task.PatternLoop] {
+		t.Errorf("mixed task has no interesting patterns: %s", tk)
+	}
+	// Choice-heavy contains choices.
+	tk = g.Task("Z", 8, ShapeChoiceHeavy)
+	found := false
+	tk.Walk(func(n *task.Node) {
+		if n.Kind == task.PatternChoice {
+			found = true
+		}
+	})
+	if !found {
+		t.Error("choice-heavy task has no choice")
+	}
+	// Zero clamps to one activity.
+	if g.Task("W", 0, ShapeLinear).Size() != 1 {
+		t.Error("n<1 should clamp to 1")
+	}
+}
+
+func TestConstraints(t *testing.T) {
+	ps := qos.StandardSet()
+	laws := DefaultLaws(ps)
+	g := NewGenerator(1)
+	tk := g.Task("T", 5, ShapeLinear)
+
+	tight := g.Constraints(tk, ps, laws, AtMean, 3)
+	relaxed := g.Constraints(tk, ps, laws, AtMeanPlusSigma, 3)
+	if len(tight) != 3 || len(relaxed) != 3 {
+		t.Fatalf("constraint counts = %d, %d", len(tight), len(relaxed))
+	}
+	if err := tight.Validate(ps); err != nil {
+		t.Fatalf("tight constraints invalid: %v", err)
+	}
+	// Linear 5-activity task: responseTime bound = 5·m = 250 tight,
+	// 5·(m+σ) = 325 relaxed.
+	if math.Abs(tight[0].Bound-250) > 1e-9 {
+		t.Errorf("tight responseTime bound = %g, want 250", tight[0].Bound)
+	}
+	if math.Abs(relaxed[0].Bound-325) > 1e-9 {
+		t.Errorf("relaxed responseTime bound = %g, want 325", relaxed[0].Bound)
+	}
+	// Availability (maximized, probability): tight bound = 0.9^5,
+	// relaxed = (0.9−0.05)^5 — relaxed is lower, i.e. easier.
+	jAvail, _ := ps.Index("availability")
+	var tightA, relaxedA float64
+	for _, c := range tight {
+		if c.Property == "availability" {
+			tightA = c.Bound
+		}
+	}
+	for _, c := range relaxed {
+		if c.Property == "availability" {
+			relaxedA = c.Bound
+		}
+	}
+	if math.Abs(tightA-math.Pow(0.9, 5)) > 1e-9 {
+		t.Errorf("tight availability bound = %g, want %g", tightA, math.Pow(0.9, 5))
+	}
+	if relaxedA >= tightA {
+		t.Errorf("relaxed availability bound %g should be below tight %g", relaxedA, tightA)
+	}
+	_ = jAvail
+	// Count clamps to the property set size.
+	all := g.Constraints(tk, ps, laws, AtMean, 99)
+	if len(all) != ps.Len() {
+		t.Errorf("clamped count = %d, want %d", len(all), ps.Len())
+	}
+}
+
+func TestTightnessString(t *testing.T) {
+	if AtMean.String() != "m" || AtMeanPlusSigma.String() != "m+sigma" {
+		t.Error("tightness strings")
+	}
+	if Tightness(9).String() != "Tightness(9)" {
+		t.Error("unknown tightness string")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	values := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	h, err := NewHistogram(values, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Min != 1 || h.Max != 10 {
+		t.Errorf("bounds = (%g, %g)", h.Min, h.Max)
+	}
+	total := 0
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total != 10 {
+		t.Errorf("histogram loses values: %d", total)
+	}
+	// Density integrates to ≈1.
+	integral := 0.0
+	for i := range h.Counts {
+		integral += h.Density(i) * h.Width
+	}
+	if math.Abs(integral-1) > 1e-9 {
+		t.Errorf("density integral = %g, want 1", integral)
+	}
+	if c := h.BinCenter(0); c <= h.Min || c >= h.Max {
+		t.Errorf("BinCenter(0) = %g out of range", c)
+	}
+}
+
+func TestHistogramEdgeCases(t *testing.T) {
+	if _, err := NewHistogram(nil, 5); err == nil {
+		t.Error("empty values should error")
+	}
+	if _, err := NewHistogram([]float64{1}, 0); err == nil {
+		t.Error("zero bins should error")
+	}
+	h, err := NewHistogram([]float64{3, 3, 3}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Counts[0] != 3 {
+		t.Errorf("degenerate histogram = %v", h.Counts)
+	}
+}
+
+func TestHistogramMatchesNormalPDF(t *testing.T) {
+	// Fig. VI.9: the empirical density of generated values should track
+	// the normal pdf around the mean.
+	g := NewGenerator(11)
+	l := Law{Mean: 50, Std: 15, Min: 0.0001}
+	values := make([]float64, 50000)
+	for i := range values {
+		values[i] = l.Sample(g.Rand())
+	}
+	h, err := NewHistogram(values, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Compare density vs pdf at bins near the mean.
+	for i := range h.Counts {
+		c := h.BinCenter(i)
+		if c < 40 || c > 60 {
+			continue
+		}
+		emp := h.Density(i)
+		pdf := NormalPDF(50, 15, c)
+		if math.Abs(emp-pdf) > 0.25*pdf {
+			t.Errorf("bin %g: empirical %g vs pdf %g deviates >25%%", c, emp, pdf)
+		}
+	}
+}
+
+func TestNormalPDF(t *testing.T) {
+	peak := NormalPDF(0, 1, 0)
+	if math.Abs(peak-1/math.Sqrt(2*math.Pi)) > 1e-12 {
+		t.Errorf("pdf peak = %g", peak)
+	}
+	if NormalPDF(0, 0, 0) != 0 {
+		t.Error("zero sd should yield 0")
+	}
+	if NormalPDF(0, 1, 3) >= NormalPDF(0, 1, 0) {
+		t.Error("pdf should decay away from mean")
+	}
+}

@@ -1,0 +1,247 @@
+// Package qasom is the public API of QASOM, a QoS-aware service-oriented
+// middleware for pervasive environments (Ben Mabrouk et al., MIDDLEWARE
+// 2009): a from-scratch Go implementation of the semantic end-to-end QoS
+// model, the QASSA clustering-based QoS-aware service selection
+// algorithm (centralized and distributed), and the QoS-driven adaptation
+// framework (service substitution and behavioural adaptation via
+// subgraph homeomorphism).
+//
+// Typical flow:
+//
+//	mw, _ := qasom.New()
+//	mw.Publish(qasom.Service{ID: "shop1", Capability: "BookSale", QoS: map[string]float64{...}})
+//	mw.RegisterTaskClass("shopping", bpelBehaviour1, bpelBehaviour2)
+//	comp, _ := mw.Compose(qasom.Request{Task: bpelBehaviour1, Constraints: []qasom.Constraint{...}})
+//	report, _ := mw.Execute(ctx, comp)
+//
+// The middleware runs over a simulated pervasive environment (devices,
+// wireless links, churn, QoS fluctuation) so the full selection →
+// execution → monitoring → adaptation loop works out of the box; see
+// DESIGN.md for how this substitutes for the thesis's testbed.
+package qasom
+
+import (
+	"fmt"
+
+	"qasom/internal/contract"
+	"qasom/internal/core"
+	"qasom/internal/monitor"
+	"qasom/internal/qos"
+	"qasom/internal/registry"
+	"qasom/internal/semantics"
+	"qasom/internal/simenv"
+	"qasom/internal/task"
+)
+
+// Service is a publishable service description. QoS values are keyed by
+// property name (see Properties) or by any concept/alias of the shared
+// ontology ("Delay", "Uptime", ...), in canonical units.
+type Service struct {
+	// ID uniquely identifies the service.
+	ID string
+	// Name is a human-readable label.
+	Name string
+	// Capability is the functional concept the service offers (e.g.
+	// "BookSale", "AudioStreaming").
+	Capability string
+	// Inputs and Outputs are data concepts (optional).
+	Inputs, Outputs []string
+	// Device names the hosting device (optional).
+	Device string
+	// QoS holds the advertised values, e.g. {"responseTime": 120,
+	// "availability": 0.95, "price": 3}.
+	QoS map[string]float64
+	// FailProb and Noise tune the simulated run-time behaviour of the
+	// service (probability of failure per invocation; relative jitter).
+	FailProb, Noise float64
+}
+
+// Constraint is one global QoS requirement over the whole composition.
+type Constraint struct {
+	// Property names a property of the middleware's property set.
+	Property string
+	// Bound is the threshold (≤ for minimized, ≥ for maximized
+	// properties).
+	Bound float64
+}
+
+// Request asks the middleware for a QoS-aware composition.
+type Request struct {
+	// Task is the user task as an abstract-BPEL document, or the name of
+	// a behaviour previously registered via RegisterTaskClass.
+	Task string
+	// Constraints are the global QoS constraints U.
+	Constraints []Constraint
+	// Weights are the user preferences per property name (unnamed
+	// properties default to weight 1 when Weights is nil, 0 otherwise).
+	Weights map[string]float64
+	// Approach selects the aggregation approach: "pessimistic"
+	// (default), "optimistic" or "mean-value".
+	Approach string
+	// Distributed runs QASSA's local phase on one simulated coordinator
+	// device per activity (the ad hoc mode of Fig. IV.4) instead of
+	// centrally on the requester's device.
+	Distributed bool
+}
+
+// Options configure the middleware.
+type Options struct {
+	// Seed drives all randomness (selection, simulation); 0 means 1.
+	Seed int64
+	// ExtendedProperties switches from the standard five-property set to
+	// the extended eight-property set.
+	ExtendedProperties bool
+	// SelectorOptions tunes QASSA (zero values mean defaults).
+	K             int
+	MaxAlternates int
+}
+
+// Middleware is a QASOM instance: shared ontology, semantic registry,
+// task-class repository, QASSA selector, QoS monitor and a simulated
+// pervasive environment hosting the published services.
+type Middleware struct {
+	ontology  *semantics.Ontology
+	props     *qos.PropertySet
+	reg       *registry.Registry
+	repo      *task.Repository
+	env       *simenv.Environment
+	selector  *core.Selector
+	mon       *monitor.Monitor
+	contracts *contract.Manager
+	opts      Options
+}
+
+// New creates a middleware instance.
+func New(opts ...Options) (*Middleware, error) {
+	var o Options
+	if len(opts) > 1 {
+		return nil, fmt.Errorf("qasom: at most one Options value")
+	}
+	if len(opts) == 1 {
+		o = opts[0]
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	ps := qos.StandardSet()
+	if o.ExtendedProperties {
+		ps = qos.ExtendedSet()
+	}
+	onto := semantics.PervasiveWithScenarios()
+	reg := registry.New(onto)
+	return &Middleware{
+		ontology: onto,
+		props:    ps,
+		reg:      reg,
+		repo:     task.NewRepository(onto),
+		env:      simenv.New(ps, reg, simenv.Options{Seed: o.Seed}),
+		selector: core.NewSelector(core.Options{K: o.K, MaxAlternates: o.MaxAlternates, Seed: o.Seed}),
+		mon:      monitor.New(ps, monitor.Options{}),
+		opts:     o,
+	}, nil
+}
+
+// Properties returns the property names of the middleware's QoS set.
+func (m *Middleware) Properties() []string { return m.props.Names() }
+
+// Ontology exposes the shared semantic model for advanced use (adding
+// domain concepts before publishing services).
+func (m *Middleware) Ontology() *semantics.Ontology { return m.ontology }
+
+// Publish deploys a service into the (simulated) environment and its
+// description into the registry.
+func (m *Middleware) Publish(s Service) error {
+	if s.ID == "" || s.Capability == "" {
+		return fmt.Errorf("qasom: service needs ID and Capability")
+	}
+	offers := make([]registry.QoSOffer, 0, len(s.QoS))
+	for name, value := range s.QoS {
+		concept := semantics.ConceptID(name)
+		if j, ok := m.props.Index(name); ok {
+			concept = m.props.At(j).Concept
+		}
+		offers = append(offers, registry.QoSOffer{Property: concept, Value: value})
+	}
+	desc := registry.Description{
+		ID:       registry.ServiceID(s.ID),
+		Name:     s.Name,
+		Concept:  semantics.ConceptID(s.Capability),
+		Inputs:   toConcepts(s.Inputs),
+		Outputs:  toConcepts(s.Outputs),
+		Provider: registry.DeviceID(s.Device),
+		Offers:   offers,
+	}
+	return m.env.Deploy(simenv.Service{Desc: desc, FailProb: s.FailProb, Noise: s.Noise})
+}
+
+// Withdraw removes a service from the environment (simulating a device
+// leaving); it reports whether the service was present.
+func (m *Middleware) Withdraw(id string) bool {
+	return m.env.Leave(registry.ServiceID(id))
+}
+
+// SetDown marks a service unreachable without withdrawing its
+// advertisement, and SetUp revives it — the advertised-vs-runtime
+// mismatch QoS monitoring exists for.
+func (m *Middleware) SetDown(id string) { m.env.SetDown(registry.ServiceID(id), true) }
+
+// SetUp revives a service previously marked down.
+func (m *Middleware) SetUp(id string) { m.env.SetDown(registry.ServiceID(id), false) }
+
+// Degrade shifts a service's run-time QoS by the given per-property
+// deltas without touching its advertisement.
+func (m *Middleware) Degrade(id string, deltas map[string]float64) error {
+	d := m.props.NewVector()
+	for name, v := range deltas {
+		j, ok := m.props.Index(name)
+		if !ok {
+			return fmt.Errorf("qasom: unknown property %q", name)
+		}
+		d[j] = v
+	}
+	return m.env.Degrade(registry.ServiceID(id), d)
+}
+
+// ServiceCount returns the number of published services.
+func (m *Middleware) ServiceCount() int { return m.reg.Len() }
+
+// EnableMobility activates the environment's mobility and radio model:
+// devices and the user get positions in an arena×arena square; links
+// degrade with distance (latencyPerUnit ms of response time per distance
+// unit) and break beyond radioRange — the infrastructure-level half of
+// the end-to-end QoS model.
+func (m *Middleware) EnableMobility(arena, radioRange, latencyPerUnit float64) error {
+	return m.env.EnableMobility(simenv.RadioModel{
+		Arena:          arena,
+		Range:          radioRange,
+		LatencyPerUnit: latencyPerUnit,
+	})
+}
+
+// PlaceDevice positions a device in the arena; speed > 0 makes it roam
+// (random waypoint) on each Tick.
+func (m *Middleware) PlaceDevice(deviceID string, x, y, speed float64) error {
+	return m.env.PlaceDevice(deviceID, simenv.Position{X: x, Y: y}, speed)
+}
+
+// MoveUser repositions the user's device.
+func (m *Middleware) MoveUser(x, y float64) {
+	m.env.SetUserPosition(simenv.Position{X: x, Y: y})
+}
+
+// Tick advances the mobility simulation by dt time units.
+func (m *Middleware) Tick(dt float64) { m.env.Tick(dt) }
+
+// SignalStrength returns the normalized link quality in [0,1] between
+// the user and a device (1 when mobility is disabled).
+func (m *Middleware) SignalStrength(deviceID string) float64 {
+	return m.env.SignalStrength(deviceID)
+}
+
+func toConcepts(names []string) []semantics.ConceptID {
+	out := make([]semantics.ConceptID, len(names))
+	for i, n := range names {
+		out[i] = semantics.ConceptID(n)
+	}
+	return out
+}
