@@ -7,6 +7,7 @@ package qasom_test
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"testing"
 
 	"qasom"
@@ -152,6 +153,95 @@ func BenchmarkQASSA_Distributed(b *testing.B) {
 		if _, err := sel.Select(ctx, req); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkQASSA_LocalPhaseWorkers compares the sequential (1 worker)
+// and parallel (GOMAXPROCS workers) centralized local phase on a large
+// instance (20 activities × 500 candidates). Selections are identical
+// for every worker count. The custom local-ns/op metric isolates the
+// local phase from the (identical) global-phase cost included in ns/op.
+func BenchmarkQASSA_LocalPhaseWorkers(b *testing.B) {
+	req, cands := benchInstance(20, 500, 3, workload.ShapeMixed,
+		workload.AtMeanPlusSigma, qos.Pessimistic)
+	counts := []int{1, 4, runtime.GOMAXPROCS(0)}
+	seen := make(map[int]bool, len(counts))
+	for _, workers := range counts {
+		if seen[workers] {
+			continue
+		}
+		seen[workers] = true
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			sel := core.NewSelector(core.Options{Workers: workers})
+			b.ReportAllocs()
+			b.ResetTimer()
+			var localNS int64
+			for i := 0; i < b.N; i++ {
+				res, err := sel.Select(req, cands)
+				if err != nil {
+					b.Fatal(err)
+				}
+				localNS += int64(res.Stats.LocalDuration)
+			}
+			b.ReportMetric(float64(localNS)/float64(b.N), "local-ns/op")
+		})
+	}
+}
+
+// BenchmarkRegistryCandidates compares the capability-indexed candidate
+// lookup against the full-scan path on a 5000-service registry spread
+// over 50 capabilities (100 matching descriptions per lookup).
+func BenchmarkRegistryCandidates(b *testing.B) {
+	const services = 5000
+	const capabilities = 50
+	ps := qos.StandardSet()
+	build := func(indexing bool) (*registry.Registry, []semantics.ConceptID) {
+		onto := semantics.PervasiveWithScenarios()
+		caps := make([]semantics.ConceptID, capabilities)
+		for i := range caps {
+			caps[i] = semantics.ConceptID(fmt.Sprintf("BenchCap%02d", i))
+			if err := onto.AddConcept(caps[i], semantics.BookSale); err != nil {
+				b.Fatal(err)
+			}
+		}
+		r := registry.New(onto)
+		r.SetIndexing(indexing)
+		for i := 0; i < services; i++ {
+			d := registry.Description{
+				ID:      registry.ServiceID(fmt.Sprintf("s%04d", i)),
+				Concept: caps[i%capabilities],
+				Offers: []registry.QoSOffer{
+					{Property: semantics.ResponseTime, Value: 40 + float64(i%100)},
+					{Property: semantics.Price, Value: 5},
+					{Property: semantics.Availability, Value: 0.95},
+					{Property: semantics.Reliability, Value: 0.9},
+					{Property: semantics.Throughput, Value: 40},
+				},
+			}
+			if err := r.Publish(d); err != nil {
+				b.Fatal(err)
+			}
+		}
+		return r, caps
+	}
+	for _, mode := range []struct {
+		name     string
+		indexing bool
+	}{{"indexed", true}, {"scan", false}} {
+		b.Run(mode.name, func(b *testing.B) {
+			r, caps := build(mode.indexing)
+			if got := r.Candidates(caps[0], ps); len(got) != services/capabilities {
+				b.Fatalf("warm-up lookup returned %d candidates", len(got))
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				got := r.Candidates(caps[i%capabilities], ps)
+				if len(got) != services/capabilities {
+					b.Fatalf("lookup returned %d candidates", len(got))
+				}
+			}
+		})
 	}
 }
 

@@ -1,0 +1,29 @@
+#!/bin/sh
+# ci.sh — the repository's verification gate.
+#
+#   ./ci.sh          # vet + build + tests + race detector
+#   ./ci.sh quick    # vet + build + tests (skip the slower -race pass)
+#
+# The -race pass matters here: the composition pipeline is concurrent
+# (parallel QASSA local phase, indexed registry under RWMutex, memoized
+# ontology reasoning) and the test suite includes churn/cancellation
+# tests written to catch data races.
+set -eu
+
+cd "$(dirname "$0")"
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== go build ./..."
+go build ./...
+
+echo "== go test ./..."
+go test ./...
+
+if [ "${1:-}" != "quick" ]; then
+	echo "== go test -race ./..."
+	go test -race ./...
+fi
+
+echo "ci: all checks passed"

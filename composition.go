@@ -52,8 +52,21 @@ type Composition struct {
 // Compose resolves the request: it parses the task, gathers candidate
 // services from the registry (semantic matching) and runs QASSA under
 // the global constraints. The composition is returned even when
-// infeasible (best-effort, Feasible reports false).
+// infeasible (best-effort, Feasible reports false). It is ComposeContext
+// with a background context.
 func (m *Middleware) Compose(req Request) (*Composition, error) {
+	return m.ComposeContext(context.Background(), req)
+}
+
+// ComposeContext is Compose under a cancellable context. The context
+// flows through the whole pipeline — candidate resolution, the parallel
+// QASSA local phase and the level-wise global phase — and cancellation
+// is honoured at per-activity lookup, level-iteration and repair-pass
+// boundaries: the call returns ctx.Err() promptly and leaves the
+// registry and the ontology unmutated. ComposeContext is safe to call
+// from many goroutines against one Middleware, concurrently with
+// Publish/Withdraw.
+func (m *Middleware) ComposeContext(ctx context.Context, req Request) (*Composition, error) {
 	t, err := m.resolveTask(req.Task)
 	if err != nil {
 		return nil, err
@@ -87,14 +100,22 @@ func (m *Middleware) Compose(req Request) (*Composition, error) {
 		return nil, fmt.Errorf("qasom: unknown approach %q", req.Approach)
 	}
 
+	cacheBefore := m.ontology.Stats()
+	lookupStart := time.Now()
 	candidates := make(map[string][]registry.Candidate, t.Size())
 	for _, a := range t.Activities() {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		cands := m.reg.CandidatesForActivity(a, m.props)
 		if len(cands) == 0 {
 			return nil, fmt.Errorf("qasom: no services for activity %q (capability %q)", a.ID, a.Concept)
 		}
 		candidates[a.ID] = cands
 	}
+	lookupDur := time.Since(lookupStart)
+	cacheAfter := m.ontology.Stats()
+
 	var res *core.Result
 	if req.Distributed {
 		devices := make(map[string]core.LocalSelector, len(candidates))
@@ -103,14 +124,17 @@ func (m *Middleware) Compose(req Request) (*Composition, error) {
 			dev.Host(id, list)
 			devices[id] = dev
 		}
-		res, err = core.NewDistributedSelector(core.Options{K: m.opts.K, MaxAlternates: m.opts.MaxAlternates, Seed: m.opts.Seed}, devices).
-			Select(context.Background(), coreReq)
+		res, err = core.NewDistributedSelector(core.Options{K: m.opts.K, MaxAlternates: m.opts.MaxAlternates, Seed: m.opts.Seed, Workers: m.opts.Workers}, devices).
+			Select(ctx, coreReq)
 	} else {
-		res, err = m.selector.Select(coreReq, candidates)
+		res, err = m.selector.SelectContext(ctx, coreReq, candidates)
 	}
 	if err != nil {
 		return nil, err
 	}
+	res.Stats.CandidateLookup = lookupDur
+	res.Stats.MatchCacheHits = cacheAfter.MatchHits - cacheBefore.MatchHits
+	res.Stats.MatchCacheMisses = cacheAfter.MatchMisses - cacheBefore.MatchMisses
 	manager := &adapt.Manager{
 		Registry: m.reg,
 		Repo:     m.repo,
@@ -141,6 +165,46 @@ func (m *Middleware) resolveTask(spec string) (*task.Task, error) {
 		}
 	}
 	return bpel.ParseString(spec)
+}
+
+// SelectionStats attributes the cost of the selection that produced
+// this composition: where the time went (candidate lookup vs. QASSA's
+// local and global phases), how parallel the local phase actually ran,
+// and how effective the semantic caches were. Cache counters are
+// per-ontology deltas sampled around the lookup, so under concurrent
+// Compose calls they are approximate attributions.
+type SelectionStats struct {
+	// CandidateLookup is the time spent resolving candidates from the
+	// registry (semantic matching, vector alignment).
+	CandidateLookup time.Duration
+	// LocalPhase and GlobalPhase split QASSA's wall time.
+	LocalPhase, GlobalPhase time.Duration
+	// Workers is the local-phase worker pool size; PeakWorkersBusy the
+	// highest concurrent occupancy observed.
+	Workers, PeakWorkersBusy int
+	// LevelsExplored, Evaluations and RepairSwaps count global-phase work.
+	LevelsExplored, Evaluations, RepairSwaps int
+	// MatchCacheHits/Misses report the ontology match-memo effectiveness
+	// during candidate lookup.
+	MatchCacheHits, MatchCacheMisses uint64
+}
+
+// SelectionStats returns the work profile of this composition's
+// selection run.
+func (c *Composition) SelectionStats() SelectionStats {
+	s := c.runtime.Result().Stats
+	return SelectionStats{
+		CandidateLookup:  s.CandidateLookup,
+		LocalPhase:       s.LocalDuration,
+		GlobalPhase:      s.GlobalDuration,
+		Workers:          s.Workers,
+		PeakWorkersBusy:  s.PeakWorkersBusy,
+		LevelsExplored:   s.LevelsExplored,
+		Evaluations:      s.Evaluations,
+		RepairSwaps:      s.RepairSwaps,
+		MatchCacheHits:   s.MatchCacheHits,
+		MatchCacheMisses: s.MatchCacheMisses,
+	}
 }
 
 // Feasible reports whether the selection satisfies every constraint.

@@ -1,0 +1,175 @@
+// Tests for the concurrent composition pipeline: context cancellation
+// through ComposeContext and many concurrent compositions against one
+// Middleware while the service population churns (run with -race).
+package qasom_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"qasom"
+)
+
+// newChurnMall publishes 5 stable services per capability (these never
+// leave, so compositions always find candidates) and returns the
+// middleware.
+func newChurnMall(t *testing.T) *qasom.Middleware {
+	t.Helper()
+	mw, err := qasom.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, spec := range []struct{ prefix, capability string }{
+		{"browse", "BrowseCatalog"}, {"order", "OrderItem"}, {"pay", "CardPayment"},
+	} {
+		for i := 0; i < 5; i++ {
+			err := mw.Publish(qasom.Service{
+				ID:         fmt.Sprintf("%s-%d", spec.prefix, i),
+				Capability: spec.capability,
+				QoS: map[string]float64{
+					"responseTime": 40 + float64(5*i), "price": 5,
+					"availability": 0.95, "reliability": 0.9, "throughput": 40,
+				},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return mw
+}
+
+const churnTask = `<process name="churn-shopping" concept="Shopping">
+  <sequence>
+    <invoke activity="browse" concept="BrowseCatalog"/>
+    <invoke activity="order" concept="OrderItem"/>
+    <invoke activity="pay" concept="Payment"/>
+  </sequence>
+</process>`
+
+func TestComposeContextCancelled(t *testing.T) {
+	mw := newChurnMall(t)
+	before := struct {
+		services        int
+		ontologyVersion uint64
+		ontologyLen     int
+	}{mw.ServiceCount(), mw.Ontology().Version(), mw.Ontology().Len()}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	_, err := mw.ComposeContext(ctx, qasom.Request{
+		Task:        churnTask,
+		Constraints: []qasom.Constraint{{Property: "responseTime", Bound: 300}},
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("ComposeContext on cancelled ctx = %v, want context.Canceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Errorf("cancelled compose took %v, want prompt return", elapsed)
+	}
+	// A cancelled compose must leave registry and ontology unmutated.
+	if mw.ServiceCount() != before.services {
+		t.Errorf("registry mutated by cancelled compose: %d services, want %d",
+			mw.ServiceCount(), before.services)
+	}
+	if v := mw.Ontology().Version(); v != before.ontologyVersion {
+		t.Errorf("ontology mutated by cancelled compose: version %d, want %d", v, before.ontologyVersion)
+	}
+	if n := mw.Ontology().Len(); n != before.ontologyLen {
+		t.Errorf("ontology concept count changed: %d, want %d", n, before.ontologyLen)
+	}
+	// The middleware still composes normally afterwards.
+	comp, err := mw.Compose(qasom.Request{Task: churnTask})
+	if err != nil || comp == nil {
+		t.Fatalf("compose after cancellation: %v", err)
+	}
+}
+
+func TestConcurrentComposeWithChurn(t *testing.T) {
+	mw := newChurnMall(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	const composers = 8
+	const iterations = 25
+	var churnWG, composeWG sync.WaitGroup
+	stop := make(chan struct{})
+
+	// Churners publish and withdraw extra services while selections run.
+	for c := 0; c < 2; c++ {
+		churnWG.Add(1)
+		go func(c int) {
+			defer churnWG.Done()
+			caps := []string{"BrowseCatalog", "OrderItem", "CardPayment"}
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				id := fmt.Sprintf("churn%d-%d", c, i%6)
+				err := mw.Publish(qasom.Service{
+					ID:         id,
+					Capability: caps[i%len(caps)],
+					QoS: map[string]float64{
+						"responseTime": 30 + float64(i%20), "price": 4,
+						"availability": 0.96, "reliability": 0.92, "throughput": 45,
+					},
+				})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				mw.Withdraw(id)
+			}
+		}(c)
+	}
+
+	errc := make(chan error, composers)
+	for g := 0; g < composers; g++ {
+		composeWG.Add(1)
+		go func() {
+			defer composeWG.Done()
+			for i := 0; i < iterations; i++ {
+				comp, err := mw.ComposeContext(ctx, qasom.Request{
+					Task:        churnTask,
+					Constraints: []qasom.Constraint{{Property: "responseTime", Bound: 500}},
+				})
+				if err != nil {
+					errc <- err
+					return
+				}
+				if len(comp.Bindings()) != 3 {
+					errc <- fmt.Errorf("composition with %d bindings", len(comp.Bindings()))
+					return
+				}
+			}
+		}()
+	}
+
+	// Composers run a bounded number of iterations; wait for them, then
+	// stop the churners and surface any error.
+	composersDone := make(chan struct{})
+	go func() {
+		composeWG.Wait()
+		close(composersDone)
+	}()
+	select {
+	case <-composersDone:
+	case <-ctx.Done():
+		close(stop)
+		churnWG.Wait()
+		t.Fatal("composers did not finish before the test deadline")
+	}
+	close(stop)
+	churnWG.Wait()
+	close(errc)
+	for err := range errc {
+		t.Errorf("concurrent compose failed: %v", err)
+	}
+}

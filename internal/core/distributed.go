@@ -207,7 +207,7 @@ func (d *DistributedSelector) Select(ctx context.Context, req *Request) (*Result
 	}
 	localDur := time.Since(startLocal)
 
-	res, err := d.selector.SelectFromLocal(req, locals)
+	res, err := d.selector.SelectFromLocalContext(ctx, req, locals)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"sort"
 
@@ -8,8 +9,11 @@ import (
 )
 
 // globalState carries one global-phase run (§3.3): level-wise pool
-// widening, constraint repair and utility hill-climbing.
+// widening, constraint repair and utility hill-climbing. The context is
+// checked at level-iteration and repair-pass boundaries so a cancelled
+// selection returns promptly without leaving partial state behind.
 type globalState struct {
+	ctx    context.Context
 	req    *Request
 	eval   *Evaluator
 	locals map[string]*LocalResult
@@ -18,7 +22,7 @@ type globalState struct {
 }
 
 // run executes the global selection phase and assembles the result.
-func (g *globalState) run() *Result {
+func (g *globalState) run() (*Result, error) {
 	acts := g.activityIDs()
 	maxLevel := 1
 	for _, id := range acts {
@@ -35,6 +39,9 @@ func (g *globalState) run() *Result {
 	bestViolation := math.Inf(1)
 
 	for level := 1; level <= maxLevel; level++ {
+		if err := g.ctx.Err(); err != nil {
+			return nil, err
+		}
 		g.stats.LevelsExplored++
 		pools := g.pools(acts, level)
 		// Try several starting points: the utility-best assignment first,
@@ -45,15 +52,22 @@ func (g *globalState) run() *Result {
 		// multiple constraints the starts diversify the repair search.
 		for _, start := range g.startingPoints(acts, pools) {
 			assign := start
-			if g.repair(acts, assign, pools) {
+			ok, err := g.repair(acts, assign, pools)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
 				g.improve(acts, assign, pools)
-				return g.finish(acts, assign, true)
+				return g.finish(acts, assign, true), nil
 			}
 			if v := g.violation(assign); v < bestViolation {
 				bestViolation = v
 				bestInfeasible = cloneAssignment(assign)
 			}
 		}
+	}
+	if err := g.ctx.Err(); err != nil {
+		return nil, err
 	}
 
 	// No feasible composition found at any level: return the best-effort
@@ -62,7 +76,7 @@ func (g *globalState) run() *Result {
 	if bestInfeasible == nil {
 		bestInfeasible = g.bestUtilityAssignment(acts, pools)
 	}
-	return g.finish(acts, bestInfeasible, false)
+	return g.finish(acts, bestInfeasible, false), nil
 }
 
 func (g *globalState) activityIDs() []string {
@@ -158,14 +172,17 @@ func (g *globalState) violation(assign Assignment) float64 {
 // repair drives the assignment toward feasibility: each pass applies the
 // single swap (one activity, one pool candidate) that reduces the total
 // constraint violation the most, preferring higher utility among equal
-// reductions. It stops at feasibility, when no swap helps, or when the
-// pass budget is spent.
-func (g *globalState) repair(acts []string, assign Assignment, pools map[string][]RankedCandidate) bool {
+// reductions. It stops at feasibility, when no swap helps, when the
+// pass budget is spent, or when the selection context is cancelled.
+func (g *globalState) repair(acts []string, assign Assignment, pools map[string][]RankedCandidate) (bool, error) {
 	cur := g.violation(assign)
 	if cur == 0 {
-		return true
+		return true, nil
 	}
 	for pass := 0; pass < g.opts.RepairPasses; pass++ {
+		if err := g.ctx.Err(); err != nil {
+			return false, err
+		}
 		bestAct := ""
 		var bestCand registry.Candidate
 		bestViol := cur
@@ -190,16 +207,16 @@ func (g *globalState) repair(acts []string, assign Assignment, pools map[string]
 			assign[id] = prev
 		}
 		if bestAct == "" || bestViol >= cur {
-			return false
+			return false, nil
 		}
 		assign[bestAct] = bestCand
 		g.stats.RepairSwaps++
 		cur = bestViol
 		if cur == 0 {
-			return true
+			return true, nil
 		}
 	}
-	return g.violation(assign) == 0
+	return g.violation(assign) == 0, nil
 }
 
 // improve hill-climbs utility while preserving feasibility. Utility is

@@ -1,13 +1,17 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
+	"runtime"
+	"sync"
 	"time"
 
 	"qasom/internal/cluster"
 	"qasom/internal/qos"
 	"qasom/internal/registry"
+	"qasom/internal/task"
 )
 
 // Options tune QASSA.
@@ -37,6 +41,12 @@ type Options struct {
 	// Seed drives the algorithm's randomness (K-means seeding); the
 	// default 0 is replaced by 1 so runs are reproducible.
 	Seed int64
+	// Workers bounds the local-phase worker pool: per-activity clustering
+	// runs are independent (the property the distributed mode already
+	// exploits across devices) and fan out over this many goroutines.
+	// 0 means GOMAXPROCS. Results are identical for every worker count:
+	// each activity derives its own random source from Seed.
+	Workers int
 }
 
 func (o Options) withDefaults(activities int) Options {
@@ -55,6 +65,9 @@ func (o Options) withDefaults(activities int) Options {
 	if o.Seed == 0 {
 		o.Seed = 1
 	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
 	return o
 }
 
@@ -69,6 +82,19 @@ type Stats struct {
 	// LocalDuration and GlobalDuration split the wall time per phase.
 	LocalDuration  time.Duration
 	GlobalDuration time.Duration
+	// CandidateLookup is the time the embedding layer spent resolving
+	// candidate services from the registry before selection started (the
+	// qasom façade fills it in; zero for direct core calls).
+	CandidateLookup time.Duration
+	// Workers is the local-phase worker pool size in force and
+	// PeakWorkersBusy the highest observed concurrent occupancy — together
+	// they attribute local-phase speedups to actual parallelism.
+	Workers         int
+	PeakWorkersBusy int
+	// MatchCacheHits and MatchCacheMisses snapshot the ontology's
+	// match-memo effectiveness over the candidate-lookup phase (filled in
+	// by the embedding layer alongside CandidateLookup).
+	MatchCacheHits, MatchCacheMisses uint64
 }
 
 // Result is the outcome of a selection run.
@@ -102,8 +128,21 @@ type Selector struct {
 func NewSelector(opts Options) *Selector { return &Selector{opts: opts} }
 
 // Select runs the full algorithm: local phase per activity, then the
-// global level-wise phase.
+// global level-wise phase. It is SelectContext with a background
+// context.
 func (s *Selector) Select(req *Request, candidates map[string][]registry.Candidate) (*Result, error) {
+	return s.SelectContext(context.Background(), req, candidates)
+}
+
+// SelectContext runs the full algorithm under a context: the local phase
+// (per-activity K-means clustering) fans out over a bounded worker pool
+// — per-activity runs are independent, the same property the distributed
+// mode exploits across devices — and the global phase checks ctx at
+// every level iteration and repair pass. Results are identical for every
+// worker count and reproducible per Seed: each activity derives its own
+// random source from Options.Seed, exactly as a coordinator device does
+// in distributed mode.
+func (s *Selector) SelectContext(ctx context.Context, req *Request, candidates map[string][]registry.Candidate) (*Result, error) {
 	if err := req.Validate(); err != nil {
 		return nil, err
 	}
@@ -124,32 +163,89 @@ func (s *Selector) Select(req *Request, candidates map[string][]registry.Candida
 	}
 	acts := req.Task.Activities()
 	opts := s.opts.withDefaults(len(acts))
-	rng := rand.New(rand.NewSource(opts.Seed))
 	weights := req.weights()
 
 	startLocal := time.Now()
-	locals := make(map[string]*LocalResult, len(acts))
-	for _, a := range acts {
-		lr, err := localSelect(a.ID, candidates[a.ID], req.Properties, weights, opts.K, opts.Seeding, rng)
-		if err != nil {
-			return nil, err
-		}
-		locals[a.ID] = lr
+	locals, peak, err := runLocalPhase(ctx, acts, candidates, req.Properties, weights, opts)
+	if err != nil {
+		return nil, err
 	}
 	localDur := time.Since(startLocal)
 
-	res, err := s.selectGlobal(req, eval, locals, opts)
+	res, err := s.selectGlobal(ctx, req, eval, locals, opts)
 	if err != nil {
 		return nil, err
 	}
 	res.Stats.LocalDuration = localDur
+	res.Stats.Workers = opts.Workers
+	res.Stats.PeakWorkersBusy = peak
 	return res, nil
+}
+
+// runLocalPhase executes the local selection phase for every activity on
+// a worker pool of opts.Workers goroutines. The merge is deterministic:
+// per-activity results are gathered positionally and errors are reported
+// in activity order, so the outcome does not depend on goroutine
+// scheduling. It also reports the peak pool occupancy observed.
+func runLocalPhase(ctx context.Context, acts []*task.Activity, candidates map[string][]registry.Candidate,
+	ps *qos.PropertySet, weights qos.Weights, opts Options) (map[string]*LocalResult, int, error) {
+	results := make([]*LocalResult, len(acts))
+	errs := make([]error, len(acts))
+	sem := make(chan struct{}, opts.Workers)
+	var (
+		wg         sync.WaitGroup
+		occMu      sync.Mutex
+		busy, peak int
+	)
+	for i, a := range acts {
+		wg.Add(1)
+		go func(i int, id string) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			occMu.Lock()
+			busy++
+			if busy > peak {
+				peak = busy
+			}
+			occMu.Unlock()
+			defer func() {
+				occMu.Lock()
+				busy--
+				occMu.Unlock()
+			}()
+			if err := ctx.Err(); err != nil {
+				errs[i] = err
+				return
+			}
+			// Each activity gets its own source seeded from Options.Seed —
+			// the scheme DeviceNode.LocalSelect already uses — so the
+			// clustering is reproducible regardless of worker count or
+			// completion order.
+			rng := rand.New(rand.NewSource(opts.Seed))
+			results[i], errs[i] = localSelect(id, candidates[id], ps, weights, opts.K, opts.Seeding, rng)
+		}(i, a.ID)
+	}
+	wg.Wait()
+	locals := make(map[string]*LocalResult, len(acts))
+	for i, a := range acts {
+		if errs[i] != nil {
+			return nil, peak, errs[i]
+		}
+		locals[a.ID] = results[i]
+	}
+	return locals, peak, nil
 }
 
 // SelectFromLocal runs only the global phase over pre-computed local
 // results (the distributed mode gathers LocalResults from remote devices
 // and calls this).
 func (s *Selector) SelectFromLocal(req *Request, locals map[string]*LocalResult) (*Result, error) {
+	return s.SelectFromLocalContext(context.Background(), req, locals)
+}
+
+// SelectFromLocalContext is SelectFromLocal under a cancellable context.
+func (s *Selector) SelectFromLocalContext(ctx context.Context, req *Request, locals map[string]*LocalResult) (*Result, error) {
 	candidates := make(map[string][]registry.Candidate, len(locals))
 	for id, lr := range locals {
 		list := make([]registry.Candidate, len(lr.Ranked))
@@ -163,7 +259,7 @@ func (s *Selector) SelectFromLocal(req *Request, locals map[string]*LocalResult)
 		return nil, err
 	}
 	opts := s.opts.withDefaults(req.Task.Size())
-	return s.selectGlobal(req, eval, locals, opts)
+	return s.selectGlobal(ctx, req, eval, locals, opts)
 }
 
 // pruneDominated keeps only each activity's Pareto-optimal candidates.
@@ -184,15 +280,18 @@ func pruneDominated(ps *qos.PropertySet, candidates map[string][]registry.Candid
 	return out
 }
 
-func (s *Selector) selectGlobal(req *Request, eval *Evaluator, locals map[string]*LocalResult, opts Options) (*Result, error) {
+func (s *Selector) selectGlobal(ctx context.Context, req *Request, eval *Evaluator, locals map[string]*LocalResult, opts Options) (*Result, error) {
 	for _, a := range req.Task.Activities() {
 		if locals[a.ID] == nil || len(locals[a.ID].Ranked) == 0 {
 			return nil, fmt.Errorf("core: missing local result for activity %q", a.ID)
 		}
 	}
 	start := time.Now()
-	g := &globalState{req: req, eval: eval, locals: locals, opts: opts}
-	res := g.run()
+	g := &globalState{ctx: ctx, req: req, eval: eval, locals: locals, opts: opts}
+	res, err := g.run()
+	if err != nil {
+		return nil, err
+	}
 	res.Stats.GlobalDuration = time.Since(start)
 	return res, nil
 }

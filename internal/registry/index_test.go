@@ -1,0 +1,212 @@
+package registry
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"qasom/internal/qos"
+	"qasom/internal/semantics"
+)
+
+// candidateIDs flattens a candidate list to its service IDs (order
+// preserved) for comparison.
+func candidateIDs(cands []Candidate) []string {
+	out := make([]string, len(cands))
+	for i, c := range cands {
+		out[i] = string(c.Service.ID)
+	}
+	return out
+}
+
+func TestIndexedCandidatesMatchScan(t *testing.T) {
+	onto := semantics.PervasiveWithScenarios()
+	indexed := New(onto)
+	scan := New(onto)
+	scan.SetIndexing(false)
+	ps := qos.StandardSet()
+
+	concepts := []semantics.ConceptID{
+		semantics.BookSale, semantics.NotifyService, semantics.ShoppingService,
+	}
+	for i := 0; i < 60; i++ {
+		d := Description{
+			ID:      ServiceID(fmt.Sprintf("s%02d", i)),
+			Concept: concepts[i%len(concepts)],
+			Offers:  stdOffers(50+float64(i), 5, 0.95, 0.9, 40),
+		}
+		if err := indexed.Publish(d); err != nil {
+			t.Fatal(err)
+		}
+		if err := scan.Publish(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, required := range []semantics.ConceptID{
+		semantics.BookSale, semantics.ShoppingService, semantics.NotifyService, "NoSuchConcept",
+	} {
+		got := candidateIDs(indexed.Candidates(required, ps))
+		want := candidateIDs(scan.Candidates(required, ps))
+		if fmt.Sprint(got) != fmt.Sprint(want) {
+			t.Errorf("Candidates(%s): indexed %v, scan %v", required, got, want)
+		}
+	}
+	m := indexed.Metrics()
+	if m.IndexedLookups == 0 || m.IndexRebuilds != 1 {
+		t.Errorf("index metrics = %+v, want indexed lookups and exactly one build", m)
+	}
+	if sm := scan.Metrics(); sm.ScanLookups == 0 || sm.IndexedLookups != 0 {
+		t.Errorf("scan metrics = %+v", sm)
+	}
+}
+
+func TestIndexInvalidatedOnPublishWithdraw(t *testing.T) {
+	r := newTestRegistry()
+	ps := qos.StandardSet()
+	if err := r.Publish(bookService("s1", 100)); err != nil {
+		t.Fatal(err)
+	}
+	if got := candidateIDs(r.Candidates(semantics.BookSale, ps)); len(got) != 1 {
+		t.Fatalf("initial candidates = %v", got)
+	}
+	// Publish after the index is built: incremental insert.
+	if err := r.Publish(bookService("s2", 120)); err != nil {
+		t.Fatal(err)
+	}
+	if got := candidateIDs(r.Candidates(semantics.BookSale, ps)); len(got) != 2 {
+		t.Fatalf("after publish candidates = %v", got)
+	}
+	// Withdraw: incremental removal.
+	r.Withdraw("s1")
+	if got := candidateIDs(r.Candidates(semantics.BookSale, ps)); len(got) != 1 || got[0] != "s2" {
+		t.Fatalf("after withdraw candidates = %v", got)
+	}
+	// Re-publish under a different capability: the old filing must go.
+	d := bookService("s2", 120)
+	d.Concept = semantics.NotifyService
+	if err := r.Publish(d); err != nil {
+		t.Fatal(err)
+	}
+	if got := candidateIDs(r.Candidates(semantics.BookSale, ps)); len(got) != 0 {
+		t.Fatalf("stale index entry survived capability change: %v", got)
+	}
+	if m := r.Metrics(); m.IndexRebuilds != 1 {
+		t.Errorf("expected incremental maintenance, got %d rebuilds", m.IndexRebuilds)
+	}
+}
+
+func TestIndexRebuiltOnOntologyMutation(t *testing.T) {
+	onto := semantics.PervasiveWithScenarios()
+	r := New(onto)
+	ps := qos.StandardSet()
+	if err := onto.AddConcept("SpecialSale", semantics.BookSale); err != nil {
+		t.Fatal(err)
+	}
+	d := bookService("sp1", 80)
+	d.Concept = "SpecialSale"
+	if err := r.Publish(d); err != nil {
+		t.Fatal(err)
+	}
+	// Build the index, then grow the hierarchy underneath it.
+	if got := candidateIDs(r.Candidates(semantics.BookSale, ps)); len(got) != 1 {
+		t.Fatalf("plugin candidate missing: %v", got)
+	}
+	if err := onto.AddConcept("RareBookSale", "SpecialSale"); err != nil {
+		t.Fatal(err)
+	}
+	d2 := bookService("rb1", 70)
+	d2.Concept = "RareBookSale"
+	if err := r.Publish(d2); err != nil {
+		t.Fatal(err)
+	}
+	got := candidateIDs(r.Candidates(semantics.BookSale, ps))
+	if len(got) != 2 {
+		t.Fatalf("index not rebuilt after ontology mutation: %v", got)
+	}
+	if m := r.Metrics(); m.IndexRebuilds < 2 {
+		t.Errorf("expected a rebuild after the ontology version moved, got %d", m.IndexRebuilds)
+	}
+}
+
+func TestWatchEventsAreDeepCopies(t *testing.T) {
+	r := newTestRegistry()
+	ch, cancel := r.Watch(4)
+	defer cancel()
+	if err := r.Publish(bookService("s1", 100)); err != nil {
+		t.Fatal(err)
+	}
+	ev := <-ch
+	// A subscriber mutating its event must not corrupt registry state.
+	ev.Service.Offers[0].Value = -42
+	got, ok := r.Get("s1")
+	if !ok {
+		t.Fatal("Get failed")
+	}
+	if got.Offers[0].Value != 100 {
+		t.Errorf("watch event aliases registry state: stored offer = %v", got.Offers[0].Value)
+	}
+}
+
+func TestAllReturnsDeepCopies(t *testing.T) {
+	r := newTestRegistry()
+	if err := r.Publish(bookService("s1", 100)); err != nil {
+		t.Fatal(err)
+	}
+	all := r.All()
+	if len(all) != 1 {
+		t.Fatalf("All = %d entries", len(all))
+	}
+	all[0].Offers[0].Value = -1
+	all[0].Inputs = append(all[0].Inputs, "Mutated")
+	got, _ := r.Get("s1")
+	if got.Offers[0].Value != 100 || len(got.Inputs) != 0 {
+		t.Error("All should return deep copies")
+	}
+}
+
+// TestWatchCancelConcurrentWithPublish is the hygiene regression test:
+// cancelling a watcher while publishers are notifying must neither
+// panic (send on closed channel) nor deadlock nor leak the watcher.
+func TestWatchCancelConcurrentWithPublish(t *testing.T) {
+	r := newTestRegistry()
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for p := 0; p < 4; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				id := fmt.Sprintf("p%d-s%d", p, i%8)
+				if err := r.Publish(bookService(id, 100)); err != nil {
+					t.Error(err)
+					return
+				}
+				r.Withdraw(ServiceID(id))
+			}
+		}(p)
+	}
+	for w := 0; w < 64; w++ {
+		ch, cancel := r.Watch(1)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for range ch { // drain until cancel closes the channel
+			}
+		}()
+		cancel()
+		cancel() // double-cancel must be safe
+	}
+	close(stop)
+	wg.Wait()
+	r.mu.RLock()
+	leaked := len(r.watchers)
+	r.mu.RUnlock()
+	if leaked != 0 {
+		t.Errorf("%d watchers leaked after cancel", leaked)
+	}
+}

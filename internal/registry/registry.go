@@ -145,6 +145,19 @@ type Event struct {
 	Service Description
 }
 
+// Metrics reports how the registry served capability lookups: how many
+// went through the concept index versus a full scan, and how often the
+// index had to be rebuilt because the shared ontology mutated.
+type Metrics struct {
+	// IndexedLookups counts Candidates calls answered from the
+	// capability index.
+	IndexedLookups uint64
+	// ScanLookups counts Candidates calls that walked every description.
+	ScanLookups uint64
+	// IndexRebuilds counts full index (re)builds (initial build included).
+	IndexRebuilds uint64
+}
+
 // Registry is the concurrent service directory. Create instances with
 // New.
 type Registry struct {
@@ -153,6 +166,19 @@ type Registry struct {
 	ontology *semantics.Ontology
 	watchers map[int]chan Event
 	nextW    int
+
+	// Capability index: required canonical concept → services whose
+	// capability matches it exactly or as a plugin (specialisation). A
+	// service with concept C is filed under C and every ancestor of C —
+	// the precomputed subsumption closure — so a lookup touches only
+	// matching descriptions instead of all of them. Built lazily,
+	// maintained incrementally on Publish/Withdraw, and rebuilt when the
+	// ontology's version moves (concept/alias mutations change ancestry).
+	indexing     bool
+	index        map[semantics.ConceptID]map[ServiceID]struct{}
+	indexKeys    map[ServiceID][]semantics.ConceptID
+	indexVersion uint64
+	metrics      Metrics
 }
 
 // New creates a registry bound to the shared ontology (nil restricts
@@ -162,7 +188,100 @@ func New(o *semantics.Ontology) *Registry {
 		services: make(map[ServiceID]Description),
 		ontology: o,
 		watchers: make(map[int]chan Event),
+		indexing: true,
 	}
+}
+
+// SetIndexing enables or disables the capability index (enabled by
+// default); disabling drops the index and reverts Candidates to the
+// full-scan path. It exists as an ablation/benchmark knob and as a
+// safety valve.
+func (r *Registry) SetIndexing(enabled bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.indexing = enabled
+	if !enabled {
+		r.index = nil
+		r.indexKeys = nil
+	}
+}
+
+// Metrics returns a snapshot of the lookup counters.
+func (r *Registry) Metrics() Metrics {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.metrics
+}
+
+// indexKeysFor computes the concepts a service description must be filed
+// under: its canonical capability plus every (transitive) ancestor — any
+// required concept in that set matches the service exactly or plugin.
+func (r *Registry) indexKeysFor(d *Description) []semantics.ConceptID {
+	if r.ontology == nil {
+		return []semantics.ConceptID{d.Concept}
+	}
+	canon := r.ontology.Canonical(d.Concept)
+	anc := r.ontology.Ancestors(canon)
+	keys := make([]semantics.ConceptID, 0, 1+len(anc))
+	keys = append(keys, canon)
+	keys = append(keys, anc...)
+	return keys
+}
+
+// ensureIndexLocked (re)builds the capability index when missing or when
+// the ontology mutated since the last build; callers hold the write lock.
+func (r *Registry) ensureIndexLocked() {
+	version := uint64(0)
+	if r.ontology != nil {
+		version = r.ontology.Version()
+	}
+	if r.index != nil && r.indexVersion == version {
+		return
+	}
+	r.index = make(map[semantics.ConceptID]map[ServiceID]struct{}, len(r.services))
+	r.indexKeys = make(map[ServiceID][]semantics.ConceptID, len(r.services))
+	for id := range r.services {
+		d := r.services[id]
+		r.indexServiceLocked(&d)
+	}
+	r.indexVersion = version
+	r.metrics.IndexRebuilds++
+}
+
+// indexServiceLocked files one service under its capability closure;
+// no-op until the index has been built (it is built lazily on first
+// lookup). Callers hold the write lock.
+func (r *Registry) indexServiceLocked(d *Description) {
+	if r.index == nil {
+		return
+	}
+	keys := r.indexKeysFor(d)
+	r.indexKeys[d.ID] = keys
+	for _, k := range keys {
+		set, ok := r.index[k]
+		if !ok {
+			set = make(map[ServiceID]struct{})
+			r.index[k] = set
+		}
+		set[d.ID] = struct{}{}
+	}
+}
+
+// unindexServiceLocked removes a service from the index; callers hold
+// the write lock.
+func (r *Registry) unindexServiceLocked(id ServiceID) {
+	if r.index == nil {
+		return
+	}
+	for _, k := range r.indexKeys[id] {
+		if set, ok := r.index[k]; ok {
+			delete(set, id)
+			if len(set) == 0 {
+				delete(r.index, k)
+			}
+		}
+	}
+	delete(r.indexKeys, id)
 }
 
 // Ontology returns the registry's shared ontology (may be nil).
@@ -176,7 +295,11 @@ func (r *Registry) Publish(d Description) error {
 	}
 	cp := d.clone()
 	r.mu.Lock()
+	if _, ok := r.services[cp.ID]; ok {
+		r.unindexServiceLocked(cp.ID) // re-publish may change the capability
+	}
 	r.services[cp.ID] = cp
+	r.indexServiceLocked(&cp)
 	r.mu.Unlock()
 	r.notify(Event{Kind: EventPublished, Service: cp})
 	return nil
@@ -189,6 +312,7 @@ func (r *Registry) Withdraw(id ServiceID) bool {
 	d, ok := r.services[id]
 	if ok {
 		delete(r.services, id)
+		r.unindexServiceLocked(id)
 	}
 	r.mu.Unlock()
 	if ok {
@@ -233,13 +357,32 @@ func (r *Registry) All() []Description {
 // general service does not guarantee the required function) or whose
 // offers cannot cover ps are skipped. Results are sorted by match level
 // then ID.
+//
+// With indexing enabled (the default) the lookup walks only the
+// descriptions filed under the required concept's index entry; the full
+// scan remains as the fallback path.
 func (r *Registry) Candidates(required semantics.ConceptID, ps *qos.PropertySet) []Candidate {
-	r.mu.RLock()
-	services := make([]Description, 0, len(r.services))
-	for _, d := range r.services {
-		services = append(services, d)
+	var services []Description
+	if r.ontology != nil {
+		required = r.ontology.Canonical(required)
 	}
-	r.mu.RUnlock()
+	r.mu.Lock()
+	if r.indexing {
+		r.ensureIndexLocked()
+		r.metrics.IndexedLookups++
+		ids := r.index[required]
+		services = make([]Description, 0, len(ids))
+		for id := range ids {
+			services = append(services, r.services[id])
+		}
+	} else {
+		r.metrics.ScanLookups++
+		services = make([]Description, 0, len(r.services))
+		for _, d := range r.services {
+			services = append(services, d)
+		}
+	}
+	r.mu.Unlock()
 
 	out := make([]Candidate, 0, len(services))
 	for _, d := range services {
@@ -346,8 +489,12 @@ func (r *Registry) notify(e Event) {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	for _, ch := range r.watchers {
+		// Each watcher gets its own deep copy: a subscriber mutating the
+		// event (or holding it across further publishes) must never alias
+		// registry-internal state or another watcher's view.
+		ev := Event{Kind: e.Kind, Service: e.Service.clone()}
 		select {
-		case ch <- e:
+		case ch <- ev:
 		default: // drop rather than block
 		}
 	}

@@ -81,6 +81,25 @@ type conceptNode struct {
 	parents map[ConceptID]struct{}
 }
 
+// conceptPair keys the match and distance memo tables.
+type conceptPair struct {
+	a, b ConceptID
+}
+
+// distEntry is one memoised Distance result.
+type distEntry struct {
+	d  int
+	ok bool
+}
+
+// CacheStats reports the reasoning-cache effectiveness of an ontology:
+// how many Match/Distance calls were answered from the memo tables
+// versus derived from the hierarchy.
+type CacheStats struct {
+	MatchHits, MatchMisses       uint64
+	DistanceHits, DistanceMisses uint64
+}
+
 // Ontology is a concept store with subsumption reasoning. The zero value
 // is not usable; create instances with New. All methods are safe for
 // concurrent use.
@@ -93,6 +112,14 @@ type Ontology struct {
 	// ancestors memoises the transitive closure of the parent relation;
 	// invalidated on every mutation.
 	ancestors map[ConceptID]map[ConceptID]struct{}
+	// matchMemo and distMemo memoise Match and Distance over canonical
+	// concept pairs; invalidated together with ancestors on mutation.
+	matchMemo map[conceptPair]MatchLevel
+	distMemo  map[conceptPair]distEntry
+	stats     CacheStats
+	// version counts hierarchy/alias mutations; dependents (e.g. the
+	// registry's capability index) use it to detect staleness.
+	version uint64
 }
 
 // New creates an empty ontology with the given name.
@@ -102,6 +129,31 @@ func New(name string) *Ontology {
 		concepts: make(map[ConceptID]*conceptNode),
 		aliases:  make(map[ConceptID]ConceptID),
 	}
+}
+
+// Version returns a counter incremented on every mutation of the
+// concept hierarchy or alias table. Derived structures cache it to
+// detect when they must be rebuilt.
+func (o *Ontology) Version() uint64 {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	return o.version
+}
+
+// Stats returns a snapshot of the reasoning-cache counters.
+func (o *Ontology) Stats() CacheStats {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	return o.stats
+}
+
+// invalidateLocked drops every derived cache; callers hold the write
+// lock.
+func (o *Ontology) invalidateLocked() {
+	o.ancestors = nil
+	o.matchMemo = nil
+	o.distMemo = nil
+	o.version++
 }
 
 // Name returns the ontology name.
@@ -140,7 +192,7 @@ func (o *Ontology) AddConcept(id ConceptID, parents ...ConceptID) error {
 	for _, p := range parents {
 		node.parents[p] = struct{}{}
 	}
-	o.ancestors = nil
+	o.invalidateLocked()
 	return nil
 }
 
@@ -194,6 +246,7 @@ func (o *Ontology) AddAlias(alias, canonical ConceptID) error {
 		return fmt.Errorf("semantics: alias %q targets unknown concept %q", alias, canonical)
 	}
 	o.aliases[alias] = target
+	o.invalidateLocked()
 	return nil
 }
 
@@ -375,39 +428,93 @@ func (o *Ontology) closure() map[ConceptID]map[ConceptID]struct{} {
 
 // Match grades how well the offered concept satisfies the required one:
 // exact when identical, plugin when offered specialises required, subsume
-// when offered generalises required, fail otherwise.
+// when offered generalises required, fail otherwise. Results are
+// memoised per canonical concept pair until the hierarchy mutates.
 func (o *Ontology) Match(required, offered ConceptID) MatchLevel {
-	required = o.Canonical(required)
-	offered = o.Canonical(offered)
+	o.mu.RLock()
+	required = o.resolveLocked(required)
+	offered = o.resolveLocked(offered)
+	key := conceptPair{required, offered}
+	if level, ok := o.matchMemo[key]; ok {
+		o.mu.RUnlock()
+		o.hit(&o.stats.MatchHits)
+		return level
+	}
+	version := o.version
+	o.mu.RUnlock()
+
+	var level MatchLevel
 	switch {
 	case required == offered:
-		return MatchExact
+		level = MatchExact
 	case o.IsA(offered, required):
-		return MatchPlugin
+		level = MatchPlugin
 	case o.IsA(required, offered):
-		return MatchSubsume
+		level = MatchSubsume
 	default:
-		return MatchFail
+		level = MatchFail
 	}
+
+	o.mu.Lock()
+	o.stats.MatchMisses++
+	if o.version == version { // don't cache across a concurrent mutation
+		if o.matchMemo == nil {
+			o.matchMemo = make(map[conceptPair]MatchLevel)
+		}
+		o.matchMemo[key] = level
+	}
+	o.mu.Unlock()
+	return level
+}
+
+// hit bumps a cache-hit counter under the write lock (counters share the
+// ontology lock rather than atomics to keep Stats a consistent snapshot).
+func (o *Ontology) hit(counter *uint64) {
+	o.mu.Lock()
+	*counter++
+	o.mu.Unlock()
 }
 
 // Distance returns the length of the shortest directed specialisation
 // chain between two concepts (in either direction), and false when the
 // concepts are unrelated. Distance 0 means identity. It is used to rank
 // equally-levelled matches (a closer plugin match beats a remote one).
+// Results are memoised per canonical concept pair until the hierarchy
+// mutates.
 func (o *Ontology) Distance(a, b ConceptID) (int, bool) {
-	a = o.Canonical(a)
-	b = o.Canonical(b)
+	o.mu.RLock()
+	a = o.resolveLocked(a)
+	b = o.resolveLocked(b)
+	key := conceptPair{a, b}
+	if e, ok := o.distMemo[key]; ok {
+		o.mu.RUnlock()
+		o.hit(&o.stats.DistanceHits)
+		return e.d, e.ok
+	}
+	version := o.version
+	o.mu.RUnlock()
+
+	var entry distEntry
 	if a == b {
-		return 0, true
+		entry = distEntry{0, true}
+	} else if d, ok := o.upDistance(a, b); ok {
+		entry = distEntry{d, true}
+	} else if d, ok := o.upDistance(b, a); ok {
+		entry = distEntry{d, true}
 	}
-	if d, ok := o.upDistance(a, b); ok {
-		return d, true
+
+	o.mu.Lock()
+	o.stats.DistanceMisses++
+	if o.version == version {
+		if o.distMemo == nil {
+			o.distMemo = make(map[conceptPair]distEntry)
+		}
+		o.distMemo[key] = entry
+		// Distance is symmetric: prime the mirrored key too.
+		o.distMemo[conceptPair{b, a}] = entry
 	}
-	if d, ok := o.upDistance(b, a); ok {
-		return d, true
-	}
-	return 0, false
+	o.mu.Unlock()
+	return entry.d, entry.ok
 }
 
 // upDistance returns the shortest chain length from sub upward to sup.

@@ -94,11 +94,23 @@ type Options struct {
 	// SelectorOptions tunes QASSA (zero values mean defaults).
 	K             int
 	MaxAlternates int
+	// Workers bounds the QASSA local-phase worker pool; 0 means
+	// GOMAXPROCS. Selections are identical for every worker count (the
+	// per-activity clustering derives its randomness from Seed alone).
+	Workers int
 }
 
 // Middleware is a QASOM instance: shared ontology, semantic registry,
 // task-class repository, QASSA selector, QoS monitor and a simulated
 // pervasive environment hosting the published services.
+//
+// Middleware is safe for concurrent use: Compose/ComposeContext may run
+// from many goroutines against one instance, concurrently with
+// Publish/Withdraw/SetDown/SetUp and task-class registration. Each
+// selection works on snapshot copies of the matching service
+// descriptions, so a service withdrawn mid-composition stays bound in
+// that composition (and is healed at execution time by the adaptation
+// loop, exactly as a device leaving mid-run would be).
 type Middleware struct {
 	ontology  *semantics.Ontology
 	props     *qos.PropertySet
@@ -135,7 +147,7 @@ func New(opts ...Options) (*Middleware, error) {
 		reg:      reg,
 		repo:     task.NewRepository(onto),
 		env:      simenv.New(ps, reg, simenv.Options{Seed: o.Seed}),
-		selector: core.NewSelector(core.Options{K: o.K, MaxAlternates: o.MaxAlternates, Seed: o.Seed}),
+		selector: core.NewSelector(core.Options{K: o.K, MaxAlternates: o.MaxAlternates, Seed: o.Seed, Workers: o.Workers}),
 		mon:      monitor.New(ps, monitor.Options{}),
 		opts:     o,
 	}, nil
