@@ -15,6 +15,7 @@ import (
 	"qasom/internal/bpel"
 	"qasom/internal/core"
 	"qasom/internal/graph"
+	"qasom/internal/obs"
 	"qasom/internal/qos"
 	"qasom/internal/registry"
 	"qasom/internal/semantics"
@@ -184,6 +185,33 @@ func BenchmarkQASSA_LocalPhaseWorkers(b *testing.B) {
 				localNS += int64(res.Stats.LocalDuration)
 			}
 			b.ReportMetric(float64(localNS)/float64(b.N), "local-ns/op")
+		})
+	}
+}
+
+// BenchmarkQASSA_Telemetry compares the selection path without a hub in
+// the context (every span/metric handle is a nil no-op) against the
+// fully instrumented path (spans recorded, counters and histograms
+// updated) — the overhead budget of the telemetry layer.
+func BenchmarkQASSA_Telemetry(b *testing.B) {
+	req, cands := benchInstance(10, 50, 3, workload.ShapeMixed,
+		workload.AtMeanPlusSigma, qos.Pessimistic)
+	sel := core.NewSelector(core.Options{})
+	for _, mode := range []struct {
+		name string
+		ctx  context.Context
+	}{
+		{"off", context.Background()},
+		{"on", obs.WithHub(context.Background(), obs.NewHub())},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := sel.SelectContext(mode.ctx, req, cands); err != nil {
+					b.Fatal(err)
+				}
+			}
 		})
 	}
 }

@@ -1,16 +1,26 @@
 #!/bin/sh
 # ci.sh — the repository's verification gate.
 #
-#   ./ci.sh          # vet + build + tests + race detector
-#   ./ci.sh quick    # vet + build + tests (skip the slower -race pass)
+#   ./ci.sh          # gofmt + vet + build + tests + race detector
+#   ./ci.sh quick    # gofmt + vet + build + tests + race on the
+#                    # telemetry packages only (skips the slow full pass)
 #
 # The -race pass matters here: the composition pipeline is concurrent
 # (parallel QASSA local phase, indexed registry under RWMutex, memoized
-# ontology reasoning) and the test suite includes churn/cancellation
-# tests written to catch data races.
+# ontology reasoning, lock-free metrics/span instrumentation) and the
+# test suite includes churn/cancellation/scrape tests written to catch
+# data races.
 set -eu
 
 cd "$(dirname "$0")"
+
+echo "== gofmt -l"
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+	echo "gofmt: the following files need formatting:" >&2
+	echo "$unformatted" >&2
+	exit 1
+fi
 
 echo "== go vet ./..."
 go vet ./...
@@ -21,7 +31,13 @@ go build ./...
 echo "== go test ./..."
 go test ./...
 
-if [ "${1:-}" != "quick" ]; then
+if [ "${1:-}" = "quick" ]; then
+	# Quick still races the telemetry layer: its lock-free counters and
+	# span ring are the code most likely to regress under concurrency,
+	# and these packages race-test in a couple of seconds.
+	echo "== go test -race ./internal/obs (quick)"
+	go test -race ./internal/obs
+else
 	echo "== go test -race ./..."
 	go test -race ./...
 fi

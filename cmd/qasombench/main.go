@@ -10,6 +10,12 @@
 //	qasombench -all                  # run everything (slow)
 //	qasombench -all -quick           # smoke-test sweep sizes
 //	qasombench -exp vi6a -csv out/   # also write out/vi6a.csv
+//	qasombench -exp vi5a -metrics -  # dump the telemetry registry after the run
+//
+// -metrics writes the process-wide metrics registry (Prometheus text
+// format: compose/execute counters and latency histograms, QASSA phase
+// splits, monitor and adaptation counters) to the given file, or to
+// standard output with "-", after every experiment has run.
 package main
 
 import (
@@ -22,6 +28,7 @@ import (
 	"time"
 
 	"qasom/internal/bench"
+	"qasom/internal/obs"
 )
 
 func main() {
@@ -39,6 +46,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		seed    = fs.Int64("seed", 1, "workload seed")
 		reps    = fs.Int("reps", 0, "repetitions per measured point (0 = default)")
 		csvDir  = fs.String("csv", "", "directory to write <id>.csv files into")
+		metrics = fs.String("metrics", "", "file to dump the metrics registry into after the run (Prometheus text; \"-\" for stdout)")
 		verbose = fs.Bool("v", false, "print expected shapes alongside results")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -101,8 +109,30 @@ func run(args []string, stdout, stderr io.Writer) int {
 			}
 		}
 	}
+	if *metrics != "" {
+		if err := dumpMetrics(*metrics, stdout); err != nil {
+			fmt.Fprintf(stderr, "metrics: %v\n", err)
+			return 1
+		}
+	}
 	if failed > 0 {
 		return 1
 	}
 	return 0
+}
+
+// dumpMetrics writes the process-wide telemetry registry — which every
+// middleware instance the experiments created reported into — in
+// Prometheus text format.
+func dumpMetrics(path string, stdout io.Writer) error {
+	reg := obs.Default().Metrics
+	if path == "-" {
+		fmt.Fprintln(stdout, "### telemetry registry")
+		return reg.WritePrometheus(stdout)
+	}
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		return err
+	}
+	return os.WriteFile(path, []byte(b.String()), 0o644)
 }

@@ -59,6 +59,38 @@ func TestRunOneWithCSV(t *testing.T) {
 	}
 }
 
+func TestMetricsDumpToFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "metrics.prom")
+	code, _, stderr := runBench(t, "-exp", "adapt", "-quick", "-metrics", path)
+	if code != 0 {
+		t.Fatalf("code %d, stderr %q", code, stderr)
+	}
+	dump, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("metrics not written: %v", err)
+	}
+	// The adaptation experiment drives the executor under benchCtx, so
+	// the process-wide registry must hold its counters.
+	for _, want := range []string{
+		"# TYPE qasom_exec_invocations_total counter",
+		"qasom_exec_invocations_total ",
+	} {
+		if !strings.Contains(string(dump), want) {
+			t.Errorf("dump missing %q", want)
+		}
+	}
+}
+
+func TestMetricsDumpToStdout(t *testing.T) {
+	code, stdout, stderr := runBench(t, "-exp", "qosagg", "-quick", "-metrics", "-")
+	if code != 0 {
+		t.Fatalf("code %d, stderr %q", code, stderr)
+	}
+	if !strings.Contains(stdout, "### telemetry registry") {
+		t.Errorf("stdout missing registry header: %q", stdout)
+	}
+}
+
 func TestBadFlag(t *testing.T) {
 	if code, _, _ := runBench(t, "-definitely-not-a-flag"); code != 2 {
 		t.Errorf("bad flag should exit 2, got %d", code)

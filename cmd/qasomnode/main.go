@@ -6,7 +6,11 @@
 //
 // Usage:
 //
-//	qasomnode -listen 127.0.0.1:9001 -catalog services.json [-latency 2ms]
+//	qasomnode -listen 127.0.0.1:9001 -catalog services.json [-latency 2ms] [-debug-addr 127.0.0.1:8080]
+//
+// With -debug-addr the node serves its telemetry over HTTP: /metrics
+// (Prometheus text format, e.g. qasom_device_localselect_total),
+// /healthz, /debug/spans and /debug/pprof.
 //
 // Catalog format (one entry per service):
 //
@@ -28,6 +32,7 @@ import (
 	"time"
 
 	"qasom/internal/core"
+	"qasom/internal/obs"
 	"qasom/internal/qos"
 	"qasom/internal/registry"
 	"qasom/internal/semantics"
@@ -48,10 +53,11 @@ func main() {
 
 func run() int {
 	var (
-		listen  = flag.String("listen", "127.0.0.1:0", "TCP address to serve LocalSelect on")
-		catalog = flag.String("catalog", "", "JSON catalog of hosted services (required)")
-		name    = flag.String("name", "qasomnode", "device name (diagnostics)")
-		latency = flag.Duration("latency", 0, "simulated wireless round-trip added per request")
+		listen    = flag.String("listen", "127.0.0.1:0", "TCP address to serve LocalSelect on")
+		catalog   = flag.String("catalog", "", "JSON catalog of hosted services (required)")
+		name      = flag.String("name", "qasomnode", "device name (diagnostics)")
+		latency   = flag.Duration("latency", 0, "simulated wireless round-trip added per request")
+		debugAddr = flag.String("debug-addr", "", "HTTP address for /metrics, /healthz, /debug/spans and /debug/pprof (empty: disabled)")
 	)
 	flag.Parse()
 	if *catalog == "" {
@@ -76,6 +82,19 @@ func run() int {
 
 	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stopSignals()
+	hub := obs.Default()
+	// The hub rides the serve context, so every LocalSelect handled by
+	// the TCP server reports spans and counters into it.
+	ctx = obs.WithHub(ctx, hub)
+	if *debugAddr != "" {
+		dbgAddr, stopDebug, err := obs.ServeDebug(ctx, *debugAddr, hub)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		defer stopDebug()
+		fmt.Printf("qasomnode: debug endpoints on http://%s (/metrics /healthz /debug/spans /debug/pprof)\n", dbgAddr)
+	}
 	addr, stop, err := core.ServeTCP(ctx, *listen, dev)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)

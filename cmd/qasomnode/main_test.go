@@ -2,10 +2,15 @@ package main
 
 import (
 	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
 	"testing"
 	"time"
 
 	"qasom/internal/core"
+	"qasom/internal/obs"
 	"qasom/internal/qos"
 )
 
@@ -83,5 +88,51 @@ func TestNodeServesDistributedSelection(t *testing.T) {
 	}
 	if len(lr.Ranked) != 2 {
 		t.Errorf("ranked = %d, want 2", len(lr.Ranked))
+	}
+}
+
+// TestDebugEndpointsObserveServedSelections exercises the -debug-addr
+// wiring end to end: the hub rides the serve context, so a LocalSelect
+// handled over TCP must show up on the node's /metrics scrape.
+func TestDebugEndpointsObserveServedSelections(t *testing.T) {
+	dev, _, err := buildDevice("n1", 0, entries())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	hub := obs.NewHub()
+	ctx = obs.WithHub(ctx, hub)
+	dbgAddr, stopDebug, err := obs.ServeDebug(ctx, "127.0.0.1:0", hub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stopDebug()
+	addr, stop, err := core.ServeTCP(ctx, "127.0.0.1:0", dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+
+	client := &core.TCPClient{Addr: addr}
+	if _, err := client.LocalSelect(ctx, core.LocalRequest{
+		ActivityID: "book",
+		Properties: qos.StandardSet().Properties(),
+		K:          2,
+	}); err != nil {
+		t.Fatalf("remote LocalSelect: %v", err)
+	}
+
+	resp, err := http.Get(fmt.Sprintf("http://%s/metrics", dbgAddr))
+	if err != nil {
+		t.Fatalf("scrape: %v", err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(body), "qasom_device_localselect_total 1") {
+		t.Errorf("scrape missing served-selection counter:\n%s", body)
 	}
 }

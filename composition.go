@@ -11,6 +11,7 @@ import (
 	"qasom/internal/core"
 	"qasom/internal/exec"
 	"qasom/internal/monitor"
+	"qasom/internal/obs"
 	"qasom/internal/qos"
 	"qasom/internal/registry"
 	"qasom/internal/task"
@@ -67,7 +68,32 @@ func (m *Middleware) Compose(req Request) (*Composition, error) {
 // from many goroutines against one Middleware, concurrently with
 // Publish/Withdraw.
 func (m *Middleware) ComposeContext(ctx context.Context, req Request) (*Composition, error) {
+	ctx = obs.EnsureHub(ctx, m.obs)
+	ctx, span := obs.StartSpan(ctx, "compose")
+	defer span.End()
+	m.met.composeTotal.Inc()
+	start := time.Now()
+	comp, err := m.compose(ctx, req)
+	m.met.composeSeconds.Observe(time.Since(start).Seconds())
+	if err != nil {
+		m.met.composeErrors.Inc()
+		span.Annotate("error", err.Error())
+		return nil, err
+	}
+	if !comp.Feasible() {
+		m.met.composeInfeasible.Inc()
+	}
+	return comp, nil
+}
+
+// compose is the body of ComposeContext, with the per-call telemetry
+// (root span, outcome counters, end-to-end latency) applied around it.
+func (m *Middleware) compose(ctx context.Context, req Request) (*Composition, error) {
+	resolveStart := time.Now()
+	_, resolveSpan := obs.StartSpan(ctx, "compose.resolve")
 	t, err := m.resolveTask(req.Task)
+	resolveSpan.End()
+	m.met.phaseSeconds.With("resolve").ObserveDuration(time.Since(resolveStart))
 	if err != nil {
 		return nil, err
 	}
@@ -102,19 +128,24 @@ func (m *Middleware) ComposeContext(ctx context.Context, req Request) (*Composit
 
 	cacheBefore := m.ontology.Stats()
 	lookupStart := time.Now()
+	_, lookupSpan := obs.StartSpan(ctx, "compose.lookup")
 	candidates := make(map[string][]registry.Candidate, t.Size())
 	for _, a := range t.Activities() {
 		if err := ctx.Err(); err != nil {
+			lookupSpan.End()
 			return nil, err
 		}
 		cands := m.reg.CandidatesForActivity(a, m.props)
 		if len(cands) == 0 {
+			lookupSpan.End()
 			return nil, fmt.Errorf("qasom: no services for activity %q (capability %q)", a.ID, a.Concept)
 		}
 		candidates[a.ID] = cands
 	}
+	lookupSpan.End()
 	lookupDur := time.Since(lookupStart)
-	cacheAfter := m.ontology.Stats()
+	cacheDelta := m.ontology.Stats().Delta(cacheBefore)
+	m.met.phaseSeconds.With("lookup").ObserveDuration(lookupDur)
 
 	var res *core.Result
 	if req.Distributed {
@@ -133,13 +164,16 @@ func (m *Middleware) ComposeContext(ctx context.Context, req Request) (*Composit
 		return nil, err
 	}
 	res.Stats.CandidateLookup = lookupDur
-	res.Stats.MatchCacheHits = cacheAfter.MatchHits - cacheBefore.MatchHits
-	res.Stats.MatchCacheMisses = cacheAfter.MatchMisses - cacheBefore.MatchMisses
+	res.Stats.MatchCacheHits = cacheDelta.MatchHits
+	res.Stats.MatchCacheMisses = cacheDelta.MatchMisses
+	m.met.phaseSeconds.With("local").ObserveDuration(res.Stats.LocalDuration)
+	m.met.phaseSeconds.With("global").ObserveDuration(res.Stats.GlobalDuration)
 	manager := &adapt.Manager{
 		Registry: m.reg,
 		Repo:     m.repo,
 		Selector: m.selector,
 		Monitor:  m.mon,
+		Obs:      m.obs,
 	}
 	manager.Options.Match.AllowSubsume = true
 	manager.Options.Match.AllowMerge = true
@@ -267,9 +301,21 @@ type Report struct {
 // full adaptation loop: dynamic binding, monitoring, substitution on
 // failure and behavioural adaptation when substitution is exhausted.
 func (m *Middleware) Execute(ctx context.Context, c *Composition) (*Report, error) {
+	ctx = obs.EnsureHub(ctx, m.obs)
+	ctx, span := obs.StartSpan(ctx, "execute")
+	m.met.executeTotal.Inc()
 	report := &Report{}
 	start := time.Now()
-	defer func() { report.Duration = time.Since(start) }()
+	var retErr error
+	defer func() {
+		report.Duration = time.Since(start)
+		m.met.executeSeconds.Observe(report.Duration.Seconds())
+		if retErr != nil {
+			m.met.executeErrors.Inc()
+			span.Annotate("error", retErr.Error())
+		}
+		span.End()
+	}()
 
 	// A previously completed composition re-executes from the start
 	// (repeated runs of the same task, e.g. streaming segments).
@@ -301,18 +347,21 @@ func (m *Middleware) Execute(ctx context.Context, c *Composition) (*Report, erro
 			return report, nil
 		}
 		if ctx.Err() != nil {
-			return report, ctx.Err()
+			retErr = ctx.Err()
+			return report, retErr
 		}
 		// Substitution exhausted inside the executor: behavioural
 		// adaptation is the second line of defence.
 		if _, aerr := c.manager.AdaptBehaviour(c.runtime); aerr != nil {
 			report.Substitutions = c.runtime.Substitutions()
-			return report, fmt.Errorf("qasom: execution failed and adaptation impossible: %w (execution: %v)", aerr, err)
+			retErr = fmt.Errorf("qasom: execution failed and adaptation impossible: %w (execution: %v)", aerr, err)
+			return report, retErr
 		}
 		report.BehaviourSwitches++
 	}
 	report.Substitutions = c.runtime.Substitutions()
-	return report, fmt.Errorf("qasom: execution did not converge after repeated adaptation")
+	retErr = fmt.Errorf("qasom: execution did not converge after repeated adaptation")
+	return report, retErr
 }
 
 // ExecutableBPEL renders the composition as an executable-BPEL document:

@@ -15,6 +15,7 @@ import (
 	"qasom/internal/exec"
 	"qasom/internal/graph"
 	"qasom/internal/monitor"
+	"qasom/internal/obs"
 	"qasom/internal/qos"
 	"qasom/internal/registry"
 	"qasom/internal/task"
@@ -181,8 +182,24 @@ type Manager struct {
 	Selector *core.Selector
 	// Monitor, when set, filters substitutes by observed health.
 	Monitor *monitor.Monitor
+	// Obs, when set, exports adaptation counters (substitutions,
+	// behaviour switches) into the hub's metrics registry.
+	Obs *obs.Hub
 	// Options tune the strategies.
 	Options Options
+}
+
+const (
+	behaviourSwitchMetric = "qasom_adapt_behaviour_switches_total"
+	behaviourSwitchHelp   = "Behavioural adaptations applied (behaviour switched to an equivalent task)."
+)
+
+// counter fetches a registry counter; nil (a no-op) without a hub.
+func (m *Manager) counter(name, help string) *obs.Counter {
+	if m.Obs == nil {
+		return nil
+	}
+	return m.Obs.Metrics.Counter(name, help)
 }
 
 // ErrNoSubstitute is wrapped when no alternate can replace a service.
@@ -219,6 +236,8 @@ func (m *Manager) Substitute(rt *Runtime, activityID string, exclude map[registr
 		}
 		rt.result.Alternates[activityID] = rest
 		rt.substitutions++
+		m.counter("qasom_adapt_substitutions_total",
+			"Service substitutions applied by the adaptation manager.").Inc()
 		return alt, nil
 	}
 	return registry.Candidate{}, fmt.Errorf("%w for activity %q", ErrNoSubstitute, activityID)

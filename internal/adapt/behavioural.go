@@ -104,6 +104,7 @@ func (m *Manager) AdaptBehaviour(rt *Runtime) (*BehaviouralPlan, error) {
 		}
 		if plan.Selection.Feasible {
 			rt.switchBehaviour(plan.Alternative, plan.Selection)
+			m.counter(behaviourSwitchMetric, behaviourSwitchHelp).Inc()
 			return plan, nil
 		}
 		if fallback == nil {
@@ -112,6 +113,7 @@ func (m *Manager) AdaptBehaviour(rt *Runtime) (*BehaviouralPlan, error) {
 	}
 	if fallback != nil && !m.Options.RequireFeasible {
 		rt.switchBehaviour(fallback.Alternative, fallback.Selection)
+		m.counter(behaviourSwitchMetric, behaviourSwitchHelp).Inc()
 		return fallback, nil
 	}
 	return nil, fmt.Errorf("%w (behaviour %q, %d alternatives tried)",

@@ -8,11 +8,21 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
 	"time"
+
+	"qasom/internal/obs"
 )
+
+// benchCtx is the context experiments execute pipeline calls under: it
+// carries the process-wide telemetry hub, so `qasombench -metrics`
+// dumps the counters and latency histograms the run produced.
+func benchCtx() context.Context {
+	return obs.WithHub(context.Background(), obs.Default())
+}
 
 // Config parameterises an experiment run.
 type Config struct {

@@ -193,7 +193,7 @@ func expAdapt() *Experiment {
 				}
 				sc.inject(f)
 				start := time.Now()
-				completed, switches, err := f.run(context.Background())
+				completed, switches, err := f.run(benchCtx())
 				recovery := time.Since(start)
 				if err != nil {
 					return nil, fmt.Errorf("scenario %s: %w", sc.name, err)

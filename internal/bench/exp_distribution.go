@@ -1,7 +1,6 @@
 package bench
 
 import (
-	"context"
 	"time"
 
 	"qasom/internal/core"
@@ -40,7 +39,7 @@ func expVI12() *Experiment {
 				sel := core.NewDistributedSelector(core.Options{}, devices)
 				var last *core.Result
 				_, err := medianDuration(cfg.Repetitions, func() error {
-					res, err := sel.Select(context.Background(), inst.req)
+					res, err := sel.Select(benchCtx(), inst.req)
 					last = res
 					return err
 				})
@@ -76,7 +75,7 @@ func expVI12TCP() *Experiment {
 				for id, list := range inst.cands {
 					dev := core.NewDeviceNode("dev-"+id, 0)
 					dev.Host(id, list)
-					addr, stop, err := core.ServeTCP(context.Background(), "127.0.0.1:0", dev)
+					addr, stop, err := core.ServeTCP(benchCtx(), "127.0.0.1:0", dev)
 					if err != nil {
 						for _, s := range stops {
 							s()
@@ -89,7 +88,7 @@ func expVI12TCP() *Experiment {
 				sel := core.NewDistributedSelector(core.Options{}, devices)
 				var last *core.Result
 				_, err := medianDuration(cfg.Repetitions, func() error {
-					res, err := sel.Select(context.Background(), inst.req)
+					res, err := sel.Select(benchCtx(), inst.req)
 					last = res
 					return err
 				})

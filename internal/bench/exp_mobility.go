@@ -1,7 +1,6 @@
 package bench
 
 import (
-	"context"
 	"fmt"
 
 	"qasom/internal/exec"
@@ -63,7 +62,7 @@ func expMobility() *Experiment {
 				"distance", "delivered_rt_ms", "signal", "reachable", "monitor_estimate_ms")
 			for _, dist := range []float64{0, 10, 20, 30, 40, 50} {
 				env.SetUserPosition(simenv.Position{X: 50 + dist, Y: 50})
-				res, err := env.Invoke(context.Background(), "stream-1", activity)
+				res, err := env.Invoke(benchCtx(), "stream-1", activity)
 				if err != nil {
 					return nil, err
 				}
@@ -90,7 +89,7 @@ func expMobility() *Experiment {
 				}),
 				Options: exec.Options{MaxAttempts: 1},
 			}
-			if _, err := e.Run(context.Background(), tk); err == nil {
+			if _, err := e.Run(benchCtx(), tk); err == nil {
 				return nil, fmt.Errorf("bench: out-of-range execution should fail")
 			}
 			t.AddNote("at distance 49 the executor correctly fails the invocation (signal lost)")

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"qasom/internal/cluster"
+	"qasom/internal/obs"
 	"qasom/internal/qos"
 	"qasom/internal/registry"
 )
@@ -91,6 +92,14 @@ var _ LocalSelector = (*DeviceNode)(nil)
 
 // LocalSelect runs the local phase for one hosted activity.
 func (d *DeviceNode) LocalSelect(ctx context.Context, req LocalRequest) (*LocalResult, error) {
+	ctx, span := obs.StartSpan(ctx, "device.localselect")
+	span.Annotate("device", d.Name)
+	span.Annotate("activity", req.ActivityID)
+	defer span.End()
+	if hub := obs.HubFrom(ctx); hub != nil {
+		hub.Metrics.Counter("qasom_device_localselect_total",
+			"Local-phase requests served by this coordinator device.").Inc()
+	}
 	if d.Latency > 0 {
 		t := time.NewTimer(d.Latency)
 		select {

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"qasom/internal/cluster"
+	"qasom/internal/obs"
 	"qasom/internal/qos"
 	"qasom/internal/registry"
 	"qasom/internal/task"
@@ -166,13 +167,17 @@ func (s *Selector) SelectContext(ctx context.Context, req *Request, candidates m
 	weights := req.weights()
 
 	startLocal := time.Now()
-	locals, peak, err := runLocalPhase(ctx, acts, candidates, req.Properties, weights, opts)
+	localCtx, localSpan := obs.StartSpan(ctx, "qassa.local")
+	locals, peak, err := runLocalPhase(localCtx, acts, candidates, req.Properties, weights, opts)
+	localSpan.End()
 	if err != nil {
 		return nil, err
 	}
 	localDur := time.Since(startLocal)
 
-	res, err := s.selectGlobal(ctx, req, eval, locals, opts)
+	globalCtx, globalSpan := obs.StartSpan(ctx, "qassa.global")
+	res, err := s.selectGlobal(globalCtx, req, eval, locals, opts)
+	globalSpan.End()
 	if err != nil {
 		return nil, err
 	}
@@ -192,6 +197,11 @@ func runLocalPhase(ctx context.Context, acts []*task.Activity, candidates map[st
 	results := make([]*LocalResult, len(acts))
 	errs := make([]error, len(acts))
 	sem := make(chan struct{}, opts.Workers)
+	var busyGauge *obs.Gauge
+	if hub := obs.HubFrom(ctx); hub != nil {
+		busyGauge = hub.Metrics.Gauge("qasom_local_workers_busy",
+			"QASSA local-phase worker-pool occupancy (concurrent clustering runs).")
+	}
 	var (
 		wg         sync.WaitGroup
 		occMu      sync.Mutex
@@ -208,16 +218,21 @@ func runLocalPhase(ctx context.Context, acts []*task.Activity, candidates map[st
 			if busy > peak {
 				peak = busy
 			}
+			busyGauge.Set(float64(busy))
 			occMu.Unlock()
 			defer func() {
 				occMu.Lock()
 				busy--
+				busyGauge.Set(float64(busy))
 				occMu.Unlock()
 			}()
 			if err := ctx.Err(); err != nil {
 				errs[i] = err
 				return
 			}
+			_, span := obs.StartSpan(ctx, "qassa.cluster")
+			span.Annotate("activity", id)
+			defer span.End()
 			// Each activity gets its own source seeded from Options.Seed —
 			// the scheme DeviceNode.LocalSelect already uses — so the
 			// clustering is reproducible regardless of worker count or

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"qasom/internal/monitor"
+	"qasom/internal/obs"
 	"qasom/internal/qos"
 	"qasom/internal/registry"
 	"qasom/internal/task"
@@ -82,6 +83,10 @@ type Record struct {
 	Latency     time.Duration
 	Success     bool
 	Substituted bool
+	// Err carries the failure cause of an unsuccessful attempt (the
+	// invoker's error, or "service reported failure" when the service
+	// answered but flagged functional failure); empty on success.
+	Err string
 }
 
 // Trace is the complete execution record of one run.
@@ -152,19 +157,56 @@ func (e *Executor) Run(ctx context.Context, t *task.Task) (*Trace, error) {
 	opts := e.Options.withDefaults()
 	trace := &Trace{}
 	start := time.Now()
-	run := &runState{exec: e, opts: opts, trace: trace, rng: rand.New(rand.NewSource(opts.Seed))}
+	ctx, span := obs.StartSpan(ctx, "exec.run")
+	defer span.End()
+	run := &runState{
+		exec:  e,
+		opts:  opts,
+		trace: trace,
+		met:   execMetricsFor(obs.HubFrom(ctx)),
+		rng:   rand.New(rand.NewSource(opts.Seed)),
+	}
 	err := run.node(ctx, t.Root)
 	trace.Duration = time.Since(start)
 	if err != nil {
+		span.Annotate("error", err.Error())
 		return trace, err
 	}
 	return trace, nil
+}
+
+// execMetrics bundles the executor's registry handles; the zero value
+// (no hub) is a full set of nil no-op handles, so the run state never
+// branches on "is telemetry on".
+type execMetrics struct {
+	invocations   *obs.Counter
+	failures      *obs.Counter
+	substitutions *obs.Counter
+	latency       *obs.Histogram
+}
+
+func execMetricsFor(hub *obs.Hub) execMetrics {
+	if hub == nil {
+		return execMetrics{}
+	}
+	r := hub.Metrics
+	return execMetrics{
+		invocations: r.Counter("qasom_exec_invocations_total",
+			"Service invocation attempts (including retries after substitution)."),
+		failures: r.Counter("qasom_exec_failures_total",
+			"Failed invocation attempts."),
+		substitutions: r.Counter("qasom_exec_substitutions_total",
+			"Invocation attempts served by a substitute service."),
+		latency: r.Histogram("qasom_exec_invoke_seconds",
+			"Observed per-invocation latency.", nil),
+	}
 }
 
 type runState struct {
 	exec  *Executor
 	opts  Options
 	trace *Trace
+	met   execMetrics
 
 	mu  sync.Mutex
 	rng *rand.Rand
@@ -266,7 +308,12 @@ func (r *runState) activity(ctx context.Context, act *task.Activity) error {
 		return fmt.Errorf("exec: binding %q: %w", act.ID, err)
 	}
 	substituted := false
+	var lastCause error
 	for attempt := 1; attempt <= r.opts.MaxAttempts; attempt++ {
+		_, span := obs.StartSpan(ctx, "exec.invoke")
+		span.Annotate("activity", act.ID)
+		span.Annotate("service", string(cand.Service.ID))
+		span.Annotate("attempt", fmt.Sprint(attempt))
 		res, err := r.exec.Invoker.Invoke(ctx, cand.Service.ID, act)
 		rec := Record{
 			Activity:    act.ID,
@@ -275,6 +322,20 @@ func (r *runState) activity(ctx context.Context, act *task.Activity) error {
 			Success:     err == nil && res.Success,
 			Substituted: substituted,
 		}
+		r.met.invocations.Inc()
+		if substituted {
+			r.met.substitutions.Inc()
+		}
+		if res.Latency > 0 {
+			r.met.latency.ObserveDuration(res.Latency)
+		}
+		if !rec.Success {
+			lastCause = errOrFailure(err)
+			rec.Err = lastCause.Error()
+			span.Annotate("error", rec.Err)
+			r.met.failures.Inc()
+		}
+		span.End()
 		r.trace.add(rec)
 		if r.exec.Monitor != nil && res.Measured != nil {
 			_ = r.exec.Monitor.Report(monitor.Observation{
@@ -294,7 +355,7 @@ func (r *runState) activity(ctx context.Context, act *task.Activity) error {
 			return ctx.Err()
 		}
 		if r.exec.OnFailure == nil {
-			return fmt.Errorf("exec: activity %q failed on %q: %w", act.ID, cand.Service.ID, errOrFailure(err))
+			return fmt.Errorf("exec: activity %q failed on %q: %w", act.ID, cand.Service.ID, lastCause)
 		}
 		next, ferr := r.exec.OnFailure(act, cand, attempt)
 		if ferr != nil {
@@ -303,7 +364,8 @@ func (r *runState) activity(ctx context.Context, act *task.Activity) error {
 		substituted = next.Service.ID != cand.Service.ID
 		cand = next
 	}
-	return fmt.Errorf("exec: activity %q failed after %d attempts", act.ID, r.opts.MaxAttempts)
+	return fmt.Errorf("exec: activity %q failed after %d attempts (last cause: %w)",
+		act.ID, r.opts.MaxAttempts, lastCause)
 }
 
 func errOrFailure(err error) error {

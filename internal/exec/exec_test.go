@@ -3,6 +3,7 @@ package exec
 import (
 	"context"
 	"fmt"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -120,6 +121,60 @@ func TestRunFailureWithoutHandlerAborts(t *testing.T) {
 	if err == nil {
 		t.Error("unhandled failure should abort the run")
 	}
+}
+
+// TestRecordCarriesFailureCause pins the failure-cause plumbing: the
+// trace record of an unsuccessful attempt carries Err, and the final
+// errors name the last cause instead of a bare attempt count.
+func TestRecordCarriesFailureCause(t *testing.T) {
+	stub := newStub()
+	stub.fail["svc-a"] = 99 // answers, but flags functional failure
+	e := &Executor{Invoker: stub, Binder: fixedBinder("svc")}
+	trace, err := e.Run(context.Background(), simpleTask())
+	if err == nil {
+		t.Fatal("unhandled failure should abort the run")
+	}
+	if !strings.Contains(err.Error(), "service reported failure") {
+		t.Errorf("final error does not carry the cause: %v", err)
+	}
+	if len(trace.Records) != 1 {
+		t.Fatalf("records = %d, want 1", len(trace.Records))
+	}
+	if got := trace.Records[0].Err; got != "service reported failure" {
+		t.Errorf("Record.Err = %q", got)
+	}
+
+	// Invoker error: the cause is the invoker's error verbatim, and
+	// attempt exhaustion names it too.
+	boom := &Executor{
+		Invoker: invokerFunc(func(context.Context, registry.ServiceID, *task.Activity) (InvokeResult, error) {
+			return InvokeResult{}, fmt.Errorf("link down")
+		}),
+		Binder: fixedBinder("svc"),
+		OnFailure: func(_ *task.Activity, failed registry.Candidate, _ int) (registry.Candidate, error) {
+			return failed, nil
+		},
+		Options: Options{MaxAttempts: 2},
+	}
+	trace, err = boom.Run(context.Background(), simpleTask())
+	if err == nil {
+		t.Fatal("exhaustion should abort")
+	}
+	if !strings.Contains(err.Error(), "last cause: link down") {
+		t.Errorf("exhaustion error does not carry the last cause: %v", err)
+	}
+	for _, rec := range trace.Records {
+		if rec.Err != "link down" {
+			t.Errorf("Record.Err = %q, want %q", rec.Err, "link down")
+		}
+	}
+}
+
+// invokerFunc adapts a function to the Invoker interface.
+type invokerFunc func(ctx context.Context, svc registry.ServiceID, act *task.Activity) (InvokeResult, error)
+
+func (f invokerFunc) Invoke(ctx context.Context, svc registry.ServiceID, act *task.Activity) (InvokeResult, error) {
+	return f(ctx, svc, act)
 }
 
 func TestRunSubstitutionOnFailure(t *testing.T) {

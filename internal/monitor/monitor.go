@@ -13,6 +13,7 @@ import (
 	"sync"
 	"time"
 
+	"qasom/internal/obs"
 	"qasom/internal/qos"
 	"qasom/internal/registry"
 	"qasom/internal/task"
@@ -36,6 +37,10 @@ type Options struct {
 	WindowSize int
 	// Alpha is the EWMA smoothing factor in (0,1]; 0 means 0.3.
 	Alpha float64
+	// Obs, when set, makes the monitor export telemetry into the hub's
+	// registry: observation/failure counters, per-service EWMA gauges
+	// and the violation counters the composition assessor increments.
+	Obs *obs.Hub
 }
 
 func (o Options) withDefaults() Options {
@@ -57,12 +62,41 @@ type window struct {
 	failures int
 }
 
+// monitorMetrics bundles the monitor's registry handles; the zero
+// value is a full set of nil no-op handles.
+type monitorMetrics struct {
+	observations *obs.Counter
+	failures     *obs.Counter
+	ewma         *obs.GaugeVec
+	violations   *obs.CounterVec
+}
+
+func monitorMetricsFor(hub *obs.Hub) monitorMetrics {
+	if hub == nil {
+		return monitorMetrics{}
+	}
+	r := hub.Metrics
+	return monitorMetrics{
+		observations: r.Counter("qasom_monitor_observations_total",
+			"QoS observations reported to the monitor."),
+		failures: r.Counter("qasom_monitor_failures_total",
+			"Observations reporting a failed invocation."),
+		ewma: r.GaugeVec("qasom_monitor_ewma",
+			"EWMA run-time QoS estimate per service and property.",
+			"service", "property"),
+		violations: r.CounterVec("qasom_monitor_violations_total",
+			"Constraint violations flagged by composition assessment, by kind (current|predicted).",
+			"kind"),
+	}
+}
+
 // Monitor collects run-time QoS observations per service. Safe for
 // concurrent use.
 type Monitor struct {
 	mu      sync.RWMutex
 	ps      *qos.PropertySet
 	opts    Options
+	met     monitorMetrics
 	windows map[registry.ServiceID]*window
 }
 
@@ -71,6 +105,7 @@ func New(ps *qos.PropertySet, opts Options) *Monitor {
 	return &Monitor{
 		ps:      ps,
 		opts:    opts.withDefaults(),
+		met:     monitorMetricsFor(opts.Obs),
 		windows: make(map[registry.ServiceID]*window),
 	}
 }
@@ -103,6 +138,15 @@ func (m *Monitor) Report(obs Observation) error {
 		a := m.opts.Alpha
 		for j := range w.ewma {
 			w.ewma[j] = a*obs.Vector[j] + (1-a)*w.ewma[j]
+		}
+	}
+	m.met.observations.Inc()
+	if !obs.Success {
+		m.met.failures.Inc()
+	}
+	if m.met.ewma != nil {
+		for j, name := range m.ps.Names() {
+			m.met.ewma.With(string(obs.Service), name).Set(w.ewma[j])
 		}
 	}
 	return nil
@@ -357,5 +401,13 @@ func (cm *CompositionMonitor) Assess(m *Monitor, steps int) Assessment {
 	}
 	a.Violated = cm.constraints.Violated(cm.ps, a.Current)
 	a.PredictedViolated = cm.constraints.Violated(cm.ps, a.Predicted)
+	if m.met.violations != nil {
+		if n := len(a.Violated); n > 0 {
+			m.met.violations.With("current").Add(uint64(n))
+		}
+		if n := len(a.PredictedViolated); n > 0 {
+			m.met.violations.With("predicted").Add(uint64(n))
+		}
+	}
 	return a
 }

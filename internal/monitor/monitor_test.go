@@ -18,7 +18,7 @@ func testProps() *qos.PropertySet {
 	)
 }
 
-func obs(id string, rt, avail float64, ok bool) Observation {
+func mkObs(id string, rt, avail float64, ok bool) Observation {
 	return Observation{Service: registry.ServiceID(id), Vector: qos.Vector{rt, avail}, Time: time.Now(), Success: ok}
 }
 
@@ -27,7 +27,7 @@ func TestReportValidation(t *testing.T) {
 	if err := m.Report(Observation{Service: "s", Vector: qos.Vector{1}}); err == nil {
 		t.Error("wrong arity should be rejected")
 	}
-	if err := m.Report(obs("s", 100, 0.9, true)); err != nil {
+	if err := m.Report(mkObs("s", 100, 0.9, true)); err != nil {
 		t.Fatalf("Report: %v", err)
 	}
 	if m.Len("s") != 1 {
@@ -43,10 +43,10 @@ func TestEstimateEWMA(t *testing.T) {
 	if _, ok := m.Estimate("s"); ok {
 		t.Error("unobserved service should have no estimate")
 	}
-	if err := m.Report(obs("s", 100, 0.9, true)); err != nil {
+	if err := m.Report(mkObs("s", 100, 0.9, true)); err != nil {
 		t.Fatal(err)
 	}
-	if err := m.Report(obs("s", 200, 0.9, true)); err != nil {
+	if err := m.Report(mkObs("s", 200, 0.9, true)); err != nil {
 		t.Fatal(err)
 	}
 	est, ok := m.Estimate("s")
@@ -68,7 +68,7 @@ func TestEstimateEWMA(t *testing.T) {
 func TestWindowRotation(t *testing.T) {
 	m := New(testProps(), Options{WindowSize: 4})
 	for i := 0; i < 10; i++ {
-		if err := m.Report(obs("s", float64(i), 0.9, true)); err != nil {
+		if err := m.Report(mkObs("s", float64(i), 0.9, true)); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -83,11 +83,11 @@ func TestSuccessRate(t *testing.T) {
 		t.Error("unobserved service should default to success rate 1")
 	}
 	for i := 0; i < 3; i++ {
-		if err := m.Report(obs("s", 100, 0.9, true)); err != nil {
+		if err := m.Report(mkObs("s", 100, 0.9, true)); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if err := m.Report(obs("s", 100, 0.9, false)); err != nil {
+	if err := m.Report(mkObs("s", 100, 0.9, false)); err != nil {
 		t.Fatal(err)
 	}
 	if got := m.SuccessRate("s"); got != 0.75 {
@@ -102,7 +102,7 @@ func TestPredictLinearTrend(t *testing.T) {
 	}
 	// Response time degrading linearly: 100, 110, 120, 130.
 	for i := 0; i < 4; i++ {
-		if err := m.Report(obs("s", 100+10*float64(i), 0.9, true)); err != nil {
+		if err := m.Report(mkObs("s", 100+10*float64(i), 0.9, true)); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -120,7 +120,7 @@ func TestPredictClampsProbabilities(t *testing.T) {
 	m := New(testProps(), Options{WindowSize: 10})
 	// Availability dropping fast: prediction must stay in [0,1].
 	for i := 0; i < 5; i++ {
-		if err := m.Report(obs("s", 100, 0.9-0.2*float64(i), true)); err != nil {
+		if err := m.Report(mkObs("s", 100, 0.9-0.2*float64(i), true)); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -139,7 +139,7 @@ func TestPredictClampsProbabilities(t *testing.T) {
 func TestPredictStablePlateau(t *testing.T) {
 	m := New(testProps(), Options{WindowSize: 8})
 	for i := 0; i < 6; i++ {
-		if err := m.Report(obs("s", 100, 0.9, true)); err != nil {
+		if err := m.Report(mkObs("s", 100, 0.9, true)); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -185,7 +185,7 @@ func TestCompositionMonitorCurrentViolation(t *testing.T) {
 	tk, ps, cs, adv, binding := compositionFixture()
 	cm := NewCompositionMonitor(tk, ps, cs, qos.Pessimistic, adv, binding)
 	m := New(ps, Options{Alpha: 1}) // estimate = last observation
-	if err := m.Report(obs("svcA", 300, 0.95, true)); err != nil {
+	if err := m.Report(mkObs("svcA", 300, 0.95, true)); err != nil {
 		t.Fatal(err)
 	}
 	a := cm.Assess(m, 3)
@@ -204,11 +204,11 @@ func TestCompositionMonitorProactiveViolation(t *testing.T) {
 	// svcA degrading: 100, 120, 140 — currently 200-ish total (fine), but
 	// the trend crosses the 250 bound within a few steps.
 	for i := 0; i < 3; i++ {
-		if err := m.Report(obs("svcA", 100+20*float64(i), 0.95, true)); err != nil {
+		if err := m.Report(mkObs("svcA", 100+20*float64(i), 0.95, true)); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if err := m.Report(obs("svcB", 100, 0.95, true)); err != nil {
+	if err := m.Report(mkObs("svcB", 100, 0.95, true)); err != nil {
 		t.Fatal(err)
 	}
 	a := cm.Assess(m, 5)
@@ -242,7 +242,7 @@ func TestMonitorConcurrent(t *testing.T) {
 		go func(w int) {
 			defer wg.Done()
 			for i := 0; i < 200; i++ {
-				_ = m.Report(obs("s", float64(i), 0.9, true))
+				_ = m.Report(mkObs("s", float64(i), 0.9, true))
 				_, _ = m.Estimate("s")
 				_, _ = m.Predict("s", 2)
 				_ = m.SuccessRate("s")
@@ -261,7 +261,7 @@ func TestPercentile(t *testing.T) {
 		t.Error("unobserved service should have no percentile")
 	}
 	for i := 1; i <= 10; i++ {
-		if err := m.Report(obs("s", float64(i*10), 0.9, true)); err != nil {
+		if err := m.Report(mkObs("s", float64(i*10), 0.9, true)); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -291,11 +291,11 @@ func TestPercentileCatchesTail(t *testing.T) {
 	m := New(testProps(), Options{WindowSize: 30})
 	// Mostly fast with a heavy tail: the mean hides what P95 shows.
 	for i := 0; i < 19; i++ {
-		if err := m.Report(obs("s", 50, 0.9, true)); err != nil {
+		if err := m.Report(mkObs("s", 50, 0.9, true)); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if err := m.Report(obs("s", 2000, 0.9, true)); err != nil {
+	if err := m.Report(mkObs("s", 2000, 0.9, true)); err != nil {
 		t.Fatal(err)
 	}
 	p95, ok := m.Percentile("s", 0, 0.96)

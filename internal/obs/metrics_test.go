@@ -1,0 +1,222 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "a counter")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if again := r.Counter("c_total", "a counter"); again != c {
+		t.Fatal("Counter is not get-or-create")
+	}
+	g := r.Gauge("g", "a gauge")
+	g.Set(2.5)
+	g.Add(-1)
+	if got := g.Value(); got != 1.5 {
+		t.Fatalf("gauge = %v, want 1.5", got)
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	// None of these may panic, and the handles must be usable no-ops.
+	c := r.Counter("x", "")
+	c.Inc()
+	c.Add(2)
+	if c.Value() != 0 {
+		t.Fatal("nil counter should report 0")
+	}
+	g := r.Gauge("x", "")
+	g.Set(1)
+	g.Add(1)
+	h := r.Histogram("x", "", nil)
+	h.Observe(1)
+	h.ObserveDuration(time.Second)
+	if h.Snapshot().Count != 0 {
+		t.Fatal("nil histogram should be empty")
+	}
+	r.CounterVec("x", "", "l").With("v").Inc()
+	r.GaugeVec("x", "", "l").With("v").Set(1)
+	r.HistogramVec("x", "", nil, "l").With("v").Observe(1)
+	r.Func("x", "", func() float64 { return 1 })
+	if r.Snapshot() != nil {
+		t.Fatal("nil registry snapshot should be nil")
+	}
+	var tr *Tracer
+	if tr.Snapshot() != nil || tr.Total() != 0 {
+		t.Fatal("nil tracer should be empty")
+	}
+}
+
+func TestVecLabels(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("reqs_total", "requests", "phase")
+	v.With("local").Add(3)
+	v.With("global").Inc()
+	if v.With("local").Value() != 3 || v.With("global").Value() != 1 {
+		t.Fatal("labelled children not independent")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("label-arity mismatch should panic")
+		}
+	}()
+	v.With("a", "b")
+}
+
+func TestKindConflictPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("m", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering a counter as a gauge should panic")
+		}
+	}()
+	r.Gauge("m", "")
+}
+
+func TestHistogramObserveAndQuantile(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_seconds", "latency", []float64{0.01, 0.1, 1})
+	for i := 0; i < 90; i++ {
+		h.Observe(0.005) // first bucket
+	}
+	for i := 0; i < 9; i++ {
+		h.Observe(0.05) // second bucket
+	}
+	h.Observe(5) // +Inf bucket
+	s := h.Snapshot()
+	if s.Count != 100 {
+		t.Fatalf("count = %d, want 100", s.Count)
+	}
+	if got := s.Counts[0]; got != 90 {
+		t.Fatalf("bucket0 = %d, want 90", got)
+	}
+	if got := s.Counts[3]; got != 1 {
+		t.Fatalf("+Inf bucket = %d, want 1", got)
+	}
+	if q := s.Quantile(0.5); q <= 0 || q > 0.01 {
+		t.Fatalf("p50 = %v, want within (0, 0.01]", q)
+	}
+	if q := s.Quantile(0.95); q <= 0.01 || q > 0.1 {
+		t.Fatalf("p95 = %v, want within (0.01, 0.1]", q)
+	}
+	// The +Inf observation reports the highest finite bound.
+	if q := s.Quantile(1); q != 1 {
+		t.Fatalf("p100 = %v, want 1", q)
+	}
+	if q := (HistogramSnapshot{}).Quantile(0.5); q != 0 {
+		t.Fatalf("empty quantile = %v, want 0", q)
+	}
+}
+
+func TestHistogramBoundaryIsLE(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("b_seconds", "", []float64{1, 2})
+	h.Observe(1) // le="1" must include the boundary value
+	s := h.Snapshot()
+	if s.Counts[0] != 1 {
+		t.Fatalf("boundary observation landed in bucket %v, want bucket 0", s.Counts)
+	}
+}
+
+func TestFuncMetricReplaces(t *testing.T) {
+	r := NewRegistry()
+	r.Func("live", "live value", func() float64 { return 1 })
+	r.Func("live", "live value", func() float64 { return 2 })
+	snap := r.Snapshot()
+	if len(snap) != 1 || snap[0].Series[0].Value != 2 {
+		t.Fatalf("func metric should be replaced, got %+v", snap)
+	}
+}
+
+func TestSnapshotShape(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a_total", "help a").Inc()
+	r.GaugeVec("b", "help b", "svc").With("s1").Set(7)
+	r.Histogram("c_seconds", "help c", []float64{1}).Observe(0.5)
+	snap := r.Snapshot()
+	if len(snap) != 3 {
+		t.Fatalf("got %d families, want 3", len(snap))
+	}
+	if snap[0].Name != "a_total" || snap[1].Name != "b" || snap[2].Name != "c_seconds" {
+		t.Fatalf("families not sorted: %v %v %v", snap[0].Name, snap[1].Name, snap[2].Name)
+	}
+	if snap[1].Series[0].Labels["svc"] != "s1" || snap[1].Series[0].Value != 7 {
+		t.Fatalf("labelled series wrong: %+v", snap[1].Series[0])
+	}
+	if snap[2].Series[0].Histogram == nil || snap[2].Series[0].Histogram.Count != 1 {
+		t.Fatalf("histogram series wrong: %+v", snap[2].Series[0])
+	}
+}
+
+func TestConcurrentMetricOps(t *testing.T) {
+	r := NewRegistry()
+	const goroutines, iters = 8, 1000
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < iters; j++ {
+				r.Counter("n_total", "").Inc()
+				r.Gauge("g", "").Add(1)
+				r.Histogram("h_seconds", "", nil).Observe(float64(j) / iters)
+				r.CounterVec("v_total", "", "k").With("a").Inc()
+			}
+		}()
+	}
+	// Concurrent scrapes while writing.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			var sb strings.Builder
+			if err := r.WritePrometheus(&sb); err != nil {
+				t.Errorf("WritePrometheus: %v", err)
+				return
+			}
+			r.Snapshot()
+		}
+	}()
+	wg.Wait()
+	<-done
+	want := uint64(goroutines * iters)
+	if got := r.Counter("n_total", "").Value(); got != want {
+		t.Fatalf("counter = %d, want %d", got, want)
+	}
+	if got := r.Gauge("g", "").Value(); got != float64(want) {
+		t.Fatalf("gauge = %v, want %v", got, float64(want))
+	}
+	if got := r.Histogram("h_seconds", "", nil).Snapshot().Count; got != want {
+		t.Fatalf("histogram count = %d, want %d", got, want)
+	}
+}
+
+func TestAtomicFloat(t *testing.T) {
+	var f atomicFloat
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				f.Add(0.5)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := f.Load(); math.Abs(got-2000) > 1e-9 {
+		t.Fatalf("atomicFloat = %v, want 2000", got)
+	}
+}

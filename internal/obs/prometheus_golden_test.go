@@ -1,0 +1,115 @@
+package obs
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite the exposition golden file")
+
+// goldenRegistry builds a deterministic registry exercising every
+// exposition feature: bare counters/gauges, labelled families, escaped
+// help and label values, histograms and func metrics.
+func goldenRegistry() *Registry {
+	r := NewRegistry()
+	r.Counter("qasom_compose_total", "Total Compose calls.").Add(7)
+	r.Counter("qasom_compose_errors_total", "Compose calls that returned an error.")
+	r.Gauge("qasom_local_workers_busy", "Local-phase worker-pool occupancy.").Set(3)
+	v := r.CounterVec("qasom_monitor_violations_total",
+		"Constraint violations flagged by the composition monitor.", "kind")
+	v.With("current").Add(2)
+	v.With("predicted").Inc()
+	g := r.GaugeVec("qasom_monitor_ewma", "EWMA run-time estimate per service and property.",
+		"service", "property")
+	g.With("cam-1", "responseTime").Set(120.5)
+	g.With(`we"ird\svc`, "price").Set(4)
+	h := r.Histogram("qasom_select_seconds", "End-to-end selection latency.",
+		[]float64{0.001, 0.01, 0.1, 1})
+	h.Observe(0.0005)
+	h.Observe(0.0005)
+	h.Observe(0.005)
+	h.Observe(0.05)
+	h.Observe(2) // +Inf
+	hv := r.HistogramVec("qasom_phase_seconds", "Per-phase latency.\nSecond help line.",
+		[]float64{0.01, 0.1}, "phase")
+	hv.With("local").Observe(0.002)
+	hv.With("global").Observe(0.2)
+	r.Func("qasom_registry_services", "Published services (live).", func() float64 { return 42 })
+	return r
+}
+
+func TestPrometheusExpositionGolden(t *testing.T) {
+	var sb strings.Builder
+	if err := goldenRegistry().WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+	path := filepath.Join("testdata", "exposition.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden (run with -update-golden to create): %v", err)
+	}
+	if got != string(want) {
+		t.Fatalf("exposition drifted from golden file.\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+// TestHistogramExpositionCumulative parses the golden registry's output
+// and checks the le-bucket series are cumulative, end at +Inf and agree
+// with _count — the contract Prometheus scrapers rely on.
+func TestHistogramExpositionCumulative(t *testing.T) {
+	var sb strings.Builder
+	if err := goldenRegistry().WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var buckets []uint64
+	var sawInf bool
+	var count uint64
+	for _, line := range strings.Split(sb.String(), "\n") {
+		switch {
+		case strings.HasPrefix(line, "qasom_select_seconds_bucket"):
+			fields := strings.Fields(line)
+			n, err := strconv.ParseUint(fields[len(fields)-1], 10, 64)
+			if err != nil {
+				t.Fatalf("bad bucket line %q: %v", line, err)
+			}
+			buckets = append(buckets, n)
+			if strings.Contains(line, `le="+Inf"`) {
+				sawInf = true
+			}
+		case strings.HasPrefix(line, "qasom_select_seconds_count"):
+			fields := strings.Fields(line)
+			n, err := strconv.ParseUint(fields[len(fields)-1], 10, 64)
+			if err != nil {
+				t.Fatalf("bad count line %q: %v", line, err)
+			}
+			count = n
+		}
+	}
+	if len(buckets) != 5 { // 4 finite bounds + +Inf
+		t.Fatalf("got %d bucket lines, want 5", len(buckets))
+	}
+	for i := 1; i < len(buckets); i++ {
+		if buckets[i] < buckets[i-1] {
+			t.Fatalf("buckets not cumulative: %v", buckets)
+		}
+	}
+	if !sawInf {
+		t.Fatal("missing le=\"+Inf\" bucket")
+	}
+	if buckets[len(buckets)-1] != count {
+		t.Fatalf("+Inf bucket %d != count %d", buckets[len(buckets)-1], count)
+	}
+}

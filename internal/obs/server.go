@@ -1,0 +1,77 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// Handler returns the hub's debug mux:
+//
+//	/metrics      Prometheus text exposition of the metrics registry
+//	/healthz      liveness probe ("ok")
+//	/debug/spans  JSON snapshot of the recent span trees
+//	/debug/pprof  the standard Go profiling endpoints
+func (h *Hub) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := h.Metrics.WritePrometheus(w); err != nil {
+			// Headers are gone; the truncated body is all we can signal.
+			return
+		}
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/debug/spans", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		spans := h.Tracer.Snapshot()
+		if spans == nil {
+			spans = []SpanSnapshot{}
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(spans)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// ServeDebug exposes the hub's Handler on an HTTP listener until ctx is
+// cancelled. It returns the bound address immediately and serves in the
+// background; the returned stop function shuts the server down and
+// waits for in-flight requests (bounded by a short grace period).
+func ServeDebug(ctx context.Context, addr string, h *Hub) (string, func(), error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, fmt.Errorf("obs: listen: %w", err)
+	}
+	srv := &http.Server{Handler: h.Handler()}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_ = srv.Serve(ln) // returns on Shutdown/Close
+	}()
+	serveCtx, cancel := context.WithCancel(ctx)
+	go func() {
+		<-serveCtx.Done()
+		shutCtx, shutCancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer shutCancel()
+		_ = srv.Shutdown(shutCtx)
+	}()
+	stop := func() {
+		cancel()
+		<-done
+	}
+	return ln.Addr().String(), stop, nil
+}

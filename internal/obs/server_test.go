@@ -1,0 +1,97 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestHandlerEndpoints(t *testing.T) {
+	hub := NewHub()
+	hub.Metrics.Counter("up_total", "ups").Inc()
+	ctx := WithHub(context.Background(), hub)
+	_, s := StartSpan(ctx, "probe")
+	s.End()
+
+	srv := httptest.NewServer(hub.Handler())
+	defer srv.Close()
+
+	body, ct := get(t, srv.URL+"/metrics")
+	if !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("/metrics content-type = %q", ct)
+	}
+	if !strings.Contains(body, "# TYPE up_total counter") || !strings.Contains(body, "up_total 1") {
+		t.Fatalf("/metrics body missing counter:\n%s", body)
+	}
+
+	body, _ = get(t, srv.URL+"/healthz")
+	if strings.TrimSpace(body) != "ok" {
+		t.Fatalf("/healthz = %q", body)
+	}
+
+	body, ct = get(t, srv.URL+"/debug/spans")
+	if ct != "application/json" {
+		t.Fatalf("/debug/spans content-type = %q", ct)
+	}
+	var spans []SpanSnapshot
+	if err := json.Unmarshal([]byte(body), &spans); err != nil {
+		t.Fatalf("/debug/spans not JSON: %v\n%s", err, body)
+	}
+	if len(spans) != 1 || spans[0].Name != "probe" {
+		t.Fatalf("/debug/spans = %+v", spans)
+	}
+
+	body, _ = get(t, srv.URL+"/debug/pprof/")
+	if !strings.Contains(body, "goroutine") {
+		t.Fatalf("/debug/pprof/ index unexpected:\n%.200s", body)
+	}
+}
+
+func TestDebugSpansEmptyIsJSONArray(t *testing.T) {
+	srv := httptest.NewServer(NewHub().Handler())
+	defer srv.Close()
+	body, _ := get(t, srv.URL+"/debug/spans")
+	var spans []SpanSnapshot
+	if err := json.Unmarshal([]byte(body), &spans); err != nil || spans == nil {
+		t.Fatalf("empty span snapshot should be [], got %q (err %v)", body, err)
+	}
+}
+
+func TestServeDebug(t *testing.T) {
+	hub := NewHub()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	addr, stop, err := ServeDebug(ctx, "127.0.0.1:0", hub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := get(t, "http://"+addr+"/healthz")
+	if strings.TrimSpace(body) != "ok" {
+		t.Fatalf("healthz over ServeDebug = %q", body)
+	}
+	stop()
+	if _, err := http.Get("http://" + addr + "/healthz"); err == nil {
+		t.Fatal("server should be down after stop")
+	}
+}
+
+func get(t *testing.T, url string) (body, contentType string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", url, resp.StatusCode)
+	}
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read %s: %v", url, err)
+	}
+	return string(b), resp.Header.Get("Content-Type")
+}

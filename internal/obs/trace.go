@@ -1,0 +1,234 @@
+package obs
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// Hub bundles the two telemetry backends one process (or one
+// middleware instance) shares: the metrics registry and the span
+// tracer. Hubs travel through context.Context so every layer of the
+// pipeline — candidate lookup, QASSA phases, execution, adaptation —
+// reports into the same place without threading handles through every
+// signature.
+type Hub struct {
+	Metrics *Registry
+	Tracer  *Tracer
+}
+
+// NewHub creates a hub with a fresh registry and tracer.
+func NewHub() *Hub {
+	return &Hub{Metrics: NewRegistry(), Tracer: NewTracer(0)}
+}
+
+var defaultHub = NewHub()
+
+// Default returns the process-wide hub. Middleware instances use it
+// unless configured with their own, so command-line tools (qasomnode,
+// qasombench) can expose one coherent /metrics for the whole process.
+func Default() *Hub { return defaultHub }
+
+type hubKey struct{}
+type spanKey struct{}
+
+// WithHub attaches a hub to the context.
+func WithHub(ctx context.Context, h *Hub) context.Context {
+	return context.WithValue(ctx, hubKey{}, h)
+}
+
+// EnsureHub attaches h unless the context already carries a hub (a
+// caller-supplied hub wins over the instance default).
+func EnsureHub(ctx context.Context, h *Hub) context.Context {
+	if HubFrom(ctx) != nil {
+		return ctx
+	}
+	return WithHub(ctx, h)
+}
+
+// HubFrom returns the context's hub, or nil.
+func HubFrom(ctx context.Context) *Hub {
+	h, _ := ctx.Value(hubKey{}).(*Hub)
+	return h
+}
+
+// maxChildren bounds the span-tree fan-out per parent so a pathological
+// run (a loop of thousands of invocations) cannot grow memory without
+// bound; further children are counted, not stored.
+const maxChildren = 512
+
+// Span is one timed operation in a trace tree. Spans are created with
+// StartSpan and finished with End; both are nil-safe, so instrumented
+// code needs no "is tracing on" branches. Safe for concurrent use:
+// parallel branches attach children to one parent concurrently.
+type Span struct {
+	tracer *Tracer
+	parent *Span
+	name   string
+	start  time.Time
+
+	mu       sync.Mutex
+	attrs    []spanAttr
+	children []*Span
+	dropped  int
+	end      time.Time
+	ended    bool
+}
+
+type spanAttr struct{ key, value string }
+
+// StartSpan begins a span named name under the context's current span
+// (a root span when there is none). Without a hub or tracer in the
+// context it returns the context unchanged and a nil span.
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	hub := HubFrom(ctx)
+	if hub == nil || hub.Tracer == nil {
+		return ctx, nil
+	}
+	parent, _ := ctx.Value(spanKey{}).(*Span)
+	s := &Span{tracer: hub.Tracer, parent: parent, name: name, start: time.Now()}
+	if parent != nil {
+		parent.addChild(s)
+	}
+	return context.WithValue(ctx, spanKey{}, s), s
+}
+
+func (s *Span) addChild(c *Span) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.children) >= maxChildren {
+		s.dropped++
+		return
+	}
+	s.children = append(s.children, c)
+}
+
+// Annotate attaches a key/value attribute to the span.
+func (s *Span) Annotate(key, value string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.attrs = append(s.attrs, spanAttr{key, value})
+	s.mu.Unlock()
+}
+
+// End finishes the span; a finished root span is recorded in the
+// tracer's ring of recent traces. End is idempotent and nil-safe.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.ended {
+		s.mu.Unlock()
+		return
+	}
+	s.ended = true
+	s.end = time.Now()
+	s.mu.Unlock()
+	if s.parent == nil && s.tracer != nil {
+		s.tracer.record(s)
+	}
+}
+
+// SpanSnapshot is an immutable copy of a finished (or in-flight) span
+// tree, JSON-friendly for the /debug/spans endpoint.
+type SpanSnapshot struct {
+	Name     string            `json:"name"`
+	Start    time.Time         `json:"start"`
+	Duration time.Duration     `json:"duration"`
+	Attrs    map[string]string `json:"attrs,omitempty"`
+	Children []SpanSnapshot    `json:"children,omitempty"`
+	// Dropped counts children discarded beyond the per-span cap.
+	Dropped int `json:"dropped,omitempty"`
+}
+
+func (s *Span) snapshot() SpanSnapshot {
+	s.mu.Lock()
+	out := SpanSnapshot{
+		Name:    s.name,
+		Start:   s.start,
+		Dropped: s.dropped,
+	}
+	if s.ended {
+		out.Duration = s.end.Sub(s.start)
+	} else {
+		out.Duration = time.Since(s.start)
+	}
+	if len(s.attrs) > 0 {
+		out.Attrs = make(map[string]string, len(s.attrs))
+		for _, a := range s.attrs {
+			out.Attrs[a.key] = a.value
+		}
+	}
+	children := append([]*Span(nil), s.children...)
+	s.mu.Unlock()
+	if len(children) > 0 {
+		out.Children = make([]SpanSnapshot, len(children))
+		for i, c := range children {
+			out.Children[i] = c.snapshot()
+		}
+	}
+	return out
+}
+
+// Tracer keeps a bounded ring of the most recent finished root spans.
+// Safe for concurrent use.
+type Tracer struct {
+	mu    sync.Mutex
+	ring  []*Span
+	next  int
+	full  bool
+	total uint64
+}
+
+// NewTracer creates a tracer retaining the last capacity root spans
+// (0 means 64).
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = 64
+	}
+	return &Tracer{ring: make([]*Span, capacity)}
+}
+
+func (t *Tracer) record(s *Span) {
+	t.mu.Lock()
+	t.ring[t.next] = s
+	t.next = (t.next + 1) % len(t.ring)
+	if t.next == 0 {
+		t.full = true
+	}
+	t.total++
+	t.mu.Unlock()
+}
+
+// Total counts every root span ever recorded (monotonic; the ring only
+// retains the most recent ones).
+func (t *Tracer) Total() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.total
+}
+
+// Snapshot returns the retained root span trees, oldest first.
+func (t *Tracer) Snapshot() []SpanSnapshot {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	roots := make([]*Span, 0, len(t.ring))
+	if t.full {
+		roots = append(roots, t.ring[t.next:]...)
+	}
+	roots = append(roots, t.ring[:t.next]...)
+	t.mu.Unlock()
+	out := make([]SpanSnapshot, len(roots))
+	for i, r := range roots {
+		out[i] = r.snapshot()
+	}
+	return out
+}

@@ -100,6 +100,19 @@ type CacheStats struct {
 	DistanceHits, DistanceMisses uint64
 }
 
+// Delta returns the counter increments since an earlier snapshot —
+// the per-window attribution a caller gets by snapshotting around a
+// phase (approximate under concurrent reasoners, since other
+// goroutines' cache traffic lands in the same window).
+func (s CacheStats) Delta(prev CacheStats) CacheStats {
+	return CacheStats{
+		MatchHits:      s.MatchHits - prev.MatchHits,
+		MatchMisses:    s.MatchMisses - prev.MatchMisses,
+		DistanceHits:   s.DistanceHits - prev.DistanceHits,
+		DistanceMisses: s.DistanceMisses - prev.DistanceMisses,
+	}
+}
+
 // Ontology is a concept store with subsumption reasoning. The zero value
 // is not usable; create instances with New. All methods are safe for
 // concurrent use.
@@ -145,6 +158,15 @@ func (o *Ontology) Stats() CacheStats {
 	o.mu.RLock()
 	defer o.mu.RUnlock()
 	return o.stats
+}
+
+// ResetStats zeroes the reasoning-cache counters (the memo tables
+// themselves are kept). Benchmark harnesses call it between runs so
+// each run's Stats snapshot stands alone.
+func (o *Ontology) ResetStats() {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.stats = CacheStats{}
 }
 
 // invalidateLocked drops every derived cache; callers hold the write

@@ -254,6 +254,31 @@ func TestConcurrentAccess(t *testing.T) {
 	}
 }
 
+func TestCacheStatsDeltaAndReset(t *testing.T) {
+	o := buildAnimals(t)
+	o.Match("Dog", "Animal") // miss
+	o.Match("Dog", "Animal") // hit
+	before := o.Stats()
+	if before.MatchHits != 1 || before.MatchMisses != 1 {
+		t.Fatalf("stats = %+v, want 1 hit / 1 miss", before)
+	}
+	o.Match("Dog", "Animal")
+	o.Match("Cat", "Animal")
+	d := o.Stats().Delta(before)
+	if d.MatchHits != 1 || d.MatchMisses != 1 {
+		t.Errorf("delta = %+v, want 1 hit / 1 miss in the window", d)
+	}
+	o.ResetStats()
+	if s := o.Stats(); s != (CacheStats{}) {
+		t.Errorf("stats after reset = %+v", s)
+	}
+	// The memo tables survive the reset: the same query is now a hit.
+	o.Match("Dog", "Animal")
+	if s := o.Stats(); s.MatchHits != 1 || s.MatchMisses != 0 {
+		t.Errorf("stats after reset+match = %+v, want a pure hit", s)
+	}
+}
+
 func TestMatchLevelString(t *testing.T) {
 	for level, want := range map[MatchLevel]string{
 		MatchExact: "exact", MatchPlugin: "plugin", MatchSubsume: "subsume",

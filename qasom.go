@@ -26,6 +26,7 @@ import (
 	"qasom/internal/contract"
 	"qasom/internal/core"
 	"qasom/internal/monitor"
+	"qasom/internal/obs"
 	"qasom/internal/qos"
 	"qasom/internal/registry"
 	"qasom/internal/semantics"
@@ -98,6 +99,11 @@ type Options struct {
 	// GOMAXPROCS. Selections are identical for every worker count (the
 	// per-activity clustering derives its randomness from Seed alone).
 	Workers int
+	// Obs is the telemetry hub (metrics registry + span tracer) the
+	// instance reports into; nil means the process-wide default hub, so
+	// one /metrics endpoint covers every middleware in the process.
+	// Tests pass a fresh hub for isolated counters.
+	Obs *obs.Hub
 }
 
 // Middleware is a QASOM instance: shared ontology, semantic registry,
@@ -120,7 +126,45 @@ type Middleware struct {
 	selector  *core.Selector
 	mon       *monitor.Monitor
 	contracts *contract.Manager
+	obs       *obs.Hub
+	met       composeMetrics
 	opts      Options
+}
+
+// composeMetrics bundles the façade's registry handles, created once in
+// New so the Compose/Execute hot paths never do name lookups.
+type composeMetrics struct {
+	composeTotal      *obs.Counter
+	composeErrors     *obs.Counter
+	composeInfeasible *obs.Counter
+	composeSeconds    *obs.Histogram
+	phaseSeconds      *obs.HistogramVec
+	executeTotal      *obs.Counter
+	executeErrors     *obs.Counter
+	executeSeconds    *obs.Histogram
+}
+
+func composeMetricsFor(hub *obs.Hub) composeMetrics {
+	r := hub.Metrics
+	return composeMetrics{
+		composeTotal: r.Counter("qasom_compose_total",
+			"Compose/ComposeContext calls."),
+		composeErrors: r.Counter("qasom_compose_errors_total",
+			"Compose calls that returned an error."),
+		composeInfeasible: r.Counter("qasom_compose_infeasible_total",
+			"Compositions returned best-effort (some global constraint unsatisfied)."),
+		composeSeconds: r.Histogram("qasom_compose_seconds",
+			"End-to-end Compose latency.", nil),
+		phaseSeconds: r.HistogramVec("qasom_compose_phase_seconds",
+			"Compose latency split by pipeline phase (resolve|lookup|local|global).",
+			nil, "phase"),
+		executeTotal: r.Counter("qasom_execute_total",
+			"Execute calls."),
+		executeErrors: r.Counter("qasom_execute_errors_total",
+			"Execute calls that failed (unrecoverable or non-convergent)."),
+		executeSeconds: r.Histogram("qasom_execute_seconds",
+			"End-to-end Execute latency (including adaptation rounds).", nil),
+	}
 }
 
 // New creates a middleware instance.
@@ -135,23 +179,53 @@ func New(opts ...Options) (*Middleware, error) {
 	if o.Seed == 0 {
 		o.Seed = 1
 	}
+	if o.Obs == nil {
+		o.Obs = obs.Default()
+	}
 	ps := qos.StandardSet()
 	if o.ExtendedProperties {
 		ps = qos.ExtendedSet()
 	}
 	onto := semantics.PervasiveWithScenarios()
 	reg := registry.New(onto)
-	return &Middleware{
+	m := &Middleware{
 		ontology: onto,
 		props:    ps,
 		reg:      reg,
 		repo:     task.NewRepository(onto),
 		env:      simenv.New(ps, reg, simenv.Options{Seed: o.Seed}),
 		selector: core.NewSelector(core.Options{K: o.K, MaxAlternates: o.MaxAlternates, Seed: o.Seed, Workers: o.Workers}),
-		mon:      monitor.New(ps, monitor.Options{}),
+		mon:      monitor.New(ps, monitor.Options{Obs: o.Obs}),
+		obs:      o.Obs,
+		met:      composeMetricsFor(o.Obs),
 		opts:     o,
-	}, nil
+	}
+	// Live-state gauges: evaluated at scrape time, so the registry stays
+	// the one source of truth for cumulative cache/size telemetry that
+	// the per-composition SelectionStats only samples windows of.
+	o.Obs.Metrics.Func("qasom_registry_services",
+		"Services currently published in the semantic registry.",
+		func() float64 { return float64(m.reg.Len()) })
+	o.Obs.Metrics.Func("qasom_ontology_match_cache_hits",
+		"Cumulative ontology Match memo hits.",
+		func() float64 { return float64(m.ontology.Stats().MatchHits) })
+	o.Obs.Metrics.Func("qasom_ontology_match_cache_misses",
+		"Cumulative ontology Match memo misses.",
+		func() float64 { return float64(m.ontology.Stats().MatchMisses) })
+	o.Obs.Metrics.Func("qasom_ontology_distance_cache_hits",
+		"Cumulative ontology Distance memo hits.",
+		func() float64 { return float64(m.ontology.Stats().DistanceHits) })
+	o.Obs.Metrics.Func("qasom_ontology_distance_cache_misses",
+		"Cumulative ontology Distance memo misses.",
+		func() float64 { return float64(m.ontology.Stats().DistanceMisses) })
+	return m, nil
 }
+
+// Observability returns the middleware's telemetry hub: the metrics
+// registry behind /metrics and the tracer whose Snapshot holds the most
+// recent Compose/Execute span trees. Serve it with obs.ServeDebug or
+// mount Hub.Handler on an existing server.
+func (m *Middleware) Observability() *obs.Hub { return m.obs }
 
 // Properties returns the property names of the middleware's QoS set.
 func (m *Middleware) Properties() []string { return m.props.Names() }
