@@ -135,6 +135,81 @@ func BenchmarkQASSA_Tightness(b *testing.B) {
 	}
 }
 
+// BenchmarkQASSA_RepairHeavy pins the global constraints at the
+// workload mean (the tight Fig. VI.10 setting), forcing the global
+// phase through repair swaps — each one an aggregated-QoS probe. This is
+// the evaluation-kernel stress test: selection cost is dominated by
+// probe evaluations, not by clustering.
+func BenchmarkQASSA_RepairHeavy(b *testing.B) {
+	for _, services := range []int{100, 300} {
+		for _, naive := range []bool{false, true} {
+			mode := "incremental"
+			if naive {
+				mode = "naive"
+			}
+			b.Run(fmt.Sprintf("l=%d/eval=%s", services, mode), func(b *testing.B) {
+				req, cands := benchInstance(10, services, 3, workload.ShapeMixed,
+					workload.AtMean, qos.Pessimistic)
+				sel := core.NewSelector(core.Options{NaiveEvaluation: naive})
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := sel.Select(req, cands); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkEvalProbe isolates one global-phase probe — swap one
+// activity's candidate, re-check the constraint violation — on a
+// 10-activity mixed tree. The incremental engine re-folds only the
+// swapped leaf's root path; the naive route re-aggregates the whole tree
+// through a fresh assignment map, exactly as the global phase did before
+// the engine existed.
+func BenchmarkEvalProbe(b *testing.B) {
+	req, cands := benchInstance(10, 50, 3, workload.ShapeMixed,
+		workload.AtMean, qos.Pessimistic)
+	eval, err := core.NewEvaluator(req, cands)
+	if err != nil {
+		b.Fatal(err)
+	}
+	acts := req.Task.Activities()
+
+	b.Run("incremental", func(b *testing.B) {
+		eng, err := core.NewEvalEngine(eval, cands)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			a := i % eng.Activities()
+			eng.Assign(a, i%eng.PoolSize(a))
+			if v := eng.Violation(); v < 0 {
+				b.Fatal("negative violation")
+			}
+		}
+	})
+	b.Run("naive", func(b *testing.B) {
+		assign := make(core.Assignment, len(acts))
+		for _, a := range acts {
+			assign[a.ID] = cands[a.ID][0]
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			a := acts[i%len(acts)]
+			assign[a.ID] = cands[a.ID][i%len(cands[a.ID])]
+			if v := eval.Violation(assign); v < 0 {
+				b.Fatal("negative violation")
+			}
+		}
+	})
+}
+
 // BenchmarkQASSA_Distributed covers Fig. VI.12 (in-process transport, no
 // artificial link latency so the benchmark measures computation).
 func BenchmarkQASSA_Distributed(b *testing.B) {

@@ -37,6 +37,11 @@ if [ "${1:-}" = "quick" ]; then
 	# and these packages race-test in a couple of seconds.
 	echo "== go test -race ./internal/obs (quick)"
 	go test -race ./internal/obs
+	# The evaluator differential suite is the correctness gate for the
+	# incremental evaluation engine (bit-identical results vs the naive
+	# reference) — cheap enough to race on every quick pass.
+	echo "== go test -race -run TestDifferential ./internal/core ./internal/baseline (quick)"
+	go test -race -run 'TestDifferential' ./internal/core ./internal/baseline
 else
 	echo "== go test -race ./..."
 	go test -race ./...

@@ -30,6 +30,10 @@ type ExhaustiveOptions struct {
 // maximum-utility feasible one; when no composition is feasible it
 // returns the minimum-violation one with Feasible=false. It is exact but
 // exponential (ℓ^n) — the evaluation uses it only on small instances.
+// Enumeration probes through the incremental core.EvalEngine: advancing
+// one activity's candidate re-folds only that leaf's path, so a leaf
+// visit costs O(depth·p) instead of a full O(n·p) re-aggregation plus a
+// fresh assignment map.
 func Exhaustive(req *core.Request, candidates map[string][]registry.Candidate, opts ExhaustiveOptions) (*core.Result, error) {
 	candidates, err := filterLocal(req, candidates)
 	if err != nil {
@@ -54,36 +58,38 @@ func Exhaustive(req *core.Request, candidates map[string][]registry.Candidate, o
 		}
 		total *= n
 	}
+	eng, err := core.NewEvalEngine(eval, candidates)
+	if err != nil {
+		return nil, err
+	}
 
-	assign := make(core.Assignment, len(acts))
-	var bestFeasible core.Assignment
+	n := len(acts)
+	var bestFeasible []int
 	bestUtility := math.Inf(-1)
-	var bestInfeasible core.Assignment
+	var bestInfeasible []int
 	bestViolation := math.Inf(1)
 	evaluations := 0
 
 	var rec func(i int)
 	rec = func(i int) {
-		if i == len(acts) {
+		if i == n {
 			evaluations++
-			v := eval.Violation(assign)
+			v := eng.Violation()
 			if v == 0 {
-				if u := eval.Utility(assign); u > bestUtility {
+				if u := eng.Utility(); u > bestUtility {
 					bestUtility = u
-					bestFeasible = cloneAssignment(assign)
+					bestFeasible = eng.Snapshot(bestFeasible)
 				}
 			} else if bestFeasible == nil && v < bestViolation {
 				bestViolation = v
-				bestInfeasible = cloneAssignment(assign)
+				bestInfeasible = eng.Snapshot(bestInfeasible)
 			}
 			return
 		}
-		id := acts[i].ID
-		for _, c := range candidates[id] {
-			assign[id] = c
+		for k := 0; k < eng.PoolSize(i); k++ {
+			eng.Assign(i, k)
 			rec(i + 1)
 		}
-		delete(assign, id)
 	}
 	rec(0)
 
@@ -93,7 +99,17 @@ func Exhaustive(req *core.Request, candidates map[string][]registry.Candidate, o
 		chosen = bestInfeasible
 		feasible = false
 	}
-	return finalize(eval, chosen, feasible, evaluations), nil
+	return finalize(eval, assignmentOf(eng, chosen), feasible, evaluations), nil
+}
+
+// assignmentOf materialises a per-activity candidate-index snapshot as
+// the Assignment map the rest of the system consumes.
+func assignmentOf(eng *core.EvalEngine, idx []int) core.Assignment {
+	out := make(core.Assignment, len(idx))
+	for a, k := range idx {
+		out[eng.ActivityID(a)] = eng.Candidate(a, k)
+	}
+	return out
 }
 
 // Greedy picks, independently for every activity, the highest-utility
@@ -141,13 +157,18 @@ type LocalSearchOptions struct {
 
 // LocalSearch runs a penalty-objective hill climb from random starts:
 // objective = utility − Penalty·violation, moves are single-activity
-// swaps. A simple metaheuristic baseline between greedy and exhaustive.
+// swaps, each probed incrementally through the shared evaluation
+// engine. A simple metaheuristic baseline between greedy and exhaustive.
 func LocalSearch(req *core.Request, candidates map[string][]registry.Candidate, opts LocalSearchOptions) (*core.Result, error) {
 	candidates, err := filterLocal(req, candidates)
 	if err != nil {
 		return nil, err
 	}
 	eval, err := core.NewEvaluator(req, candidates)
+	if err != nil {
+		return nil, err
+	}
+	eng, err := core.NewEvalEngine(eval, candidates)
 	if err != nil {
 		return nil, err
 	}
@@ -164,43 +185,41 @@ func LocalSearch(req *core.Request, candidates map[string][]registry.Candidate, 
 		opts.Seed = 1
 	}
 	rng := rand.New(rand.NewSource(opts.Seed))
-	acts := req.Task.Activities()
+	n := eng.Activities()
 
-	objective := func(a core.Assignment) float64 {
-		return eval.Utility(a) - opts.Penalty*eval.Violation(a)
+	objective := func() float64 {
+		return eng.Utility() - opts.Penalty*eng.Violation()
 	}
 
-	var best core.Assignment
+	var best []int
 	bestObj := math.Inf(-1)
 	evaluations := 0
 
 	for r := 0; r < opts.Restarts; r++ {
-		assign := make(core.Assignment, len(acts))
-		for _, a := range acts {
-			pool := candidates[a.ID]
-			assign[a.ID] = pool[rng.Intn(len(pool))]
+		for a := 0; a < n; a++ {
+			eng.Assign(a, rng.Intn(eng.PoolSize(a)))
 		}
-		cur := objective(assign)
+		cur := objective()
 		evaluations++
 		for move := 0; move < opts.MaxMoves; move++ {
 			improved := false
-			for _, a := range acts {
-				prev := assign[a.ID]
-				for _, c := range candidates[a.ID] {
-					if c.Service.ID == prev.Service.ID {
+			for a := 0; a < n; a++ {
+				prev := eng.Current(a)
+				for k := 0; k < eng.PoolSize(a); k++ {
+					if eng.Candidate(a, k).Service.ID == eng.Candidate(a, prev).Service.ID {
 						continue
 					}
-					assign[a.ID] = c
+					eng.Assign(a, k)
 					evaluations++
-					if obj := objective(assign); obj > cur {
+					if obj := objective(); obj > cur {
 						cur = obj
-						prev = c
+						prev = k
 						improved = true
 					} else {
-						assign[a.ID] = prev
+						eng.Assign(a, prev)
 					}
 				}
-				assign[a.ID] = prev
+				eng.Assign(a, prev)
 			}
 			if !improved {
 				break
@@ -208,10 +227,11 @@ func LocalSearch(req *core.Request, candidates map[string][]registry.Candidate, 
 		}
 		if cur > bestObj {
 			bestObj = cur
-			best = cloneAssignment(assign)
+			best = eng.Snapshot(best)
 		}
 	}
-	return finalize(eval, best, eval.Feasible(best), evaluations), nil
+	assign := assignmentOf(eng, best)
+	return finalize(eval, assign, eval.Feasible(assign), evaluations), nil
 }
 
 func finalize(eval *core.Evaluator, assign core.Assignment, feasible bool, evaluations int) *core.Result {
@@ -233,12 +253,4 @@ func filterLocal(req *core.Request, candidates map[string][]registry.Candidate) 
 		return nil, err
 	}
 	return core.FilterLocal(req, candidates)
-}
-
-func cloneAssignment(a core.Assignment) core.Assignment {
-	out := make(core.Assignment, len(a))
-	for k, v := range a {
-		out[k] = v
-	}
-	return out
 }

@@ -1,0 +1,192 @@
+package baseline
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"qasom/internal/core"
+	"qasom/internal/qos"
+	"qasom/internal/workload"
+)
+
+// TestDifferentialExhaustive checks the engine-backed exhaustive search
+// against an independent, map-based enumeration written directly over
+// the Evaluator: same winner, same utility and violation bit for bit.
+func TestDifferentialExhaustive(t *testing.T) {
+	ps := qos.StandardSet()
+	laws := workload.DefaultLaws(ps)
+	shapes := []workload.TaskShape{workload.ShapeLinear, workload.ShapeMixed, workload.ShapeChoiceHeavy}
+	for seed := int64(1); seed <= 8; seed++ {
+		for _, sh := range shapes {
+			for _, approach := range qos.Approaches() {
+				t.Run(fmt.Sprintf("seed=%d/shape=%d/%v", seed, sh, approach), func(t *testing.T) {
+					g := workload.NewGenerator(seed)
+					tk := g.Task("X", 4, sh)
+					cands := g.Candidates(tk, 4, ps, laws)
+					req := &core.Request{
+						Task:        tk,
+						Properties:  ps,
+						Constraints: g.Constraints(tk, ps, laws, workload.AtMean, 2),
+						Approach:    approach,
+					}
+					got, err := Exhaustive(req, cands, ExhaustiveOptions{})
+					if err != nil {
+						t.Fatalf("exhaustive: %v", err)
+					}
+
+					// Reference enumeration in the original map-per-leaf style.
+					filtered, err := core.FilterLocal(req, cands)
+					if err != nil {
+						t.Fatalf("filter: %v", err)
+					}
+					eval, err := core.NewEvaluator(req, filtered)
+					if err != nil {
+						t.Fatalf("evaluator: %v", err)
+					}
+					acts := tk.Activities()
+					n := len(acts)
+					assign := make(core.Assignment, n)
+					var bestFeasible core.Assignment
+					bestUtility := math.Inf(-1)
+					var bestInfeasible core.Assignment
+					bestViolation := math.Inf(1)
+					clone := func(a core.Assignment) core.Assignment {
+						out := make(core.Assignment, len(a))
+						for k, v := range a {
+							out[k] = v
+						}
+						return out
+					}
+					var rec func(i int)
+					rec = func(i int) {
+						if i == n {
+							v := eval.Violation(assign)
+							if v == 0 {
+								if u := eval.Utility(assign); u > bestUtility {
+									bestUtility = u
+									bestFeasible = clone(assign)
+								}
+							} else if bestFeasible == nil && v < bestViolation {
+								bestViolation = v
+								bestInfeasible = clone(assign)
+							}
+							return
+						}
+						for _, c := range filtered[acts[i].ID] {
+							assign[acts[i].ID] = c
+							rec(i + 1)
+						}
+					}
+					rec(0)
+					want := bestFeasible
+					feasible := true
+					if want == nil {
+						want = bestInfeasible
+						feasible = false
+					}
+
+					if got.Feasible != feasible {
+						t.Fatalf("feasible %v != %v", got.Feasible, feasible)
+					}
+					for _, a := range acts {
+						if got.Assignment[a.ID].Service.ID != want[a.ID].Service.ID {
+							t.Fatalf("activity %s: %s != %s", a.ID,
+								got.Assignment[a.ID].Service.ID, want[a.ID].Service.ID)
+						}
+					}
+					if wu := eval.Utility(want); got.Utility != wu {
+						t.Fatalf("utility %v != %v", got.Utility, wu)
+					}
+					if wv := eval.Violation(want); got.Violation != wv {
+						t.Fatalf("violation %v != %v", got.Violation, wv)
+					}
+					for j := range got.Aggregated {
+						if wa := eval.Aggregate(want); got.Aggregated[j] != wa[j] {
+							t.Fatalf("aggregate[%d] %v != %v", j, got.Aggregated[j], wa[j])
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestDifferentialBranchAndBound requires branch-and-bound to return the
+// same composition as the exhaustive search on every instance it can
+// both solve — the engines underneath differ (sorted pools, pruning),
+// the answer must not.
+func TestDifferentialBranchAndBound(t *testing.T) {
+	ps := qos.StandardSet()
+	laws := workload.DefaultLaws(ps)
+	for seed := int64(1); seed <= 8; seed++ {
+		g := workload.NewGenerator(seed)
+		tk := g.Task("B", 5, workload.ShapeMixed)
+		cands := g.Candidates(tk, 5, ps, laws)
+		req := &core.Request{
+			Task:        tk,
+			Properties:  ps,
+			Constraints: g.Constraints(tk, ps, laws, workload.AtMean, 3),
+		}
+		ex, err := Exhaustive(req, cands, ExhaustiveOptions{})
+		if err != nil {
+			t.Fatalf("seed %d exhaustive: %v", seed, err)
+		}
+		bb, err := BranchAndBound(req, cands)
+		if err != nil {
+			t.Fatalf("seed %d branch and bound: %v", seed, err)
+		}
+		if ex.Feasible != bb.Feasible {
+			t.Fatalf("seed %d: feasible %v != %v", seed, ex.Feasible, bb.Feasible)
+		}
+		if ex.Feasible && ex.Utility != bb.Utility {
+			t.Fatalf("seed %d: utility %v != %v", seed, ex.Utility, bb.Utility)
+		}
+	}
+}
+
+// TestDifferentialLocalSearchProbes cross-checks every metaheuristic's
+// reported result fields against a fresh Evaluator recomputation over
+// the returned assignment — the engine may only speed probes up, never
+// change what a result claims about itself.
+func TestDifferentialLocalSearchProbes(t *testing.T) {
+	ps := qos.StandardSet()
+	laws := workload.DefaultLaws(ps)
+	for seed := int64(1); seed <= 4; seed++ {
+		g := workload.NewGenerator(seed)
+		tk := g.Task("P", 5, workload.ShapeMixed)
+		cands := g.Candidates(tk, 8, ps, laws)
+		req := &core.Request{
+			Task:        tk,
+			Properties:  ps,
+			Constraints: g.Constraints(tk, ps, laws, workload.AtMean, 2),
+		}
+		runs := map[string]func() (*core.Result, error){
+			"local":   func() (*core.Result, error) { return LocalSearch(req, cands, LocalSearchOptions{Seed: seed}) },
+			"genetic": func() (*core.Result, error) { return Genetic(req, cands, GeneticOptions{Seed: seed, Generations: 10}) },
+		}
+		for name, run := range runs {
+			res, err := run()
+			if err != nil {
+				t.Fatalf("seed %d %s: %v", seed, name, err)
+			}
+			filtered, err := core.FilterLocal(req, cands)
+			if err != nil {
+				t.Fatalf("filter: %v", err)
+			}
+			eval, err := core.NewEvaluator(req, filtered)
+			if err != nil {
+				t.Fatalf("evaluator: %v", err)
+			}
+			if want := eval.Utility(res.Assignment); res.Utility != want {
+				t.Fatalf("seed %d %s: utility %v != recomputed %v", seed, name, res.Utility, want)
+			}
+			if want := eval.Violation(res.Assignment); res.Violation != want {
+				t.Fatalf("seed %d %s: violation %v != recomputed %v", seed, name, res.Violation, want)
+			}
+			if want := eval.Feasible(res.Assignment); res.Feasible != want {
+				t.Fatalf("seed %d %s: feasible %v != recomputed %v", seed, name, res.Feasible, want)
+			}
+		}
+	}
+}

@@ -56,13 +56,20 @@ func (o GeneticOptions) withDefaults() GeneticOptions {
 
 // Genetic runs a penalty-fitness genetic algorithm: chromosomes are
 // per-activity candidate indices, tournament selection, single-point
-// crossover, per-gene mutation, elitism.
+// crossover, per-gene mutation, elitism. Fitness probes go through the
+// incremental evaluation engine — loading a chromosome re-folds only
+// the leaves that differ from the previous individual, and no per-
+// evaluation assignment map is built.
 func Genetic(req *core.Request, candidates map[string][]registry.Candidate, opts GeneticOptions) (*core.Result, error) {
 	candidates, err := filterLocal(req, candidates)
 	if err != nil {
 		return nil, err
 	}
 	eval, err := core.NewEvaluator(req, candidates)
+	if err != nil {
+		return nil, err
+	}
+	eng, err := core.NewEvalEngine(eval, candidates)
 	if err != nil {
 		return nil, err
 	}
@@ -85,8 +92,10 @@ func Genetic(req *core.Request, candidates map[string][]registry.Candidate, opts
 	}
 	fitness := func(genes []int) float64 {
 		evaluations++
-		assign := toAssign(genes)
-		return eval.Utility(assign) - o.Penalty*eval.Violation(assign)
+		for i, g := range genes {
+			eng.Assign(i, g)
+		}
+		return eng.Utility() - o.Penalty*eng.Violation()
 	}
 
 	type individual struct {
@@ -150,7 +159,9 @@ func Genetic(req *core.Request, candidates map[string][]registry.Candidate, opts
 // prunes any partial assignment whose utility upper bound (achieved
 // utility so far + per-activity maxima for the rest) cannot beat the
 // incumbent. Results are identical to Exhaustive; only the visit order
-// and the pruning differ.
+// and the pruning differ. Leaf feasibility checks probe through the
+// incremental engine built over the utility-sorted pools, so each leaf
+// costs one path re-fold instead of a full re-aggregation.
 func BranchAndBound(req *core.Request, candidates map[string][]registry.Candidate) (*core.Result, error) {
 	candidates, err := filterLocal(req, candidates)
 	if err != nil {
@@ -171,6 +182,7 @@ func BranchAndBound(req *core.Request, candidates map[string][]registry.Candidat
 	}
 	pools := make([][]scored, n)
 	maxUtil := make([]float64, n)
+	sorted := make(map[string][]registry.Candidate, n)
 	for i, a := range acts {
 		list := candidates[a.ID]
 		pool := make([]scored, len(list))
@@ -182,6 +194,15 @@ func BranchAndBound(req *core.Request, candidates map[string][]registry.Candidat
 		if len(pool) > 0 {
 			maxUtil[i] = pool[0].util
 		}
+		ordered := make([]registry.Candidate, len(pool))
+		for k := range pool {
+			ordered[k] = pool[k].cand
+		}
+		sorted[a.ID] = ordered
+	}
+	eng, err := core.NewEvalEngine(eval, sorted)
+	if err != nil {
+		return nil, err
 	}
 	// Suffix sums of the best attainable utility from activity i on.
 	suffix := make([]float64, n+1)
@@ -189,10 +210,9 @@ func BranchAndBound(req *core.Request, candidates map[string][]registry.Candidat
 		suffix[i] = suffix[i+1] + maxUtil[i]
 	}
 
-	assign := make(core.Assignment, n)
-	var bestFeasible core.Assignment
+	var bestFeasible []int
 	bestUtility := math.Inf(-1)
-	var bestInfeasible core.Assignment
+	var bestInfeasible []int
 	bestViolation := math.Inf(1)
 	evaluations := 0
 
@@ -203,24 +223,22 @@ func BranchAndBound(req *core.Request, candidates map[string][]registry.Candidat
 		}
 		if i == n {
 			evaluations++
-			v := eval.Violation(assign)
+			v := eng.Violation()
 			if v == 0 {
 				if u := acc / float64(n); u > bestUtility {
 					bestUtility = u
-					bestFeasible = cloneAssignment(assign)
+					bestFeasible = eng.Snapshot(bestFeasible)
 				}
 			} else if bestFeasible == nil && v < bestViolation {
 				bestViolation = v
-				bestInfeasible = cloneAssignment(assign)
+				bestInfeasible = eng.Snapshot(bestInfeasible)
 			}
 			return
 		}
-		id := acts[i].ID
-		for _, s := range pools[i] {
-			assign[id] = s.cand
+		for k, s := range pools[i] {
+			eng.Assign(i, k)
 			rec(i+1, acc+s.util)
 		}
-		delete(assign, id)
 	}
 	rec(0, 0)
 
@@ -230,5 +248,5 @@ func BranchAndBound(req *core.Request, candidates map[string][]registry.Candidat
 		chosen = bestInfeasible
 		feasible = false
 	}
-	return finalize(eval, chosen, feasible, evaluations), nil
+	return finalize(eval, assignmentOf(eng, chosen), feasible, evaluations), nil
 }

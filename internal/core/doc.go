@@ -20,14 +20,23 @@ package core
 // (Fig. VI.12).
 //
 // Global phase: each level iteration evaluates one aggregated QoS per
-// candidate swap; an aggregation costs O(n·p) over the task tree. The
-// initial assignment costs O(n·ℓ), a repair pass scans O(n·ℓ) swaps
-// each with one aggregation → O(R·n²·ℓ·p) worst case per level, and the
-// improvement pass likewise O(I·n²·ℓ·p). With the default R = 4n and
-// the cumulative level pools this bounds the global phase by
-// O(K·n³·ℓ·p) in the worst case, but the level-wise descent terminates
-// at the first feasible level: measured behaviour is dominated by the
-// local phase (compare local_ms and global_ms in Fig. VI.5(a)).
+// candidate swap. A naive aggregation costs O(n·p) over the task tree;
+// the incremental evaluation engine (engine.go) compiles the request's
+// fixed tree once per selection and re-folds only the swapped leaf's
+// root path, so a probe costs O(d·p) where d is the tree depth —
+// O(log n) for balanced trees, n only in the degenerate fully-nested
+// case — with zero allocations (prefix arrays are reused in place).
+// The initial assignment costs O(n·ℓ) using per-candidate utilities
+// cached once per selection (O(n·ℓ·p) up front, amortised over every
+// probe), a repair pass scans O(n·ℓ) swaps each with one path re-fold →
+// O(R·n·ℓ·d·p) worst case per level, and the improvement pass likewise
+// O(I·n·ℓ·d·p). With the default R = 4n and the cumulative level pools
+// this bounds the global phase by O(K·n²·ℓ·d·p) in the worst case —
+// one n factor better than the naive O(K·n³·ℓ·p) — and the level-wise
+// descent terminates at the first feasible level: measured behaviour is
+// dominated by the local phase (compare local_ms and global_ms in
+// Fig. VI.5(a), and the eval=naive/eval=incremental benchmark split in
+// EXPERIMENTS.md).
 //
 // For contrast, exhaustive selection under global constraints explores
 // ℓ^n compositions (NP-hard in general); the branch-and-bound baseline

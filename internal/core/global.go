@@ -12,6 +12,14 @@ import (
 // widening, constraint repair and utility hill-climbing. The context is
 // checked at level-iteration and repair-pass boundaries so a cancelled
 // selection returns promptly without leaving partial state behind.
+//
+// All probing goes through an evalKernel holding the one current
+// assignment as dense candidate indices into each activity's full
+// ranked shortlist: the incremental EvalEngine by default (O(path)
+// swap probes, cached candidate utilities, zero allocations per probe),
+// or the naive Evaluator route when Options.NaiveEvaluation asks for
+// the reference path. Both produce bit-identical results (enforced by
+// the differential tests), so the switch is a pure performance knob.
 type globalState struct {
 	ctx    context.Context
 	req    *Request
@@ -19,13 +27,48 @@ type globalState struct {
 	locals map[string]*LocalResult
 	opts   Options
 	stats  Stats
+
+	acts   []string            // dense activity index → ID, task order
+	ranked [][]RankedCandidate // per activity: full ranked shortlist
+	eng    evalKernel
+}
+
+// init resolves the dense activity indexing and builds the evaluation
+// kernel over the full ranked shortlists (alternates probe beyond the
+// current level pool, so the kernel must address every ranked entry).
+func (g *globalState) init() error {
+	acts := g.req.Task.Activities()
+	g.acts = make([]string, len(acts))
+	g.ranked = make([][]RankedCandidate, len(acts))
+	pools := make(map[string][]registry.Candidate, len(acts))
+	for i, a := range acts {
+		g.acts[i] = a.ID
+		g.ranked[i] = g.locals[a.ID].Ranked
+		list := make([]registry.Candidate, len(g.ranked[i]))
+		for k := range g.ranked[i] {
+			list[k] = g.ranked[i][k].Candidate()
+		}
+		pools[a.ID] = list
+	}
+	if g.opts.NaiveEvaluation {
+		g.eng = newNaiveKernel(g.eval, pools)
+		return nil
+	}
+	eng, err := NewEvalEngine(g.eval, pools)
+	if err != nil {
+		return err
+	}
+	g.eng = eng
+	return nil
 }
 
 // run executes the global selection phase and assembles the result.
 func (g *globalState) run() (*Result, error) {
-	acts := g.activityIDs()
+	if err := g.init(); err != nil {
+		return nil, err
+	}
 	maxLevel := 1
-	for _, id := range acts {
+	for _, id := range g.acts {
 		if l := g.locals[id].Levels; l > maxLevel {
 			maxLevel = l
 		}
@@ -35,7 +78,7 @@ func (g *globalState) run() (*Result, error) {
 		maxLevel = 1
 	}
 
-	var bestInfeasible Assignment
+	var bestInfeasible []int
 	bestViolation := math.Inf(1)
 
 	for level := 1; level <= maxLevel; level++ {
@@ -43,26 +86,30 @@ func (g *globalState) run() (*Result, error) {
 			return nil, err
 		}
 		g.stats.LevelsExplored++
-		pools := g.pools(acts, level)
+		limits := g.poolLimits(level)
 		// Try several starting points: the utility-best assignment first,
 		// then one "constraint-friendly" start per constrained property
 		// (each activity's best candidate for that property). For a single
 		// additive constraint the friendly start is the global optimum of
 		// that property, so feasibility is found whenever it exists; for
 		// multiple constraints the starts diversify the repair search.
-		for _, start := range g.startingPoints(acts, pools) {
-			assign := start
-			ok, err := g.repair(acts, assign, pools)
+		// Identical starts are deduplicated — with one constrained
+		// property the utility-best and constraint-friendly starts often
+		// coincide, and repairing twice from the same assignment is pure
+		// rework.
+		for _, start := range g.startingPoints(limits) {
+			g.eng.Load(start)
+			ok, err := g.repair(limits)
 			if err != nil {
 				return nil, err
 			}
 			if ok {
-				g.improve(acts, assign, pools)
-				return g.finish(acts, assign, true), nil
+				g.improve(limits)
+				return g.finish(true), nil
 			}
-			if v := g.violation(assign); v < bestViolation {
+			if v := g.violation(); v < bestViolation {
 				bestViolation = v
-				bestInfeasible = cloneAssignment(assign)
+				bestInfeasible = g.eng.Snapshot(nil)
 			}
 		}
 	}
@@ -72,31 +119,22 @@ func (g *globalState) run() (*Result, error) {
 
 	// No feasible composition found at any level: return the best-effort
 	// minimum-violation assignment over the full pools.
-	pools := g.pools(acts, maxLevel)
 	if bestInfeasible == nil {
-		bestInfeasible = g.bestUtilityAssignment(acts, pools)
+		bestInfeasible = g.bestUtilityStart(g.poolLimits(maxLevel))
 	}
-	return g.finish(acts, bestInfeasible, false), nil
+	g.eng.Load(bestInfeasible)
+	return g.finish(false), nil
 }
 
-func (g *globalState) activityIDs() []string {
-	acts := g.req.Task.Activities()
-	out := make([]string, len(acts))
-	for i, a := range acts {
-		out[i] = a.ID
-	}
-	return out
-}
-
-// pools returns, per activity, the candidates whose QoS level is at most
-// level (the cumulative shortlist of §3.3); with FlatGlobal every
-// candidate is in the pool regardless of level.
-func (g *globalState) pools(acts []string, level int) map[string][]RankedCandidate {
-	out := make(map[string][]RankedCandidate, len(acts))
-	for _, id := range acts {
-		ranked := g.locals[id].Ranked
+// poolLimits returns, per activity, how many ranked candidates are in
+// play at the given level (the cumulative shortlist of §3.3); with
+// FlatGlobal every candidate is in the pool regardless of level.
+func (g *globalState) poolLimits(level int) []int {
+	limits := make([]int, len(g.acts))
+	for a := range g.acts {
+		ranked := g.ranked[a]
 		if g.opts.FlatGlobal {
-			out[id] = ranked
+			limits[a] = len(ranked)
 			continue
 		}
 		// Ranked is sorted by level first: take the prefix.
@@ -107,66 +145,87 @@ func (g *globalState) pools(acts []string, level int) map[string][]RankedCandida
 		if end == 0 {
 			end = 1 // always keep at least the top candidate
 		}
-		out[id] = ranked[:end]
+		limits[a] = end
 	}
-	return out
+	return limits
 }
 
-// startingPoints yields the repair starting assignments for one level:
-// the utility-best assignment, then one per constrained property where
-// each activity picks its best candidate for that property.
-func (g *globalState) startingPoints(acts []string, pools map[string][]RankedCandidate) []Assignment {
-	out := make([]Assignment, 0, 1+len(g.req.Constraints))
-	out = append(out, g.bestUtilityAssignment(acts, pools))
+// startingPoints yields the repair starting assignments for one level
+// as per-activity candidate indices: the utility-best assignment, then
+// one per constrained property where each activity picks its best
+// candidate for that property — with exact duplicates removed.
+func (g *globalState) startingPoints(limits []int) [][]int {
+	starts := make([][]int, 0, 1+len(g.req.Constraints))
+	starts = append(starts, g.bestUtilityStart(limits))
 	for _, c := range g.req.Constraints {
 		j, ok := g.req.Properties.Index(c.Property)
 		if !ok {
 			continue
 		}
 		p := g.req.Properties.At(j)
-		assign := make(Assignment, len(acts))
-		for _, id := range acts {
-			best := &pools[id][0]
-			for i := 1; i < len(pools[id]); i++ {
-				if p.Better(pools[id][i].Vector[j], best.Vector[j]) {
-					best = &pools[id][i]
+		start := make([]int, len(g.acts))
+		for a := range g.acts {
+			best := 0
+			for i := 1; i < limits[a]; i++ {
+				if p.Better(g.ranked[a][i].Vector[j], g.ranked[a][best].Vector[j]) {
+					best = i
 				}
 			}
-			assign[id] = best.Candidate()
+			start[a] = best
 		}
-		out = append(out, assign)
+		starts = append(starts, start)
 	}
-	return out
-}
-
-// utilOf scores a pool member with the evaluator's utility function —
-// the single scale every phase of the global algorithm compares on
-// (RankedCandidate.Utility is normalized over the possibly-pruned local
-// pool and may differ).
-func (g *globalState) utilOf(id string, rc *RankedCandidate) float64 {
-	return g.eval.CandidateUtility(id, registry.Candidate{Service: rc.Service, Vector: rc.Vector})
-}
-
-// bestUtilityAssignment picks, per activity, the highest-utility pool
-// member.
-func (g *globalState) bestUtilityAssignment(acts []string, pools map[string][]RankedCandidate) Assignment {
-	assign := make(Assignment, len(acts))
-	for _, id := range acts {
-		best := &pools[id][0]
-		bestU := g.utilOf(id, best)
-		for i := 1; i < len(pools[id]); i++ {
-			if u := g.utilOf(id, &pools[id][i]); u > bestU {
-				best, bestU = &pools[id][i], u
+	uniq := make([][]int, 0, len(starts))
+	for _, s := range starts {
+		dup := false
+		for _, u := range uniq {
+			if equalIndices(u, s) {
+				dup = true
+				break
 			}
 		}
-		assign[id] = best.Candidate()
+		if !dup {
+			uniq = append(uniq, s)
+		}
 	}
-	return assign
+	return uniq
 }
 
-func (g *globalState) violation(assign Assignment) float64 {
+func equalIndices(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// bestUtilityStart picks, per activity, the highest-utility pool
+// member (on the evaluator's scale — RankedCandidate.Utility is
+// normalized over the possibly-pruned local pool and may differ).
+func (g *globalState) bestUtilityStart(limits []int) []int {
+	start := make([]int, len(g.acts))
+	for a := range g.acts {
+		best := 0
+		bestU := g.eng.CandidateUtility(a, 0)
+		for i := 1; i < limits[a]; i++ {
+			if u := g.eng.CandidateUtility(a, i); u > bestU {
+				best, bestU = i, u
+			}
+		}
+		start[a] = best
+	}
+	return start
+}
+
+// violation measures the current assignment's constraint excess,
+// counting the logical aggregate evaluation.
+func (g *globalState) violation() float64 {
 	g.stats.Evaluations++
-	return g.eval.Violation(assign)
+	return g.eng.Violation()
 }
 
 // repair drives the assignment toward feasibility: each pass applies the
@@ -174,8 +233,11 @@ func (g *globalState) violation(assign Assignment) float64 {
 // constraint violation the most, preferring higher utility among equal
 // reductions. It stops at feasibility, when no swap helps, when the
 // pass budget is spent, or when the selection context is cancelled.
-func (g *globalState) repair(acts []string, assign Assignment, pools map[string][]RankedCandidate) (bool, error) {
-	cur := g.violation(assign)
+// Utility is consulted only for swaps that can still win (those not
+// worse than the best violation seen), so losing probes cost one
+// violation read and nothing more.
+func (g *globalState) repair(limits []int) (bool, error) {
+	cur := g.violation()
 	if cur == 0 {
 		return true, nil
 	}
@@ -183,73 +245,73 @@ func (g *globalState) repair(acts []string, assign Assignment, pools map[string]
 		if err := g.ctx.Err(); err != nil {
 			return false, err
 		}
-		bestAct := ""
-		var bestCand registry.Candidate
+		bestAct, bestCand := -1, -1
 		bestViol := cur
 		bestUtil := math.Inf(-1)
-		for _, id := range acts {
-			prev := assign[id]
-			for i := range pools[id] {
-				rc := &pools[id][i]
-				if rc.Service.ID == prev.Service.ID {
+		for a := range g.acts {
+			prev := g.eng.Current(a)
+			prevID := g.ranked[a][prev].Service.ID
+			for i := 0; i < limits[a]; i++ {
+				if g.ranked[a][i].Service.ID == prevID {
 					continue
 				}
-				assign[id] = rc.Candidate()
-				v := g.violation(assign)
-				u := g.utilOf(id, rc)
-				if v < bestViol || (v == bestViol && bestAct != "" && u > bestUtil) {
-					bestViol = v
-					bestUtil = u
-					bestAct = id
-					bestCand = rc.Candidate()
+				g.eng.Assign(a, i)
+				v := g.violation()
+				if v > bestViol || (v == bestViol && bestAct < 0) {
+					continue // cannot win: skip the utility lookup
+				}
+				u := g.eng.CandidateUtility(a, i)
+				if v < bestViol || u > bestUtil {
+					bestViol, bestUtil = v, u
+					bestAct, bestCand = a, i
 				}
 			}
-			assign[id] = prev
+			g.eng.Assign(a, prev)
 		}
-		if bestAct == "" || bestViol >= cur {
+		if bestAct < 0 || bestViol >= cur {
 			return false, nil
 		}
-		assign[bestAct] = bestCand
+		g.eng.Assign(bestAct, bestCand)
 		g.stats.RepairSwaps++
 		cur = bestViol
 		if cur == 0 {
 			return true, nil
 		}
 	}
-	return g.violation(assign) == 0, nil
+	return g.violation() == 0, nil
 }
 
 // improve hill-climbs utility while preserving feasibility. Utility is
 // separable per activity, so each sweep tries, per activity, the
 // pool candidates in descending utility and keeps the best feasible one.
-func (g *globalState) improve(acts []string, assign Assignment, pools map[string][]RankedCandidate) {
+func (g *globalState) improve(limits []int) {
 	for pass := 0; pass < g.opts.ImprovePasses; pass++ {
 		improved := false
-		for _, id := range acts {
-			prev := assign[id]
-			bestUtil := g.eval.CandidateUtility(id, assign[id])
-			var bestCand *RankedCandidate
-			for i := range pools[id] {
-				rc := &pools[id][i]
-				if rc.Service.ID == prev.Service.ID {
+		for a := range g.acts {
+			prev := g.eng.Current(a)
+			prevID := g.ranked[a][prev].Service.ID
+			bestUtil := g.eng.CandidateUtility(a, prev)
+			bestCand := -1
+			for i := 0; i < limits[a]; i++ {
+				if g.ranked[a][i].Service.ID == prevID {
 					continue
 				}
-				u := g.utilOf(id, rc)
+				u := g.eng.CandidateUtility(a, i)
 				if u <= bestUtil {
 					continue
 				}
-				assign[id] = rc.Candidate()
+				g.eng.Assign(a, i)
 				g.stats.Evaluations++
-				if g.eval.Feasible(assign) {
+				if g.eng.Feasible() {
 					bestUtil = u
-					bestCand = rc
+					bestCand = i
 				}
 			}
-			if bestCand != nil {
-				assign[id] = bestCand.Candidate()
+			if bestCand >= 0 {
+				g.eng.Assign(a, bestCand)
 				improved = true
 			} else {
-				assign[id] = prev
+				g.eng.Assign(a, prev)
 			}
 		}
 		if !improved {
@@ -261,23 +323,26 @@ func (g *globalState) improve(acts []string, assign Assignment, pools map[string
 // finish assembles the result: aggregated QoS, utility, and per-activity
 // alternates ordered substitution-first (candidates that keep the
 // composition feasible when swapped in alone, then by utility).
-func (g *globalState) finish(acts []string, assign Assignment, feasible bool) *Result {
+func (g *globalState) finish(feasible bool) *Result {
+	assign := make(Assignment, len(g.acts))
+	for a, id := range g.acts {
+		assign[id] = g.ranked[a][g.eng.Current(a)].Candidate()
+	}
 	res := &Result{
 		Assignment: assign,
-		Alternates: make(map[string][]registry.Candidate, len(acts)),
-		Aggregated: g.eval.Aggregate(assign),
-		Utility:    g.eval.Utility(assign),
+		Alternates: make(map[string][]registry.Candidate, len(g.acts)),
+		Aggregated: g.eng.Aggregate(),
+		Utility:    g.eng.Utility(),
 		Feasible:   feasible,
-		Violation:  g.eval.Violation(assign),
-		Stats:      g.stats,
+		Violation:  g.eng.Violation(),
 	}
-	for _, id := range acts {
+	for a, id := range g.acts {
 		// Alternates draw from the FULL ranked shortlist, not just the
 		// level pool the winner came from: the thesis's design keeps
 		// "several concrete services per abstract activity" available for
 		// run-time substitution even when the top level alone satisfied
 		// the request.
-		res.Alternates[id] = g.alternatesFor(id, assign, g.locals[id].Ranked)
+		res.Alternates[id] = g.alternatesFor(a)
 	}
 	res.Stats = g.stats
 	return res
@@ -293,20 +358,24 @@ type altEntry struct {
 // alternatesFor ranks the remaining pool members of one activity as
 // substitution fallbacks: candidates that keep the composition feasible
 // when swapped in alone come first, then by utility, then by ID.
-func (g *globalState) alternatesFor(id string, assign Assignment, pool []RankedCandidate) []registry.Candidate {
-	chosen := assign[id].Service.ID
-	prev := assign[id]
+func (g *globalState) alternatesFor(a int) []registry.Candidate {
+	pool := g.ranked[a]
+	prev := g.eng.Current(a)
+	chosen := pool[prev].Service.ID
 	alts := make([]altEntry, 0, len(pool))
 	for i := range pool {
-		rc := &pool[i]
-		if rc.Service.ID == chosen {
+		if pool[i].Service.ID == chosen {
 			continue
 		}
-		assign[id] = rc.Candidate()
+		g.eng.Assign(a, i)
 		g.stats.Evaluations++
-		alts = append(alts, altEntry{cand: rc.Candidate(), keepsOK: g.eval.Feasible(assign), utility: g.utilOf(id, rc)})
+		alts = append(alts, altEntry{
+			cand:    pool[i].Candidate(),
+			keepsOK: g.eng.Feasible(),
+			utility: g.eng.CandidateUtility(a, i),
+		})
 	}
-	assign[id] = prev
+	g.eng.Assign(a, prev)
 	sort.SliceStable(alts, func(a, b int) bool {
 		if alts[a].keepsOK != alts[b].keepsOK {
 			return alts[a].keepsOK

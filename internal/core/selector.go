@@ -48,6 +48,12 @@ type Options struct {
 	// 0 means GOMAXPROCS. Results are identical for every worker count:
 	// each activity derives its own random source from Seed.
 	Workers int
+	// NaiveEvaluation routes every global-phase probe through the
+	// reference Evaluator (full task-tree re-aggregation per swap)
+	// instead of the incremental EvalEngine (ablation knob; results are
+	// bit-identical either way — the differential tests enforce it —
+	// only the evaluation cost changes).
+	NaiveEvaluation bool
 }
 
 func (o Options) withDefaults(activities int) Options {

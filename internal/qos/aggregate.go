@@ -64,20 +64,62 @@ func (l Loop) Iterations(a Approach) float64 {
 	}
 }
 
+// SequenceIdentity is the neutral element of the sequence fold for the
+// property: 0 for time/cost sums, 1 for probability products, +Inf for
+// bottleneck minima. AggregateSequence is exactly the left fold of
+// SequenceStep from this element, which lets incremental evaluators
+// (internal/core's evaluation plan) re-fold partial child lists and
+// still produce bit-identical aggregates.
+func SequenceIdentity(p *Property) float64 { return identity(p) }
+
+// SequenceStep folds one more value into a running sequence aggregate.
+func SequenceStep(p *Property, acc, x float64) float64 {
+	switch p.Kind {
+	case KindProbability:
+		return acc * x
+	case KindBottleneck:
+		return math.Min(acc, x)
+	default: // KindTime, KindCost
+		return acc + x
+	}
+}
+
+// ParallelIdentity is the neutral element of the parallel fold for the
+// property: 0 for time maxima and cost sums, 1 for probability
+// products, +Inf for bottleneck minima. AggregateParallel is exactly
+// the left fold of ParallelStep from this element.
+func ParallelIdentity(p *Property) float64 {
+	switch p.Kind {
+	case KindTime, KindCost:
+		return 0
+	case KindProbability:
+		return 1
+	default: // KindBottleneck
+		return math.Inf(1)
+	}
+}
+
+// ParallelStep folds one more value into a running parallel aggregate.
+func ParallelStep(p *Property, acc, x float64) float64 {
+	switch p.Kind {
+	case KindTime:
+		return math.Max(acc, x)
+	case KindCost:
+		return acc + x
+	case KindProbability:
+		return acc * x
+	default: // KindBottleneck
+		return math.Min(acc, x)
+	}
+}
+
 // AggregateSequence folds the QoS values of activities executed in
 // sequence (Table IV.1): sum for time and cost, product for
 // probabilities, min for bottleneck capacities.
 func AggregateSequence(p *Property, vals []float64) float64 {
-	acc := identity(p)
+	acc := SequenceIdentity(p)
 	for _, x := range vals {
-		switch p.Kind {
-		case KindProbability:
-			acc *= x
-		case KindBottleneck:
-			acc = math.Min(acc, x)
-		default: // KindTime, KindCost
-			acc += x
-		}
+		acc = SequenceStep(p, acc, x)
 	}
 	return acc
 }
@@ -86,32 +128,11 @@ func AggregateSequence(p *Property, vals []float64) float64 {
 // parallel (Table IV.1): max for time (the slowest branch gates the
 // flow), sum for cost, product for probabilities, min for capacities.
 func AggregateParallel(p *Property, vals []float64) float64 {
-	switch p.Kind {
-	case KindTime:
-		acc := 0.0
-		for _, x := range vals {
-			acc = math.Max(acc, x)
-		}
-		return acc
-	case KindCost:
-		acc := 0.0
-		for _, x := range vals {
-			acc += x
-		}
-		return acc
-	case KindProbability:
-		acc := 1.0
-		for _, x := range vals {
-			acc *= x
-		}
-		return acc
-	default: // KindBottleneck
-		acc := math.Inf(1)
-		for _, x := range vals {
-			acc = math.Min(acc, x)
-		}
-		return acc
+	acc := ParallelIdentity(p)
+	for _, x := range vals {
+		acc = ParallelStep(p, acc, x)
 	}
+	return acc
 }
 
 // AggregateChoice folds the QoS values of mutually exclusive branches.

@@ -1,0 +1,42 @@
+#!/bin/sh
+# bench.sh — run the evaluation-kernel benchmark suite and write the
+# results to BENCH_qassa.json (machine-readable companion to the
+# EXPERIMENTS.md narrative).
+#
+#   scripts/bench.sh                # one counted pass per benchmark
+#   BENCH=<regex> scripts/bench.sh  # override the benchmark selection
+#   OUT=<path> scripts/bench.sh     # override the output file
+#
+# Output schema: a JSON object keyed by benchmark name, each value
+# holding ns_per_op, bytes_per_op, allocs_per_op (as reported by
+# -benchmem) — the three numbers the acceptance criteria in ISSUE/PR
+# discussions track.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+BENCH="${BENCH:-BenchmarkQASSA_RepairHeavy|BenchmarkEvalProbe|BenchmarkQASSA_Services|BenchmarkExhaustiveBaseline|BenchmarkGreedyBaseline}"
+OUT="${OUT:-BENCH_qassa.json}"
+
+raw=$(go test -run '^$' -bench "$BENCH" -benchmem .)
+echo "$raw"
+
+echo "$raw" | awk '
+BEGIN { print "{"; first = 1 }
+/^Benchmark/ {
+    name = $1
+    ns = ""; bytes = ""; allocs = ""
+    for (i = 2; i <= NF; i++) {
+        if ($i == "ns/op")     ns = $(i - 1)
+        if ($i == "B/op")      bytes = $(i - 1)
+        if ($i == "allocs/op") allocs = $(i - 1)
+    }
+    if (ns == "") next
+    if (!first) printf ",\n"
+    first = 0
+    printf "  \"%s\": {\"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", name, ns, bytes, allocs
+}
+END { print "\n}" }
+' >"$OUT"
+
+echo "bench: wrote $OUT"
