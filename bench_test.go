@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"runtime"
 	"testing"
+	"time"
 
 	"qasom"
 	"qasom/internal/baseline"
@@ -18,7 +19,9 @@ import (
 	"qasom/internal/obs"
 	"qasom/internal/qos"
 	"qasom/internal/registry"
+	"qasom/internal/resilience"
 	"qasom/internal/semantics"
+	"qasom/internal/simenv"
 	"qasom/internal/task"
 	"qasom/internal/workload"
 )
@@ -228,6 +231,55 @@ func BenchmarkQASSA_Distributed(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := sel.Select(ctx, req); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDistributedChurn measures availability-under-churn: 20% of
+// the coordinator devices are failed (drop every exchange), every
+// activity has two replicas, and the requester's registry view backs the
+// degraded fallback. Each iteration must still return a selection —
+// retries rescue activities with a live replica, fallback rescues the
+// rest — so ns/op is the price of selecting through coordinator failure.
+func BenchmarkDistributedChurn(b *testing.B) {
+	req, cands := benchInstance(10, 50, 3, workload.ShapeMixed,
+		workload.AtMeanPlusSigma, qos.Pessimistic)
+	fi := simenv.NewFaultInjector(1)
+	replicas := make(map[string][]core.Transport, len(cands))
+	var peers []string
+	for _, a := range req.Task.Activities() {
+		primary := core.NewDeviceNode("primary-"+a.ID, 0)
+		primary.Host(a.ID, cands[a.ID])
+		secondary := core.NewDeviceNode("secondary-"+a.ID, 0)
+		secondary.Host(a.ID, cands[a.ID])
+		replicas[a.ID] = []core.Transport{
+			fi.Wrap(&core.InProcessTransport{Name: primary.Name, Selector: primary}),
+			fi.Wrap(&core.InProcessTransport{Name: secondary.Name, Selector: secondary}),
+		}
+		peers = append(peers, primary.Name, secondary.Name)
+	}
+	for i := 0; i < len(peers)/5; i++ { // 20% of the coordinators down
+		fi.Set(peers[i], simenv.Fault{DropProb: 1})
+	}
+	sel := core.NewResilientDistributedSelector(core.Options{}, replicas, core.DistConfig{
+		Policy: resilience.Policy{
+			MaxAttempts: 3,
+			BaseBackoff: 100 * time.Microsecond,
+			MaxBackoff:  time.Millisecond,
+		},
+		Fallback: cands,
+	})
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := sel.Select(ctx, req)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Assignment) != len(replicas) {
+			b.Fatalf("incomplete selection under churn: %d of %d activities",
+				len(res.Assignment), len(replicas))
 		}
 	}
 }

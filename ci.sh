@@ -42,9 +42,18 @@ if [ "${1:-}" = "quick" ]; then
 	# reference) — cheap enough to race on every quick pass.
 	echo "== go test -race -run TestDifferential ./internal/core ./internal/baseline (quick)"
 	go test -race -run 'TestDifferential' ./internal/core ./internal/baseline
+	# The distributed failure matrix exercises the resilience layer's
+	# concurrency (hedged requests, breaker state, prompt cancellation);
+	# -shuffle=on catches order-dependent breaker/fault state.
+	echo "== go test -race -shuffle=on distributed failure matrix (quick)"
+	go test -race -shuffle=on -run 'TestDistributed|TestServeTCP|TestExecute' ./internal/core ./internal/resilience
 else
 	echo "== go test -race ./..."
 	go test -race ./...
+	# Shuffled pass over the distributed failure matrix: breaker and
+	# fault-injection state must not depend on test order.
+	echo "== go test -race -shuffle=on distributed failure matrix"
+	go test -race -shuffle=on -run 'TestDistributed|TestServeTCP|TestExecute' ./internal/core ./internal/resilience
 fi
 
 echo "ci: all checks passed"

@@ -26,15 +26,19 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math/rand"
 	"os"
 	"os/signal"
+	"sync"
 	"syscall"
 	"time"
 
 	"qasom/internal/core"
 	"qasom/internal/obs"
 	"qasom/internal/qos"
+	"qasom/internal/randx"
 	"qasom/internal/registry"
+	"qasom/internal/resilience"
 	"qasom/internal/semantics"
 )
 
@@ -53,11 +57,15 @@ func main() {
 
 func run() int {
 	var (
-		listen    = flag.String("listen", "127.0.0.1:0", "TCP address to serve LocalSelect on")
-		catalog   = flag.String("catalog", "", "JSON catalog of hosted services (required)")
-		name      = flag.String("name", "qasomnode", "device name (diagnostics)")
-		latency   = flag.Duration("latency", 0, "simulated wireless round-trip added per request")
-		debugAddr = flag.String("debug-addr", "", "HTTP address for /metrics, /healthz, /debug/spans and /debug/pprof (empty: disabled)")
+		listen      = flag.String("listen", "127.0.0.1:0", "TCP address to serve LocalSelect on")
+		catalog     = flag.String("catalog", "", "JSON catalog of hosted services (required)")
+		name        = flag.String("name", "qasomnode", "device name (diagnostics)")
+		latency     = flag.Duration("latency", 0, "simulated wireless round-trip added per request")
+		debugAddr   = flag.String("debug-addr", "", "HTTP address for /metrics, /healthz, /debug/spans and /debug/pprof (empty: disabled)")
+		idleTimeout = flag.Duration("idle-timeout", core.DefaultIdleTimeout, "per-connection read/write deadline (<=0: no deadline)")
+		faultDrop   = flag.Float64("fault-drop", 0, "fault injection: probability of dropping a request without replying (the client sees a truncated exchange)")
+		faultStall  = flag.Duration("fault-stall", 0, "fault injection: extra delay before every reply")
+		faultSeed   = flag.Int64("fault-seed", 1, "fault injection: seed for the drop draws")
 	)
 	flag.Parse()
 	if *catalog == "" {
@@ -95,7 +103,22 @@ func run() int {
 		defer stopDebug()
 		fmt.Printf("qasomnode: debug endpoints on http://%s (/metrics /healthz /debug/spans /debug/pprof)\n", dbgAddr)
 	}
-	addr, stop, err := core.ServeTCP(ctx, *listen, dev)
+	var sel core.LocalSelector = dev
+	if *faultDrop > 0 || *faultStall > 0 {
+		sel = &faultySelector{
+			inner: dev,
+			drop:  *faultDrop,
+			stall: *faultStall,
+			rng:   randx.New(*faultSeed),
+		}
+		fmt.Printf("qasomnode: fault injection enabled (drop=%.2f stall=%s seed=%d)\n",
+			*faultDrop, *faultStall, *faultSeed)
+	}
+	idle := *idleTimeout
+	if idle <= 0 {
+		idle = -1 // ServeTCPOptions: negative disables the deadline
+	}
+	addr, stop, err := core.ServeTCPOptions(ctx, *listen, sel, core.ServeOptions{IdleTimeout: idle})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		return 1
@@ -106,6 +129,35 @@ func run() int {
 	<-ctx.Done()
 	fmt.Println("qasomnode: shutting down")
 	return 0
+}
+
+// faultySelector wraps the device's local phase with server-side fault
+// injection: a drop makes the TCP server sever the connection without a
+// reply (core.ErrDropExchange), so a remote requester exercises its
+// retry/fallback path exactly as against a crashing coordinator; a stall
+// delays the reply.
+type faultySelector struct {
+	inner core.LocalSelector
+	drop  float64
+	stall time.Duration
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+func (f *faultySelector) LocalSelect(ctx context.Context, req core.LocalRequest) (*core.LocalResult, error) {
+	f.mu.Lock()
+	dropped := f.drop > 0 && f.rng.Float64() < f.drop
+	f.mu.Unlock()
+	if f.stall > 0 {
+		if !resilience.Sleep(ctx, f.stall) {
+			return nil, resilience.CauseErr(ctx)
+		}
+	}
+	if dropped {
+		return nil, core.ErrDropExchange
+	}
+	return f.inner.LocalSelect(ctx, req)
 }
 
 // buildDevice converts catalog entries into a hosted DeviceNode. The

@@ -149,14 +149,21 @@ func (m *Middleware) compose(ctx context.Context, req Request) (*Composition, er
 
 	var res *core.Result
 	if req.Distributed {
-		devices := make(map[string]core.LocalSelector, len(candidates))
+		replicas := make(map[string][]core.Transport, len(candidates))
 		for id, list := range candidates {
 			dev := core.NewDeviceNode("dev-"+id, 2*time.Millisecond)
 			dev.Host(id, list)
-			devices[id] = dev
+			replicas[id] = []core.Transport{&core.InProcessTransport{Name: dev.Name, Selector: dev}}
 		}
-		res, err = core.NewDistributedSelector(core.Options{K: m.opts.K, MaxAlternates: m.opts.MaxAlternates, Seed: m.opts.Seed, Workers: m.opts.Workers}, devices).
-			Select(ctx, coreReq)
+		// The façade keeps the middleware's own registry view as the
+		// degradation fallback: a lost coordinator downgrades the
+		// selection (Stats.Fallbacks, Result.Degraded) instead of
+		// failing the composition.
+		res, err = core.NewResilientDistributedSelector(
+			core.Options{K: m.opts.K, MaxAlternates: m.opts.MaxAlternates, Seed: m.opts.Seed, Workers: m.opts.Workers},
+			replicas,
+			core.DistConfig{Fallback: candidates},
+		).Select(ctx, coreReq)
 	} else {
 		res, err = m.selector.SelectContext(ctx, coreReq, candidates)
 	}
@@ -221,6 +228,13 @@ type SelectionStats struct {
 	// MatchCacheHits/Misses report the ontology match-memo effectiveness
 	// during candidate lookup.
 	MatchCacheHits, MatchCacheMisses uint64
+	// Retries, Hedges, BreakerSkips and Fallbacks count the resilience
+	// layer's work during distributed selection (all zero for a
+	// centralized selection or a fault-free distributed one).
+	Retries, Hedges, BreakerSkips, Fallbacks int
+	// Degraded reports that at least one activity's coordinator was
+	// unreachable and the requester ran that local phase itself.
+	Degraded bool
 }
 
 // SelectionStats returns the work profile of this composition's
@@ -238,6 +252,11 @@ func (c *Composition) SelectionStats() SelectionStats {
 		RepairSwaps:      s.RepairSwaps,
 		MatchCacheHits:   s.MatchCacheHits,
 		MatchCacheMisses: s.MatchCacheMisses,
+		Retries:          s.Retries,
+		Hedges:           s.Hedges,
+		BreakerSkips:     s.BreakerSkips,
+		Fallbacks:        s.Fallbacks,
+		Degraded:         c.runtime.Result().Degraded,
 	}
 }
 

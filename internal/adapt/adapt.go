@@ -18,6 +18,7 @@ import (
 	"qasom/internal/obs"
 	"qasom/internal/qos"
 	"qasom/internal/registry"
+	"qasom/internal/resilience"
 	"qasom/internal/task"
 )
 
@@ -243,18 +244,29 @@ func (m *Manager) Substitute(rt *Runtime, activityID string, exclude map[registr
 	return registry.Candidate{}, fmt.Errorf("%w for activity %q", ErrNoSubstitute, activityID)
 }
 
-// FailureHandler wires substitution into the executor: each failed
-// attempt excludes the failed service and substitutes the next alternate.
+// FailureHandler wires substitution into the executor as the
+// terminal-failure handler: each terminally failed attempt excludes the
+// failed service and substitutes the next alternate. The executor's
+// resilience policy has already spent its backoff budget on retryable
+// failures by the time this runs; the failure class still distinguishes
+// them — a binding lost to a flaky link (Retryable) stays eligible for
+// re-selection later, while an application-level failure (Terminal)
+// excludes the service for the rest of the run.
 func (m *Manager) FailureHandler(rt *Runtime) exec.FailureHandler {
 	excluded := make(map[registry.ServiceID]bool)
 	var mu sync.Mutex
-	return func(act *task.Activity, failed registry.Candidate, attempt int) (registry.Candidate, error) {
+	return func(act *task.Activity, failed registry.Candidate, attempt int, class resilience.Class) (registry.Candidate, error) {
 		mu.Lock()
-		excluded[failed.Service.ID] = true
-		snapshot := make(map[registry.ServiceID]bool, len(excluded))
+		if class != resilience.Retryable {
+			excluded[failed.Service.ID] = true
+		}
+		snapshot := make(map[registry.ServiceID]bool, len(excluded)+1)
 		for k, v := range excluded {
 			snapshot[k] = v
 		}
+		// Even a link-failed binding must not be handed straight back:
+		// exclude it from THIS substitution without remembering it.
+		snapshot[failed.Service.ID] = true
 		mu.Unlock()
 		return m.Substitute(rt, act.ID, snapshot)
 	}

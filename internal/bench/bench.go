@@ -159,6 +159,7 @@ var experiments = func() map[string]*Experiment {
 		selectionExperiments(),
 		aggregationExperiments(),
 		distributionExperiments(),
+		resilienceExperiments(),
 		transformExperiments(),
 		adaptationExperiments(),
 		ablationExperiments(),

@@ -1,0 +1,113 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"qasom/internal/core"
+	"qasom/internal/qos"
+	"qasom/internal/resilience"
+	"qasom/internal/simenv"
+	"qasom/internal/workload"
+)
+
+func resilienceExperiments() []*Experiment {
+	return []*Experiment{expVI12Churn()}
+}
+
+// expVI12Churn measures selection availability and latency while a
+// fraction of the coordinator devices is failed (the ad hoc churn the
+// resilience layer exists for). Every activity has two coordinator
+// replicas; failures are injected at the transport seam. The failed-set
+// order deliberately mixes the two survival paths: some activities lose
+// one replica (retries/hedges rescue them against the live replica) and
+// some lose both (the requester's degraded fallback rescues them).
+func expVI12Churn() *Experiment {
+	return &Experiment{
+		ID:    "vi12churn",
+		Paper: "Fig. VI.12 (resilience variant)",
+		Title: "Distributed QASSA availability under coordinator churn",
+		Expected: "Availability stays 1.0 through 50% coordinator failure: " +
+			"lost replicas cost retries (and latency), fully lost activities " +
+			"degrade to requester-side local selection instead of failing.",
+		Run: func(cfg Config) (*Table, error) {
+			cfg = cfg.withDefaults()
+			ps := qos.StandardSet()
+			const activities = 10
+			rates := pick(cfg, []float64{0, 0.2}, []float64{0, 0.1, 0.2, 0.3, 0.5})
+			runs := pick(cfg, 5, 20)
+			t := NewTable("Distributed QASSA under coordinator churn (n=10, 2 replicas/activity, c=3)",
+				"fail_rate", "availability", "p50_ms", "p99_ms", "degraded", "retries", "fallbacks", "hedges")
+			for _, rate := range rates {
+				inst := genInstance(cfg.Seed, activities, 25, 3, ps, workload.ShapeMixed,
+					workload.AtMeanPlusSigma, qos.Pessimistic)
+				fi := simenv.NewFaultInjector(cfg.Seed)
+				replicas := make(map[string][]core.Transport, inst.tk.Size())
+				var primaries, secondaries []string
+				for _, a := range inst.tk.Activities() {
+					primary := core.NewDeviceNode("primary-"+a.ID, 0)
+					primary.Host(a.ID, inst.cands[a.ID])
+					secondary := core.NewDeviceNode("secondary-"+a.ID, 0)
+					secondary.Host(a.ID, inst.cands[a.ID])
+					replicas[a.ID] = []core.Transport{
+						fi.Wrap(&core.InProcessTransport{Name: primary.Name, Selector: primary}),
+						fi.Wrap(&core.InProcessTransport{Name: secondary.Name, Selector: secondary}),
+					}
+					primaries = append(primaries, primary.Name)
+					secondaries = append(secondaries, secondary.Name)
+				}
+				// Fail round(rate * devices) coordinators, alternating
+				// "both replicas of an activity" with "primary only": the
+				// sweep exercises retry-rescue and degraded-fallback at
+				// every non-zero rate.
+				toFail := int(rate*float64(2*activities) + 0.5)
+				failOrder := make([]string, 0, 2*activities)
+				for i := 0; i < activities; i++ {
+					failOrder = append(failOrder, primaries[i])
+					if i%2 == 0 {
+						failOrder = append(failOrder, secondaries[i])
+					}
+				}
+				for i := 0; i < toFail && i < len(failOrder); i++ {
+					fi.Set(failOrder[i], simenv.Fault{DropProb: 1})
+				}
+				policy := resilience.Policy{
+					MaxAttempts: 3,
+					BaseBackoff: 200 * time.Microsecond,
+					MaxBackoff:  time.Millisecond,
+					HedgeDelay:  5 * time.Millisecond,
+				}
+				sel := core.NewResilientDistributedSelector(core.Options{Seed: cfg.Seed}, replicas,
+					core.DistConfig{Policy: policy, Fallback: inst.cands})
+				var (
+					ok, degradedRuns, retries, fallbacks, hedges int
+					times                                        []time.Duration
+				)
+				for r := 0; r < runs; r++ {
+					start := time.Now()
+					res, err := sel.Select(benchCtx(), inst.req)
+					times = append(times, time.Since(start))
+					if err != nil {
+						continue
+					}
+					ok++
+					if res.Degraded {
+						degradedRuns++
+					}
+					retries += res.Stats.Retries
+					fallbacks += res.Stats.Fallbacks
+					hedges += res.Stats.Hedges
+				}
+				sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
+				p50 := times[len(times)/2]
+				p99 := times[(len(times)*99+99)/100-1]
+				t.AddRow(fmt.Sprintf("%.2f", rate), float64(ok)/float64(runs),
+					p50, p99, degradedRuns, retries, fallbacks, hedges)
+			}
+			t.AddNote("availability = selections returning a result / attempts; degraded counts runs where ≥1 activity fell back to requester-side selection")
+			t.AddNote("drop faults fail fast at the transport seam, so hedges stay rare (hedging targets slow replicas, not dead ones)")
+			return t, nil
+		},
+	}
+}

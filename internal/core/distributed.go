@@ -2,18 +2,17 @@ package core
 
 import (
 	"context"
-	"encoding/gob"
 	"errors"
 	"fmt"
-	"math/rand"
-	"net"
 	"sync"
 	"time"
 
 	"qasom/internal/cluster"
 	"qasom/internal/obs"
 	"qasom/internal/qos"
+	"qasom/internal/randx"
 	"qasom/internal/registry"
+	"qasom/internal/resilience"
 )
 
 // The distributed version of QASSA (Chapter IV §4, evaluated in
@@ -21,6 +20,16 @@ import (
 // ad hoc environment: each coordinator device clusters the candidates of
 // the activities it is responsible for, in parallel, and the requester's
 // device gathers the ranked shortlists and runs the global phase.
+//
+// Ad hoc environments lose coordinators mid-selection, so the gather is
+// fault-tolerant: every per-coordinator exchange goes through the shared
+// resilience policy (per-attempt deadlines, bounded retries with
+// jittered backoff rotating across the replicas that hold the same
+// activity, optional hedged second requests, per-peer breakers), and
+// when the policy is exhausted the requester degrades gracefully — it
+// runs that activity's local phase itself from its own registry view and
+// records the degradation in the result instead of failing the
+// composition.
 
 // LocalRequest is the unit of work shipped to a coordinator device.
 type LocalRequest struct {
@@ -45,6 +54,38 @@ type LocalRequest struct {
 // LocalSelector is a device able to run the local phase for an activity.
 type LocalSelector interface {
 	LocalSelect(ctx context.Context, req LocalRequest) (*LocalResult, error)
+}
+
+// evalLocalRequest runs the local phase for one activity over the given
+// candidate view: local-constraint filtering, then clustering-based
+// ranking. It is the single code path shared by coordinator devices and
+// the requester's degraded fallback, so a fallback computes exactly what
+// the lost coordinator would have (same seed, same result).
+func evalLocalRequest(origin string, cands []registry.Candidate, req LocalRequest) (*LocalResult, error) {
+	if len(cands) == 0 {
+		return nil, fmt.Errorf("core: %s hosts no candidates for %q", origin, req.ActivityID)
+	}
+	ps, err := qos.NewPropertySet(req.Properties...)
+	if err != nil {
+		return nil, fmt.Errorf("core: %s: %w", origin, err)
+	}
+	if len(req.Local) > 0 {
+		if err := req.Local.Validate(ps); err != nil {
+			return nil, fmt.Errorf("core: %s: %w", origin, err)
+		}
+		kept := make([]registry.Candidate, 0, len(cands))
+		for _, c := range cands {
+			if req.Local.Satisfied(ps, c.Vector) {
+				kept = append(kept, c)
+			}
+		}
+		if len(kept) == 0 {
+			return nil, fmt.Errorf("core: %s: no candidate for %q meets the local constraints",
+				origin, req.ActivityID)
+		}
+		cands = kept
+	}
+	return localSelect(req.ActivityID, cands, ps, req.Weights, req.K, req.Seeding, randx.New(req.Seed))
 }
 
 // DeviceNode is a coordinator device holding candidate services for a
@@ -106,63 +147,135 @@ func (d *DeviceNode) LocalSelect(ctx context.Context, req LocalRequest) (*LocalR
 		case <-t.C:
 		case <-ctx.Done():
 			t.Stop()
-			return nil, ctx.Err()
+			return nil, resilience.CauseErr(ctx)
 		}
 	}
 	d.mu.RLock()
 	cands := d.candidates[req.ActivityID]
 	d.mu.RUnlock()
-	if len(cands) == 0 {
-		return nil, fmt.Errorf("core: device %q hosts no candidates for %q", d.Name, req.ActivityID)
-	}
-	ps, err := qos.NewPropertySet(req.Properties...)
-	if err != nil {
-		return nil, fmt.Errorf("core: device %q: %w", d.Name, err)
-	}
-	if len(req.Local) > 0 {
-		if err := req.Local.Validate(ps); err != nil {
-			return nil, fmt.Errorf("core: device %q: %w", d.Name, err)
-		}
-		kept := make([]registry.Candidate, 0, len(cands))
-		for _, c := range cands {
-			if req.Local.Satisfied(ps, c.Vector) {
-				kept = append(kept, c)
-			}
-		}
-		if len(kept) == 0 {
-			return nil, fmt.Errorf("core: device %q: no candidate for %q meets the local constraints",
-				d.Name, req.ActivityID)
-		}
-		cands = kept
-	}
-	seed := req.Seed
-	if seed == 0 {
-		seed = 1
-	}
-	return localSelect(req.ActivityID, cands, ps, req.Weights, req.K, req.Seeding, rand.New(rand.NewSource(seed)))
+	return evalLocalRequest(fmt.Sprintf("device %q", d.Name), cands, req)
 }
 
-// DistributedSelector fans the local phase out to one LocalSelector per
-// activity (in parallel) and runs the global phase on the gathered
-// shortlists.
+// DistConfig configures the resilience behaviour of a distributed
+// selector.
+type DistConfig struct {
+	// Policy bounds every per-coordinator exchange (zero value: the
+	// resilience defaults — 3 attempts, 5ms..250ms jittered backoff,
+	// breaker at 4 consecutive failures). Set HedgeDelay to fire hedged
+	// requests at replicas.
+	Policy resilience.Policy
+	// Fallback, when non-nil, holds the requester's own registry view
+	// per activity: on exhausted policy the requester runs that
+	// activity's local phase itself (graceful degradation) instead of
+	// failing the selection, and flags the result degraded.
+	Fallback map[string][]registry.Candidate
+}
+
+// DistributedSelector fans the local phase out to the coordinator
+// replicas of every activity (in parallel, policy-wrapped) and runs the
+// global phase on the gathered shortlists. Breaker state persists
+// across Select calls, so a coordinator that kept failing is skipped
+// until its cooldown expires.
 type DistributedSelector struct {
 	selector *Selector
-	devices  map[string]LocalSelector // activity ID → device
+	replicas map[string][]Transport
+	policy   resilience.Policy
+	fallback map[string][]registry.Candidate
+	breakers *resilience.BreakerSet
 }
 
 // NewDistributedSelector builds a distributed selector; devices maps
-// every task activity to the coordinator responsible for it.
+// every task activity to the coordinator responsible for it (one
+// in-process replica per activity, default policy, no fallback view —
+// the transparent upgrade of the pre-resilience constructor).
 func NewDistributedSelector(opts Options, devices map[string]LocalSelector) *DistributedSelector {
-	cp := make(map[string]LocalSelector, len(devices))
-	for k, v := range devices {
-		cp[k] = v
+	replicas := make(map[string][]Transport, len(devices))
+	for id, sel := range devices {
+		name := "inproc/" + id
+		if dn, ok := sel.(*DeviceNode); ok && dn.Name != "" {
+			name = dn.Name
+		}
+		replicas[id] = []Transport{&InProcessTransport{Name: name, Selector: sel}}
 	}
-	return &DistributedSelector{selector: NewSelector(opts), devices: cp}
+	return NewResilientDistributedSelector(opts, replicas, DistConfig{})
+}
+
+// NewResilientDistributedSelector builds a distributed selector over an
+// explicit replica map: every activity may be held by several
+// coordinators (retries rotate across them, hedges race them), and the
+// config supplies the shared policy and the degraded-fallback view.
+func NewResilientDistributedSelector(opts Options, replicas map[string][]Transport, cfg DistConfig) *DistributedSelector {
+	cp := make(map[string][]Transport, len(replicas))
+	for id, list := range replicas {
+		cp[id] = append([]Transport(nil), list...)
+	}
+	var fb map[string][]registry.Candidate
+	if cfg.Fallback != nil {
+		fb = make(map[string][]registry.Candidate, len(cfg.Fallback))
+		for id, list := range cfg.Fallback {
+			fb[id] = append([]registry.Candidate(nil), list...)
+		}
+	}
+	policy := cfg.Policy.WithDefaults()
+	var breakers *resilience.BreakerSet
+	if policy.BreakerThreshold > 0 {
+		breakers = resilience.NewBreakerSet(policy.BreakerThreshold, policy.BreakerCooldown)
+	}
+	return &DistributedSelector{
+		selector: NewSelector(opts),
+		replicas: cp,
+		policy:   policy,
+		fallback: fb,
+		breakers: breakers,
+	}
+}
+
+// distMetrics bundles the distributed selector's telemetry handles; the
+// zero value (no hub) is all-nil no-ops.
+type distMetrics struct {
+	retries      *obs.Counter
+	hedges       *obs.Counter
+	fallbacks    *obs.Counter
+	breakerSkips *obs.Counter
+	exchange     *obs.HistogramVec
+	exchangeErrs *obs.CounterVec
+}
+
+func distMetricsFor(hub *obs.Hub) distMetrics {
+	if hub == nil {
+		return distMetrics{}
+	}
+	r := hub.Metrics
+	return distMetrics{
+		retries: r.Counter("qasom_dist_retries_total",
+			"Distributed local-phase exchanges retried after a transient failure."),
+		hedges: r.Counter("qasom_dist_hedges_total",
+			"Hedged second requests fired at replica coordinators."),
+		fallbacks: r.Counter("qasom_dist_fallbacks_total",
+			"Activities degraded to requester-side local selection after policy exhaustion."),
+		breakerSkips: r.Counter("qasom_dist_breaker_skips_total",
+			"Coordinator replicas skipped because their breaker was open."),
+		exchange: r.HistogramVec("qasom_dist_exchange_seconds",
+			"Per-coordinator exchange latency (successful and failed attempts).", nil, "peer"),
+		exchangeErrs: r.CounterVec("qasom_dist_exchange_failures_total",
+			"Failed exchanges per coordinator.", "peer"),
+	}
+}
+
+// observer adapts the metric handles to the resilience attempt hook.
+func (m distMetrics) observer() resilience.AttemptObserver {
+	return func(peer string, d time.Duration, err error) {
+		m.exchange.With(peer).ObserveDuration(d)
+		if err != nil {
+			m.exchangeErrs.With(peer).Inc()
+		}
+	}
 }
 
 // Select runs the distributed algorithm. The returned result's stats
 // report the parallel local-phase wall time and the global-phase time
-// separately (the split Fig. VI.12 plots).
+// separately (the split Fig. VI.12 plots), plus the resilience work
+// (retries, hedges, breaker skips, degraded fallbacks).
 func (d *DistributedSelector) Select(ctx context.Context, req *Request) (*Result, error) {
 	if err := req.Validate(); err != nil {
 		return nil, err
@@ -170,24 +283,29 @@ func (d *DistributedSelector) Select(ctx context.Context, req *Request) (*Result
 	acts := req.Task.Activities()
 	opts := d.selector.opts.withDefaults(len(acts))
 	for _, a := range acts {
-		if d.devices[a.ID] == nil {
+		if len(d.replicas[a.ID]) == 0 && len(d.fallback[a.ID]) == 0 {
 			return nil, fmt.Errorf("core: no device for activity %q", a.ID)
 		}
 	}
+	ctx, span := obs.StartSpan(ctx, "qassa.distributed")
+	defer span.End()
+	met := distMetricsFor(obs.HubFrom(ctx))
 
 	startLocal := time.Now()
 	type reply struct {
-		id  string
-		lr  *LocalResult
-		err error
+		lr       *LocalResult
+		rst      resilience.Stats
+		degraded bool
+		cause    string
+		err      error
 	}
-	replies := make(chan reply, len(acts))
+	replies := make([]reply, len(acts))
 	var wg sync.WaitGroup
-	for _, a := range acts {
+	for i, a := range acts {
 		wg.Add(1)
-		go func(id string) {
+		go func(i int, id string) {
 			defer wg.Done()
-			lr, err := d.devices[id].LocalSelect(ctx, LocalRequest{
+			lreq := LocalRequest{
 				ActivityID: id,
 				Properties: req.Properties.Properties(),
 				Weights:    req.weights(),
@@ -195,24 +313,81 @@ func (d *DistributedSelector) Select(ctx context.Context, req *Request) (*Result
 				K:          opts.K,
 				Seeding:    opts.Seeding,
 				Seed:       opts.Seed,
-			})
-			replies <- reply{id: id, lr: lr, err: err}
-		}(a.ID)
+			}
+			reps := d.replicas[id]
+			targets := make([]resilience.Target[*LocalResult], len(reps))
+			for j, tr := range reps {
+				tr := tr
+				targets[j] = resilience.Target[*LocalResult]{
+					Peer: tr.Peer(),
+					Call: func(actx context.Context) (*LocalResult, error) {
+						return tr.Exchange(actx, lreq)
+					},
+				}
+			}
+			// Backoff jitter derives from (seed, activity index): runs are
+			// reproducible, goroutines never share a source.
+			rng := randx.Derive(opts.Seed, int64(i))
+			var lr *LocalResult
+			var rst resilience.Stats
+			var err error
+			if len(targets) > 0 {
+				lr, rst, err = resilience.Execute(ctx, d.policy, d.breakers, rng, targets, met.observer())
+			} else {
+				err = resilience.AsRetryable(fmt.Errorf("core: no coordinator holds activity %q", id))
+			}
+			if err != nil && resilience.ClassOf(err) != resilience.Canceled {
+				if cands := d.fallback[id]; len(cands) > 0 {
+					// Graceful degradation: the requester runs the local
+					// phase itself from its registry view — exactly what
+					// the lost coordinator would have computed.
+					flr, ferr := evalLocalRequest(fmt.Sprintf("requester (degraded, activity %q)", id), cands, lreq)
+					if ferr == nil {
+						replies[i] = reply{lr: flr, rst: rst, degraded: true, cause: err.Error()}
+						return
+					}
+					err = errors.Join(err, ferr)
+				}
+			}
+			replies[i] = reply{lr: lr, rst: rst, err: err}
+		}(i, a.ID)
 	}
 	wg.Wait()
-	close(replies)
 
 	locals := make(map[string]*LocalResult, len(acts))
-	var errs []error
-	for r := range replies {
+	var (
+		errs     []error
+		rst      resilience.Stats
+		degraded int
+		causes   map[string]string
+	)
+	for i, a := range acts {
+		r := replies[i]
+		rst.Add(r.rst)
 		if r.err != nil {
-			errs = append(errs, fmt.Errorf("activity %q: %w", r.id, r.err))
+			errs = append(errs, fmt.Errorf("activity %q: %w", a.ID, r.err))
 			continue
 		}
-		locals[r.id] = r.lr
+		if r.degraded {
+			degraded++
+			if causes == nil {
+				causes = make(map[string]string)
+			}
+			causes[a.ID] = r.cause
+			met.fallbacks.Inc()
+		}
+		locals[a.ID] = r.lr
 	}
+	met.retries.Add(uint64(rst.Retries))
+	met.hedges.Add(uint64(rst.Hedges))
+	met.breakerSkips.Add(uint64(rst.BreakerSkips))
 	if len(errs) > 0 {
-		return nil, fmt.Errorf("core: distributed local phase failed: %w", errors.Join(errs...))
+		err := fmt.Errorf("core: distributed local phase failed: %w", errors.Join(errs...))
+		span.Annotate("error", err.Error())
+		if cerr := resilience.CauseErr(ctx); cerr != nil {
+			span.Annotate("cause", cerr.Error())
+		}
+		return nil, err
 	}
 	localDur := time.Since(startLocal)
 
@@ -221,115 +396,14 @@ func (d *DistributedSelector) Select(ctx context.Context, req *Request) (*Result
 		return nil, err
 	}
 	res.Stats.LocalDuration = localDur
+	res.Stats.Retries = rst.Retries
+	res.Stats.Hedges = rst.Hedges
+	res.Stats.BreakerSkips = rst.BreakerSkips
+	res.Stats.Fallbacks = degraded
+	res.Stats.DegradedCauses = causes
+	res.Degraded = degraded > 0
+	if degraded > 0 {
+		span.Annotate("degraded", fmt.Sprint(degraded))
+	}
 	return res, nil
-}
-
-// --- TCP transport -------------------------------------------------------
-
-// rpcEnvelope frames one LocalSelect exchange over the wire.
-type rpcEnvelope struct {
-	Request LocalRequest
-}
-
-type rpcReply struct {
-	Result *LocalResult
-	Err    string
-}
-
-// ServeTCP exposes a LocalSelector on a TCP listener until ctx is
-// cancelled; each connection carries one gob-encoded request/response
-// exchange. It returns the bound address immediately and serves in the
-// background; the returned stop function closes the listener and waits
-// for in-flight connections.
-func ServeTCP(ctx context.Context, addr string, sel LocalSelector) (string, func(), error) {
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		return "", nil, fmt.Errorf("core: listen: %w", err)
-	}
-	serveCtx, cancel := context.WithCancel(ctx)
-	var wg sync.WaitGroup
-	wg.Add(1)
-	go func() {
-		defer wg.Done()
-		for {
-			conn, err := ln.Accept()
-			if err != nil {
-				return // listener closed
-			}
-			wg.Add(1)
-			go func(conn net.Conn) {
-				defer wg.Done()
-				defer func() {
-					if cerr := conn.Close(); cerr != nil {
-						_ = cerr // closing best-effort; the exchange already ended
-					}
-				}()
-				serveConn(serveCtx, conn, sel)
-			}(conn)
-		}
-	}()
-	stop := func() {
-		cancel()
-		if cerr := ln.Close(); cerr != nil {
-			_ = cerr
-		}
-		wg.Wait()
-	}
-	return ln.Addr().String(), stop, nil
-}
-
-func serveConn(ctx context.Context, conn net.Conn, sel LocalSelector) {
-	var env rpcEnvelope
-	if err := gob.NewDecoder(conn).Decode(&env); err != nil {
-		return
-	}
-	lr, err := sel.LocalSelect(ctx, env.Request)
-	reply := rpcReply{Result: lr}
-	if err != nil {
-		reply.Err = err.Error()
-	}
-	_ = gob.NewEncoder(conn).Encode(&reply)
-}
-
-// TCPClient is a LocalSelector that forwards requests to a remote
-// coordinator over TCP.
-type TCPClient struct {
-	// Addr is the coordinator's endpoint.
-	Addr string
-	// DialTimeout bounds connection establishment; 0 means 2s.
-	DialTimeout time.Duration
-}
-
-var _ LocalSelector = (*TCPClient)(nil)
-
-// LocalSelect performs one remote exchange.
-func (c *TCPClient) LocalSelect(ctx context.Context, req LocalRequest) (*LocalResult, error) {
-	timeout := c.DialTimeout
-	if timeout == 0 {
-		timeout = 2 * time.Second
-	}
-	dialer := net.Dialer{Timeout: timeout}
-	conn, err := dialer.DialContext(ctx, "tcp", c.Addr)
-	if err != nil {
-		return nil, fmt.Errorf("core: dial %s: %w", c.Addr, err)
-	}
-	defer func() {
-		_ = conn.Close()
-	}()
-	if deadline, ok := ctx.Deadline(); ok {
-		if err := conn.SetDeadline(deadline); err != nil {
-			return nil, fmt.Errorf("core: set deadline: %w", err)
-		}
-	}
-	if err := gob.NewEncoder(conn).Encode(&rpcEnvelope{Request: req}); err != nil {
-		return nil, fmt.Errorf("core: send to %s: %w", c.Addr, err)
-	}
-	var reply rpcReply
-	if err := gob.NewDecoder(conn).Decode(&reply); err != nil {
-		return nil, fmt.Errorf("core: receive from %s: %w", c.Addr, err)
-	}
-	if reply.Err != "" {
-		return nil, fmt.Errorf("core: remote %s: %s", c.Addr, reply.Err)
-	}
-	return reply.Result, nil
 }

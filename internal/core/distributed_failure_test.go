@@ -1,0 +1,355 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"qasom/internal/qos"
+	"qasom/internal/registry"
+	"qasom/internal/resilience"
+)
+
+// fastPolicy keeps failure-matrix tests quick: microsecond backoffs, no
+// jitter surprises, short per-attempt deadline only where a test needs it.
+func fastPolicy() resilience.Policy {
+	return resilience.Policy{
+		MaxAttempts: 3,
+		BaseBackoff: 100 * time.Microsecond,
+		MaxBackoff:  time.Millisecond,
+		Jitter:      -1,
+	}
+}
+
+// closedPort returns an address nothing listens on (listen, grab, close).
+func closedPort(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+// crashingListener accepts connections and closes them immediately: the
+// client observes a truncated gob stream (coordinator crash mid-exchange).
+func crashingListener(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			conn.Close()
+		}
+	}()
+	return ln.Addr().String()
+}
+
+// liveReplica builds an in-process transport hosting the activity.
+func liveReplica(name, actID string, cands []registry.Candidate) Transport {
+	dev := NewDeviceNode(name, 0)
+	dev.Host(actID, cands)
+	return &InProcessTransport{Name: name, Selector: dev}
+}
+
+func singleActivityRequest() (*Request, map[string][]registry.Candidate) {
+	tk := seqTask("a")
+	cands := genCandidates(tk, 6)
+	return &Request{Task: tk, Properties: twoProps()}, cands
+}
+
+// Coordinator down before dial: a replica on a closed port plus a live
+// replica — the selection succeeds after a retry rotates to the live one.
+func TestDistributedRetriesDeadReplica(t *testing.T) {
+	req, cands := singleActivityRequest()
+	replicas := map[string][]Transport{"a": {
+		&TCPTransport{Addr: closedPort(t), DialTimeout: 200 * time.Millisecond},
+		liveReplica("live", "a", cands["a"]),
+	}}
+	sel := NewResilientDistributedSelector(Options{}, replicas, DistConfig{Policy: fastPolicy()})
+	res, err := sel.Select(context.Background(), req)
+	if err != nil {
+		t.Fatalf("Select with one dead replica: %v", err)
+	}
+	if res.Stats.Retries == 0 {
+		t.Errorf("expected retries after the dead replica, stats = %+v", res.Stats)
+	}
+	if res.Degraded || res.Stats.Fallbacks != 0 {
+		t.Errorf("live replica served: selection must not be degraded (%+v)", res.Stats)
+	}
+}
+
+// Coordinator crashes mid-exchange: the truncated gob stream classifies
+// retryable and the retry lands on the live replica.
+func TestDistributedCrashMidExchange(t *testing.T) {
+	req, cands := singleActivityRequest()
+	replicas := map[string][]Transport{"a": {
+		&TCPTransport{Addr: crashingListener(t), DialTimeout: 200 * time.Millisecond},
+		liveReplica("live", "a", cands["a"]),
+	}}
+	sel := NewResilientDistributedSelector(Options{}, replicas, DistConfig{Policy: fastPolicy()})
+	res, err := sel.Select(context.Background(), req)
+	if err != nil {
+		t.Fatalf("Select with a crashing replica: %v", err)
+	}
+	if res.Stats.Retries == 0 {
+		t.Errorf("expected retries after the mid-exchange crash, stats = %+v", res.Stats)
+	}
+}
+
+// Coordinator replies after the per-attempt deadline: the attempt times
+// out (retryable) and the retry rotates to a fast replica.
+func TestDistributedReplyAfterDeadline(t *testing.T) {
+	req, cands := singleActivityRequest()
+	slow := NewDeviceNode("slow", 200*time.Millisecond)
+	slow.Host("a", cands["a"])
+	replicas := map[string][]Transport{"a": {
+		&InProcessTransport{Name: "slow", Selector: slow},
+		liveReplica("fast", "a", cands["a"]),
+	}}
+	p := fastPolicy()
+	p.AttemptTimeout = 20 * time.Millisecond
+	sel := NewResilientDistributedSelector(Options{}, replicas, DistConfig{Policy: p})
+	res, err := sel.Select(context.Background(), req)
+	if err != nil {
+		t.Fatalf("Select with a too-slow replica: %v", err)
+	}
+	if res.Stats.Retries == 0 {
+		t.Errorf("expected a retry after the attempt deadline, stats = %+v", res.Stats)
+	}
+}
+
+// A replica that kept failing trips its breaker; the next Select skips it
+// without dialing (breaker state persists on the selector).
+func TestDistributedBreakerSkipsDeadReplica(t *testing.T) {
+	req, cands := singleActivityRequest()
+	replicas := map[string][]Transport{"a": {
+		&TCPTransport{Addr: closedPort(t), DialTimeout: 200 * time.Millisecond},
+		liveReplica("live", "a", cands["a"]),
+	}}
+	p := fastPolicy()
+	p.BreakerThreshold = 1
+	p.BreakerCooldown = time.Minute
+	sel := NewResilientDistributedSelector(Options{}, replicas, DistConfig{Policy: p})
+	if _, err := sel.Select(context.Background(), req); err != nil {
+		t.Fatalf("first Select: %v", err)
+	}
+	res, err := sel.Select(context.Background(), req)
+	if err != nil {
+		t.Fatalf("second Select: %v", err)
+	}
+	if res.Stats.BreakerSkips == 0 {
+		t.Errorf("second Select should skip the open breaker, stats = %+v", res.Stats)
+	}
+	if res.Stats.Retries != 0 {
+		t.Errorf("breaker skip must not burn a retry, stats = %+v", res.Stats)
+	}
+}
+
+// Every coordinator down, fallback view present: graceful degradation —
+// no error, degraded flag set, and (same seed, same code path) the
+// assignment matches the centralized selection exactly.
+func TestDistributedDegradedFallbackMatchesCentralized(t *testing.T) {
+	tk := seqTask("a", "b")
+	cands := genCandidates(tk, 8)
+	req := &Request{
+		Task:        tk,
+		Properties:  twoProps(),
+		Constraints: qos.Constraints{{Property: "rt", Bound: 200}},
+	}
+	replicas := map[string][]Transport{
+		"a": {&TCPTransport{Addr: closedPort(t), DialTimeout: 200 * time.Millisecond}},
+		"b": {&TCPTransport{Addr: closedPort(t), DialTimeout: 200 * time.Millisecond}},
+	}
+	sel := NewResilientDistributedSelector(Options{}, replicas,
+		DistConfig{Policy: fastPolicy(), Fallback: cands})
+	res, err := sel.Select(context.Background(), req)
+	if err != nil {
+		t.Fatalf("degraded Select must not fail: %v", err)
+	}
+	if !res.Degraded || res.Stats.Fallbacks != 2 {
+		t.Fatalf("expected 2 degraded activities, got Degraded=%v stats=%+v", res.Degraded, res.Stats)
+	}
+	if len(res.Stats.DegradedCauses) != 2 {
+		t.Errorf("degraded causes missing: %+v", res.Stats.DegradedCauses)
+	}
+	central, err := NewSelector(Options{}).Select(req, cands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Feasible != central.Feasible {
+		t.Fatalf("feasibility differs: degraded %v central %v", res.Feasible, central.Feasible)
+	}
+	for id := range central.Assignment {
+		if res.Assignment[id].Service.ID != central.Assignment[id].Service.ID {
+			t.Errorf("activity %s: degraded chose %s, centralized %s",
+				id, res.Assignment[id].Service.ID, central.Assignment[id].Service.ID)
+		}
+	}
+}
+
+// Acceptance: with 20% of coordinators failed the selection still returns
+// a feasible result — degraded flag set, no error.
+func TestDistributedTwentyPercentCoordinatorFailure(t *testing.T) {
+	tk := seqTask("a", "b", "c", "d", "e")
+	cands := genCandidates(tk, 8)
+	req := &Request{Task: tk, Properties: twoProps()}
+	replicas := make(map[string][]Transport, 5)
+	for _, id := range []string{"b", "c", "d", "e"} {
+		replicas[id] = []Transport{liveReplica("dev-"+id, id, cands[id])}
+	}
+	// 1 of 5 coordinators (20%) is gone.
+	replicas["a"] = []Transport{&TCPTransport{Addr: closedPort(t), DialTimeout: 200 * time.Millisecond}}
+	sel := NewResilientDistributedSelector(Options{}, replicas,
+		DistConfig{Policy: fastPolicy(), Fallback: cands})
+	res, err := sel.Select(context.Background(), req)
+	if err != nil {
+		t.Fatalf("selection must survive 20%% coordinator failure: %v", err)
+	}
+	if !res.Degraded || res.Stats.Fallbacks != 1 {
+		t.Errorf("expected exactly the lost coordinator degraded: Degraded=%v stats=%+v",
+			res.Degraded, res.Stats)
+	}
+	if len(res.Assignment) != 5 {
+		t.Errorf("assignment incomplete: %d of 5 activities bound", len(res.Assignment))
+	}
+}
+
+// Deterministic-result guarantee with resilience enabled and no faults:
+// same seed, same selection as both the plain distributed and the
+// centralized runs.
+func TestDistributedResilientDeterminism(t *testing.T) {
+	tk := seqTask("a", "b", "c")
+	cands := genCandidates(tk, 10)
+	req := &Request{
+		Task:        tk,
+		Properties:  twoProps(),
+		Constraints: qos.Constraints{{Property: "rt", Bound: 150}},
+	}
+	opts := Options{Seed: 42}
+	central, err := NewSelector(opts).Select(req, cands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replicas := make(map[string][]Transport, 3)
+	for id, list := range cands {
+		replicas[id] = []Transport{liveReplica("dev-"+id, id, list)}
+	}
+	p := fastPolicy()
+	p.HedgeDelay = 50 * time.Millisecond // enabled but never firing on healthy replicas
+	for run := 0; run < 2; run++ {
+		res, err := NewResilientDistributedSelector(opts, replicas,
+			DistConfig{Policy: p, Fallback: cands}).Select(context.Background(), req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Degraded || res.Stats.Retries != 0 {
+			t.Fatalf("healthy run went through resilience paths: %+v", res.Stats)
+		}
+		for id := range central.Assignment {
+			if res.Assignment[id].Service.ID != central.Assignment[id].Service.ID {
+				t.Errorf("run %d activity %s: resilient chose %s, centralized %s",
+					run, id, res.Assignment[id].Service.ID, central.Assignment[id].Service.ID)
+			}
+		}
+	}
+}
+
+// A canceled selection reports the caller's cancellation cause, not the
+// generic i/o timeout the transport observed.
+func TestDistributedCancellationCause(t *testing.T) {
+	req, cands := singleActivityRequest()
+	slow := NewDeviceNode("slow", 5*time.Second)
+	slow.Host("a", cands["a"])
+	replicas := map[string][]Transport{"a": {&InProcessTransport{Name: "slow", Selector: slow}}}
+	sel := NewResilientDistributedSelector(Options{}, replicas, DistConfig{Policy: fastPolicy()})
+
+	abandoned := errors.New("composition abandoned by user")
+	ctx, cancel := context.WithCancelCause(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel(abandoned)
+	}()
+	_, err := sel.Select(ctx, req)
+	if err == nil {
+		t.Fatal("canceled Select must error")
+	}
+	if !errors.Is(err, abandoned) {
+		t.Errorf("error lost the cancellation cause: %v", err)
+	}
+	if strings.Contains(err.Error(), "i/o timeout") {
+		t.Errorf("cancellation reported as an i/o timeout: %v", err)
+	}
+}
+
+// The TCP server cuts loose a connection that never sends its request
+// once the idle deadline expires.
+func TestServeTCPIdleDeadline(t *testing.T) {
+	dev := NewDeviceNode("d", 0)
+	dev.Host("a", genCandidates(seqTask("a"), 3)["a"])
+	addr, stop, err := ServeTCPOptions(context.Background(), "127.0.0.1:0", dev,
+		ServeOptions{IdleTimeout: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// Write nothing: the server's read deadline should close the
+	// connection, surfacing EOF on our side well before the test timeout.
+	_ = conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	start := time.Now()
+	buf := make([]byte, 1)
+	_, rerr := conn.Read(buf)
+	if rerr == nil {
+		t.Fatal("expected the server to sever the idle connection")
+	}
+	var nerr net.Error
+	if errors.As(rerr, &nerr) && nerr.Timeout() {
+		t.Fatalf("server never closed the idle connection (client read timed out after %s)", time.Since(start))
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Errorf("idle connection lingered %s before the server cut it", elapsed)
+	}
+}
+
+// ErrDropExchange makes the server sever without replying: the client
+// sees a truncated stream, classified retryable.
+type droppingSelector struct{}
+
+func (droppingSelector) LocalSelect(ctx context.Context, req LocalRequest) (*LocalResult, error) {
+	return nil, ErrDropExchange
+}
+
+func TestServeTCPDropExchange(t *testing.T) {
+	addr, stop, err := ServeTCP(context.Background(), "127.0.0.1:0", droppingSelector{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+	tr := &TCPTransport{Addr: addr}
+	_, xerr := tr.Exchange(context.Background(), LocalRequest{
+		ActivityID: "a", Properties: twoProps().Properties(),
+	})
+	if xerr == nil {
+		t.Fatal("dropped exchange must error on the client")
+	}
+	if resilience.ClassOf(xerr) != resilience.Retryable {
+		t.Errorf("truncated exchange should classify retryable: %v", xerr)
+	}
+}

@@ -3,7 +3,6 @@ package core
 import (
 	"context"
 	"fmt"
-	"math/rand"
 	"runtime"
 	"sync"
 	"time"
@@ -11,6 +10,7 @@ import (
 	"qasom/internal/cluster"
 	"qasom/internal/obs"
 	"qasom/internal/qos"
+	"qasom/internal/randx"
 	"qasom/internal/registry"
 	"qasom/internal/task"
 )
@@ -102,6 +102,14 @@ type Stats struct {
 	// match-memo effectiveness over the candidate-lookup phase (filled in
 	// by the embedding layer alongside CandidateLookup).
 	MatchCacheHits, MatchCacheMisses uint64
+	// Resilience counters of a distributed selection (zero for
+	// centralized runs): exchanges retried after transient failures,
+	// hedged second requests fired, replicas skipped on an open breaker,
+	// and activities degraded to requester-side fallback selection.
+	Retries, Hedges, BreakerSkips, Fallbacks int
+	// DegradedCauses maps each degraded activity to the failure that
+	// exhausted its policy (nil when nothing degraded).
+	DegradedCauses map[string]string
 }
 
 // Result is the outcome of a selection run.
@@ -119,6 +127,12 @@ type Result struct {
 	// Feasible reports whether all global constraints hold; when false
 	// the assignment is the best-effort minimum-violation composition.
 	Feasible bool
+	// Degraded reports that a distributed selection lost coordinators
+	// beyond its retry/hedge policy and fell back to requester-side
+	// local selection for at least one activity (see
+	// Stats.Fallbacks/DegradedCauses). The selection itself is complete
+	// and as good as the requester's registry view allows.
+	Degraded bool
 	// Violation is the residual constraint violation (0 when feasible).
 	Violation float64
 	// Stats reports the algorithm's work.
@@ -243,7 +257,7 @@ func runLocalPhase(ctx context.Context, acts []*task.Activity, candidates map[st
 			// the scheme DeviceNode.LocalSelect already uses — so the
 			// clustering is reproducible regardless of worker count or
 			// completion order.
-			rng := rand.New(rand.NewSource(opts.Seed))
+			rng := randx.New(opts.Seed)
 			results[i], errs[i] = localSelect(id, candidates[id], ps, weights, opts.K, opts.Seeding, rng)
 		}(i, a.ID)
 	}

@@ -1,0 +1,277 @@
+package core
+
+import (
+	"context"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"qasom/internal/resilience"
+)
+
+// Transport carries one local-phase exchange to a coordinator device.
+// The distributed selector composes resilience (retries, hedging,
+// breakers, fallback) strictly above this seam, so in-process and TCP
+// coordinators — and fault-injecting wrappers around either — are
+// interchangeable.
+type Transport interface {
+	// Peer names the coordinator endpoint (breaker key, metrics label).
+	Peer() string
+	// Exchange performs one request/response exchange. Implementations
+	// classify transport-level failures as retryable (see
+	// resilience.ClassOf) and report the context's cancellation cause
+	// when the caller gave up mid-exchange.
+	Exchange(ctx context.Context, req LocalRequest) (*LocalResult, error)
+}
+
+// InProcessTransport serves exchanges from a LocalSelector in the same
+// process (the simulated ad hoc deployment, and the bench harness).
+type InProcessTransport struct {
+	// Name identifies the coordinator (breaker key).
+	Name string
+	// Selector handles the local phase.
+	Selector LocalSelector
+}
+
+var _ Transport = (*InProcessTransport)(nil)
+
+// Peer implements Transport.
+func (t *InProcessTransport) Peer() string { return t.Name }
+
+// Exchange implements Transport.
+func (t *InProcessTransport) Exchange(ctx context.Context, req LocalRequest) (*LocalResult, error) {
+	return t.Selector.LocalSelect(ctx, req)
+}
+
+// --- TCP transport -------------------------------------------------------
+
+// rpcEnvelope frames one LocalSelect exchange over the wire.
+type rpcEnvelope struct {
+	Request LocalRequest
+}
+
+type rpcReply struct {
+	Result *LocalResult
+	Err    string
+}
+
+// defaultDialTimeout bounds connection establishment when the transport
+// does not set its own.
+const defaultDialTimeout = 2 * time.Second
+
+// TCPTransport is a Transport that reaches a coordinator over TCP; each
+// exchange is one gob-encoded request/response on a fresh connection.
+// Dial and exchange are split so failure classification can tell "peer
+// unreachable" from "peer crashed mid-exchange".
+type TCPTransport struct {
+	// Addr is the coordinator's endpoint.
+	Addr string
+	// DialTimeout bounds connection establishment; 0 means 2s.
+	DialTimeout time.Duration
+}
+
+var _ Transport = (*TCPTransport)(nil)
+
+// Peer implements Transport.
+func (t *TCPTransport) Peer() string { return t.Addr }
+
+// dial establishes the connection. Dial failures (refused, unreachable,
+// timed out) are transient coordinator-churn conditions: retryable.
+func (t *TCPTransport) dial(ctx context.Context) (net.Conn, error) {
+	timeout := t.DialTimeout
+	if timeout == 0 {
+		timeout = defaultDialTimeout
+	}
+	dialer := net.Dialer{Timeout: timeout}
+	conn, err := dialer.DialContext(ctx, "tcp", t.Addr)
+	if err != nil {
+		if cerr := resilience.CauseErr(ctx); cerr != nil {
+			return nil, fmt.Errorf("core: dial %s: %w", t.Addr, cerr)
+		}
+		return nil, resilience.AsRetryable(fmt.Errorf("core: dial %s: %w", t.Addr, err))
+	}
+	return conn, nil
+}
+
+// exchange runs the gob round trip on an established connection.
+func (t *TCPTransport) exchange(ctx context.Context, conn net.Conn, req LocalRequest) (*LocalResult, error) {
+	// Unblock the connection promptly when the context ends mid-exchange
+	// (hedge losers and canceled selections must not sit in a blocked
+	// read until the peer's idle deadline).
+	done := make(chan struct{})
+	var watch sync.WaitGroup
+	watch.Add(1)
+	go func() {
+		defer watch.Done()
+		select {
+		case <-ctx.Done():
+			_ = conn.SetDeadline(time.Now())
+		case <-done:
+		}
+	}()
+	defer func() { close(done); watch.Wait() }()
+	if deadline, ok := ctx.Deadline(); ok {
+		if err := conn.SetDeadline(deadline); err != nil {
+			return nil, resilience.AsRetryable(fmt.Errorf("core: set deadline: %w", err))
+		}
+	}
+	if err := gob.NewEncoder(conn).Encode(&rpcEnvelope{Request: req}); err != nil {
+		return nil, t.wireErr(ctx, "send to", err)
+	}
+	var reply rpcReply
+	if err := gob.NewDecoder(conn).Decode(&reply); err != nil {
+		return nil, t.wireErr(ctx, "receive from", err)
+	}
+	if reply.Err != "" {
+		// The coordinator answered with an application-level failure:
+		// terminal for this exchange (another identical request cannot
+		// do better against the same peer).
+		return nil, fmt.Errorf("core: remote %s: %s", t.Addr, reply.Err)
+	}
+	return reply.Result, nil
+}
+
+// wireErr wraps a transport-level failure: the context's cancellation
+// cause when the requester gave up, otherwise a retryable wire error
+// (reset, truncated gob, deadline expiry — coordinator churn).
+func (t *TCPTransport) wireErr(ctx context.Context, verb string, err error) error {
+	if cerr := resilience.CauseErr(ctx); cerr != nil {
+		return fmt.Errorf("core: %s %s: %w", verb, t.Addr, cerr)
+	}
+	return resilience.AsRetryable(fmt.Errorf("core: %s %s: %w", verb, t.Addr, err))
+}
+
+// Exchange implements Transport: dial, then one request/response.
+func (t *TCPTransport) Exchange(ctx context.Context, req LocalRequest) (*LocalResult, error) {
+	conn, err := t.dial(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer func() {
+		_ = conn.Close()
+	}()
+	return t.exchange(ctx, conn, req)
+}
+
+// TCPClient is a LocalSelector that forwards requests to a remote
+// coordinator over TCP (kept as the LocalSelector-shaped adapter over
+// TCPTransport for callers that do not need the resilience layer).
+type TCPClient struct {
+	// Addr is the coordinator's endpoint.
+	Addr string
+	// DialTimeout bounds connection establishment; 0 means 2s.
+	DialTimeout time.Duration
+}
+
+var _ LocalSelector = (*TCPClient)(nil)
+
+// LocalSelect performs one remote exchange.
+func (c *TCPClient) LocalSelect(ctx context.Context, req LocalRequest) (*LocalResult, error) {
+	return (&TCPTransport{Addr: c.Addr, DialTimeout: c.DialTimeout}).Exchange(ctx, req)
+}
+
+// --- TCP server ----------------------------------------------------------
+
+// ErrDropExchange instructs the TCP server to sever the connection
+// without replying (the fault injectors use it to simulate a
+// coordinator crashing mid-exchange: the client observes a truncated
+// gob stream).
+var ErrDropExchange = errors.New("core: drop exchange")
+
+// DefaultIdleTimeout is the server-side deadline an accepted connection
+// gets to complete its exchange when ServeOptions leaves it zero. A
+// stalled or half-open client is cut loose instead of pinning a serve
+// goroutine forever.
+const DefaultIdleTimeout = 30 * time.Second
+
+// ServeOptions tune the TCP server.
+type ServeOptions struct {
+	// IdleTimeout bounds how long an accepted connection may take per
+	// read/write phase of its exchange; 0 means DefaultIdleTimeout,
+	// negative disables the deadline.
+	IdleTimeout time.Duration
+}
+
+func (o ServeOptions) withDefaults() ServeOptions {
+	if o.IdleTimeout == 0 {
+		o.IdleTimeout = DefaultIdleTimeout
+	}
+	return o
+}
+
+// ServeTCP exposes a LocalSelector on a TCP listener until ctx is
+// cancelled, with default options; see ServeTCPOptions.
+func ServeTCP(ctx context.Context, addr string, sel LocalSelector) (string, func(), error) {
+	return ServeTCPOptions(ctx, addr, sel, ServeOptions{})
+}
+
+// ServeTCPOptions exposes a LocalSelector on a TCP listener until ctx
+// is cancelled; each connection carries one gob-encoded
+// request/response exchange bounded by the idle deadline. It returns
+// the bound address immediately and serves in the background; the
+// returned stop function closes the listener and waits for in-flight
+// connections.
+func ServeTCPOptions(ctx context.Context, addr string, sel LocalSelector, opts ServeOptions) (string, func(), error) {
+	opts = opts.withDefaults()
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, fmt.Errorf("core: listen: %w", err)
+	}
+	serveCtx, cancel := context.WithCancel(ctx)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return // listener closed
+			}
+			wg.Add(1)
+			go func(conn net.Conn) {
+				defer wg.Done()
+				defer func() {
+					if cerr := conn.Close(); cerr != nil {
+						_ = cerr // closing best-effort; the exchange already ended
+					}
+				}()
+				serveConn(serveCtx, conn, sel, opts.IdleTimeout)
+			}(conn)
+		}
+	}()
+	stop := func() {
+		cancel()
+		if cerr := ln.Close(); cerr != nil {
+			_ = cerr
+		}
+		wg.Wait()
+	}
+	return ln.Addr().String(), stop, nil
+}
+
+func serveConn(ctx context.Context, conn net.Conn, sel LocalSelector, idle time.Duration) {
+	if idle > 0 {
+		_ = conn.SetDeadline(time.Now().Add(idle))
+	}
+	var env rpcEnvelope
+	if err := gob.NewDecoder(conn).Decode(&env); err != nil {
+		return
+	}
+	lr, err := sel.LocalSelect(ctx, env.Request)
+	if errors.Is(err, ErrDropExchange) {
+		return // sever without replying: the client sees a truncated stream
+	}
+	if idle > 0 {
+		// Fresh budget for the write phase: the selection itself may have
+		// consumed most of the read deadline.
+		_ = conn.SetDeadline(time.Now().Add(idle))
+	}
+	reply := rpcReply{Result: lr}
+	if err != nil {
+		reply.Err = err.Error()
+	}
+	_ = gob.NewEncoder(conn).Encode(&reply)
+}

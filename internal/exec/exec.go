@@ -18,7 +18,9 @@ import (
 	"qasom/internal/monitor"
 	"qasom/internal/obs"
 	"qasom/internal/qos"
+	"qasom/internal/randx"
 	"qasom/internal/registry"
+	"qasom/internal/resilience"
 	"qasom/internal/task"
 )
 
@@ -52,18 +54,31 @@ type BinderFunc func(act *task.Activity) (registry.Candidate, error)
 // Bind implements Binder.
 func (f BinderFunc) Bind(act *task.Activity) (registry.Candidate, error) { return f(act) }
 
-// FailureHandler reacts to a failed invocation: it may return a
-// substitute candidate (retry with it) or an error (abort the run). The
-// adaptation manager implements this with service substitution.
-type FailureHandler func(act *task.Activity, failed registry.Candidate, attempt int) (registry.Candidate, error)
+// FailureHandler reacts to a terminally failed invocation: it may
+// return a substitute candidate (retry with it) or an error (abort the
+// run). The adaptation manager implements this with service
+// substitution. class carries the failure classification the executor
+// derived (Terminal for application-level failures; Retryable reaches
+// the handler only once the backoff budget is spent), so handlers can
+// treat a crashed service differently from a flaky link.
+type FailureHandler func(act *task.Activity, failed registry.Candidate, attempt int, class resilience.Class) (registry.Candidate, error)
 
 // Options configure an executor.
 type Options struct {
 	// MaxAttempts bounds invocation attempts per activity (including the
-	// first); 0 means 3.
+	// first); 0 means 3. It seeds Policy.MaxAttempts when the policy
+	// leaves it zero (kept for existing callers; Policy is the shared
+	// mechanism).
 	MaxAttempts int
-	// Seed drives branch and iteration draws; 0 means 1.
+	// Seed drives branch and iteration draws (and backoff jitter); 0
+	// means 1.
 	Seed int64
+	// Policy is the shared resilience policy: retryable failures
+	// (transient link drops, per-attempt deadline expiry) back off and
+	// retry the same binding before substitution — the terminal-failure
+	// handler — is consulted. The zero value resolves to the resilience
+	// defaults with MaxAttempts carried over.
+	Policy resilience.Policy
 }
 
 func (o Options) withDefaults() Options {
@@ -73,6 +88,11 @@ func (o Options) withDefaults() Options {
 	if o.Seed == 0 {
 		o.Seed = 1
 	}
+	if o.Policy.MaxAttempts == 0 {
+		o.Policy.MaxAttempts = o.MaxAttempts
+	}
+	o.Policy = o.Policy.WithDefaults()
+	o.MaxAttempts = o.Policy.MaxAttempts
 	return o
 }
 
@@ -164,7 +184,7 @@ func (e *Executor) Run(ctx context.Context, t *task.Task) (*Trace, error) {
 		opts:  opts,
 		trace: trace,
 		met:   execMetricsFor(obs.HubFrom(ctx)),
-		rng:   rand.New(rand.NewSource(opts.Seed)),
+		rng:   randx.New(opts.Seed),
 	}
 	err := run.node(ctx, t.Root)
 	trace.Duration = time.Since(start)
@@ -181,6 +201,7 @@ func (e *Executor) Run(ctx context.Context, t *task.Task) (*Trace, error) {
 type execMetrics struct {
 	invocations   *obs.Counter
 	failures      *obs.Counter
+	retries       *obs.Counter
 	substitutions *obs.Counter
 	latency       *obs.Histogram
 }
@@ -195,6 +216,8 @@ func execMetricsFor(hub *obs.Hub) execMetrics {
 			"Service invocation attempts (including retries after substitution)."),
 		failures: r.Counter("qasom_exec_failures_total",
 			"Failed invocation attempts."),
+		retries: r.Counter("qasom_exec_retries_total",
+			"Invocations retried on the same binding after a retryable failure (backoff path)."),
 		substitutions: r.Counter("qasom_exec_substitutions_total",
 			"Invocation attempts served by a substitute service."),
 		latency: r.Histogram("qasom_exec_invoke_seconds",
@@ -300,21 +323,39 @@ func (r *runState) loopIterations(l qos.Loop) int {
 	return l.Min + r.draw(func(rng *rand.Rand) int { return rng.Intn(l.Max - l.Min + 1) })
 }
 
-// activity performs dynamic binding and invocation with retry-through-
-// substitution.
+// backoff draws the policy backoff for the given retry under the rng
+// lock (parallel branches share the jitter source).
+func (r *runState) backoff(retry int) time.Duration {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.opts.Policy.Backoff(retry, r.rng)
+}
+
+// activity performs dynamic binding and invocation under the shared
+// resilience policy: retryable failures (transient link drops,
+// per-attempt deadline expiry) back off and retry the same binding;
+// terminal failures (the service answered and failed, or is gone) go to
+// the terminal-failure handler — service substitution.
 func (r *runState) activity(ctx context.Context, act *task.Activity) error {
 	cand, err := r.exec.Binder.Bind(act)
 	if err != nil {
 		return fmt.Errorf("exec: binding %q: %w", act.ID, err)
 	}
 	substituted := false
+	retries := 0
 	var lastCause error
 	for attempt := 1; attempt <= r.opts.MaxAttempts; attempt++ {
 		_, span := obs.StartSpan(ctx, "exec.invoke")
 		span.Annotate("activity", act.ID)
 		span.Annotate("service", string(cand.Service.ID))
 		span.Annotate("attempt", fmt.Sprint(attempt))
-		res, err := r.exec.Invoker.Invoke(ctx, cand.Service.ID, act)
+		ictx := ctx
+		cancelAttempt := func() {}
+		if r.opts.Policy.AttemptTimeout > 0 {
+			ictx, cancelAttempt = context.WithTimeout(ctx, r.opts.Policy.AttemptTimeout)
+		}
+		res, err := r.exec.Invoker.Invoke(ictx, cand.Service.ID, act)
+		cancelAttempt()
 		rec := Record{
 			Activity:    act.ID,
 			Service:     cand.Service.ID,
@@ -329,10 +370,13 @@ func (r *runState) activity(ctx context.Context, act *task.Activity) error {
 		if res.Latency > 0 {
 			r.met.latency.ObserveDuration(res.Latency)
 		}
+		var class resilience.Class
 		if !rec.Success {
 			lastCause = errOrFailure(err)
+			class = resilience.ClassOf(lastCause)
 			rec.Err = lastCause.Error()
 			span.Annotate("error", rec.Err)
+			span.Annotate("class", class.String())
 			r.met.failures.Inc()
 		}
 		span.End()
@@ -351,13 +395,23 @@ func (r *runState) activity(ctx context.Context, act *task.Activity) error {
 			}
 			return nil
 		}
-		if ctx.Err() != nil {
-			return ctx.Err()
+		if cerr := resilience.CauseErr(ctx); cerr != nil {
+			return cerr
+		}
+		if class == resilience.Retryable && attempt < r.opts.MaxAttempts {
+			// Transient failure: back off and retry the same binding
+			// before burning an alternate on it.
+			r.met.retries.Inc()
+			if !resilience.Sleep(ctx, r.backoff(retries)) {
+				return resilience.CauseErr(ctx)
+			}
+			retries++
+			continue
 		}
 		if r.exec.OnFailure == nil {
 			return fmt.Errorf("exec: activity %q failed on %q: %w", act.ID, cand.Service.ID, lastCause)
 		}
-		next, ferr := r.exec.OnFailure(act, cand, attempt)
+		next, ferr := r.exec.OnFailure(act, cand, attempt, class)
 		if ferr != nil {
 			return fmt.Errorf("exec: activity %q unrecoverable: %w", act.ID, ferr)
 		}

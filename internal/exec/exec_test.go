@@ -10,8 +10,10 @@ import (
 	"time"
 
 	"qasom/internal/monitor"
+	"qasom/internal/obs"
 	"qasom/internal/qos"
 	"qasom/internal/registry"
+	"qasom/internal/resilience"
 	"qasom/internal/semantics"
 	"qasom/internal/task"
 )
@@ -151,7 +153,7 @@ func TestRecordCarriesFailureCause(t *testing.T) {
 			return InvokeResult{}, fmt.Errorf("link down")
 		}),
 		Binder: fixedBinder("svc"),
-		OnFailure: func(_ *task.Activity, failed registry.Candidate, _ int) (registry.Candidate, error) {
+		OnFailure: func(_ *task.Activity, failed registry.Candidate, _ int, _ resilience.Class) (registry.Candidate, error) {
 			return failed, nil
 		},
 		Options: Options{MaxAttempts: 2},
@@ -190,7 +192,7 @@ func TestRunSubstitutionOnFailure(t *testing.T) {
 				Vector:  qos.Vector{50},
 			}, nil
 		}),
-		OnFailure: func(act *task.Activity, failed registry.Candidate, attempt int) (registry.Candidate, error) {
+		OnFailure: func(act *task.Activity, failed registry.Candidate, attempt int, _ resilience.Class) (registry.Candidate, error) {
 			return registry.Candidate{
 				Service: registry.Description{ID: registry.ServiceID("backup-" + act.ID), Concept: act.Concept},
 				Vector:  qos.Vector{60},
@@ -215,7 +217,7 @@ func TestRunExhaustsAttempts(t *testing.T) {
 	e := &Executor{
 		Invoker: stub,
 		Binder:  fixedBinder("svc"),
-		OnFailure: func(act *task.Activity, failed registry.Candidate, attempt int) (registry.Candidate, error) {
+		OnFailure: func(act *task.Activity, failed registry.Candidate, attempt int, _ resilience.Class) (registry.Candidate, error) {
 			return failed, nil // keep retrying the same dead service
 		},
 		Options: Options{MaxAttempts: 2},
@@ -235,7 +237,7 @@ func TestRunFailureHandlerError(t *testing.T) {
 	e := &Executor{
 		Invoker: stub,
 		Binder:  fixedBinder("svc"),
-		OnFailure: func(act *task.Activity, failed registry.Candidate, attempt int) (registry.Candidate, error) {
+		OnFailure: func(act *task.Activity, failed registry.Candidate, attempt int, _ resilience.Class) (registry.Candidate, error) {
 			return registry.Candidate{}, fmt.Errorf("no substitute")
 		},
 	}
@@ -371,5 +373,74 @@ func TestBinderError(t *testing.T) {
 	}
 	if _, err := e.Run(context.Background(), simpleTask()); err == nil {
 		t.Error("binder error should abort")
+	}
+}
+
+func TestRunRetryableFailureBacksOffSameBinding(t *testing.T) {
+	// A marked-retryable invoker error (a transient link drop) retries
+	// the SAME binding after a backoff; the terminal-failure handler is
+	// never consulted and the retry counter moves.
+	var calls atomic.Int64
+	var handlerCalls atomic.Int64
+	hub := obs.NewHub()
+	e := &Executor{
+		Invoker: invokerFunc(func(context.Context, registry.ServiceID, *task.Activity) (InvokeResult, error) {
+			if calls.Add(1) < 3 {
+				return InvokeResult{}, resilience.AsRetryable(fmt.Errorf("link dropped"))
+			}
+			return InvokeResult{Success: true, Latency: time.Millisecond}, nil
+		}),
+		Binder: fixedBinder("svc"),
+		OnFailure: func(_ *task.Activity, failed registry.Candidate, _ int, _ resilience.Class) (registry.Candidate, error) {
+			handlerCalls.Add(1)
+			return failed, nil
+		},
+		Options: Options{
+			MaxAttempts: 3,
+			Policy:      resilience.Policy{BaseBackoff: time.Microsecond, MaxBackoff: time.Microsecond},
+		},
+	}
+	trace, err := e.Run(obs.WithHub(context.Background(), hub), simpleTask())
+	if err != nil {
+		t.Fatalf("Run with transient failures: %v", err)
+	}
+	// Activity "a" runs first (sequence): two retryable failures, then
+	// success; the remaining three activities succeed first try.
+	if got := calls.Load(); got != 6 {
+		t.Errorf("invocations = %d, want 6 (two retryable failures then 4 successes)", got)
+	}
+	if got := handlerCalls.Load(); got != 0 {
+		t.Errorf("terminal-failure handler consulted %d times for retryable failures", got)
+	}
+	if trace.Substitutions() != 0 {
+		t.Errorf("retryable path must not count substitutions: %d", trace.Substitutions())
+	}
+	if got := hub.Metrics.Counter("qasom_exec_retries_total", "").Value(); got != 2 {
+		t.Errorf("qasom_exec_retries_total = %d, want 2", got)
+	}
+}
+
+func TestRunTerminalFailureSkipsBackoff(t *testing.T) {
+	// An unmarked invoker error classifies terminal: the handler runs on
+	// the first failure, no backoff retry on the dead binding.
+	var handlerClass resilience.Class = -1
+	stub := newStub()
+	stub.fail["primary-a"] = 99
+	e := &Executor{
+		Invoker: stub,
+		Binder:  fixedBinder("primary"),
+		OnFailure: func(act *task.Activity, failed registry.Candidate, _ int, class resilience.Class) (registry.Candidate, error) {
+			handlerClass = class
+			return registry.Candidate{
+				Service: registry.Description{ID: registry.ServiceID("backup-" + act.ID), Concept: act.Concept},
+				Vector:  qos.Vector{60},
+			}, nil
+		},
+	}
+	if _, err := e.Run(context.Background(), simpleTask()); err != nil {
+		t.Fatalf("Run with substitution: %v", err)
+	}
+	if handlerClass != resilience.Terminal {
+		t.Errorf("handler saw class %v, want Terminal", handlerClass)
 	}
 }

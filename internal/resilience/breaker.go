@@ -1,0 +1,100 @@
+package resilience
+
+import (
+	"sync"
+	"time"
+)
+
+// Breaker is a consecutive-failure circuit breaker for one peer. After
+// threshold consecutive failures it rejects attempts for the cooldown;
+// once the cooldown expires one probe is let through (half-open) and a
+// success closes the breaker again.
+type Breaker struct {
+	threshold int
+	cooldown  time.Duration
+
+	mu          sync.Mutex
+	consecutive int
+	openUntil   time.Time
+}
+
+// NewBreaker creates a breaker; threshold <= 0 means the breaker never
+// opens.
+func NewBreaker(threshold int, cooldown time.Duration) *Breaker {
+	return &Breaker{threshold: threshold, cooldown: cooldown}
+}
+
+// Allow reports whether an attempt against the peer may proceed.
+func (b *Breaker) Allow() bool {
+	if b == nil {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.openUntil.IsZero() || !time.Now().Before(b.openUntil)
+}
+
+// Record feeds one attempt outcome into the breaker.
+func (b *Breaker) Record(success bool) {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if success {
+		b.consecutive = 0
+		b.openUntil = time.Time{}
+		return
+	}
+	b.consecutive++
+	if b.threshold > 0 && b.consecutive >= b.threshold {
+		b.openUntil = time.Now().Add(b.cooldown)
+	}
+}
+
+// Open reports whether the breaker currently rejects attempts.
+func (b *Breaker) Open() bool { return !b.Allow() }
+
+// BreakerSet keys breakers by peer name. The nil set is a valid no-op
+// (every peer allowed, outcomes dropped), so callers without breaker
+// state never branch.
+type BreakerSet struct {
+	threshold int
+	cooldown  time.Duration
+
+	mu    sync.Mutex
+	peers map[string]*Breaker
+}
+
+// NewBreakerSet creates a set whose breakers share threshold/cooldown
+// (zero values resolve like Policy's: 4 failures, 2s cooldown).
+func NewBreakerSet(threshold int, cooldown time.Duration) *BreakerSet {
+	if threshold == 0 {
+		threshold = 4
+	}
+	if cooldown == 0 {
+		cooldown = 2 * time.Second
+	}
+	return &BreakerSet{threshold: threshold, cooldown: cooldown, peers: make(map[string]*Breaker)}
+}
+
+// For returns (creating on first use) the peer's breaker.
+func (s *BreakerSet) For(peer string) *Breaker {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b := s.peers[peer]
+	if b == nil {
+		b = NewBreaker(s.threshold, s.cooldown)
+		s.peers[peer] = b
+	}
+	return b
+}
+
+// Allow reports whether the peer's breaker admits an attempt.
+func (s *BreakerSet) Allow(peer string) bool { return s.For(peer).Allow() }
+
+// Record feeds an outcome into the peer's breaker.
+func (s *BreakerSet) Record(peer string, success bool) { s.For(peer).Record(success) }

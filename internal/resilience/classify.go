@@ -1,0 +1,132 @@
+// Package resilience is the shared fault-tolerance layer of the
+// composition pipeline (distributed selection and execution both wire
+// through it): a retry/hedge/fallback policy with jittered exponential
+// backoff and per-attempt deadlines, outcome classification (retryable
+// vs terminal vs canceled), and a per-peer circuit breaker that skips a
+// coordinator after consecutive failures. The thesis evaluates QASSA in
+// ad hoc wireless environments where coordinator devices disappear and
+// links degrade mid-exchange; this package is how the middleware keeps
+// selecting and executing through that churn.
+package resilience
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"syscall"
+)
+
+// Class classifies the outcome of one attempt.
+type Class int
+
+const (
+	// Terminal failures do not improve on retry against the same peer:
+	// application-level errors (a coordinator that hosts no candidates,
+	// a service that answered but reported functional failure). The
+	// caller's terminal-failure handler (substitution, fallback) runs.
+	Terminal Class = iota
+	// Retryable failures are transient transport conditions — refused or
+	// reset connections, truncated exchanges, per-attempt deadline
+	// expiry — worth a backoff and another attempt.
+	Retryable
+	// Canceled means the caller's context ended: the whole operation
+	// stops and reports context.Cause, never a generic i/o timeout.
+	Canceled
+)
+
+// String names the class for span tags and error messages.
+func (c Class) String() string {
+	switch c {
+	case Retryable:
+		return "retryable"
+	case Canceled:
+		return "canceled"
+	default:
+		return "terminal"
+	}
+}
+
+// classifiedError pins an explicit class onto an error, overriding the
+// wire-level heuristics of ClassOf.
+type classifiedError struct {
+	class Class
+	err   error
+}
+
+func (e *classifiedError) Error() string { return e.err.Error() }
+func (e *classifiedError) Unwrap() error { return e.err }
+
+// AsRetryable marks err as retryable regardless of its shape (fault
+// injectors and transports use it for transient conditions the
+// heuristics cannot see).
+func AsRetryable(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &classifiedError{class: Retryable, err: err}
+}
+
+// AsTerminal marks err as terminal (application-level failure).
+func AsTerminal(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &classifiedError{class: Terminal, err: err}
+}
+
+// ClassOf classifies an error: explicit marks first, then context
+// sentinels, then transport heuristics (timeouts, refused/reset
+// connections, truncated streams are retryable); everything else is
+// terminal.
+func ClassOf(err error) Class {
+	if err == nil {
+		return Terminal
+	}
+	var ce *classifiedError
+	if errors.As(err, &ce) {
+		return ce.class
+	}
+	if errors.Is(err, context.Canceled) {
+		return Canceled
+	}
+	if errors.Is(err, context.DeadlineExceeded) {
+		// A per-attempt deadline: the peer was too slow, another attempt
+		// (or replica) can still win. Callers distinguish a canceled
+		// *parent* context before consulting ClassOf.
+		return Retryable
+	}
+	var nerr net.Error
+	if errors.As(err, &nerr) && nerr.Timeout() {
+		return Retryable
+	}
+	if errors.Is(err, syscall.ECONNREFUSED) || errors.Is(err, syscall.ECONNRESET) ||
+		errors.Is(err, syscall.EPIPE) || errors.Is(err, net.ErrClosed) {
+		return Retryable
+	}
+	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+		// A truncated exchange: the peer crashed mid-reply.
+		return Retryable
+	}
+	return Terminal
+}
+
+// CauseErr reports the context's cancellation cause when ctx ended, so
+// a canceled selection surfaces "composition abandoned" (or whatever the
+// caller recorded via context.WithCancelCause) instead of the generic
+// i/o timeout the transport observed. Returns nil when ctx is live.
+func CauseErr(ctx context.Context) error {
+	if ctx.Err() == nil {
+		return nil
+	}
+	cause := context.Cause(ctx)
+	if cause == nil {
+		cause = ctx.Err()
+	}
+	if errors.Is(cause, ctx.Err()) {
+		return cause
+	}
+	// Keep both: the cause for the reader, the sentinel for errors.Is.
+	return fmt.Errorf("%w: %w", ctx.Err(), cause)
+}

@@ -1,0 +1,259 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Target is one replica able to serve an attempt of the operation.
+type Target[T any] struct {
+	// Peer identifies the replica (breaker key, metrics label).
+	Peer string
+	// Call performs one attempt under the (possibly deadline-bounded)
+	// attempt context.
+	Call func(ctx context.Context) (T, error)
+}
+
+// Stats counts what one Execute run did; callers fold it into their
+// selection/execution statistics and telemetry counters.
+type Stats struct {
+	// Attempts counts primary attempts (hedges excluded).
+	Attempts int
+	// Retries counts backoff-then-retry transitions.
+	Retries int
+	// Hedges counts hedged secondary requests fired.
+	Hedges int
+	// BreakerSkips counts replicas skipped because their breaker was open.
+	BreakerSkips int
+}
+
+// Add accumulates other into s.
+func (s *Stats) Add(other Stats) {
+	s.Attempts += other.Attempts
+	s.Retries += other.Retries
+	s.Hedges += other.Hedges
+	s.BreakerSkips += other.BreakerSkips
+}
+
+// AttemptObserver, when non-nil, sees every individual call (primary and
+// hedged) with its peer, wall time and outcome — the hook the metrics
+// layer uses for per-peer latency histograms and failure counters.
+type AttemptObserver func(peer string, d time.Duration, err error)
+
+// ErrAllBreakersOpen is returned (wrapped) when every replica's breaker
+// rejects the operation; it classifies as retryable so callers with a
+// degradation path treat it like any other exhausted policy.
+var ErrAllBreakersOpen = AsRetryable(errors.New("resilience: all replica breakers open"))
+
+// Execute runs the operation under the policy against the replica set:
+// per-attempt deadlines, bounded retries with jittered exponential
+// backoff rotating across replicas, an optional hedged second request
+// once the primary has been silent for HedgeDelay, and per-peer breaker
+// bookkeeping in br (nil br disables the breaker). rng drives the
+// backoff jitter (nil: no jitter); pass a source derived from the
+// operation's seed to keep runs deterministic.
+//
+// The error returned on exhaustion wraps the last attempt's error; when
+// the caller's context ends mid-operation the error wraps
+// context.Cause(ctx) so cancellation is reported as such.
+func Execute[T any](ctx context.Context, p Policy, br *BreakerSet, rng *rand.Rand,
+	targets []Target[T], obs AttemptObserver) (T, Stats, error) {
+	var zero T
+	var st Stats
+	p = p.WithDefaults()
+	if len(targets) == 0 {
+		return zero, st, AsTerminal(errors.New("resilience: no targets"))
+	}
+	var lastErr error
+	for attempt := 0; attempt < p.MaxAttempts; attempt++ {
+		if err := CauseErr(ctx); err != nil {
+			return zero, st, err
+		}
+		idx, skipped, ok := pickTarget(targets, br, attempt)
+		st.BreakerSkips += skipped
+		if !ok {
+			if lastErr == nil {
+				lastErr = ErrAllBreakersOpen
+			} else {
+				lastErr = fmt.Errorf("%w (last failure: %w)", ErrAllBreakersOpen, lastErr)
+			}
+			break
+		}
+		st.Attempts++
+		v, err := attemptOnce(ctx, p, br, targets, idx, &st, obs)
+		if err == nil {
+			return v, st, nil
+		}
+		if cerr := CauseErr(ctx); cerr != nil {
+			return zero, st, cerr
+		}
+		lastErr = err
+		if ClassOf(err) != Retryable {
+			return zero, st, err
+		}
+		if attempt == p.MaxAttempts-1 {
+			break
+		}
+		st.Retries++
+		if !Sleep(ctx, p.Backoff(attempt, rng)) {
+			return zero, st, CauseErr(ctx)
+		}
+	}
+	return zero, st, fmt.Errorf("resilience: policy exhausted after %d attempts: %w", st.Attempts, lastErr)
+}
+
+// pickTarget rotates over the replica set starting at the attempt index
+// and returns the first peer whose breaker admits an attempt, counting
+// the skipped ones.
+func pickTarget[T any](targets []Target[T], br *BreakerSet, attempt int) (idx, skipped int, ok bool) {
+	for off := 0; off < len(targets); off++ {
+		i := (attempt + off) % len(targets)
+		if br.Allow(targets[i].Peer) {
+			return i, skipped, true
+		}
+		skipped++
+	}
+	return 0, skipped, false
+}
+
+// attemptOnce performs one policy attempt: the primary call under the
+// per-attempt deadline, plus — when hedging is enabled and a second
+// replica is admissible — a hedged call fired after HedgeDelay. The
+// first success wins; the hedge loser is canceled through the attempt
+// context.
+func attemptOnce[T any](ctx context.Context, p Policy, br *BreakerSet,
+	targets []Target[T], idx int, st *Stats, obs AttemptObserver) (T, error) {
+	var zero T
+	actx := ctx
+	var cancel context.CancelFunc
+	if p.AttemptTimeout > 0 {
+		actx, cancel = context.WithTimeout(ctx, p.AttemptTimeout)
+	} else {
+		actx, cancel = context.WithCancel(ctx)
+	}
+	defer cancel()
+
+	type outcome struct {
+		v   T
+		err error
+	}
+	results := make(chan outcome, 2) // buffered: the hedge loser never blocks
+	var wg sync.WaitGroup
+	defer wg.Wait()
+	launch := func(t Target[T]) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			start := time.Now()
+			v, err := runTarget(actx, ctx, br, t)
+			if obs != nil {
+				obs(t.Peer, time.Since(start), err)
+			}
+			results <- outcome{v: v, err: err}
+		}()
+	}
+
+	launch(targets[idx])
+	outstanding := 1
+
+	hedgeIdx, hedgeOK := -1, false
+	if p.HedgeDelay > 0 && len(targets) > 1 {
+		if j, _, ok := pickTarget(targets, br, idx+1); ok && j != idx {
+			hedgeIdx, hedgeOK = j, true
+		}
+	}
+	var hedgeC <-chan time.Time
+	if hedgeOK {
+		timer := time.NewTimer(p.HedgeDelay)
+		defer timer.Stop()
+		hedgeC = timer.C
+	}
+
+	var firstErr error
+	for {
+		select {
+		case r := <-results:
+			outstanding--
+			if r.err == nil {
+				cancel() // release the hedge loser promptly
+				return r.v, nil
+			}
+			if firstErr == nil {
+				firstErr = r.err
+			}
+			if outstanding == 0 {
+				return zero, firstErr
+			}
+		case <-hedgeC:
+			hedgeC = nil
+			if outstanding > 0 && br.Allow(targets[hedgeIdx].Peer) {
+				st.Hedges++
+				launch(targets[hedgeIdx])
+				outstanding++
+			}
+		case <-actx.Done():
+			// The attempt deadline (or the caller) fired while calls are
+			// in flight; the calls observe the same context and drain into
+			// the buffered channel.
+			if err := CauseErr(ctx); err != nil {
+				return zero, err
+			}
+			// Per-attempt deadline: retryable by classification.
+			for outstanding > 0 {
+				r := <-results
+				outstanding--
+				if r.err == nil {
+					return r.v, nil
+				}
+				if firstErr == nil {
+					firstErr = r.err
+				}
+			}
+			if firstErr == nil {
+				firstErr = actx.Err()
+			}
+			return zero, firstErr
+		}
+	}
+}
+
+// runTarget performs one call and feeds the breaker: successes and real
+// failures count, a loss to cancellation does not — neither the parent
+// giving up nor a hedge winner canceling the loser penalises the peer.
+func runTarget[T any](actx, parent context.Context, br *BreakerSet, t Target[T]) (T, error) {
+	v, err := t.Call(actx)
+	if err == nil {
+		br.Record(t.Peer, true)
+		return v, nil
+	}
+	var zero T
+	if cerr := CauseErr(parent); cerr != nil {
+		return zero, cerr
+	}
+	if ClassOf(err) == Canceled {
+		return zero, err
+	}
+	br.Record(t.Peer, false)
+	return zero, err
+}
+
+// Sleep waits d (skipping zero) unless ctx ends first; it reports
+// whether the full wait elapsed (backoff waits across the pipeline use
+// it so cancellation never sits out a backoff).
+func Sleep(ctx context.Context, d time.Duration) bool {
+	if d <= 0 {
+		return true
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}

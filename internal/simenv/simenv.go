@@ -15,7 +15,9 @@ import (
 
 	"qasom/internal/exec"
 	"qasom/internal/qos"
+	"qasom/internal/randx"
 	"qasom/internal/registry"
+	"qasom/internal/resilience"
 	"qasom/internal/task"
 )
 
@@ -71,6 +73,7 @@ type Environment struct {
 	devices  map[registry.DeviceID]*Device
 	services map[registry.ServiceID]*Service
 	downs    map[registry.ServiceID]bool
+	faults   map[registry.DeviceID]Fault
 	invoked  int
 
 	// Mobility / radio model (nil when disabled); see mobility.go.
@@ -87,11 +90,12 @@ func New(ps *qos.PropertySet, reg *registry.Registry, opts Options) *Environment
 	return &Environment{
 		ps:       ps,
 		reg:      reg,
-		rng:      rand.New(rand.NewSource(opts.Seed)),
+		rng:      randx.New(opts.Seed),
 		opts:     opts,
 		devices:  make(map[registry.DeviceID]*Device),
 		services: make(map[registry.ServiceID]*Service),
 		downs:    make(map[registry.ServiceID]bool),
+		faults:   make(map[registry.DeviceID]Fault),
 	}
 }
 
@@ -209,6 +213,11 @@ func (e *Environment) Invoke(ctx context.Context, id registry.ServiceID, act *ta
 	down := e.downs[id]
 	extraMs, reachable := e.linkEffectLocked(string(s.Desc.Provider))
 	failed := down || !reachable || e.rng.Float64() < s.FailProb
+	// Injected device faults (drop draws happen only for devices with a
+	// fault installed, so fault-free runs keep their exact draw sequence
+	// and stay deterministic per seed).
+	fault, hasFault := e.faults[s.Desc.Provider]
+	dropped := hasFault && fault.DropProb > 0 && e.rng.Float64() < fault.DropProb
 	measured := s.Actual.Clone()
 	if extraMs > 0 {
 		if j, okRT := e.ps.Index("responseTime"); okRT {
@@ -258,16 +267,28 @@ func (e *Environment) Invoke(ctx context.Context, id registry.ServiceID, act *ta
 	scale := e.opts.TimeScale
 	e.mu.Unlock()
 
+	var sleep time.Duration
 	if scale > 0 {
-		sleep := time.Duration(float64(latency) / float64(time.Millisecond) * float64(scale))
+		sleep = time.Duration(float64(latency) / float64(time.Millisecond) * float64(scale))
 		sleep += linkLatency
+	}
+	if hasFault {
+		// A stalled device delays its reply in wall-clock time (the fault
+		// models congestion/radio stalls, not service response time).
+		sleep += fault.Stall
+	}
+	if sleep > 0 {
 		t := time.NewTimer(sleep)
 		select {
 		case <-t.C:
 		case <-ctx.Done():
 			t.Stop()
-			return exec.InvokeResult{}, ctx.Err()
+			return exec.InvokeResult{}, resilience.CauseErr(ctx)
 		}
+	}
+	if dropped {
+		return exec.InvokeResult{}, resilience.AsRetryable(
+			fmt.Errorf("simenv: device %q dropped the request to %q", s.Desc.Provider, id))
 	}
 	if failed {
 		return exec.InvokeResult{Measured: measured, Latency: latency, Success: false}, nil
