@@ -13,6 +13,7 @@ import (
 
 	"qasom"
 	"qasom/internal/baseline"
+	"qasom/internal/bench"
 	"qasom/internal/bpel"
 	"qasom/internal/core"
 	"qasom/internal/graph"
@@ -563,6 +564,37 @@ func newBenchMall(b *testing.B) *qasom.Middleware {
 		}
 	}
 	return mw
+}
+
+// BenchmarkThroughput is the closed-loop serving benchmark: GOMAXPROCS
+// concurrent clients compose the same task against one middleware with a
+// warm selection-plan cache while the registry churns underneath (mostly
+// unrelated capabilities, periodically one the task touches so epochs
+// invalidate and a fresh selection runs). ns/op is the per-composition
+// wall cost of the whole loop; the custom metrics report throughput,
+// latency quantiles and the cache hit rate.
+func BenchmarkThroughput(b *testing.B) {
+	rig, err := bench.NewThroughputRig(bench.ThroughputConfig{
+		Clients: runtime.GOMAXPROCS(0),
+		Churn:   true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := rig.Warm(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	res, err := rig.Run(b.N)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.StopTimer()
+	b.ReportMetric(res.OpsPerSec, "ops/sec")
+	b.ReportMetric(float64(res.P50)/float64(time.Millisecond), "p50-ms")
+	b.ReportMetric(float64(res.P99)/float64(time.Millisecond), "p99-ms")
+	b.ReportMetric(res.HitRate*100, "hit%")
 }
 
 // BenchmarkComposeFacade measures the full public-API composition path

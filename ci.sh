@@ -38,15 +38,22 @@ if [ "${1:-}" = "quick" ]; then
 	echo "== go test -race ./internal/obs (quick)"
 	go test -race ./internal/obs
 	# The evaluator differential suite is the correctness gate for the
-	# incremental evaluation engine (bit-identical results vs the naive
-	# reference) — cheap enough to race on every quick pass.
-	echo "== go test -race -run TestDifferential ./internal/core ./internal/baseline (quick)"
-	go test -race -run 'TestDifferential' ./internal/core ./internal/baseline
+	# incremental evaluation engine and the selection-plan cache
+	# (bit-identical results vs the naive/uncached reference) — cheap
+	# enough to race on every quick pass. The root package carries the
+	# plan-cache churn differentials.
+	echo "== go test -race -run TestDifferential . ./internal/core ./internal/baseline (quick)"
+	go test -race -run 'TestDifferential' . ./internal/core ./internal/baseline
 	# The distributed failure matrix exercises the resilience layer's
 	# concurrency (hedged requests, breaker state, prompt cancellation);
 	# -shuffle=on catches order-dependent breaker/fault state.
 	echo "== go test -race -shuffle=on distributed failure matrix (quick)"
 	go test -race -shuffle=on -run 'TestDistributed|TestServeTCP|TestExecute' ./internal/core ./internal/resilience
+	# The benchmark regression gate: median of 3 short counting passes
+	# against the committed BENCH_qassa.json, 15% threshold (see
+	# scripts/benchcmp.sh for knobs).
+	echo "== scripts/benchcmp.sh (quick)"
+	sh scripts/benchcmp.sh
 else
 	echo "== go test -race ./..."
 	go test -race ./...

@@ -19,12 +19,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
-	"path/filepath"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"qasom/internal/bench"
@@ -32,10 +34,12 @@ import (
 )
 
 func main() {
-	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	os.Exit(run(ctx, os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func run(args []string, stdout, stderr io.Writer) int {
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("qasombench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
@@ -74,8 +78,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
-	cfg := bench.Config{Quick: *quick, Seed: *seed, Repetitions: *reps}
+	// Results flush to disk as each experiment completes (and experiments
+	// that honour ctx return their partial table on SIGINT), so
+	// interrupting a long sweep keeps everything measured so far.
+	cfg := bench.Config{Quick: *quick, Seed: *seed, Repetitions: *reps, Ctx: ctx}
+	writer := &resultWriter{dir: *csvDir}
 	failed := 0
+	interrupted := false
 	for _, id := range ids {
 		id = strings.TrimSpace(id)
 		e := bench.ByID(id)
@@ -97,17 +106,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		fmt.Fprint(stdout, table.String())
 		fmt.Fprintf(stdout, "(%s in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
-		if *csvDir != "" {
-			if err := os.MkdirAll(*csvDir, 0o755); err != nil {
-				fmt.Fprintf(stderr, "csv dir: %v\n", err)
-				return 1
-			}
-			path := filepath.Join(*csvDir, id+".csv")
-			if err := os.WriteFile(path, []byte(table.CSV()), 0o644); err != nil {
-				fmt.Fprintf(stderr, "write %s: %v\n", path, err)
-				return 1
-			}
+		if err := writer.Write(id, table); err != nil {
+			fmt.Fprintf(stderr, "write %s: %v\n", id, err)
+			return 1
 		}
+		if ctx.Err() != nil {
+			interrupted = true
+			break
+		}
+	}
+	if interrupted {
+		fmt.Fprintln(stderr, "interrupted: partial results flushed")
 	}
 	if *metrics != "" {
 		if err := dumpMetrics(*metrics, stdout); err != nil {
@@ -117,6 +126,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if failed > 0 {
 		return 1
+	}
+	if interrupted {
+		return 130
 	}
 	return 0
 }

@@ -2,16 +2,19 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"qasom/internal/bench"
 )
 
 func runBench(t *testing.T, args ...string) (int, string, string) {
 	t.Helper()
 	var out, errBuf bytes.Buffer
-	code := run(args, &out, &errBuf)
+	code := run(context.Background(), args, &out, &errBuf)
 	return code, out.String(), errBuf.String()
 }
 
@@ -94,5 +97,56 @@ func TestMetricsDumpToStdout(t *testing.T) {
 func TestBadFlag(t *testing.T) {
 	if code, _, _ := runBench(t, "-definitely-not-a-flag"); code != 2 {
 		t.Errorf("bad flag should exit 2, got %d", code)
+	}
+}
+
+func TestResultWriter(t *testing.T) {
+	table := bench.NewTable("T", "a", "b")
+	table.AddRow(1, 2)
+
+	// Disabled writer is a no-op.
+	if err := (&resultWriter{}).Write("x", table); err != nil {
+		t.Fatalf("disabled writer: %v", err)
+	}
+
+	dir := filepath.Join(t.TempDir(), "nested") // created on demand
+	w := &resultWriter{dir: dir}
+	if err := w.Write("x", table); err != nil {
+		t.Fatal(err)
+	}
+	csv, err := os.ReadFile(filepath.Join(dir, "x.csv"))
+	if err != nil {
+		t.Fatalf("csv not written: %v", err)
+	}
+	if string(csv) != "a,b\n1,2\n" {
+		t.Errorf("csv = %q", csv)
+	}
+}
+
+// TestInterruptFlushesPartialResults runs the serving experiment under
+// an already-cancelled context: the closed loop must drain immediately,
+// the partial table must still be written to the CSV directory, and the
+// process must exit with the conventional SIGINT code.
+func TestInterruptFlushesPartialResults(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	dir := t.TempDir()
+	var out, errBuf bytes.Buffer
+	code := run(ctx, []string{"-exp", "serving", "-quick", "-csv", dir}, &out, &errBuf)
+	if code != 130 {
+		t.Fatalf("code %d, want 130 (stderr %q)", code, errBuf.String())
+	}
+	if !strings.Contains(errBuf.String(), "partial results flushed") {
+		t.Errorf("stderr = %q", errBuf.String())
+	}
+	csv, err := os.ReadFile(filepath.Join(dir, "serving.csv"))
+	if err != nil {
+		t.Fatalf("partial csv not written: %v", err)
+	}
+	if !strings.HasPrefix(string(csv), "clients,") {
+		t.Errorf("csv header = %q", string(csv))
+	}
+	if !strings.Contains(out.String(), "interrupted at") {
+		t.Errorf("partial-run note missing from table output:\n%s", out.String())
 	}
 }

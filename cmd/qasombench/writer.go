@@ -1,0 +1,29 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+
+	"qasom/internal/bench"
+)
+
+// resultWriter persists experiment tables as CSV, one file per
+// experiment, flushed to disk the moment the experiment finishes: a
+// sweep interrupted by SIGINT (or any ctx cancellation) keeps every
+// completed table — and the partial table of the experiment that was
+// cancelled mid-run — instead of losing the whole session.
+type resultWriter struct {
+	// dir is the output directory; empty disables writing.
+	dir string
+}
+
+// Write flushes one experiment's table to <dir>/<id>.csv.
+func (w *resultWriter) Write(id string, table *bench.Table) error {
+	if w.dir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(w.dir, 0o755); err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(w.dir, id+".csv"), []byte(table.CSV()), 0o644)
+}

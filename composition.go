@@ -126,6 +126,27 @@ func (m *Middleware) compose(ctx context.Context, req Request) (*Composition, er
 		return nil, fmt.Errorf("qasom: unknown approach %q", req.Approach)
 	}
 
+	// Serving-mode fast path: selections are deterministic per seed, so a
+	// completed plan can be replayed verbatim as long as no capability the
+	// task touches has changed — which the registry epochs certify. The
+	// snapshot is taken before candidate lookup (see planEpochs).
+	cacheable := m.plans != nil && !req.Distributed
+	var planKey string
+	var planEpochSnap []uint64
+	if cacheable {
+		// A finished context must fail promptly even when the answer is
+		// one cache probe away — callers rely on ctx.Err() surfacing.
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		planKey = planCacheKey(t, coreReq)
+		planEpochSnap = m.planEpochs(nil, t)
+		if res := m.plans.get(planKey, planEpochSnap); res != nil {
+			res.Stats.CacheHit = true
+			return m.wrapComposition(coreReq, res), nil
+		}
+	}
+
 	cacheBefore := m.ontology.Stats()
 	lookupStart := time.Now()
 	_, lookupSpan := obs.StartSpan(ctx, "compose.lookup")
@@ -175,6 +196,15 @@ func (m *Middleware) compose(ctx context.Context, req Request) (*Composition, er
 	res.Stats.MatchCacheMisses = cacheDelta.MatchMisses
 	m.met.phaseSeconds.With("local").ObserveDuration(res.Stats.LocalDuration)
 	m.met.phaseSeconds.With("global").ObserveDuration(res.Stats.GlobalDuration)
+	if cacheable {
+		m.plans.put(planKey, planEpochSnap, res)
+	}
+	return m.wrapComposition(coreReq, res), nil
+}
+
+// wrapComposition attaches the adaptation runtime and manager to a
+// selection result (freshly computed or replayed from the plan cache).
+func (m *Middleware) wrapComposition(coreReq *core.Request, res *core.Result) *Composition {
 	manager := &adapt.Manager{
 		Registry: m.reg,
 		Repo:     m.repo,
@@ -188,7 +218,7 @@ func (m *Middleware) compose(ctx context.Context, req Request) (*Composition, er
 		mw:      m,
 		runtime: adapt.NewRuntime(coreReq, res),
 		manager: manager,
-	}, nil
+	}
 }
 
 // resolveTask accepts an abstract-BPEL document or the name of a
@@ -235,6 +265,11 @@ type SelectionStats struct {
 	// Degraded reports that at least one activity's coordinator was
 	// unreachable and the requester ran that local phase itself.
 	Degraded bool
+	// CacheHit reports that this composition was served from the
+	// selection-plan cache: the bindings are bit-identical to a fresh
+	// selection at the same registry epoch, but the durations and work
+	// counters describe the original run that populated the cache.
+	CacheHit bool
 }
 
 // SelectionStats returns the work profile of this composition's
@@ -257,6 +292,7 @@ func (c *Composition) SelectionStats() SelectionStats {
 		BreakerSkips:     s.BreakerSkips,
 		Fallbacks:        s.Fallbacks,
 		Degraded:         c.runtime.Result().Degraded,
+		CacheHit:         s.CacheHit,
 	}
 }
 

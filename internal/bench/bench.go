@@ -33,6 +33,10 @@ type Config struct {
 	Seed int64
 	// Repetitions per measured point; 0 means 3 (1 when Quick).
 	Repetitions int
+	// Ctx cancels long-running experiments early (qasombench wires the
+	// SIGINT context here); experiments that honour it return their
+	// partial table instead of losing the run. Nil means Background.
+	Ctx context.Context
 }
 
 func (c Config) withDefaults() Config {
@@ -165,6 +169,7 @@ var experiments = func() map[string]*Experiment {
 		ablationExperiments(),
 		baselineExperiments(),
 		mobilityExperiments(),
+		servingExperiments(),
 	} {
 		for _, e := range group {
 			if _, dup := m[e.ID]; dup {

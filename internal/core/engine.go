@@ -98,11 +98,16 @@ type EvalEngine struct {
 	approach qos.Approach
 	p        int // property count
 
-	acts  []string // dense activity index → ID, task order
-	pools [][]registry.Candidate
-	utils [][]float64 // per activity, per candidate: cached utility
-	cur   []int       // per activity: bound candidate index
-	leaf  []int32     // per activity: node index of its leaf
+	acts []string // dense activity index → ID, task order
+	// Exactly one of pools/ranked backs the candidate addressing: the
+	// exported constructor takes plain candidate pools; the global phase
+	// hands its ranked shortlists over as-is (building a parallel
+	// []registry.Candidate per activity was pure allocation).
+	pools  [][]registry.Candidate
+	ranked [][]RankedCandidate
+	utils  [][]float64 // per activity, per candidate: cached utility
+	cur    []int       // per activity: bound candidate index
+	leaf   []int32     // per activity: node index of its leaf
 
 	nodes   []planNode
 	root    int32
@@ -119,44 +124,87 @@ type EvalEngine struct {
 // vector the property-set arity. The engine starts with candidate 0
 // bound everywhere.
 func NewEvalEngine(eval *Evaluator, pools map[string][]registry.Candidate) (*EvalEngine, error) {
+	acts := eval.req.Task.Activities()
+	byAct := make([][]registry.Candidate, len(acts))
+	for i, a := range acts {
+		byAct[i] = pools[a.ID]
+	}
+	e := &EvalEngine{pools: byAct}
+	return e, e.build(eval)
+}
+
+// newEvalEngineRanked builds the engine directly over the local phase's
+// ranked shortlists (task order), addressing them in place instead of
+// converting each into a registry.Candidate pool.
+func newEvalEngineRanked(eval *Evaluator, ranked [][]RankedCandidate) (*EvalEngine, error) {
+	e := &EvalEngine{ranked: ranked}
+	return e, e.build(eval)
+}
+
+// build fills in everything but the candidate backing (pools or ranked,
+// set by the constructor).
+func (e *EvalEngine) build(eval *Evaluator) error {
 	req := eval.req
 	acts := req.Task.Activities()
-	e := &EvalEngine{
-		eval:     eval,
-		ps:       req.Properties,
-		props:    req.Properties.Properties(),
-		approach: req.approach(),
-		p:        req.Properties.Len(),
-		acts:     make([]string, len(acts)),
-		pools:    make([][]registry.Candidate, len(acts)),
-		utils:    make([][]float64, len(acts)),
-		cur:      make([]int, len(acts)),
-		leaf:     make([]int32, len(acts)),
-	}
+	e.eval = eval
+	e.ps = req.Properties
+	e.props = req.Properties.Properties()
+	e.approach = req.approach()
+	e.p = req.Properties.Len()
+	e.acts = make([]string, len(acts))
+	e.utils = make([][]float64, len(acts))
+	e.cur = make([]int, len(acts))
+	e.leaf = make([]int32, len(acts))
 	actIdx := make(map[string]int32, len(acts))
+	total := 0
+	for i := range acts {
+		total += e.poolLen(i)
+	}
+	// One backing array for every activity's utility cache, scored through
+	// a shared normalization buffer: the engine build is two allocations
+	// here instead of two per candidate.
+	utilsBack := make([]float64, 0, total)
+	buf := make(qos.Vector, e.p)
 	for i, a := range acts {
-		pool := pools[a.ID]
-		if len(pool) == 0 {
-			return nil, fmt.Errorf("core: engine: activity %q has no candidates", a.ID)
+		n := e.poolLen(i)
+		if n == 0 {
+			return fmt.Errorf("core: engine: activity %q has no candidates", a.ID)
 		}
-		utils := make([]float64, len(pool))
-		for k, c := range pool {
+		start := len(utilsBack)
+		for k := 0; k < n; k++ {
+			c := e.Candidate(i, k)
 			if len(c.Vector) != e.p {
-				return nil, fmt.Errorf("core: engine: candidate %q vector arity %d, want %d",
+				return fmt.Errorf("core: engine: candidate %q vector arity %d, want %d",
 					c.Service.ID, len(c.Vector), e.p)
 			}
-			utils[k] = eval.CandidateUtility(a.ID, c)
+			utilsBack = append(utilsBack, eval.CandidateUtilityInto(a.ID, c, buf))
 		}
 		e.acts[i] = a.ID
-		e.pools[i] = pool
-		e.utils[i] = utils
+		e.utils[i] = utilsBack[start:len(utilsBack):len(utilsBack)]
 		actIdx[a.ID] = int32(i)
 	}
 	e.compile(req.Task.Root, actIdx)
 	e.compileConstraints(req.Constraints)
 	idx := make([]int, len(acts))
 	e.Load(idx)
-	return e, nil
+	return nil
+}
+
+// poolLen returns activity act's candidate count on either backing.
+func (e *EvalEngine) poolLen(act int) int {
+	if e.ranked != nil {
+		return len(e.ranked[act])
+	}
+	return len(e.pools[act])
+}
+
+// vecAt returns the advertised vector of pool member cand of activity
+// act without materialising a Candidate.
+func (e *EvalEngine) vecAt(act, cand int) qos.Vector {
+	if e.ranked != nil {
+		return e.ranked[act][cand].Vector
+	}
+	return e.pools[act][cand].Vector
 }
 
 // compile flattens the tree into nodes (children before parents) and
@@ -196,12 +244,24 @@ func (e *EvalEngine) compile(root *task.Node, actIdx map[string]int32) {
 	e.vals = make([]float64, len(e.nodes)*e.p)
 	e.scratch = make([]float64, maxArity)
 	e.prefix = make([][]float64, len(e.nodes))
+	// One backing array for every fold node's prefix rows.
+	preTotal := 0
+	for ni := range e.nodes {
+		n := &e.nodes[ni]
+		if n.kind == task.PatternSequence || n.kind == task.PatternParallel {
+			preTotal += (len(n.children) + 1) * e.p
+		}
+	}
+	preBack := make([]float64, preTotal)
+	off := 0
 	for ni := range e.nodes {
 		n := &e.nodes[ni]
 		if n.kind != task.PatternSequence && n.kind != task.PatternParallel {
 			continue
 		}
-		pre := make([]float64, (len(n.children)+1)*e.p)
+		sz := (len(n.children) + 1) * e.p
+		pre := preBack[off : off+sz : off+sz]
+		off += sz
 		for q := 0; q < e.p; q++ {
 			if n.kind == task.PatternSequence {
 				pre[q] = qos.SequenceIdentity(e.props[q])
@@ -251,10 +311,15 @@ func (e *EvalEngine) Activities() int { return len(e.acts) }
 func (e *EvalEngine) ActivityID(act int) string { return e.acts[act] }
 
 // PoolSize returns the candidate pool size of activity act.
-func (e *EvalEngine) PoolSize(act int) int { return len(e.pools[act]) }
+func (e *EvalEngine) PoolSize(act int) int { return e.poolLen(act) }
 
 // Candidate returns pool member cand of activity act.
-func (e *EvalEngine) Candidate(act, cand int) registry.Candidate { return e.pools[act][cand] }
+func (e *EvalEngine) Candidate(act, cand int) registry.Candidate {
+	if e.ranked != nil {
+		return e.ranked[act][cand].Candidate()
+	}
+	return e.pools[act][cand]
+}
 
 // Current returns the bound candidate index of activity act.
 func (e *EvalEngine) Current(act int) int { return e.cur[act] }
@@ -270,7 +335,7 @@ func (e *EvalEngine) Snapshot(dst []int) []int {
 func (e *EvalEngine) Assignment() Assignment {
 	out := make(Assignment, len(e.acts))
 	for a, id := range e.acts {
-		out[id] = e.pools[a][e.cur[a]]
+		out[id] = e.Candidate(a, e.cur[a])
 	}
 	return out
 }
@@ -282,7 +347,7 @@ func (e *EvalEngine) Assign(act, cand int) {
 	e.cur[act] = cand
 	ni := e.leaf[act]
 	dst := e.val(ni)
-	v := e.pools[act][cand].Vector
+	v := e.vecAt(act, cand)
 	same := true
 	for q := 0; q < e.p; q++ {
 		if !(dst[q] == v[q]) { // non-equal or NaN: re-fold
@@ -311,7 +376,7 @@ func (e *EvalEngine) Assign(act, cand int) {
 func (e *EvalEngine) Load(idx []int) {
 	for a := range idx {
 		e.cur[a] = idx[a]
-		copy(e.val(e.leaf[a]), e.pools[a][idx[a]].Vector)
+		copy(e.val(e.leaf[a]), e.vecAt(a, idx[a]))
 	}
 	for ni := range e.nodes {
 		if e.nodes[ni].act < 0 {

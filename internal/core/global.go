@@ -40,21 +40,23 @@ func (g *globalState) init() error {
 	acts := g.req.Task.Activities()
 	g.acts = make([]string, len(acts))
 	g.ranked = make([][]RankedCandidate, len(acts))
-	pools := make(map[string][]registry.Candidate, len(acts))
 	for i, a := range acts {
 		g.acts[i] = a.ID
 		g.ranked[i] = g.locals[a.ID].Ranked
-		list := make([]registry.Candidate, len(g.ranked[i]))
-		for k := range g.ranked[i] {
-			list[k] = g.ranked[i][k].Candidate()
-		}
-		pools[a.ID] = list
 	}
 	if g.opts.NaiveEvaluation {
+		pools := make(map[string][]registry.Candidate, len(acts))
+		for i, a := range acts {
+			list := make([]registry.Candidate, len(g.ranked[i]))
+			for k := range g.ranked[i] {
+				list[k] = g.ranked[i][k].Candidate()
+			}
+			pools[a.ID] = list
+		}
 		g.eng = newNaiveKernel(g.eval, pools)
 		return nil
 	}
-	eng, err := NewEvalEngine(g.eval, pools)
+	eng, err := newEvalEngineRanked(g.eval, g.ranked)
 	if err != nil {
 		return err
 	}
@@ -348,9 +350,11 @@ func (g *globalState) finish(feasible bool) *Result {
 	return res
 }
 
-// altEntry is one substitution candidate under evaluation.
+// altEntry is one substitution candidate under evaluation, addressed by
+// its pool index — the registry.Candidate is materialised only for the
+// MaxAlternates winners, not for the whole pool.
 type altEntry struct {
-	cand    registry.Candidate
+	idx     int
 	keepsOK bool
 	utility float64
 }
@@ -370,7 +374,7 @@ func (g *globalState) alternatesFor(a int) []registry.Candidate {
 		g.eng.Assign(a, i)
 		g.stats.Evaluations++
 		alts = append(alts, altEntry{
-			cand:    pool[i].Candidate(),
+			idx:     i,
 			keepsOK: g.eng.Feasible(),
 			utility: g.eng.CandidateUtility(a, i),
 		})
@@ -383,7 +387,7 @@ func (g *globalState) alternatesFor(a int) []registry.Candidate {
 		if alts[a].utility != alts[b].utility {
 			return alts[a].utility > alts[b].utility
 		}
-		return alts[a].cand.Service.ID < alts[b].cand.Service.ID
+		return pool[alts[a].idx].Service.ID < pool[alts[b].idx].Service.ID
 	})
 	limit := g.opts.MaxAlternates
 	if limit > len(alts) {
@@ -391,7 +395,7 @@ func (g *globalState) alternatesFor(a int) []registry.Candidate {
 	}
 	out := make([]registry.Candidate, limit)
 	for i := 0; i < limit; i++ {
-		out[i] = alts[i].cand
+		out[i] = pool[alts[i].idx].Candidate()
 	}
 	return out
 }

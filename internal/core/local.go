@@ -4,11 +4,28 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"sync"
 
 	"qasom/internal/cluster"
 	"qasom/internal/qos"
 	"qasom/internal/registry"
 )
+
+// localScratch bundles the transient working buffers of one localSelect
+// run — the clustering scratch, the normalizer population view, the
+// per-property score column, and the rank matrix. Everything in it is
+// fully overwritten before use and nothing escapes the call, so pooled
+// reuse cannot change results; only Scores (retained by the returned
+// RankedCandidates) is allocated fresh, as a single backing array.
+type localScratch struct {
+	cl        cluster.Scratch
+	vecs      []qos.Vector
+	values    []float64
+	ranks     [][]int
+	ranksBack []int
+}
+
+var localScratchPool = sync.Pool{New: func() any { return new(localScratch) }}
 
 // RankedCandidate is one service after the local selection phase: its
 // normalized scores, utility, and its position in the QoS level/class
@@ -56,7 +73,12 @@ func localSelect(activityID string, cands []registry.Candidate, ps *qos.Property
 	if k < 1 {
 		k = 1
 	}
-	vecs := make([]qos.Vector, len(cands))
+	scr := localScratchPool.Get().(*localScratch)
+	defer localScratchPool.Put(scr)
+	if cap(scr.vecs) < len(cands) {
+		scr.vecs = make([]qos.Vector, len(cands))
+	}
+	vecs := scr.vecs[:len(cands)]
 	for i, c := range cands {
 		vecs[i] = c.Vector
 	}
@@ -65,9 +87,12 @@ func localSelect(activityID string, cands []registry.Candidate, ps *qos.Property
 		return nil, fmt.Errorf("core: activity %q: %w", activityID, err)
 	}
 
+	// Scores are retained by the result; one backing array for them all.
+	scoresBack := make([]float64, len(cands)*ps.Len())
 	ranked := make([]RankedCandidate, len(cands))
 	for i, c := range cands {
-		scores := nz.Normalize(c.Vector)
+		scores := qos.Vector(scoresBack[i*ps.Len() : (i+1)*ps.Len() : (i+1)*ps.Len()])
+		nz.NormalizeInto(scores, c.Vector)
 		ranked[i] = RankedCandidate{
 			Service: c.Service,
 			Vector:  c.Vector,
@@ -78,20 +103,30 @@ func localSelect(activityID string, cands []registry.Candidate, ps *qos.Property
 
 	// Cluster each property's score column into ranked quality clusters.
 	levels := 1
-	ranks := make([][]int, ps.Len()) // property → per-candidate rank
-	values := make([]float64, len(cands))
+	if cap(scr.ranks) < ps.Len() {
+		scr.ranks = make([][]int, ps.Len())
+	}
+	ranks := scr.ranks[:ps.Len()] // property → per-candidate rank
+	if cap(scr.ranksBack) < ps.Len()*len(cands) {
+		scr.ranksBack = make([]int, ps.Len()*len(cands))
+	}
+	if cap(scr.values) < len(cands) {
+		scr.values = make([]float64, len(cands))
+	}
+	values := scr.values[:len(cands)]
 	for j := 0; j < ps.Len(); j++ {
 		for i := range ranked {
 			values[i] = ranked[i].Scores[j]
 		}
-		res, err := cluster.KMeans1D(values, k, cluster.Options{
+		res, err := scr.cl.KMeans1D(values, k, cluster.Options{
 			Seeding: seeding,
 			Rand:    rng,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("core: clustering %q/%s: %w", activityID, ps.At(j).Name, err)
 		}
-		ranks[j] = cluster.Ranks1D(res, true) // scores: higher is better
+		ranks[j] = scr.ranksBack[j*len(cands) : (j+1)*len(cands)]
+		scr.cl.RanksInto(ranks[j], res, true) // scores: higher is better
 		if res.K() > levels {
 			levels = res.K()
 		}

@@ -214,6 +214,18 @@ func (e *Evaluator) CandidateUtility(activityID string, c registry.Candidate) fl
 	return qos.Utility(nz.Normalize(c.Vector), e.weights)
 }
 
+// CandidateUtilityInto is CandidateUtility scoring through a
+// caller-provided normalization buffer (len = property arity): the
+// allocation-free variant the engine build uses. The same per-element
+// Score calls produce the same bits as CandidateUtility.
+func (e *Evaluator) CandidateUtilityInto(activityID string, c registry.Candidate, buf qos.Vector) float64 {
+	nz := e.normalizers[activityID]
+	if nz == nil {
+		return 0
+	}
+	return qos.Utility(nz.NormalizeInto(buf, c.Vector), e.weights)
+}
+
 // Utility scores a full assignment: the mean candidate utility over the
 // task's activities (F in [0,1]).
 func (e *Evaluator) Utility(assign Assignment) float64 {

@@ -110,6 +110,11 @@ type Stats struct {
 	// DegradedCauses maps each degraded activity to the failure that
 	// exhausted its policy (nil when nothing degraded).
 	DegradedCauses map[string]string
+	// CacheHit marks a Result served from a selection-plan cache: the
+	// assignment is bit-identical to a fresh selection at the same
+	// registry epoch, but the durations and work counters above describe
+	// the original run that populated the cache, not this request.
+	CacheHit bool
 }
 
 // Result is the outcome of a selection run.
@@ -137,6 +142,39 @@ type Result struct {
 	Violation float64
 	// Stats reports the algorithm's work.
 	Stats Stats
+}
+
+// Clone returns a deep copy of the result sharing no mutable state with
+// the original: assignment and alternate candidates are deep-copied
+// (registry.Candidate.Clone), the aggregated vector and the stats maps
+// are duplicated. Selection-plan caches rely on this to hand each caller
+// an independent Result while the cached original stays pristine.
+func (r *Result) Clone() *Result {
+	if r == nil {
+		return nil
+	}
+	cp := *r
+	cp.Assignment = make(Assignment, len(r.Assignment))
+	for id, c := range r.Assignment {
+		cp.Assignment[id] = c.Clone()
+	}
+	cp.Alternates = make(map[string][]registry.Candidate, len(r.Alternates))
+	for id, list := range r.Alternates {
+		cl := make([]registry.Candidate, len(list))
+		for i, c := range list {
+			cl[i] = c.Clone()
+		}
+		cp.Alternates[id] = cl
+	}
+	cp.Aggregated = r.Aggregated.Clone()
+	if r.Stats.DegradedCauses != nil {
+		m := make(map[string]string, len(r.Stats.DegradedCauses))
+		for k, v := range r.Stats.DegradedCauses {
+			m[k] = v
+		}
+		cp.Stats.DegradedCauses = m
+	}
+	return &cp
 }
 
 // Selector runs QASSA. Create with NewSelector; safe for sequential

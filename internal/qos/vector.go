@@ -116,11 +116,19 @@ func (nz *Normalizer) Score(j int, x float64) float64 {
 
 // Normalize maps a raw vector into direction-adjusted [0,1] scores.
 func (nz *Normalizer) Normalize(v Vector) Vector {
-	out := make(Vector, len(v))
+	return nz.NormalizeInto(make(Vector, len(v)), v)
+}
+
+// NormalizeInto is Normalize writing into a caller-provided destination
+// (len(dst) must equal len(v)) and returning it: the allocation-free
+// variant the pooled selection hot path uses. The scores are computed by
+// the same per-element Score calls as Normalize, so the results are
+// bit-identical.
+func (nz *Normalizer) NormalizeInto(dst Vector, v Vector) Vector {
 	for j, x := range v {
-		out[j] = nz.Score(j, x)
+		dst[j] = nz.Score(j, x)
 	}
-	return out
+	return dst
 }
 
 // Weights express user preferences over properties (W in the thesis).

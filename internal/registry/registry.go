@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"qasom/internal/qos"
 	"qasom/internal/semantics"
@@ -128,6 +129,15 @@ type Candidate struct {
 	Match   semantics.MatchLevel
 }
 
+// Clone deep-copies the candidate so the copy shares no slices with the
+// original (selection results cached across requests must never alias a
+// caller's live composition).
+func (c Candidate) Clone() Candidate {
+	c.Service = c.Service.clone()
+	c.Vector = c.Vector.Clone()
+	return c
+}
+
 // EventKind tags registry change notifications.
 type EventKind int
 
@@ -179,17 +189,81 @@ type Registry struct {
 	indexKeys    map[ServiceID][]semantics.ConceptID
 	indexVersion uint64
 	metrics      Metrics
+
+	// gen is the global registry generation: bumped on every Publish and
+	// Withdraw (including QoS-only re-publishes). Readers poll it with a
+	// single atomic load to detect "something, somewhere changed" without
+	// taking the registry lock.
+	gen atomic.Uint64
+	// capEpochs holds one generation counter per canonical capability
+	// concept, bumped whenever a service whose capability closure covers
+	// that concept is published, updated or withdrawn. A request that
+	// depends on capabilities {C...} is provably unaffected by registry
+	// churn while every epoch in its snapshot is unchanged — the
+	// invalidation signal of the cross-request selection cache.
+	capEpochs map[semantics.ConceptID]uint64
 }
 
 // New creates a registry bound to the shared ontology (nil restricts
 // matching to exact concept equality).
 func New(o *semantics.Ontology) *Registry {
 	return &Registry{
-		services: make(map[ServiceID]Description),
-		ontology: o,
-		watchers: make(map[int]chan Event),
-		indexing: true,
+		services:  make(map[ServiceID]Description),
+		ontology:  o,
+		watchers:  make(map[int]chan Event),
+		indexing:  true,
+		capEpochs: make(map[semantics.ConceptID]uint64),
 	}
+}
+
+// Epoch returns the registry's global generation: a counter bumped on
+// every Publish/Withdraw. It is a single atomic load — callers poll it
+// to detect "nothing changed since my snapshot" without locking.
+func (r *Registry) Epoch() uint64 { return r.gen.Load() }
+
+// CapabilityEpochs appends to dst the current epoch of each required
+// capability concept (bumped whenever a service whose capability closure
+// covers the concept joins, changes or leaves), followed by the shared
+// ontology's mutation version when one is attached — together, the exact
+// staleness signal for anything derived from a Candidates lookup on
+// those concepts. A never-published capability reports epoch 0; the
+// first publish moves it. Pass a reused slice to avoid allocation.
+func (r *Registry) CapabilityEpochs(dst []uint64, concepts ...semantics.ConceptID) []uint64 {
+	if dst != nil {
+		dst = dst[:0]
+	}
+	r.mu.RLock()
+	for _, c := range concepts {
+		if r.ontology != nil {
+			c = r.ontology.Canonical(c)
+		}
+		dst = append(dst, r.capEpochs[c])
+	}
+	r.mu.RUnlock()
+	if r.ontology != nil {
+		dst = append(dst, r.ontology.Version())
+	}
+	return dst
+}
+
+// bumpEpochsLocked advances the global generation and the per-capability
+// epoch of every concept in keys; callers hold the write lock.
+func (r *Registry) bumpEpochsLocked(keys []semantics.ConceptID) {
+	r.gen.Add(1)
+	for _, k := range keys {
+		r.capEpochs[k]++
+	}
+}
+
+// epochKeysLocked returns the capability closure a stored description's
+// epochs must be bumped under: the index keys when the index holds them
+// (they reflect the ancestry the description was filed under), otherwise
+// a fresh computation against the current ontology.
+func (r *Registry) epochKeysLocked(d *Description) []semantics.ConceptID {
+	if keys, ok := r.indexKeys[d.ID]; ok {
+		return keys
+	}
+	return r.indexKeysFor(d)
 }
 
 // SetIndexing enables or disables the capability index (enabled by
@@ -295,11 +369,15 @@ func (r *Registry) Publish(d Description) error {
 	}
 	cp := d.clone()
 	r.mu.Lock()
-	if _, ok := r.services[cp.ID]; ok {
-		r.unindexServiceLocked(cp.ID) // re-publish may change the capability
+	if old, ok := r.services[cp.ID]; ok {
+		// Re-publish may change the capability: the old closure's view of
+		// the registry goes stale too.
+		r.bumpEpochsLocked(r.epochKeysLocked(&old))
+		r.unindexServiceLocked(cp.ID)
 	}
 	r.services[cp.ID] = cp
 	r.indexServiceLocked(&cp)
+	r.bumpEpochsLocked(r.indexKeysFor(&cp))
 	r.mu.Unlock()
 	r.notify(Event{Kind: EventPublished, Service: cp})
 	return nil
@@ -311,6 +389,7 @@ func (r *Registry) Withdraw(id ServiceID) bool {
 	r.mu.Lock()
 	d, ok := r.services[id]
 	if ok {
+		r.bumpEpochsLocked(r.epochKeysLocked(&d))
 		delete(r.services, id)
 		r.unindexServiceLocked(id)
 	}

@@ -98,6 +98,11 @@ type distEntry struct {
 type CacheStats struct {
 	MatchHits, MatchMisses       uint64
 	DistanceHits, DistanceMisses uint64
+	// MatchEvictions and DistanceEvictions count memo entries dropped by
+	// the size cap (see SetMemoCap): a long-running node reasoning over
+	// an unbounded stream of concept pairs trades recomputation for
+	// bounded memory.
+	MatchEvictions, DistanceEvictions uint64
 }
 
 // Delta returns the counter increments since an earlier snapshot —
@@ -106,10 +111,12 @@ type CacheStats struct {
 // goroutines' cache traffic lands in the same window).
 func (s CacheStats) Delta(prev CacheStats) CacheStats {
 	return CacheStats{
-		MatchHits:      s.MatchHits - prev.MatchHits,
-		MatchMisses:    s.MatchMisses - prev.MatchMisses,
-		DistanceHits:   s.DistanceHits - prev.DistanceHits,
-		DistanceMisses: s.DistanceMisses - prev.DistanceMisses,
+		MatchHits:         s.MatchHits - prev.MatchHits,
+		MatchMisses:       s.MatchMisses - prev.MatchMisses,
+		DistanceHits:      s.DistanceHits - prev.DistanceHits,
+		DistanceMisses:    s.DistanceMisses - prev.DistanceMisses,
+		MatchEvictions:    s.MatchEvictions - prev.MatchEvictions,
+		DistanceEvictions: s.DistanceEvictions - prev.DistanceEvictions,
 	}
 }
 
@@ -129,7 +136,10 @@ type Ontology struct {
 	// concept pairs; invalidated together with ancestors on mutation.
 	matchMemo map[conceptPair]MatchLevel
 	distMemo  map[conceptPair]distEntry
-	stats     CacheStats
+	// memoCap bounds each memo table; 0 means memoCapDefault, negative
+	// means unbounded (see SetMemoCap).
+	memoCap int
+	stats   CacheStats
 	// version counts hierarchy/alias mutations; dependents (e.g. the
 	// registry's capability index) use it to detect staleness.
 	version uint64
@@ -158,6 +168,33 @@ func (o *Ontology) Stats() CacheStats {
 	o.mu.RLock()
 	defer o.mu.RUnlock()
 	return o.stats
+}
+
+// memoCapDefault bounds each reasoning memo table (Match and Distance)
+// when no explicit cap has been set: generous enough that a realistic
+// ontology memoises everything it ever computes, small enough that a
+// long-running node fed adversarial or ever-growing concept vocabularies
+// cannot grow the tables without limit.
+const memoCapDefault = 8192
+
+// SetMemoCap bounds the Match and Distance memo tables to n entries
+// each: inserting into a full table evicts an arbitrary resident entry
+// (counted in CacheStats.MatchEvictions/DistanceEvictions). 0 restores
+// the default cap (memoCapDefault); negative disables the bound.
+// Entries already beyond a lowered cap are evicted lazily by subsequent
+// inserts, not synchronously.
+func (o *Ontology) SetMemoCap(n int) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.memoCap = n
+}
+
+// memoCapLocked resolves the effective cap; callers hold a lock.
+func (o *Ontology) memoCapLocked() int {
+	if o.memoCap == 0 {
+		return memoCapDefault
+	}
+	return o.memoCap
 }
 
 // ResetStats zeroes the reasoning-cache counters (the memo tables
@@ -483,10 +520,30 @@ func (o *Ontology) Match(required, offered ConceptID) MatchLevel {
 		if o.matchMemo == nil {
 			o.matchMemo = make(map[conceptPair]MatchLevel)
 		}
-		o.matchMemo[key] = level
+		o.putMatchLocked(key, level)
 	}
 	o.mu.Unlock()
 	return level
+}
+
+// putMatchLocked inserts into the match memo, evicting arbitrary
+// resident entries while the table is at its cap. Random eviction (map
+// iteration order) is deliberate: it is O(1), needs no recency
+// bookkeeping on the read path, and for a memo whose entries are all
+// equally cheap to recompute it performs within noise of LRU.
+func (o *Ontology) putMatchLocked(key conceptPair, level MatchLevel) {
+	if cap := o.memoCapLocked(); cap > 0 {
+		if _, resident := o.matchMemo[key]; !resident {
+			for len(o.matchMemo) >= cap {
+				for victim := range o.matchMemo {
+					delete(o.matchMemo, victim)
+					o.stats.MatchEvictions++
+					break
+				}
+			}
+		}
+	}
+	o.matchMemo[key] = level
 }
 
 // hit bumps a cache-hit counter under the write lock (counters share the
@@ -531,12 +588,30 @@ func (o *Ontology) Distance(a, b ConceptID) (int, bool) {
 		if o.distMemo == nil {
 			o.distMemo = make(map[conceptPair]distEntry)
 		}
-		o.distMemo[key] = entry
+		o.putDistLocked(key, entry)
 		// Distance is symmetric: prime the mirrored key too.
-		o.distMemo[conceptPair{b, a}] = entry
+		o.putDistLocked(conceptPair{b, a}, entry)
 	}
 	o.mu.Unlock()
 	return entry.d, entry.ok
+}
+
+// putDistLocked inserts into the distance memo under the same cap and
+// eviction policy as putMatchLocked; the symmetric prime goes through
+// here too, so the table never exceeds the cap even on double inserts.
+func (o *Ontology) putDistLocked(key conceptPair, entry distEntry) {
+	if cap := o.memoCapLocked(); cap > 0 {
+		if _, resident := o.distMemo[key]; !resident {
+			for len(o.distMemo) >= cap {
+				for victim := range o.distMemo {
+					delete(o.distMemo, victim)
+					o.stats.DistanceEvictions++
+					break
+				}
+			}
+		}
+	}
+	o.distMemo[key] = entry
 }
 
 // upDistance returns the shortest chain length from sub upward to sup.

@@ -289,3 +289,100 @@ func TestMatchLevelString(t *testing.T) {
 		}
 	}
 }
+
+// memoSizes reads the live memo-table sizes under the ontology lock
+// (white-box helper for the cap tests).
+func memoSizes(o *Ontology) (match, dist int) {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	return len(o.matchMemo), len(o.distMemo)
+}
+
+func TestMemoCapEvictsMatchEntries(t *testing.T) {
+	o := buildAnimals(t)
+	o.SetMemoCap(2)
+
+	// Three distinct pairs through a cap of two: the third insert must
+	// evict a resident entry.
+	o.Match("Dog", "Animal")
+	o.Match("Cat", "Animal")
+	o.Match("Sparrow", "Animal")
+	if m, _ := memoSizes(o); m > 2 {
+		t.Fatalf("match memo holds %d entries, cap is 2", m)
+	}
+	if ev := o.Stats().MatchEvictions; ev != 1 {
+		t.Fatalf("MatchEvictions = %d, want 1", ev)
+	}
+
+	// Eviction must never change answers: every pair still grades the
+	// same, the evicted one simply recomputes (a miss, then possibly a
+	// fresh eviction) instead of hitting.
+	for _, pair := range [][2]ConceptID{
+		{"Dog", "Animal"}, {"Cat", "Animal"}, {"Sparrow", "Animal"},
+	} {
+		if got := o.Match(pair[0], pair[1]); got != MatchSubsume {
+			t.Errorf("Match(%s, %s) = %v after eviction, want subsume", pair[0], pair[1], got)
+		}
+	}
+	if m, _ := memoSizes(o); m > 2 {
+		t.Fatalf("match memo grew to %d entries past the cap", m)
+	}
+
+	// Re-querying a resident pair is still a hit — the cap does not turn
+	// the memo off.
+	before := o.Stats()
+	o.Match("Sparrow", "Animal")
+	if d := o.Stats().Delta(before); d.MatchHits != 1 {
+		t.Errorf("resident pair after evictions: delta %+v, want a pure hit", d)
+	}
+}
+
+func TestMemoCapEvictsDistanceEntries(t *testing.T) {
+	o := buildAnimals(t)
+	o.SetMemoCap(2)
+
+	// Each Distance primes the symmetric key too, so one query fills the
+	// whole table and the next must evict both residents.
+	if d, ok := o.Distance("Dog", "Mammal"); !ok || d != 1 {
+		t.Fatalf("Distance(Dog, Mammal) = %d, %v", d, ok)
+	}
+	if d, ok := o.Distance("Dog", "Animal"); !ok || d != 2 {
+		t.Fatalf("Distance(Dog, Animal) = %d, %v", d, ok)
+	}
+	if _, n := memoSizes(o); n > 2 {
+		t.Fatalf("distance memo holds %d entries, cap is 2", n)
+	}
+	if ev := o.Stats().DistanceEvictions; ev != 2 {
+		t.Fatalf("DistanceEvictions = %d, want 2", ev)
+	}
+	// Answers survive eviction.
+	if d, ok := o.Distance("Mammal", "Dog"); !ok || d != 1 {
+		t.Errorf("Distance(Mammal, Dog) = %d, %v after eviction", d, ok)
+	}
+}
+
+func TestMemoCapUnboundedAndDefault(t *testing.T) {
+	o := buildAnimals(t)
+	if got := o.memoCapLocked(); got != memoCapDefault {
+		t.Fatalf("default cap = %d, want %d", got, memoCapDefault)
+	}
+	o.SetMemoCap(-1)
+	// Unbounded: every distinct pair stays resident, nothing is evicted.
+	concepts := []ConceptID{"Animal", "Mammal", "Bird", "Dog", "Cat", "Sparrow"}
+	for _, a := range concepts {
+		for _, b := range concepts {
+			o.Match(a, b)
+		}
+	}
+	if m, _ := memoSizes(o); m != len(concepts)*len(concepts) {
+		t.Errorf("unbounded match memo holds %d entries, want %d", m, len(concepts)*len(concepts))
+	}
+	if s := o.Stats(); s.MatchEvictions != 0 || s.DistanceEvictions != 0 {
+		t.Errorf("unbounded cap evicted: %+v", s)
+	}
+	// Zero restores the default.
+	o.SetMemoCap(0)
+	if got := o.memoCapLocked(); got != memoCapDefault {
+		t.Errorf("cap after SetMemoCap(0) = %d, want %d", got, memoCapDefault)
+	}
+}

@@ -7,7 +7,10 @@
 package task
 
 import (
+	"encoding/binary"
 	"fmt"
+	"hash/fnv"
+	"math"
 	"sort"
 
 	"qasom/internal/qos"
@@ -92,6 +95,61 @@ type Task struct {
 	Concept semantics.ConceptID
 	// Root is the top of the pattern tree.
 	Root *Node
+}
+
+// Fingerprint returns a stable hash of the task's full structure —
+// pattern tree shape, activity identities (ID, concept, data concepts),
+// branch probabilities and loop bounds. Two tasks hash equal exactly
+// when a selection over them is interchangeable, which makes the
+// fingerprint a selection-plan cache key component.
+func (t *Task) Fingerprint() uint64 {
+	h := fnv.New64a()
+	writeStr := func(s string) {
+		var n [4]byte
+		binary.LittleEndian.PutUint32(n[:], uint32(len(s)))
+		h.Write(n[:])
+		h.Write([]byte(s))
+	}
+	writeU64 := func(v uint64) {
+		var n [8]byte
+		binary.LittleEndian.PutUint64(n[:], v)
+		h.Write(n[:])
+	}
+	writeStr(t.Name)
+	writeStr(string(t.Concept))
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		if n == nil {
+			writeU64(0)
+			return
+		}
+		writeU64(uint64(n.Kind))
+		if n.Activity != nil {
+			writeStr(n.Activity.ID)
+			writeStr(string(n.Activity.Concept))
+			writeU64(uint64(len(n.Activity.Inputs)))
+			for _, c := range n.Activity.Inputs {
+				writeStr(string(c))
+			}
+			writeU64(uint64(len(n.Activity.Outputs)))
+			for _, c := range n.Activity.Outputs {
+				writeStr(string(c))
+			}
+		}
+		writeU64(uint64(len(n.Probs)))
+		for _, p := range n.Probs {
+			writeU64(math.Float64bits(p))
+		}
+		writeU64(uint64(n.Loop.Min))
+		writeU64(uint64(n.Loop.Max))
+		writeU64(math.Float64bits(n.Loop.Expected))
+		writeU64(uint64(len(n.Children)))
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	walk(t.Root)
+	return h.Sum64()
 }
 
 // NewActivity builds a leaf node around an activity.

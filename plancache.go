@@ -1,0 +1,186 @@
+package qasom
+
+import (
+	"container/list"
+	"fmt"
+	"math"
+	"strings"
+
+	"sync"
+
+	"qasom/internal/core"
+	"qasom/internal/obs"
+	"qasom/internal/semantics"
+	"qasom/internal/task"
+)
+
+// planCache is the bounded selection-plan cache of the serving engine:
+// completed (non-distributed) selections are stored under a key derived
+// from the task fingerprint, constraints, weights and aggregation
+// approach, together with the registry-epoch snapshot of every
+// capability the task touches. A lookup whose fresh epoch snapshot
+// matches the stored one returns a deep copy of the Result with zero
+// selection work — bit-identical to recomputation, because selections
+// are deterministic per seed and the epochs certify that no candidate
+// the request could see has changed. An epoch mismatch drops the entry
+// (the registry churned underneath it); capacity overflow evicts the
+// least-recently-used entry.
+//
+// Both put and get deep-copy the Result, so cached state is never
+// aliased by a live Composition (the adaptation runtime mutates its
+// Result during substitution).
+type planCache struct {
+	mu    sync.Mutex
+	cap   int
+	ll    *list.List // front = most recently used
+	items map[string]*list.Element
+
+	hits, misses, evictions, invalidations *obs.Counter
+}
+
+type planEntry struct {
+	key    string
+	epochs []uint64
+	res    *core.Result
+}
+
+// defaultPlanCacheSize bounds the cache when Options.SelectionCacheSize
+// is zero.
+const defaultPlanCacheSize = 128
+
+func newPlanCache(capacity int, r *obs.Registry) *planCache {
+	if capacity == 0 {
+		capacity = defaultPlanCacheSize
+	}
+	if capacity < 0 {
+		return nil // caching disabled
+	}
+	return &planCache{
+		cap:   capacity,
+		ll:    list.New(),
+		items: make(map[string]*list.Element),
+		hits: r.Counter("qasom_plan_cache_hits_total",
+			"Selections served from the plan cache (zero selection work)."),
+		misses: r.Counter("qasom_plan_cache_misses_total",
+			"Plan-cache lookups that had to run a fresh selection."),
+		evictions: r.Counter("qasom_plan_cache_evictions_total",
+			"Plan-cache entries evicted by the LRU capacity bound."),
+		invalidations: r.Counter("qasom_plan_cache_epoch_invalidations_total",
+			"Plan-cache entries dropped because a capability epoch moved (registry churn)."),
+	}
+}
+
+// len returns the number of live entries.
+func (c *planCache) len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// get returns a deep copy of the entry under key when its stored epoch
+// snapshot equals now, and nil otherwise. A stale entry (epoch
+// mismatch) is removed on sight.
+func (c *planCache) get(key string, now []uint64) *core.Result {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	el, ok := c.items[key]
+	if !ok {
+		c.mu.Unlock()
+		c.misses.Inc()
+		return nil
+	}
+	e := el.Value.(*planEntry)
+	if !equalEpochs(e.epochs, now) {
+		c.ll.Remove(el)
+		delete(c.items, key)
+		c.mu.Unlock()
+		c.invalidations.Inc()
+		c.misses.Inc()
+		return nil
+	}
+	c.ll.MoveToFront(el)
+	res := e.res // immutable once stored; safe to clone outside the lock
+	c.mu.Unlock()
+	c.hits.Inc()
+	return res.Clone()
+}
+
+// put stores a deep copy of res under key with its epoch snapshot,
+// evicting the least-recently-used entry beyond capacity.
+func (c *planCache) put(key string, epochs []uint64, res *core.Result) {
+	if c == nil {
+		return
+	}
+	cp := res.Clone()
+	c.mu.Lock()
+	if el, ok := c.items[key]; ok {
+		e := el.Value.(*planEntry)
+		e.epochs = epochs
+		e.res = cp
+		c.ll.MoveToFront(el)
+		c.mu.Unlock()
+		return
+	}
+	c.items[key] = c.ll.PushFront(&planEntry{key: key, epochs: epochs, res: cp})
+	evicted := false
+	if c.ll.Len() > c.cap {
+		last := c.ll.Back()
+		c.ll.Remove(last)
+		delete(c.items, last.Value.(*planEntry).key)
+		evicted = true
+	}
+	c.mu.Unlock()
+	if evicted {
+		c.evictions.Inc()
+	}
+}
+
+func equalEpochs(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// planCacheKey derives the cache key of a prepared selection request:
+// the task-tree fingerprint plus every input that steers the selection
+// (approach, constraints in request order, the effective weight vector).
+// Selector options and the seed are fixed per Middleware and the cache
+// is per Middleware, so they need no key component.
+func planCacheKey(t *task.Task, req *core.Request) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%016x|a%d", t.Fingerprint(), req.Approach)
+	for _, c := range req.Constraints {
+		fmt.Fprintf(&b, "|c:%s=%x", c.Property, math.Float64bits(c.Bound))
+	}
+	for _, w := range req.Weights {
+		fmt.Fprintf(&b, "|w:%x", math.Float64bits(w))
+	}
+	return b.String()
+}
+
+// planEpochs snapshots, in task order, the registry epoch of every
+// capability the task's activities require (the subsumption-closure
+// epochs bumped by any publish/withdraw/QoS-update of a matching
+// service), with the ontology version appended. Taken BEFORE candidate
+// lookup: if the registry churns between snapshot and selection, the
+// stored snapshot is already stale and the next lookup recomputes —
+// conservative, never incorrect.
+func (m *Middleware) planEpochs(dst []uint64, t *task.Task) []uint64 {
+	acts := t.Activities()
+	concepts := make([]semantics.ConceptID, len(acts))
+	for i, a := range acts {
+		concepts[i] = a.Concept
+	}
+	return m.reg.CapabilityEpochs(dst, concepts...)
+}

@@ -99,6 +99,19 @@ type Options struct {
 	// GOMAXPROCS. Selections are identical for every worker count (the
 	// per-activity clustering derives its randomness from Seed alone).
 	Workers int
+	// SelectionCacheSize bounds the selection-plan cache: repeated
+	// Compose calls whose task, constraints, weights and approach match
+	// — and whose touched registry capabilities have not changed since
+	// (tracked by registry epochs) — are served a deep copy of the
+	// previous Result with zero selection work, bit-identical to a fresh
+	// run. 0 means the default (128 entries); negative disables caching.
+	// Distributed selections are never cached.
+	SelectionCacheSize int
+	// OntologyMemoCap bounds each of the ontology's Match/Distance memo
+	// tables so long-running nodes cannot grow them without limit. 0
+	// means the semantics-layer default (8192 entries per table);
+	// negative disables the bound.
+	OntologyMemoCap int
 	// Obs is the telemetry hub (metrics registry + span tracer) the
 	// instance reports into; nil means the process-wide default hub, so
 	// one /metrics endpoint covers every middleware in the process.
@@ -128,6 +141,7 @@ type Middleware struct {
 	contracts *contract.Manager
 	obs       *obs.Hub
 	met       composeMetrics
+	plans     *planCache
 	opts      Options
 }
 
@@ -187,6 +201,7 @@ func New(opts ...Options) (*Middleware, error) {
 		ps = qos.ExtendedSet()
 	}
 	onto := semantics.PervasiveWithScenarios()
+	onto.SetMemoCap(o.OntologyMemoCap)
 	reg := registry.New(onto)
 	m := &Middleware{
 		ontology: onto,
@@ -198,8 +213,12 @@ func New(opts ...Options) (*Middleware, error) {
 		mon:      monitor.New(ps, monitor.Options{Obs: o.Obs}),
 		obs:      o.Obs,
 		met:      composeMetricsFor(o.Obs),
+		plans:    newPlanCache(o.SelectionCacheSize, o.Obs.Metrics),
 		opts:     o,
 	}
+	o.Obs.Metrics.Func("qasom_plan_cache_entries",
+		"Live entries in the selection-plan cache.",
+		func() float64 { return float64(m.plans.len()) })
 	// Live-state gauges: evaluated at scrape time, so the registry stays
 	// the one source of truth for cumulative cache/size telemetry that
 	// the per-composition SelectionStats only samples windows of.
@@ -218,6 +237,12 @@ func New(opts ...Options) (*Middleware, error) {
 	o.Obs.Metrics.Func("qasom_ontology_distance_cache_misses",
 		"Cumulative ontology Distance memo misses.",
 		func() float64 { return float64(m.ontology.Stats().DistanceMisses) })
+	o.Obs.Metrics.Func("qasom_ontology_memo_evictions",
+		"Cumulative ontology memo entries dropped by the size cap (Match + Distance).",
+		func() float64 {
+			s := m.ontology.Stats()
+			return float64(s.MatchEvictions + s.DistanceEvictions)
+		})
 	return m, nil
 }
 

@@ -5,17 +5,19 @@
 #
 #   scripts/bench.sh                # one counted pass per benchmark
 #   BENCH=<regex> scripts/bench.sh  # override the benchmark selection
-#   OUT=<path> scripts/bench.sh     # override the output file
+#   OUT=<path> scripts/bench.sh    # override the output file
 #
-# Output schema: a JSON object keyed by benchmark name, each value
-# holding ns_per_op, bytes_per_op, allocs_per_op (as reported by
-# -benchmem) — the three numbers the acceptance criteria in ISSUE/PR
-# discussions track.
+# Output schema: a JSON object keyed by benchmark name (GOMAXPROCS
+# suffix stripped), each value holding ns_per_op, bytes_per_op,
+# allocs_per_op (as reported by -benchmem) — the three numbers the
+# acceptance criteria in ISSUE/PR discussions track. Benchmarks that
+# report throughput metrics (BenchmarkThroughput's ops/sec, p50-ms,
+# p99-ms custom metrics) get ops_per_sec/p50_ms/p99_ms fields too.
 set -eu
 
 cd "$(dirname "$0")/.."
 
-BENCH="${BENCH:-BenchmarkQASSA_RepairHeavy|BenchmarkEvalProbe|BenchmarkQASSA_Services|BenchmarkExhaustiveBaseline|BenchmarkGreedyBaseline|BenchmarkDistributedChurn}"
+BENCH="${BENCH:-BenchmarkQASSA_RepairHeavy|BenchmarkEvalProbe|BenchmarkQASSA_Services|BenchmarkExhaustiveBaseline|BenchmarkGreedyBaseline|BenchmarkDistributedChurn|BenchmarkThroughput}"
 OUT="${OUT:-BENCH_qassa.json}"
 
 raw=$(go test -run '^$' -bench "$BENCH" -benchmem .)
@@ -25,16 +27,22 @@ echo "$raw" | awk '
 BEGIN { print "{"; first = 1 }
 /^Benchmark/ {
     name = $1
-    ns = ""; bytes = ""; allocs = ""
+    sub(/-[0-9]+$/, "", name)
+    ns = ""; bytes = ""; allocs = ""; ops = ""; p50 = ""; p99 = ""
     for (i = 2; i <= NF; i++) {
         if ($i == "ns/op")     ns = $(i - 1)
         if ($i == "B/op")      bytes = $(i - 1)
         if ($i == "allocs/op") allocs = $(i - 1)
+        if ($i == "ops/sec")   ops = $(i - 1)
+        if ($i == "p50-ms")    p50 = $(i - 1)
+        if ($i == "p99-ms")    p99 = $(i - 1)
     }
     if (ns == "") next
     if (!first) printf ",\n"
     first = 0
-    printf "  \"%s\": {\"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", name, ns, bytes, allocs
+    printf "  \"%s\": {\"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s", name, ns, bytes, allocs
+    if (ops != "") printf ", \"ops_per_sec\": %s, \"p50_ms\": %s, \"p99_ms\": %s", ops, p50, p99
+    printf "}"
 }
 END { print "\n}" }
 ' >"$OUT"

@@ -1,0 +1,131 @@
+#!/bin/sh
+# benchcmp.sh — benchmark regression gate.
+#
+# Runs the tier-1 benchmark suite RUNS times (default 3), takes the
+# per-metric median, and compares ns_per_op / bytes_per_op /
+# allocs_per_op against the committed baseline in BENCH_qassa.json. Any
+# metric whose median exceeds its baseline by more than THRESHOLD
+# (default 15%) fails the gate. The median over multiple runs is what
+# keeps the gate non-flaky: a single noisy run cannot push a metric over
+# the threshold on its own.
+#
+#   scripts/benchcmp.sh                      # full gate
+#   RUNS=5 THRESHOLD=10 scripts/benchcmp.sh  # stricter
+#   BENCH=<regex> scripts/benchcmp.sh        # subset of benchmarks
+#   BENCHTIME=0.3s scripts/benchcmp.sh       # faster counting passes
+#
+# Only benchmarks present in BOTH the run and the baseline are compared
+# (a new benchmark cannot fail the gate before its baseline is
+# committed; ops_per_sec-style throughput fields are recorded but not
+# gated — wall-clock throughput is too machine-dependent for a hard
+# threshold).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+BASE="${BASE:-BENCH_qassa.json}"
+BENCH="${BENCH:-BenchmarkQASSA_RepairHeavy|BenchmarkEvalProbe|BenchmarkQASSA_Services|BenchmarkExhaustiveBaseline|BenchmarkGreedyBaseline|BenchmarkDistributedChurn}"
+RUNS="${RUNS:-3}"
+THRESHOLD="${THRESHOLD:-15}"
+BENCHTIME="${BENCHTIME:-0.5s}"
+
+if [ ! -f "$BASE" ]; then
+	echo "benchcmp: baseline $BASE missing" >&2
+	exit 1
+fi
+
+raw=""
+i=1
+while [ "$i" -le "$RUNS" ]; do
+	echo "benchcmp: counting pass $i/$RUNS" >&2
+	raw="$raw
+$(go test -run '^$' -bench "$BENCH" -benchtime "$BENCHTIME" -benchmem .)"
+	i=$((i + 1))
+done
+
+# Feed the baseline and every run through one awk pass: collect the
+# samples per benchmark/metric, compare medians against the baseline.
+{
+	echo "=== BASELINE ==="
+	cat "$BASE"
+	echo "=== RUNS ==="
+	echo "$raw"
+} | awk -v threshold="$THRESHOLD" '
+function median(arr, n,    i, tmp, j, t) {
+    for (i = 1; i <= n; i++) tmp[i] = arr[i]
+    for (i = 2; i <= n; i++) {
+        t = tmp[i]
+        for (j = i - 1; j >= 1 && tmp[j] > t; j--) tmp[j + 1] = tmp[j]
+        tmp[j + 1] = t
+    }
+    return tmp[int((n + 1) / 2)]
+}
+/^=== BASELINE ===$/ { section = "base"; next }
+/^=== RUNS ===$/     { section = "runs"; next }
+section == "base" && /"ns_per_op"/ {
+    line = $0
+    gsub(/[",:{}]/, " ", line)
+    split(line, f, /[ \t]+/)
+    name = f[2]
+    for (i = 1; i in f; i++) {
+        if (f[i] == "ns_per_op")     base_ns[name]     = f[i + 1]
+        if (f[i] == "bytes_per_op")  base_bytes[name]  = f[i + 1]
+        if (f[i] == "allocs_per_op") base_allocs[name] = f[i + 1]
+    }
+}
+section == "runs" && /^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    for (i = 2; i <= NF; i++) {
+        if ($i == "ns/op")     { n_ns[name]++;     ns[name, n_ns[name]] = $(i - 1) }
+        if ($i == "B/op")      { n_b[name]++;      b[name, n_b[name]] = $(i - 1) }
+        if ($i == "allocs/op") { n_a[name]++;      a[name, n_a[name]] = $(i - 1) }
+    }
+    seen[name] = 1
+}
+END {
+    failed = 0
+    compared = 0
+    for (name in seen) {
+        if (!(name in base_ns)) continue
+        compared++
+        # Re-pack the per-name samples into 1-based arrays for median().
+        delete s
+        for (i = 1; i <= n_ns[name]; i++) s[i] = ns[name, i]
+        m_ns = median(s, n_ns[name])
+        delete s
+        for (i = 1; i <= n_b[name]; i++) s[i] = b[name, i]
+        m_b = median(s, n_b[name])
+        delete s
+        for (i = 1; i <= n_a[name]; i++) s[i] = a[name, i]
+        m_a = median(s, n_a[name])
+        check(name, "ns/op",     m_ns, base_ns[name])
+        check(name, "B/op",      m_b,  base_bytes[name])
+        check(name, "allocs/op", m_a,  base_allocs[name])
+    }
+    if (compared == 0) {
+        print "benchcmp: no benchmark overlapped the baseline — check BENCH regex" > "/dev/stderr"
+        exit 1
+    }
+    printf "benchcmp: %d benchmarks compared, threshold %s%%\n", compared, threshold
+    if (failed) exit 1
+}
+function check(name, metric, got, want,    limit) {
+    if (want == 0) {
+        # A zero baseline (e.g. the eval probe allocs) must stay zero.
+        if (got > 0) {
+            printf "FAIL %s %s: %g, baseline 0\n", name, metric, got
+            failed = 1
+        }
+        return
+    }
+    limit = want * (1 + threshold / 100)
+    if (got > limit) {
+        printf "FAIL %s %s: %g exceeds baseline %g by more than %s%%\n", name, metric, got, want, threshold
+        failed = 1
+    } else {
+        printf "ok   %-55s %-10s %12g (baseline %g)\n", name, metric, got, want
+    }
+}
+'
+echo "benchcmp: gate passed"
