@@ -41,9 +41,11 @@ if [ "${1:-}" = "quick" ]; then
 	# incremental evaluation engine and the selection-plan cache
 	# (bit-identical results vs the naive/uncached reference) — cheap
 	# enough to race on every quick pass. The root package carries the
-	# plan-cache churn differentials.
-	echo "== go test -race -run TestDifferential . ./internal/core ./internal/baseline (quick)"
-	go test -race -run 'TestDifferential' . ./internal/core ./internal/baseline
+	# plan-cache churn differentials (including the multi-tenant shared
+	# store), the registry package the sharded-store epoch/candidate
+	# differentials under raced churn.
+	echo "== go test -race -run TestDifferential . ./internal/core ./internal/baseline ./internal/registry (quick)"
+	go test -race -run 'TestDifferential' . ./internal/core ./internal/baseline ./internal/registry
 	# The distributed failure matrix exercises the resilience layer's
 	# concurrency (hedged requests, breaker state, prompt cancellation);
 	# -shuffle=on catches order-dependent breaker/fault state.

@@ -150,20 +150,14 @@ func (m *Middleware) compose(ctx context.Context, req Request) (*Composition, er
 	cacheBefore := m.ontology.Stats()
 	lookupStart := time.Now()
 	_, lookupSpan := obs.StartSpan(ctx, "compose.lookup")
-	candidates := make(map[string][]registry.Candidate, t.Size())
-	for _, a := range t.Activities() {
-		if err := ctx.Err(); err != nil {
-			lookupSpan.End()
+	candidates, err := core.GatherCandidates(ctx, t, m.reg, m.props)
+	lookupSpan.End()
+	if err != nil {
+		if ctx.Err() != nil {
 			return nil, err
 		}
-		cands := m.reg.CandidatesForActivity(a, m.props)
-		if len(cands) == 0 {
-			lookupSpan.End()
-			return nil, fmt.Errorf("qasom: no services for activity %q (capability %q)", a.ID, a.Concept)
-		}
-		candidates[a.ID] = cands
+		return nil, fmt.Errorf("qasom: %w", err)
 	}
-	lookupSpan.End()
 	lookupDur := time.Since(lookupStart)
 	cacheDelta := m.ontology.Stats().Delta(cacheBefore)
 	m.met.phaseSeconds.With("lookup").ObserveDuration(lookupDur)

@@ -170,6 +170,7 @@ var experiments = func() map[string]*Experiment {
 		baselineExperiments(),
 		mobilityExperiments(),
 		servingExperiments(),
+		registryExperiments(),
 	} {
 		for _, e := range group {
 			if _, dup := m[e.ID]; dup {

@@ -15,6 +15,7 @@ func TestInventoryComplete(t *testing.T) {
 		"v7", "adapt",
 		"ablation-k", "ablation-global", "ablation-seeding", "ablation-preverify",
 		"ablation-pareto", "baselines", "mobility",
+		"serving", "shards", // ROADMAP artefacts: steady-state serving, registry scale-out
 	}
 	for _, id := range want {
 		if ByID(id) == nil {

@@ -1,0 +1,209 @@
+// Registry scale-out experiment: throughput of the sharded store across
+// shard counts and population sizes (DESIGN.md §4g). The shard count is
+// a lock-contention knob, so the interesting signal is how publish,
+// lookup and churn rates move as 1 -> 4 -> 16 shards at a fixed worker
+// count; on a single-core host the curves are flat and the table says
+// so — EXPERIMENTS.md discusses the honest reading.
+package bench
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"qasom/internal/qos"
+	"qasom/internal/registry"
+	"qasom/internal/semantics"
+)
+
+func registryExperiments() []*Experiment {
+	return []*Experiment{expRegistryShards()}
+}
+
+// shardRigPerCap keeps 50 candidates behind every capability, the mall
+// density the selection experiments use.
+const shardRigPerCap = 50
+
+// ShardRig is one populated sharded store plus its capability universe.
+type ShardRig struct {
+	Reg  *registry.Registry
+	Caps []semantics.ConceptID
+	// PublishRate is the sequential publish throughput observed while
+	// populating the rig (ops/sec).
+	PublishRate float64
+}
+
+// NewShardRig builds a store with the given shard count and publishes
+// `services` descriptions spread over services/50 synthetic capabilities
+// (each a BookSale subconcept, so subsumption closure work is realistic).
+func NewShardRig(shards, services int) (*ShardRig, error) {
+	onto := semantics.PervasiveWithScenarios()
+	caps := make([]semantics.ConceptID, services/shardRigPerCap)
+	for i := range caps {
+		caps[i] = semantics.ConceptID(fmt.Sprintf("ShardCap%06d", i))
+		if err := onto.AddConcept(caps[i], semantics.BookSale); err != nil {
+			return nil, err
+		}
+	}
+	reg := registry.NewStore(onto, registry.StoreOptions{Shards: shards}).
+		Tenant(registry.DefaultTenant)
+	start := time.Now()
+	for i := 0; i < services; i++ {
+		err := reg.Publish(registry.Description{
+			ID:      registry.ServiceID(fmt.Sprintf("svc-%07d", i)),
+			Concept: caps[i%len(caps)],
+			Offers: []registry.QoSOffer{
+				{Property: semantics.ResponseTime, Value: 40 + float64(i%100)},
+				{Property: semantics.Price, Value: 5},
+				{Property: semantics.Availability, Value: 0.95},
+				{Property: semantics.Reliability, Value: 0.9},
+				{Property: semantics.Throughput, Value: 40},
+			},
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	elapsed := time.Since(start)
+	return &ShardRig{
+		Reg:         reg,
+		Caps:        caps,
+		PublishRate: float64(services) / elapsed.Seconds(),
+	}, nil
+}
+
+// Lookups runs `total` capability lookups across `workers` closed-loop
+// goroutines and returns the aggregate ops/sec.
+func (r *ShardRig) Lookups(workers, total int) (float64, error) {
+	ps := qos.StandardSet()
+	var next atomic.Int64
+	var empty atomic.Int64
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1))
+				if i > total {
+					return
+				}
+				if got := r.Reg.Candidates(r.Caps[i%len(r.Caps)], ps); len(got) == 0 {
+					empty.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if n := empty.Load(); n != 0 {
+		return 0, fmt.Errorf("bench: %d lookups found no candidates", n)
+	}
+	return float64(total) / elapsed.Seconds(), nil
+}
+
+// Churn runs `total` publish-new/withdraw pairs across `workers`
+// goroutines (net-zero population) and returns the aggregate pair rate
+// in ops/sec.
+func (r *ShardRig) Churn(workers, total int) (float64, error) {
+	var next atomic.Int64
+	var failed atomic.Int64
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1))
+				if i > total {
+					return
+				}
+				id := registry.ServiceID(fmt.Sprintf("churn-%d", i))
+				err := r.Reg.Publish(registry.Description{
+					ID:      id,
+					Concept: r.Caps[i%len(r.Caps)],
+					Offers: []registry.QoSOffer{
+						{Property: semantics.ResponseTime, Value: 30},
+						{Property: semantics.Price, Value: 4},
+						{Property: semantics.Availability, Value: 0.96},
+						{Property: semantics.Reliability, Value: 0.92},
+						{Property: semantics.Throughput, Value: 45},
+					},
+				})
+				if err != nil || !r.Reg.Withdraw(id) {
+					failed.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if n := failed.Load(); n != 0 {
+		return 0, fmt.Errorf("bench: %d churn cycles failed", n)
+	}
+	return float64(total) / elapsed.Seconds(), nil
+}
+
+// expRegistryShards sweeps shard count x population size and reports
+// publish/lookup/churn throughput plus the speedup of each shard count
+// over the 1-shard baseline at the same size.
+func expRegistryShards() *Experiment {
+	return &Experiment{
+		ID:    "shards",
+		Paper: "§scale-out (ROADMAP)",
+		Title: "Sharded registry scale-out: ops/sec by shard count and population",
+		Expected: "lookup and churn throughput grow with shard count on multicore hosts " +
+			"(lock domains split); flat curves on a single core, falling costs per op as shards shrink",
+		Run: func(cfg Config) (*Table, error) {
+			cfg = cfg.withDefaults()
+			tbl := NewTable("Registry shard scaling",
+				"services", "shards", "publish ops/s", "lookup ops/s", "churn ops/s", "churn speedup vs 1 shard")
+			const workers = 4
+			sizes := pick(cfg, []int{5_000}, []int{100_000, 1_000_000})
+			lookups := pick(cfg, 400, 20_000)
+			churns := pick(cfg, 400, 20_000)
+			for _, services := range sizes {
+				var base float64
+				for _, shards := range []int{1, 4, 16} {
+					if cfg.Ctx != nil && cfg.Ctx.Err() != nil {
+						tbl.AddNote("cancelled before services=%d shards=%d", services, shards)
+						return tbl, nil
+					}
+					rig, err := NewShardRig(shards, services)
+					if err != nil {
+						return nil, err
+					}
+					// Median over repetitions: the phases are short and a
+					// single scheduler hiccup should not steer the table.
+					d, err := medianDuration(cfg.Repetitions, func() error {
+						_, err := rig.Lookups(workers, lookups)
+						return err
+					})
+					if err != nil {
+						return nil, err
+					}
+					lookupRate := float64(lookups) / d.Seconds()
+					d, err = medianDuration(cfg.Repetitions, func() error {
+						_, err := rig.Churn(workers, churns)
+						return err
+					})
+					if err != nil {
+						return nil, err
+					}
+					churnRate := float64(churns) / d.Seconds()
+					if shards == 1 {
+						base = churnRate
+					}
+					tbl.AddRow(services, shards,
+						rig.PublishRate, lookupRate, churnRate, churnRate/base)
+				}
+			}
+			tbl.AddNote("%d closed-loop workers per phase; GOMAXPROCS bounds real parallelism — "+
+				"shard-count speedup only materialises with free cores", workers)
+			return tbl, nil
+		},
+	}
+}

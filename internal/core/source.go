@@ -1,0 +1,49 @@
+package core
+
+import (
+	"context"
+	"fmt"
+
+	"qasom/internal/qos"
+	"qasom/internal/registry"
+	"qasom/internal/semantics"
+	"qasom/internal/task"
+)
+
+// CandidateSource is where a selection gets its per-activity candidates:
+// a single registry view, a flat federation or a branch of the two-tier
+// hierarchy — anything that resolves an abstract activity to concrete,
+// QoS-aligned services.
+type CandidateSource interface {
+	CandidatesForActivity(a *task.Activity, ps *qos.PropertySet) []registry.Candidate
+}
+
+// NoCandidatesError reports an activity no published service can
+// implement.
+type NoCandidatesError struct {
+	Activity string
+	Concept  semantics.ConceptID
+}
+
+func (e *NoCandidatesError) Error() string {
+	return fmt.Sprintf("no services for activity %q (capability %q)", e.Activity, e.Concept)
+}
+
+// GatherCandidates resolves every activity of the task against the
+// source, honouring ctx at per-activity boundaries (the lookup returns
+// ctx.Err() promptly and leaves the source unmutated). An activity with
+// no candidates fails the whole gather with a *NoCandidatesError.
+func GatherCandidates(ctx context.Context, t *task.Task, src CandidateSource, ps *qos.PropertySet) (map[string][]registry.Candidate, error) {
+	out := make(map[string][]registry.Candidate, t.Size())
+	for _, a := range t.Activities() {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		cands := src.CandidatesForActivity(a, ps)
+		if len(cands) == 0 {
+			return nil, &NoCandidatesError{Activity: a.ID, Concept: a.Concept}
+		}
+		out[a.ID] = cands
+	}
+	return out, nil
+}

@@ -1,0 +1,291 @@
+// Tests for the two-tier branch/central hierarchy: delta convergence,
+// tombstone propagation, capability-keyed pulls and partition healing
+// with idempotent re-push.
+package registry
+
+import (
+	"errors"
+	"testing"
+
+	"qasom/internal/obs"
+	"qasom/internal/qos"
+	"qasom/internal/semantics"
+)
+
+func newHierarchy(t *testing.T) (*Central, *Branch, *Branch) {
+	t.Helper()
+	onto := semantics.PervasiveWithScenarios()
+	central := NewCentral(New(onto))
+	b1 := NewBranch("site-1", New(onto))
+	b2 := NewBranch("site-2", New(onto))
+	return central, b1, b2
+}
+
+func notifyService(id string) Description {
+	return Description{
+		ID:      ServiceID(id),
+		Concept: semantics.NotifyService,
+		Offers:  stdOffers(20, 1, 0.99, 0.95, 10),
+	}
+}
+
+func TestHierarchyConvergence(t *testing.T) {
+	central, b1, b2 := newHierarchy(t)
+	ps := qos.StandardSet()
+
+	if err := b1.Publish(bookService("book-1", 40)); err != nil {
+		t.Fatal(err)
+	}
+	if err := b1.Publish(bookService("book-2", 60)); err != nil {
+		t.Fatal(err)
+	}
+	if err := b2.Publish(notifyService("notify-1")); err != nil {
+		t.Fatal(err)
+	}
+
+	// Branches answer autonomously before any sync.
+	if got := b1.Candidates(semantics.BookSale, ps); len(got) != 2 {
+		t.Fatalf("pre-sync branch lookup = %d candidates, want 2", len(got))
+	}
+	if central.Registry().Len() != 0 {
+		t.Fatal("central saw services before any sync")
+	}
+
+	s1, err := b1.Sync(central)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1.Pushed != 2 || s1.Pulled != 0 {
+		t.Fatalf("b1 first sync stats = %+v", s1)
+	}
+	if central.Registry().Len() != 2 {
+		t.Fatalf("central Len = %d after b1 sync, want 2", central.Registry().Len())
+	}
+
+	// b2 pushes its own and pulls b1's.
+	s2, err := b2.Sync(central)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Pushed != 1 || s2.Pulled != 2 {
+		t.Fatalf("b2 sync stats = %+v, want 1 pushed 2 pulled", s2)
+	}
+	// b1 pulls b2's notify service on its next round (pushing nothing).
+	s1, err = b1.Sync(central)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1.Pushed != 0 || s1.Pulled != 1 {
+		t.Fatalf("b1 second sync stats = %+v, want 0 pushed 1 pulled", s1)
+	}
+
+	for name, r := range map[string]*Registry{
+		"central": central.Registry(), "b1": b1.Registry(), "b2": b2.Registry(),
+	} {
+		if r.Len() != 3 {
+			t.Errorf("%s Len = %d, want 3 (converged)", name, r.Len())
+		}
+	}
+	if got := b2.Candidates(semantics.BookSale, ps); len(got) != 2 {
+		t.Errorf("b2 cannot serve b1's capability after sync: %d candidates", len(got))
+	}
+}
+
+func TestHierarchyTombstonePropagation(t *testing.T) {
+	central, b1, b2 := newHierarchy(t)
+	if err := b1.Publish(bookService("book-1", 40)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b1.Sync(central); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b2.Sync(central); err != nil {
+		t.Fatal(err)
+	}
+	if b2.Registry().Len() != 1 {
+		t.Fatal("b2 did not mirror the service")
+	}
+
+	if !b1.Withdraw("book-1") {
+		t.Fatal("withdraw failed")
+	}
+	if _, err := b1.Sync(central); err != nil {
+		t.Fatal(err)
+	}
+	if central.Registry().Len() != 0 {
+		t.Error("tombstone did not remove the service centrally")
+	}
+	stats, err := b2.Sync(central)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Tombstones != 1 || b2.Registry().Len() != 0 {
+		t.Errorf("tombstone did not propagate to b2: stats=%+v len=%d", stats, b2.Registry().Len())
+	}
+}
+
+// TestHierarchyCompaction: many mutations of one service replay as one
+// compacted delta — the current state, not the history.
+func TestHierarchyCompaction(t *testing.T) {
+	central, b1, _ := newHierarchy(t)
+	for i := 0; i < 10; i++ {
+		if err := b1.Publish(bookService("flappy", 40+float64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if p := b1.Pending(); p != 1 {
+		t.Fatalf("Pending = %d, want 1 (compacted)", p)
+	}
+	stats, err := b1.Sync(central)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Pushed != 1 {
+		t.Errorf("pushed %d deltas, want the 1 compacted record", stats.Pushed)
+	}
+	got, ok := central.Registry().Get("flappy")
+	if !ok || got.Offers[0].Value != 49 {
+		t.Errorf("central state = %+v, want the latest re-publish (rt=49)", got.Offers)
+	}
+}
+
+func TestHierarchyCapabilityFilteredPull(t *testing.T) {
+	central, b1, b2 := newHierarchy(t)
+	if err := b1.Publish(bookService("book-1", 40)); err != nil {
+		t.Fatal(err)
+	}
+	if err := b1.Publish(notifyService("notify-1")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b1.Sync(central); err != nil {
+		t.Fatal(err)
+	}
+	// b2 mirrors only the shopping capability; the closure in each delta
+	// lets the central filter by the general concept (BookSale's ancestor
+	// chain includes ShoppingService).
+	stats, err := b2.Sync(central, semantics.ShoppingService)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Pulled != 1 || b2.Registry().Len() != 1 {
+		t.Fatalf("capability-filtered pull: stats=%+v len=%d, want exactly the book service", stats, b2.Registry().Len())
+	}
+	if _, ok := b2.Registry().Get("book-1"); !ok {
+		t.Error("filtered pull mirrored the wrong service")
+	}
+}
+
+func TestHierarchyPartitionAndReconnect(t *testing.T) {
+	central, b1, b2 := newHierarchy(t)
+	o := obs.NewRegistry()
+	b1.Instrument(o)
+
+	central.SetPartitioned("site-1", true)
+	if err := b1.Publish(bookService("book-1", 40)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b1.Sync(central); !errors.Is(err, ErrPartitioned) {
+		t.Fatalf("partitioned sync error = %v, want ErrPartitioned", err)
+	}
+	if central.Registry().Len() != 0 {
+		t.Error("partitioned push mutated the central registry")
+	}
+	// The branch keeps serving and mutating autonomously meanwhile.
+	if err := b1.Publish(bookService("book-2", 60)); err != nil {
+		t.Fatal(err)
+	}
+	b1.Withdraw("book-1")
+
+	// Reconnect: one sync drains the whole partition backlog (compacted:
+	// book-1 replays as a tombstone).
+	central.SetPartitioned("site-1", false)
+	stats, err := b1.Sync(central)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Pushed != 2 {
+		t.Errorf("reconnect pushed %d deltas, want 2", stats.Pushed)
+	}
+	if central.Registry().Len() != 1 {
+		t.Errorf("central Len = %d after reconnect, want 1", central.Registry().Len())
+	}
+	if _, ok := central.Registry().Get("book-2"); !ok {
+		t.Error("surviving service missing centrally after reconnect")
+	}
+	if _, err := b2.Sync(central); err != nil {
+		t.Fatal(err)
+	}
+	if b2.Registry().Len() != 1 {
+		t.Errorf("b2 Len = %d after reconnect round, want 1", b2.Registry().Len())
+	}
+
+	var failures, syncs float64
+	for _, m := range o.Snapshot() {
+		for _, s := range m.Series {
+			switch m.Name {
+			case "qasom_federation_sync_failures_total":
+				failures += s.Value
+			case "qasom_federation_syncs_total":
+				syncs += s.Value
+			}
+		}
+	}
+	if failures != 1 || syncs != 1 {
+		t.Errorf("sync counters: failures=%g syncs=%g, want 1 and 1", failures, syncs)
+	}
+}
+
+// TestHierarchyIdempotentRepush: a branch whose ack was lost re-pushes
+// the same sequence numbers; the central tier must apply them exactly
+// once.
+func TestHierarchyIdempotentRepush(t *testing.T) {
+	onto := semantics.PervasiveWithScenarios()
+	central := NewCentral(New(onto))
+	store := central.Registry().Store()
+
+	mk := func(seq uint64, id string, rt float64) Delta {
+		d := bookService(id, rt)
+		return Delta{
+			Seq:     seq,
+			Origin:  "site-x",
+			ID:      d.ID,
+			Keys:    store.ClosureKeys(d.Concept),
+			Service: d,
+		}
+	}
+	batch := []Delta{mk(1, "s1", 40), mk(2, "s2", 50)}
+	ack, err := central.Push("site-x", batch)
+	if err != nil || ack != 2 {
+		t.Fatalf("first push: ack=%d err=%v", ack, err)
+	}
+	epochsAfterFirst := central.Registry().CapabilityEpochs(nil, semantics.BookSale)
+
+	// Ack lost: the branch re-pushes the identical batch plus one new
+	// delta. Only the new one may be applied.
+	batch = append(batch, mk(3, "s3", 60))
+	ack, err = central.Push("site-x", batch)
+	if err != nil || ack != 3 {
+		t.Fatalf("re-push: ack=%d err=%v", ack, err)
+	}
+	if central.Registry().Len() != 3 {
+		t.Fatalf("central Len = %d, want 3", central.Registry().Len())
+	}
+	epochsAfterRepush := central.Registry().CapabilityEpochs(nil, semantics.BookSale)
+	// Exactly one more publish landed: the epoch moved by one bump, not
+	// by a replay of the duplicates.
+	if epochsAfterRepush[0] != epochsAfterFirst[0]+1 {
+		t.Errorf("BookSale epoch %d -> %d: duplicates were re-applied", epochsAfterFirst[0], epochsAfterRepush[0])
+	}
+	deltas, _, err := central.Pull("other-site", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(deltas) != 3 {
+		t.Errorf("central log replays %d deltas, want 3 compacted", len(deltas))
+	}
+	for i := range deltas {
+		if i > 0 && deltas[i].Seq <= deltas[i-1].Seq {
+			t.Error("central log not in sequence order")
+		}
+	}
+}

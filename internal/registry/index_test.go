@@ -203,10 +203,7 @@ func TestWatchCancelConcurrentWithPublish(t *testing.T) {
 	}
 	close(stop)
 	wg.Wait()
-	r.mu.RLock()
-	leaked := len(r.watchers)
-	r.mu.RUnlock()
-	if leaked != 0 {
+	if leaked := r.store.watcherCount(); leaked != 0 {
 		t.Errorf("%d watchers leaked after cancel", leaked)
 	}
 }

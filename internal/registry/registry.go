@@ -5,13 +5,16 @@
 // semantic (capability concepts via the shared ontology, with alias
 // resolution for heterogeneous QoS vocabularies) and QoS offers are
 // converted into vectors aligned to the requester's property set.
+//
+// The storage core is a sharded, multi-tenant Store (see store.go);
+// Registry is the tenant-bound view every pre-multi-tenant call site
+// keeps using unchanged. federation.go adds the two-tier branch/central
+// hierarchy for distributed deployments.
 package registry
 
 import (
 	"fmt"
 	"sort"
-	"sync"
-	"sync/atomic"
 
 	"qasom/internal/qos"
 	"qasom/internal/semantics"
@@ -138,6 +141,17 @@ func (c Candidate) Clone() Candidate {
 	return c
 }
 
+// sortCandidates orders a candidate list by match level (better first)
+// then service ID — the contract of every Candidates variant.
+func sortCandidates(out []Candidate) {
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Match != out[j].Match {
+			return out[i].Match.Beats(out[j].Match)
+		}
+		return out[i].Service.ID < out[j].Service.ID
+	})
+}
+
 // EventKind tags registry change notifications.
 type EventKind int
 
@@ -149,9 +163,14 @@ const (
 	EventWithdrawn
 )
 
-// Event is a registry change notification.
+// Event is a registry change notification. Tenant names the logical
+// environment the change happened in (watchers only ever receive their
+// own tenant's events) and Shard is the store shard holding the
+// service's directory entry.
 type Event struct {
 	Kind    EventKind
+	Tenant  TenantID
+	Shard   int
 	Service Description
 }
 
@@ -166,322 +185,106 @@ type Metrics struct {
 	ScanLookups uint64
 	// IndexRebuilds counts full index (re)builds (initial build included).
 	IndexRebuilds uint64
+	// Shards is the number of lock domains of the backing store.
+	Shards int
 }
 
-// Registry is the concurrent service directory. Create instances with
-// New.
+// Registry is the concurrent service directory: a tenant-bound view over
+// a sharded Store. Create single-tenant instances with New, or views
+// over a shared store with Store.Tenant. All methods are safe for
+// concurrent use; views are cheap handles and any number may exist per
+// tenant.
 type Registry struct {
-	mu       sync.RWMutex
-	services map[ServiceID]Description
-	ontology *semantics.Ontology
-	watchers map[int]chan Event
-	nextW    int
-
-	// Capability index: required canonical concept → services whose
-	// capability matches it exactly or as a plugin (specialisation). A
-	// service with concept C is filed under C and every ancestor of C —
-	// the precomputed subsumption closure — so a lookup touches only
-	// matching descriptions instead of all of them. Built lazily,
-	// maintained incrementally on Publish/Withdraw, and rebuilt when the
-	// ontology's version moves (concept/alias mutations change ancestry).
-	indexing     bool
-	index        map[semantics.ConceptID]map[ServiceID]struct{}
-	indexKeys    map[ServiceID][]semantics.ConceptID
-	indexVersion uint64
-	metrics      Metrics
-
-	// gen is the global registry generation: bumped on every Publish and
-	// Withdraw (including QoS-only re-publishes). Readers poll it with a
-	// single atomic load to detect "something, somewhere changed" without
-	// taking the registry lock.
-	gen atomic.Uint64
-	// capEpochs holds one generation counter per canonical capability
-	// concept, bumped whenever a service whose capability closure covers
-	// that concept is published, updated or withdrawn. A request that
-	// depends on capabilities {C...} is provably unaffected by registry
-	// churn while every epoch in its snapshot is unchanged — the
-	// invalidation signal of the cross-request selection cache.
-	capEpochs map[semantics.ConceptID]uint64
+	store  *Store
+	tenant TenantID
 }
 
-// New creates a registry bound to the shared ontology (nil restricts
+// New creates a single-tenant registry over a fresh store with the
+// default shard count, bound to the shared ontology (nil restricts
 // matching to exact concept equality).
 func New(o *semantics.Ontology) *Registry {
-	return &Registry{
-		services:  make(map[ServiceID]Description),
-		ontology:  o,
-		watchers:  make(map[int]chan Event),
-		indexing:  true,
-		capEpochs: make(map[semantics.ConceptID]uint64),
-	}
+	return NewStore(o, StoreOptions{}).Tenant(DefaultTenant)
 }
 
-// Epoch returns the registry's global generation: a counter bumped on
-// every Publish/Withdraw. It is a single atomic load — callers poll it
-// to detect "nothing changed since my snapshot" without locking.
-func (r *Registry) Epoch() uint64 { return r.gen.Load() }
+// Store returns the sharded multi-tenant store backing this view.
+func (r *Registry) Store() *Store { return r.store }
+
+// TenantID returns the tenant this view is bound to.
+func (r *Registry) TenantID() TenantID { return r.tenant }
+
+// Epoch returns the store's global generation: a counter bumped on every
+// Publish/Withdraw of any tenant. It is a single atomic load — callers
+// poll it to detect "nothing changed since my snapshot" without locking.
+// For a tenant-precise signal use CapabilityEpochs.
+func (r *Registry) Epoch() uint64 { return r.store.Epoch() }
 
 // CapabilityEpochs appends to dst the current epoch of each required
-// capability concept (bumped whenever a service whose capability closure
-// covers the concept joins, changes or leaves), followed by the shared
-// ontology's mutation version when one is attached — together, the exact
-// staleness signal for anything derived from a Candidates lookup on
-// those concepts. A never-published capability reports epoch 0; the
-// first publish moves it. Pass a reused slice to avoid allocation.
+// capability concept for this tenant (bumped whenever a service whose
+// capability closure covers the concept joins, changes or leaves),
+// followed by the shared ontology's mutation version when one is
+// attached — together, the exact staleness signal for anything derived
+// from a Candidates lookup on those concepts. A never-published
+// capability reports epoch 0; the first publish moves it. The snapshot
+// takes only the shard locks the concepts hash to — each touched shard's
+// read lock exactly once — never a store-global lock. Pass a reused
+// slice to avoid allocation.
 func (r *Registry) CapabilityEpochs(dst []uint64, concepts ...semantics.ConceptID) []uint64 {
-	if dst != nil {
-		dst = dst[:0]
-	}
-	r.mu.RLock()
-	for _, c := range concepts {
-		if r.ontology != nil {
-			c = r.ontology.Canonical(c)
-		}
-		dst = append(dst, r.capEpochs[c])
-	}
-	r.mu.RUnlock()
-	if r.ontology != nil {
-		dst = append(dst, r.ontology.Version())
-	}
-	return dst
+	return r.store.capabilityEpochs(r.tenant, dst, concepts...)
 }
 
-// bumpEpochsLocked advances the global generation and the per-capability
-// epoch of every concept in keys; callers hold the write lock.
-func (r *Registry) bumpEpochsLocked(keys []semantics.ConceptID) {
-	r.gen.Add(1)
-	for _, k := range keys {
-		r.capEpochs[k]++
-	}
-}
+// SetIndexing enables or disables the capability index store-wide
+// (enabled by default); disabling drops the index and reverts Candidates
+// to the full-scan path. It exists as an ablation/benchmark knob and as
+// a safety valve.
+func (r *Registry) SetIndexing(enabled bool) { r.store.SetIndexing(enabled) }
 
-// epochKeysLocked returns the capability closure a stored description's
-// epochs must be bumped under: the index keys when the index holds them
-// (they reflect the ancestry the description was filed under), otherwise
-// a fresh computation against the current ontology.
-func (r *Registry) epochKeysLocked(d *Description) []semantics.ConceptID {
-	if keys, ok := r.indexKeys[d.ID]; ok {
-		return keys
-	}
-	return r.indexKeysFor(d)
-}
-
-// SetIndexing enables or disables the capability index (enabled by
-// default); disabling drops the index and reverts Candidates to the
-// full-scan path. It exists as an ablation/benchmark knob and as a
-// safety valve.
-func (r *Registry) SetIndexing(enabled bool) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	r.indexing = enabled
-	if !enabled {
-		r.index = nil
-		r.indexKeys = nil
-	}
-}
-
-// Metrics returns a snapshot of the lookup counters.
-func (r *Registry) Metrics() Metrics {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	return r.metrics
-}
-
-// indexKeysFor computes the concepts a service description must be filed
-// under: its canonical capability plus every (transitive) ancestor — any
-// required concept in that set matches the service exactly or plugin.
-func (r *Registry) indexKeysFor(d *Description) []semantics.ConceptID {
-	if r.ontology == nil {
-		return []semantics.ConceptID{d.Concept}
-	}
-	canon := r.ontology.Canonical(d.Concept)
-	anc := r.ontology.Ancestors(canon)
-	keys := make([]semantics.ConceptID, 0, 1+len(anc))
-	keys = append(keys, canon)
-	keys = append(keys, anc...)
-	return keys
-}
-
-// ensureIndexLocked (re)builds the capability index when missing or when
-// the ontology mutated since the last build; callers hold the write lock.
-func (r *Registry) ensureIndexLocked() {
-	version := uint64(0)
-	if r.ontology != nil {
-		version = r.ontology.Version()
-	}
-	if r.index != nil && r.indexVersion == version {
-		return
-	}
-	r.index = make(map[semantics.ConceptID]map[ServiceID]struct{}, len(r.services))
-	r.indexKeys = make(map[ServiceID][]semantics.ConceptID, len(r.services))
-	for id := range r.services {
-		d := r.services[id]
-		r.indexServiceLocked(&d)
-	}
-	r.indexVersion = version
-	r.metrics.IndexRebuilds++
-}
-
-// indexServiceLocked files one service under its capability closure;
-// no-op until the index has been built (it is built lazily on first
-// lookup). Callers hold the write lock.
-func (r *Registry) indexServiceLocked(d *Description) {
-	if r.index == nil {
-		return
-	}
-	keys := r.indexKeysFor(d)
-	r.indexKeys[d.ID] = keys
-	for _, k := range keys {
-		set, ok := r.index[k]
-		if !ok {
-			set = make(map[ServiceID]struct{})
-			r.index[k] = set
-		}
-		set[d.ID] = struct{}{}
-	}
-}
-
-// unindexServiceLocked removes a service from the index; callers hold
-// the write lock.
-func (r *Registry) unindexServiceLocked(id ServiceID) {
-	if r.index == nil {
-		return
-	}
-	for _, k := range r.indexKeys[id] {
-		if set, ok := r.index[k]; ok {
-			delete(set, id)
-			if len(set) == 0 {
-				delete(r.index, k)
-			}
-		}
-	}
-	delete(r.indexKeys, id)
-}
+// Metrics returns a snapshot of the store-wide lookup counters.
+func (r *Registry) Metrics() Metrics { return r.store.Metrics() }
 
 // Ontology returns the registry's shared ontology (may be nil).
-func (r *Registry) Ontology() *semantics.Ontology { return r.ontology }
+func (r *Registry) Ontology() *semantics.Ontology { return r.store.Ontology() }
 
-// Publish validates and stores a description, replacing any previous
-// version, and notifies watchers.
+// Publish validates and stores a description for this tenant, replacing
+// any previous version, and notifies the tenant's watchers.
 func (r *Registry) Publish(d Description) error {
-	if err := d.Validate(); err != nil {
-		return err
-	}
-	cp := d.clone()
-	r.mu.Lock()
-	if old, ok := r.services[cp.ID]; ok {
-		// Re-publish may change the capability: the old closure's view of
-		// the registry goes stale too.
-		r.bumpEpochsLocked(r.epochKeysLocked(&old))
-		r.unindexServiceLocked(cp.ID)
-	}
-	r.services[cp.ID] = cp
-	r.indexServiceLocked(&cp)
-	r.bumpEpochsLocked(r.indexKeysFor(&cp))
-	r.mu.Unlock()
-	r.notify(Event{Kind: EventPublished, Service: cp})
-	return nil
+	return r.store.publish(r.tenant, d)
 }
 
-// Withdraw removes a service and notifies watchers; it reports whether
-// the service was present.
+// Withdraw removes a service of this tenant and notifies watchers; it
+// reports whether the service was present.
 func (r *Registry) Withdraw(id ServiceID) bool {
-	r.mu.Lock()
-	d, ok := r.services[id]
-	if ok {
-		r.bumpEpochsLocked(r.epochKeysLocked(&d))
-		delete(r.services, id)
-		r.unindexServiceLocked(id)
-	}
-	r.mu.Unlock()
-	if ok {
-		r.notify(Event{Kind: EventWithdrawn, Service: d})
-	}
-	return ok
+	return r.store.withdraw(r.tenant, id)
 }
 
 // Get returns a copy of the description for id.
 func (r *Registry) Get(id ServiceID) (Description, bool) {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	d, ok := r.services[id]
-	if !ok {
-		return Description{}, false
-	}
-	return d.clone(), true
+	return r.store.get(r.tenant, id)
 }
 
-// Len returns the number of published services.
+// Len returns the number of services this tenant has published.
 func (r *Registry) Len() int {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	return len(r.services)
+	return int(r.store.tenantCount(r.tenant).Load())
 }
 
-// All returns copies of every description, sorted by ID.
+// All returns copies of every description of this tenant, sorted by ID.
 func (r *Registry) All() []Description {
-	r.mu.RLock()
-	out := make([]Description, 0, len(r.services))
-	for _, d := range r.services {
-		out = append(out, d.clone())
-	}
-	r.mu.RUnlock()
+	out := r.store.all(r.tenant)
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out
 }
 
-// Candidates resolves the services able to provide the required
+// Candidates resolves the tenant's services able to provide the required
 // capability, with their QoS vectors aligned to ps. Services whose
 // capability fails to match (subsume matches are excluded: a more
 // general service does not guarantee the required function) or whose
 // offers cannot cover ps are skipped. Results are sorted by match level
 // then ID.
 //
-// With indexing enabled (the default) the lookup walks only the
-// descriptions filed under the required concept's index entry; the full
-// scan remains as the fallback path.
+// With indexing enabled (the default) the lookup reads exactly one index
+// entry in the shard the required concept hashes to; the full scan
+// remains as the fallback path.
 func (r *Registry) Candidates(required semantics.ConceptID, ps *qos.PropertySet) []Candidate {
-	var services []Description
-	if r.ontology != nil {
-		required = r.ontology.Canonical(required)
-	}
-	r.mu.Lock()
-	if r.indexing {
-		r.ensureIndexLocked()
-		r.metrics.IndexedLookups++
-		ids := r.index[required]
-		services = make([]Description, 0, len(ids))
-		for id := range ids {
-			services = append(services, r.services[id])
-		}
-	} else {
-		r.metrics.ScanLookups++
-		services = make([]Description, 0, len(r.services))
-		for _, d := range r.services {
-			services = append(services, d)
-		}
-	}
-	r.mu.Unlock()
-
-	out := make([]Candidate, 0, len(services))
-	for _, d := range services {
-		level := r.matchCapability(required, d.Concept)
-		if level != semantics.MatchExact && level != semantics.MatchPlugin {
-			continue
-		}
-		vec, err := d.VectorFor(ps, r.ontology)
-		if err != nil {
-			continue
-		}
-		out = append(out, Candidate{Service: d.clone(), Vector: vec, Match: level})
-	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Match != out[j].Match {
-			return out[i].Match.Beats(out[j].Match)
-		}
-		return out[i].Service.ID < out[j].Service.ID
-	})
-	return out
+	return r.store.candidates(r.tenant, required, ps)
 }
 
 // CandidatesForActivity resolves candidates for an abstract activity,
@@ -521,60 +324,19 @@ func (r *Registry) dataCompatible(a *task.Activity, d *Description) bool {
 
 func (r *Registry) conceptCovered(required semantics.ConceptID, available []semantics.ConceptID) bool {
 	for _, offered := range available {
-		if r.matchCapability(required, offered).Satisfies() {
+		if r.store.matchCapability(required, offered).Satisfies() {
 			return true
 		}
 	}
 	return false
 }
 
-func (r *Registry) matchCapability(required, offered semantics.ConceptID) semantics.MatchLevel {
-	if r.ontology == nil {
-		if required == offered {
-			return semantics.MatchExact
-		}
-		return semantics.MatchFail
-	}
-	return r.ontology.Match(required, offered)
-}
-
-// Watch subscribes to registry change events. The returned cancel
-// function unsubscribes and closes the channel. Events are delivered
-// best-effort: when the subscriber's buffer is full the event is dropped
-// rather than blocking publishers.
+// Watch subscribes to this tenant's registry change events. The returned
+// cancel function unsubscribes and closes the channel. Events are
+// delivered best-effort: when the subscriber's buffer is full the event
+// is dropped rather than blocking publishers. Each event carries the
+// tenant and home shard of the changed service, and every watcher gets
+// its own deep copy.
 func (r *Registry) Watch(buffer int) (<-chan Event, func()) {
-	if buffer <= 0 {
-		buffer = 16
-	}
-	ch := make(chan Event, buffer)
-	r.mu.Lock()
-	id := r.nextW
-	r.nextW++
-	r.watchers[id] = ch
-	r.mu.Unlock()
-	var once sync.Once
-	cancel := func() {
-		once.Do(func() {
-			r.mu.Lock()
-			delete(r.watchers, id)
-			r.mu.Unlock()
-			close(ch)
-		})
-	}
-	return ch, cancel
-}
-
-func (r *Registry) notify(e Event) {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	for _, ch := range r.watchers {
-		// Each watcher gets its own deep copy: a subscriber mutating the
-		// event (or holding it across further publishes) must never alias
-		// registry-internal state or another watcher's view.
-		ev := Event{Kind: e.Kind, Service: e.Service.clone()}
-		select {
-		case ch <- ev:
-		default: // drop rather than block
-		}
-	}
+	return r.store.watch(r.tenant, buffer)
 }

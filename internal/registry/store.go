@@ -1,0 +1,723 @@
+package registry
+
+import (
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"qasom/internal/obs"
+	"qasom/internal/qos"
+	"qasom/internal/semantics"
+)
+
+// This file implements the sharded, multi-tenant registry core. The
+// public Registry type is a tenant-bound view over a Store: many logical
+// environments (tenants) share one process and one shard array, and the
+// single lock domain of the original registry becomes one RWMutex per
+// shard so Publish/Withdraw and candidate lookups on unrelated
+// capabilities never contend.
+//
+// Placement: a capability concept (and its index entry and epoch
+// counter) lives in the shard its (tenant, concept) pair hashes to; a
+// service's directory entry lives in the shard its (tenant, id) pair
+// hashes to. A service is therefore *indexed* in every shard that owns
+// one of its capability-closure keys, while the description itself is
+// stored once, as an immutable *storedService shared by all filings —
+// readers clone on the way out exactly as before, so no aliasing is
+// introduced by the sharing.
+//
+// Epoch semantics are unchanged from the single-lock registry but are
+// now per shard: the epoch of capability key k is bumped under shard(k)'s
+// write lock, atomically with the index change for k, so a snapshot
+// taken before a lookup still certifies "no candidate this lookup could
+// see has changed" — CapabilityEpochs takes each touched shard's read
+// lock exactly once, not a global lock.
+//
+// Mutations of one service (same tenant + ID) are serialized on a
+// striped mutex so a Publish/Withdraw race on the same ID cannot
+// interleave its per-shard index updates with another mutation of the
+// same service; mutations of different services only meet at the shard
+// granularity. Stripe locks never nest inside shard locks and shard
+// locks are held one at a time (the whole-store index rebuild is the one
+// exception: it takes every shard lock, in index order, while holding
+// rebuildMu and no stripe).
+
+// TenantID names a logical environment sharing the store. The zero value
+// is the default tenant, which every tenant-unaware caller uses.
+type TenantID string
+
+// DefaultTenant is the tenant of New and of every pre-multi-tenant call
+// site.
+const DefaultTenant TenantID = ""
+
+// DefaultShards is the shard count when StoreOptions.Shards is zero.
+const DefaultShards = 8
+
+// mutationStripes is the size of the per-service mutation serialization
+// table. It only bounds the number of concurrent *mutations* in flight
+// (readers never touch it), so a modest fixed size is plenty.
+const mutationStripes = 128
+
+// StoreOptions configure a sharded store.
+type StoreOptions struct {
+	// Shards is the number of lock domains; it is rounded up to a power
+	// of two. 0 means DefaultShards.
+	Shards int
+	// Obs, when non-nil, receives the store's shard telemetry:
+	// qasom_registry_shard_lock_wait_seconds{shard} observes write-lock
+	// acquisition waits (only the contended ones — the uncontended fast
+	// path costs one TryLock), and qasom_registry_shard_mutations_total
+	// counts Publish/Withdraw directory updates per shard.
+	Obs *obs.Registry
+}
+
+// svcKey is the tenant-scoped directory key of a service.
+type svcKey struct {
+	tenant TenantID
+	id     ServiceID
+}
+
+// capKey is the tenant-scoped key of a capability concept: its index
+// entry and its epoch counter live in the shard this key hashes to.
+type capKey struct {
+	tenant  TenantID
+	concept semantics.ConceptID
+}
+
+// storedService is one published description plus the filing metadata
+// every shard that indexes it shares. desc and keys are immutable after
+// insertion (a re-publish swaps in a fresh storedService; the whole-store
+// rebuild, which holds every shard lock, is the only writer of keys).
+type storedService struct {
+	desc   Description
+	tenant TenantID
+	// keys is the canonical capability closure the service is filed and
+	// epoch-bumped under: its canonical capability plus every ancestor.
+	// Computed once per Publish and reused for shard routing, index
+	// filing and epoch bumps.
+	keys []semantics.ConceptID
+	// home is the shard holding the directory entry.
+	home uint32
+}
+
+// shard is one lock domain of the store.
+type shard struct {
+	mu sync.RWMutex
+	// services holds the directory entries homed here (routed by
+	// (tenant, id)).
+	services map[svcKey]*storedService
+	// index maps each capability key owned by this shard (routed by
+	// (tenant, concept)) to the services filed under it, across all home
+	// shards.
+	index map[capKey]map[ServiceID]*storedService
+	// capEpochs holds the per-capability generation counters owned by
+	// this shard, bumped under mu together with the index change.
+	capEpochs map[capKey]uint64
+}
+
+// watcher is one Watch subscription, tenant-filtered at notify time.
+type watcher struct {
+	ch     chan Event
+	tenant TenantID
+}
+
+// Store is the sharded, multi-tenant registry core. Create instances
+// with NewStore and obtain tenant-bound views with Tenant; the plain New
+// constructor wraps a fresh single-tenant store for compatibility.
+type Store struct {
+	ontology *semantics.Ontology
+	shards   []shard
+	mask     uint32
+	stripes  [mutationStripes]sync.Mutex
+
+	// gen is the store-global generation, bumped on every mutation of any
+	// tenant; readers poll it with one atomic load.
+	gen   atomic.Uint64
+	total atomic.Int64
+	// counts holds per-tenant service counts (TenantID → *atomic.Int64).
+	counts sync.Map
+
+	// Index lifecycle: built lazily on the first indexed lookup, then
+	// maintained incrementally per shard; a moved ontology version forces
+	// a whole-store rebuild (concept mutations change every closure).
+	indexing     atomic.Bool
+	built        atomic.Bool
+	indexVersion atomic.Uint64
+	rebuildMu    sync.Mutex
+
+	indexedLookups atomic.Uint64
+	scanLookups    atomic.Uint64
+	indexRebuilds  atomic.Uint64
+
+	watchMu  sync.RWMutex
+	watchers map[int]watcher
+	nextW    int
+
+	// lockWait/mutations are nil without StoreOptions.Obs; shardLabels
+	// pre-renders the label values so the hot path never formats.
+	lockWait    *obs.HistogramVec
+	mutations   *obs.CounterVec
+	shardLabels []string
+}
+
+// NewStore creates a sharded multi-tenant store bound to the shared
+// ontology (nil restricts matching to exact concept equality).
+func NewStore(o *semantics.Ontology, opts StoreOptions) *Store {
+	n := opts.Shards
+	if n <= 0 {
+		n = DefaultShards
+	}
+	// Round up to a power of two so shard routing is a mask, not a mod.
+	pow := 1
+	for pow < n {
+		pow <<= 1
+	}
+	s := &Store{
+		ontology: o,
+		shards:   make([]shard, pow),
+		mask:     uint32(pow - 1),
+		watchers: make(map[int]watcher),
+	}
+	for i := range s.shards {
+		s.shards[i].services = make(map[svcKey]*storedService)
+		s.shards[i].capEpochs = make(map[capKey]uint64)
+	}
+	s.indexing.Store(true)
+	if opts.Obs != nil {
+		s.lockWait = opts.Obs.HistogramVec("qasom_registry_shard_lock_wait_seconds",
+			"Contended write-lock acquisition waits per registry shard.",
+			[]float64{1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1}, "shard")
+		s.mutations = opts.Obs.CounterVec("qasom_registry_shard_mutations_total",
+			"Publish/Withdraw directory mutations per registry shard.", "shard")
+		s.shardLabels = make([]string, pow)
+		for i := range s.shardLabels {
+			s.shardLabels[i] = strconv.Itoa(i)
+		}
+	}
+	return s
+}
+
+// Tenant returns the tenant-bound view through which one logical
+// environment publishes, withdraws and resolves candidates. Views are
+// cheap handles; any number may exist per tenant.
+func (s *Store) Tenant(t TenantID) *Registry {
+	return &Registry{store: s, tenant: t}
+}
+
+// Ontology returns the store's shared ontology (may be nil).
+func (s *Store) Ontology() *semantics.Ontology { return s.ontology }
+
+// Shards returns the number of lock domains.
+func (s *Store) Shards() int { return len(s.shards) }
+
+// Epoch returns the store-global generation: bumped on every
+// Publish/Withdraw of any tenant. One atomic load.
+func (s *Store) Epoch() uint64 { return s.gen.Load() }
+
+// Len returns the number of published services across all tenants.
+func (s *Store) Len() int { return int(s.total.Load()) }
+
+// ShardOf returns the shard index holding the directory entry of
+// (tenant, id) — the value watch events report in Event.Shard.
+func (s *Store) ShardOf(t TenantID, id ServiceID) int {
+	return int(s.shardOfID(t, id))
+}
+
+// SetIndexing enables or disables the capability index store-wide
+// (enabled by default); disabling drops every shard's index and reverts
+// lookups to the full-scan path. Ablation/benchmark knob.
+func (s *Store) SetIndexing(enabled bool) {
+	s.rebuildMu.Lock()
+	defer s.rebuildMu.Unlock()
+	s.indexing.Store(enabled)
+	if !enabled {
+		s.built.Store(false)
+		for i := range s.shards {
+			sh := &s.shards[i]
+			sh.mu.Lock()
+			sh.index = nil
+			sh.mu.Unlock()
+		}
+	}
+}
+
+// Metrics returns a snapshot of the store-wide lookup counters.
+func (s *Store) Metrics() Metrics {
+	return Metrics{
+		IndexedLookups: s.indexedLookups.Load(),
+		ScanLookups:    s.scanLookups.Load(),
+		IndexRebuilds:  s.indexRebuilds.Load(),
+		Shards:         len(s.shards),
+	}
+}
+
+// fnvPair hashes two strings separated by a sentinel byte (FNV-1a).
+func fnvPair(a, b string) uint32 {
+	const prime = 16777619
+	h := uint32(2166136261)
+	for i := 0; i < len(a); i++ {
+		h = (h ^ uint32(a[i])) * prime
+	}
+	h = (h ^ 0xff) * prime
+	for i := 0; i < len(b); i++ {
+		h = (h ^ uint32(b[i])) * prime
+	}
+	return h
+}
+
+func (s *Store) shardOfCap(t TenantID, c semantics.ConceptID) uint32 {
+	return fnvPair(string(t), string(c)) & s.mask
+}
+
+func (s *Store) shardOfID(t TenantID, id ServiceID) uint32 {
+	return fnvPair(string(t), string(id)) & s.mask
+}
+
+func (s *Store) stripeFor(t TenantID, id ServiceID) *sync.Mutex {
+	return &s.stripes[fnvPair(string(t), string(id))%mutationStripes]
+}
+
+// lockShard takes the shard's write lock, feeding the contended-wait
+// histogram when telemetry is attached. The uncontended path costs one
+// TryLock and no clock reads.
+func (s *Store) lockShard(idx uint32) {
+	sh := &s.shards[idx]
+	if s.lockWait == nil || sh.mu.TryLock() {
+		if s.lockWait == nil {
+			sh.mu.Lock()
+		}
+		return
+	}
+	start := time.Now()
+	sh.mu.Lock()
+	s.lockWait.With(s.shardLabels[idx]).Observe(time.Since(start).Seconds())
+}
+
+func (s *Store) tenantCount(t TenantID) *atomic.Int64 {
+	if v, ok := s.counts.Load(t); ok {
+		return v.(*atomic.Int64)
+	}
+	v, _ := s.counts.LoadOrStore(t, new(atomic.Int64))
+	return v.(*atomic.Int64)
+}
+
+// closureKeys computes, once, the canonical capability closure a
+// description is routed, filed and epoch-bumped under: its canonical
+// capability plus every (transitive) ancestor.
+func (s *Store) closureKeys(c semantics.ConceptID) []semantics.ConceptID {
+	if s.ontology == nil {
+		return []semantics.ConceptID{c}
+	}
+	canon := s.ontology.Canonical(c)
+	anc := s.ontology.Ancestors(canon)
+	keys := make([]semantics.ConceptID, 0, 1+len(anc))
+	keys = append(keys, canon)
+	return append(keys, anc...)
+}
+
+// ClosureKeys returns the canonical capability closure of a concept —
+// the keys a service with that capability is indexed and epoch-tracked
+// under. Federation deltas carry these so receivers can filter
+// capability-keyed pulls without recomputing ancestry.
+func (s *Store) ClosureKeys(c semantics.ConceptID) []semantics.ConceptID {
+	return s.closureKeys(c)
+}
+
+// publish validates and stores a description for the tenant, replacing
+// any previous version, and notifies the tenant's watchers.
+func (s *Store) publish(t TenantID, d Description) error {
+	if err := d.Validate(); err != nil {
+		return err
+	}
+	cp := d.clone()
+	home := s.shardOfID(t, cp.ID)
+	// Canonicalize once: the closure drives shard routing, index filing
+	// and epoch bumps alike (satellite: no repeated canonicalization on
+	// the Publish path). Keep the local — ss.keys may be rewritten by a
+	// concurrent whole-store rebuild, which holds locks we no longer do.
+	keys := s.closureKeys(cp.Concept)
+	ss := &storedService{desc: cp, tenant: t, keys: keys, home: home}
+
+	stripe := s.stripeFor(t, cp.ID)
+	stripe.Lock()
+	sk := svcKey{t, cp.ID}
+	s.lockShard(home)
+	old := s.shards[home].services[sk]
+	s.shards[home].services[sk] = ss
+	var oldKeys []semantics.ConceptID
+	if old != nil {
+		oldKeys = old.keys // read under the home lock: ordered vs rebuild
+	}
+	s.shards[home].mu.Unlock()
+	s.applyIndexDelta(t, cp.ID, ss, oldKeys, keys)
+	stripe.Unlock()
+
+	s.gen.Add(1)
+	if old == nil {
+		s.total.Add(1)
+		s.tenantCount(t).Add(1)
+	}
+	if s.mutations != nil {
+		s.mutations.With(s.shardLabels[home]).Inc()
+	}
+	s.notify(Event{Kind: EventPublished, Tenant: t, Shard: int(home), Service: cp})
+	return nil
+}
+
+// withdraw removes a tenant's service and notifies watchers; it reports
+// whether the service was present.
+func (s *Store) withdraw(t TenantID, id ServiceID) bool {
+	stripe := s.stripeFor(t, id)
+	stripe.Lock()
+	home := s.shardOfID(t, id)
+	sk := svcKey{t, id}
+	s.lockShard(home)
+	old := s.shards[home].services[sk]
+	if old == nil {
+		s.shards[home].mu.Unlock()
+		stripe.Unlock()
+		return false
+	}
+	delete(s.shards[home].services, sk)
+	oldKeys := old.keys // read under the home lock: ordered vs rebuild
+	s.shards[home].mu.Unlock()
+	s.applyIndexDelta(t, id, nil, oldKeys, nil)
+	stripe.Unlock()
+
+	s.gen.Add(1)
+	s.total.Add(-1)
+	s.tenantCount(t).Add(-1)
+	if s.mutations != nil {
+		s.mutations.With(s.shardLabels[home]).Inc()
+	}
+	s.notify(Event{Kind: EventWithdrawn, Tenant: t, Shard: int(home), Service: old.desc})
+	return true
+}
+
+// applyIndexDelta updates every shard owning a key in oldKeys ∪ newKeys:
+// it unfiles the service from keys it leaves, files it (as ss) under
+// keys it joins or keeps, and bumps each key's epoch — one write-lock
+// acquisition per touched shard, each key's index change and epoch bump
+// atomic under its shard's lock. ss == nil means withdrawal. Callers
+// hold the service's mutation stripe.
+func (s *Store) applyIndexDelta(t TenantID, id ServiceID, ss *storedService, oldKeys, newKeys []semantics.ConceptID) {
+	maintain := s.built.Load()
+	process := func(idx uint32) {
+		s.lockShard(idx)
+		sh := &s.shards[idx]
+		for _, k := range oldKeys {
+			if s.shardOfCap(t, k) != idx {
+				continue
+			}
+			ck := capKey{t, k}
+			sh.capEpochs[ck]++
+			if !maintain || (ss != nil && containsConcept(newKeys, k)) {
+				continue // key kept: the newKeys pass below overwrites the filing
+			}
+			if set := sh.index[ck]; set != nil {
+				delete(set, id)
+				if len(set) == 0 {
+					delete(sh.index, ck)
+				}
+			}
+		}
+		if ss != nil {
+			for _, k := range newKeys {
+				if s.shardOfCap(t, k) != idx {
+					continue
+				}
+				ck := capKey{t, k}
+				sh.capEpochs[ck]++
+				if !maintain {
+					continue
+				}
+				if sh.index == nil {
+					sh.index = make(map[capKey]map[ServiceID]*storedService)
+				}
+				set := sh.index[ck]
+				if set == nil {
+					set = make(map[ServiceID]*storedService)
+					sh.index[ck] = set
+				}
+				set[id] = ss
+			}
+		}
+		sh.mu.Unlock()
+	}
+	// Visit each touched shard exactly once, in first-appearance order.
+	var visitedBuf [8]uint32
+	visited := visitedBuf[:0]
+	visit := func(keys []semantics.ConceptID) {
+		for _, k := range keys {
+			idx := s.shardOfCap(t, k)
+			seen := false
+			for _, v := range visited {
+				if v == idx {
+					seen = true
+					break
+				}
+			}
+			if seen {
+				continue
+			}
+			visited = append(visited, idx)
+			process(idx)
+		}
+	}
+	visit(oldKeys)
+	visit(newKeys)
+}
+
+func containsConcept(keys []semantics.ConceptID, c semantics.ConceptID) bool {
+	for _, k := range keys {
+		if k == c {
+			return true
+		}
+	}
+	return false
+}
+
+// get returns a copy of the tenant's description for id.
+func (s *Store) get(t TenantID, id ServiceID) (Description, bool) {
+	sh := &s.shards[s.shardOfID(t, id)]
+	sh.mu.RLock()
+	ss := sh.services[svcKey{t, id}]
+	sh.mu.RUnlock()
+	if ss == nil {
+		return Description{}, false
+	}
+	return ss.desc.clone(), true
+}
+
+// all returns copies of every description of the tenant (unsorted; the
+// caller sorts).
+func (s *Store) all(t TenantID) []Description {
+	out := make([]Description, 0, s.tenantCount(t).Load())
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for sk, ss := range sh.services {
+			if sk.tenant != t {
+				continue
+			}
+			out = append(out, ss.desc.clone())
+		}
+		sh.mu.RUnlock()
+	}
+	return out
+}
+
+// capabilityEpochs fills dst, in concepts order, with the current epoch
+// of each capability key for the tenant, taking each touched shard's
+// read lock exactly once, and appends the ontology version when one is
+// attached.
+func (s *Store) capabilityEpochs(t TenantID, dst []uint64, concepts ...semantics.ConceptID) []uint64 {
+	if dst != nil {
+		dst = dst[:0]
+	}
+	n := len(concepts)
+	var keyBuf [16]capKey
+	var shardBuf [16]uint32
+	keys := keyBuf[:0]
+	route := shardBuf[:0]
+	for _, c := range concepts {
+		if s.ontology != nil {
+			c = s.ontology.Canonical(c)
+		}
+		keys = append(keys, capKey{t, c})
+		route = append(route, s.shardOfCap(t, c))
+	}
+	base := len(dst)
+	for range concepts {
+		dst = append(dst, 0)
+	}
+	const done = ^uint32(0)
+	for i := 0; i < n; i++ {
+		if route[i] == done {
+			continue
+		}
+		idx := route[i]
+		sh := &s.shards[idx]
+		sh.mu.RLock()
+		for j := i; j < n; j++ {
+			if route[j] != idx {
+				continue
+			}
+			dst[base+j] = sh.capEpochs[keys[j]]
+			route[j] = done
+		}
+		sh.mu.RUnlock()
+	}
+	if s.ontology != nil {
+		dst = append(dst, s.ontology.Version())
+	}
+	return dst
+}
+
+// ensureIndex builds the capability index on first use and rebuilds it
+// when the ontology's version moved (concept/alias mutations change
+// every closure). The rebuild is the one whole-store lock: it takes
+// every shard's write lock, in index order, recomputes each stored
+// service's closure and refiles everything.
+func (s *Store) ensureIndex() {
+	version := uint64(0)
+	if s.ontology != nil {
+		version = s.ontology.Version()
+	}
+	if s.built.Load() && s.indexVersion.Load() == version {
+		return
+	}
+	s.rebuildMu.Lock()
+	defer s.rebuildMu.Unlock()
+	if s.ontology != nil {
+		version = s.ontology.Version()
+	}
+	if s.built.Load() && s.indexVersion.Load() == version {
+		return
+	}
+	for i := range s.shards {
+		s.shards[i].mu.Lock()
+	}
+	for i := range s.shards {
+		s.shards[i].index = make(map[capKey]map[ServiceID]*storedService)
+	}
+	for i := range s.shards {
+		for sk, ss := range s.shards[i].services {
+			ss.keys = s.closureKeys(ss.desc.Concept)
+			for _, k := range ss.keys {
+				target := &s.shards[s.shardOfCap(sk.tenant, k)]
+				ck := capKey{sk.tenant, k}
+				set := target.index[ck]
+				if set == nil {
+					set = make(map[ServiceID]*storedService)
+					target.index[ck] = set
+				}
+				set[sk.id] = ss
+			}
+		}
+	}
+	s.indexVersion.Store(version)
+	s.built.Store(true)
+	s.indexRebuilds.Add(1)
+	for i := range s.shards {
+		s.shards[i].mu.Unlock()
+	}
+}
+
+// collect gathers the stored-service pointers a candidate lookup must
+// consider: one shard's index entry on the indexed path, every shard's
+// tenant directory on the scan path. Descriptions are immutable, so the
+// pointers are safe to use outside the locks.
+func (s *Store) collect(t TenantID, canon semantics.ConceptID) []*storedService {
+	if s.indexing.Load() {
+		s.ensureIndex()
+		s.indexedLookups.Add(1)
+		sh := &s.shards[s.shardOfCap(t, canon)]
+		sh.mu.RLock()
+		set := sh.index[capKey{t, canon}]
+		out := make([]*storedService, 0, len(set))
+		for _, ss := range set {
+			out = append(out, ss)
+		}
+		sh.mu.RUnlock()
+		return out
+	}
+	s.scanLookups.Add(1)
+	var out []*storedService
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for sk, ss := range sh.services {
+			if sk.tenant != t {
+				continue
+			}
+			out = append(out, ss)
+		}
+		sh.mu.RUnlock()
+	}
+	return out
+}
+
+// watch subscribes to the tenant's change events; see Registry.Watch.
+func (s *Store) watch(t TenantID, buffer int) (<-chan Event, func()) {
+	if buffer <= 0 {
+		buffer = 16
+	}
+	ch := make(chan Event, buffer)
+	s.watchMu.Lock()
+	id := s.nextW
+	s.nextW++
+	s.watchers[id] = watcher{ch: ch, tenant: t}
+	s.watchMu.Unlock()
+	var once sync.Once
+	cancel := func() {
+		once.Do(func() {
+			s.watchMu.Lock()
+			delete(s.watchers, id)
+			s.watchMu.Unlock()
+			close(ch)
+		})
+	}
+	return ch, cancel
+}
+
+// notify fans an event out to the event's tenant's watchers. It runs
+// outside every shard lock; each watcher gets its own deep copy so a
+// subscriber mutating the event (or holding it across further shard
+// writes) never aliases registry-internal state or another watcher's
+// view.
+func (s *Store) notify(e Event) {
+	s.watchMu.RLock()
+	defer s.watchMu.RUnlock()
+	for _, w := range s.watchers {
+		if w.tenant != e.Tenant {
+			continue
+		}
+		ev := Event{Kind: e.Kind, Tenant: e.Tenant, Shard: e.Shard, Service: e.Service.clone()}
+		select {
+		case w.ch <- ev:
+		default: // drop rather than block
+		}
+	}
+}
+
+// watcherCount reports the live subscriptions (test hook).
+func (s *Store) watcherCount() int {
+	s.watchMu.RLock()
+	defer s.watchMu.RUnlock()
+	return len(s.watchers)
+}
+
+// candidates resolves the tenant's services able to provide the required
+// capability; see Registry.Candidates for the contract.
+func (s *Store) candidates(t TenantID, required semantics.ConceptID, ps *qos.PropertySet) []Candidate {
+	if s.ontology != nil {
+		required = s.ontology.Canonical(required)
+	}
+	stored := s.collect(t, required)
+	out := make([]Candidate, 0, len(stored))
+	for _, ss := range stored {
+		level := s.matchCapability(required, ss.desc.Concept)
+		if level != semantics.MatchExact && level != semantics.MatchPlugin {
+			continue
+		}
+		vec, err := ss.desc.VectorFor(ps, s.ontology)
+		if err != nil {
+			continue
+		}
+		out = append(out, Candidate{Service: ss.desc.clone(), Vector: vec, Match: level})
+	}
+	sortCandidates(out)
+	return out
+}
+
+func (s *Store) matchCapability(required, offered semantics.ConceptID) semantics.MatchLevel {
+	if s.ontology == nil {
+		if required == offered {
+			return semantics.MatchExact
+		}
+		return semantics.MatchFail
+	}
+	return s.ontology.Match(required, offered)
+}

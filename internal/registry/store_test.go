@@ -1,0 +1,361 @@
+// Tests for the sharded, multi-tenant store: the shard-count
+// differential (identical candidates and epoch values at every shard
+// count and against the scan path), tenant isolation, per-shard/tenant
+// watch-event hygiene and the raced epoch-monotonicity differential the
+// CI quick gate runs under -race.
+package registry
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"qasom/internal/obs"
+	"qasom/internal/qos"
+	"qasom/internal/semantics"
+)
+
+func TestStoreShardRounding(t *testing.T) {
+	for _, tc := range []struct{ ask, want int }{
+		{0, DefaultShards}, {1, 1}, {3, 4}, {4, 4}, {13, 16}, {16, 16},
+	} {
+		s := NewStore(nil, StoreOptions{Shards: tc.ask})
+		if s.Shards() != tc.want {
+			t.Errorf("Shards: asked %d, got %d, want %d", tc.ask, s.Shards(), tc.want)
+		}
+	}
+}
+
+// TestDifferentialShardedCandidates drives one deterministic
+// publish/withdraw/re-publish sequence into stores with 1, 4 and 16
+// shards plus a scan-path store, and demands bit-identical observable
+// state from all of them: the same candidates for every lookup and the
+// same capability-epoch values (per-key bump counts are a function of
+// the operation sequence alone, never of shard placement).
+func TestDifferentialShardedCandidates(t *testing.T) {
+	onto := semantics.PervasiveWithScenarios()
+	ps := qos.StandardSet()
+	concepts := []semantics.ConceptID{
+		semantics.BookSale, semantics.CDSale, semantics.NotifyService, semantics.CardPayment,
+	}
+
+	regs := map[string]*Registry{
+		"shards=1":  NewStore(onto, StoreOptions{Shards: 1}).Tenant(DefaultTenant),
+		"shards=4":  NewStore(onto, StoreOptions{Shards: 4}).Tenant(DefaultTenant),
+		"shards=16": NewStore(onto, StoreOptions{Shards: 16}).Tenant(DefaultTenant),
+		"scan":      NewStore(onto, StoreOptions{Shards: 16}).Tenant(DefaultTenant),
+	}
+	regs["scan"].SetIndexing(false)
+
+	apply := func(f func(r *Registry) error) {
+		t.Helper()
+		for name, r := range regs {
+			if err := f(r); err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+		}
+	}
+	// Deterministic churn: publishes, interleaved lookups (so index
+	// maintenance paths differ from build-once), withdrawals and
+	// capability moves.
+	rnd := uint64(12345)
+	next := func(n int) int {
+		rnd = rnd*6364136223846793005 + 1442695040888963407
+		return int(rnd>>33) % n
+	}
+	for i := 0; i < 300; i++ {
+		id := fmt.Sprintf("svc-%03d", next(120))
+		switch next(10) {
+		case 0, 1: // withdraw (may be a no-op; must be a no-op everywhere)
+			var agree *bool
+			for name, r := range regs {
+				ok := r.Withdraw(ServiceID(id))
+				if agree == nil {
+					agree = &ok
+				} else if *agree != ok {
+					t.Fatalf("Withdraw(%s) disagreement at %s", id, name)
+				}
+			}
+		case 2: // mid-sequence lookup exercises incremental maintenance
+			c := concepts[next(len(concepts))]
+			var want []Candidate
+			for _, r := range regs {
+				got := r.Candidates(c, ps)
+				if want == nil {
+					want = got
+				} else if len(got) != len(want) {
+					t.Fatalf("mid-sequence lookup diverged for %s", c)
+				}
+			}
+		default:
+			d := Description{
+				ID:      ServiceID(id),
+				Concept: concepts[next(len(concepts))],
+				Offers:  stdOffers(40+float64(next(60)), 5, 0.95, 0.9, 40),
+			}
+			apply(func(r *Registry) error { return r.Publish(d) })
+		}
+	}
+
+	lookups := []semantics.ConceptID{
+		semantics.BookSale, semantics.CDSale, semantics.MediaSale,
+		semantics.ShoppingService, semantics.NotifyService,
+		semantics.CardPayment, "NoSuchConcept",
+	}
+	want := regs["shards=1"]
+	for name, r := range regs {
+		if r.Len() != want.Len() {
+			t.Errorf("%s: Len = %d, want %d", name, r.Len(), want.Len())
+		}
+		for _, c := range lookups {
+			got := candidateIDs(r.Candidates(c, ps))
+			exp := candidateIDs(want.Candidates(c, ps))
+			if fmt.Sprint(got) != fmt.Sprint(exp) {
+				t.Errorf("%s: Candidates(%s) = %v, want %v", name, c, got, exp)
+			}
+		}
+		got := r.CapabilityEpochs(nil, lookups...)
+		exp := want.CapabilityEpochs(nil, lookups...)
+		if fmt.Sprint(got) != fmt.Sprint(exp) {
+			t.Errorf("%s: CapabilityEpochs = %v, want %v", name, got, exp)
+		}
+	}
+	if m := regs["shards=16"].Metrics(); m.IndexRebuilds != 1 || m.Shards != 16 {
+		t.Errorf("sharded store metrics = %+v, want one lazy build over 16 shards", m)
+	}
+	if m := regs["scan"].Metrics(); m.ScanLookups == 0 {
+		t.Errorf("scan store metrics = %+v, want scan lookups", m)
+	}
+}
+
+func TestTenantIsolation(t *testing.T) {
+	store := NewStore(semantics.PervasiveWithScenarios(), StoreOptions{Shards: 8})
+	a, b := store.Tenant("env-a"), store.Tenant("env-b")
+	ps := qos.StandardSet()
+
+	// The same service ID in two tenants is two independent services.
+	if err := a.Publish(bookService("s1", 40)); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Publish(bookService("s1", 90)); err != nil {
+		t.Fatal(err)
+	}
+	if a.Len() != 1 || b.Len() != 1 || store.Len() != 2 {
+		t.Fatalf("Len: a=%d b=%d store=%d", a.Len(), b.Len(), store.Len())
+	}
+	da, _ := a.Get("s1")
+	db, _ := b.Get("s1")
+	if da.Offers[0].Value != 40 || db.Offers[0].Value != 90 {
+		t.Fatalf("tenants share a description: a=%v b=%v", da.Offers[0].Value, db.Offers[0].Value)
+	}
+
+	// Lookups never cross the tenant boundary.
+	if got := b.Candidates(semantics.BookSale, ps); len(got) != 1 || got[0].Service.Offers[0].Value != 90 {
+		t.Fatalf("tenant-b lookup leaked: %+v", got)
+	}
+
+	// Churn in one tenant must not move the other's capability epochs.
+	beforeA := a.CapabilityEpochs(nil, semantics.BookSale, semantics.ShoppingService)
+	for i := 0; i < 5; i++ {
+		if err := b.Publish(bookService(fmt.Sprintf("churn-%d", i), 50)); err != nil {
+			t.Fatal(err)
+		}
+		b.Withdraw(ServiceID(fmt.Sprintf("churn-%d", i)))
+	}
+	if afterA := a.CapabilityEpochs(nil, semantics.BookSale, semantics.ShoppingService); fmt.Sprint(afterA) != fmt.Sprint(beforeA) {
+		t.Errorf("tenant-b churn moved tenant-a epochs: %v -> %v", beforeA, afterA)
+	}
+
+	// Withdraw is tenant-scoped.
+	if !a.Withdraw("s1") || b.Len() != 1 {
+		t.Error("withdraw crossed the tenant boundary")
+	}
+	if _, ok := b.Get("s1"); !ok {
+		t.Error("tenant-b lost its service to a tenant-a withdraw")
+	}
+}
+
+// TestWatchEventsCarryTenantAndShard pins the watcher-fan-out satellite:
+// events carry the originating tenant and the service's home shard, are
+// delivered only to that tenant's watchers, and stay deep copies under
+// concurrent writes to other shards.
+func TestWatchEventsCarryTenantAndShard(t *testing.T) {
+	store := NewStore(semantics.PervasiveWithScenarios(), StoreOptions{Shards: 8})
+	a, b := store.Tenant("env-a"), store.Tenant("env-b")
+	chA, cancelA := a.Watch(64)
+	defer cancelA()
+
+	// Concurrent churn in tenant-b: its shard writes must never corrupt
+	// tenant-a's event copies, and none of its events may reach chA.
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			id := fmt.Sprintf("b-%d", i%8)
+			if err := b.Publish(bookService(id, 50)); err != nil {
+				t.Error(err)
+				return
+			}
+			b.Withdraw(ServiceID(id))
+		}
+	}()
+
+	if err := a.Publish(bookService("a-1", 40)); err != nil {
+		t.Fatal(err)
+	}
+	a.Withdraw("a-1")
+	close(stop)
+	wg.Wait()
+	cancelA()
+
+	var events []Event
+	for ev := range chA {
+		events = append(events, ev)
+	}
+	if len(events) != 2 {
+		t.Fatalf("tenant-a watcher saw %d events, want 2 (cross-tenant leak?)", len(events))
+	}
+	wantShard := store.ShardOf("env-a", "a-1")
+	for i, want := range []EventKind{EventPublished, EventWithdrawn} {
+		ev := events[i]
+		if ev.Kind != want || ev.Tenant != "env-a" || ev.Shard != wantShard || ev.Service.ID != "a-1" {
+			t.Errorf("event %d = kind=%v tenant=%q shard=%d id=%q, want kind=%v tenant=env-a shard=%d id=a-1",
+				i, ev.Kind, ev.Tenant, ev.Shard, ev.Service.ID, want, wantShard)
+		}
+	}
+	// Deep-copy hygiene: the two events of the same service must not
+	// share slices with each other (or with the store, pinned elsewhere).
+	events[0].Service.Offers[0].Value = -1
+	if events[1].Service.Offers[0].Value == -1 {
+		t.Error("watch events alias each other's offer slices")
+	}
+}
+
+// TestDifferentialEpochMonotonicityRaced churns two tenants from
+// multiple goroutines while samplers assert that every capability-epoch
+// position is non-decreasing across snapshots (cross-shard reads must
+// never observe a counter going backwards) and that an idle tenant's
+// epochs never move at all. Run under -race by the CI quick gate.
+func TestDifferentialEpochMonotonicityRaced(t *testing.T) {
+	store := NewStore(semantics.PervasiveWithScenarios(), StoreOptions{Shards: 8})
+	concepts := []semantics.ConceptID{
+		semantics.CDSale, semantics.MediaSale, semantics.ShoppingService,
+		semantics.BookSale, semantics.CardPayment,
+	}
+	churnConcepts := []semantics.ConceptID{semantics.CDSale, semantics.BookSale, semantics.CardPayment}
+	tenants := []TenantID{"env-a", "env-b"}
+
+	stop := make(chan struct{})
+	var churnWG, sampleWG sync.WaitGroup
+	for _, tenant := range tenants {
+		for g := 0; g < 2; g++ {
+			churnWG.Add(1)
+			go func(r *Registry, g int) {
+				defer churnWG.Done()
+				for i := 0; ; i++ {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					id := fmt.Sprintf("g%d-s%d", g, i%16)
+					d := Description{
+						ID:      ServiceID(id),
+						Concept: churnConcepts[(g+i)%len(churnConcepts)],
+						Offers:  stdOffers(40+float64(i%20), 5, 0.95, 0.9, 40),
+					}
+					if err := r.Publish(d); err != nil {
+						t.Error(err)
+						return
+					}
+					if i%3 == 0 {
+						r.Withdraw(ServiceID(id))
+					}
+				}
+			}(store.Tenant(tenant), g)
+		}
+	}
+
+	var sampled atomic.Int64
+	for _, tenant := range tenants {
+		sampleWG.Add(1)
+		go func(r *Registry) {
+			defer sampleWG.Done()
+			prev := r.CapabilityEpochs(nil, concepts...)
+			buf := make([]uint64, 0, len(concepts)+1)
+			for n := 0; n < 2000; n++ {
+				buf = r.CapabilityEpochs(buf, concepts...)
+				for i := range buf {
+					if buf[i] < prev[i] {
+						t.Errorf("epoch position %d went backwards: %d -> %d", i, prev[i], buf[i])
+						return
+					}
+				}
+				prev = append(prev[:0], buf...)
+				sampled.Add(1)
+			}
+		}(store.Tenant(tenant))
+	}
+	// The idle tenant shares shards (and their counters' maps) with the
+	// churners but must observe frozen epochs.
+	idle := store.Tenant("env-idle")
+	idleBefore := idle.CapabilityEpochs(nil, concepts...)
+	sampleWG.Add(1)
+	go func() {
+		defer sampleWG.Done()
+		for n := 0; n < 2000; n++ {
+			got := idle.CapabilityEpochs(nil, concepts...)
+			if fmt.Sprint(got) != fmt.Sprint(idleBefore) {
+				t.Errorf("idle tenant's epochs moved under foreign churn: %v -> %v", idleBefore, got)
+				return
+			}
+		}
+	}()
+	sampleWG.Wait()
+	close(stop)
+	churnWG.Wait()
+	if sampled.Load() == 0 {
+		t.Fatal("samplers never ran")
+	}
+}
+
+// TestShardTelemetry checks the per-shard observability wiring: the
+// mutation counter and contended-lock-wait histogram register and the
+// mutation counts sum to the operations applied.
+func TestShardTelemetry(t *testing.T) {
+	o := obs.NewRegistry()
+	store := NewStore(semantics.PervasiveWithScenarios(), StoreOptions{Shards: 4, Obs: o})
+	r := store.Tenant(DefaultTenant)
+	const ops = 20
+	for i := 0; i < ops; i++ {
+		if err := r.Publish(bookService(fmt.Sprintf("s%d", i), 40)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var mutations float64
+	var sawLockWait bool
+	for _, m := range o.Snapshot() {
+		switch m.Name {
+		case "qasom_registry_shard_mutations_total":
+			for _, s := range m.Series {
+				mutations += s.Value
+			}
+		case "qasom_registry_shard_lock_wait_seconds":
+			sawLockWait = true
+		}
+	}
+	if mutations != ops {
+		t.Errorf("shard mutation counters sum to %g, want %d", mutations, ops)
+	}
+	if !sawLockWait {
+		t.Error("lock-wait histogram not registered")
+	}
+}

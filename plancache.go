@@ -172,9 +172,13 @@ func planCacheKey(t *task.Task, req *core.Request) string {
 // planEpochs snapshots, in task order, the registry epoch of every
 // capability the task's activities require (the subsumption-closure
 // epochs bumped by any publish/withdraw/QoS-update of a matching
-// service), with the ontology version appended. Taken BEFORE candidate
-// lookup: if the registry churns between snapshot and selection, the
-// stored snapshot is already stale and the next lookup recomputes —
+// service), with the ontology version appended. The snapshot is
+// tenant-scoped and touches only the registry shards those capabilities
+// hash to — churn in another tenant, or under capabilities in other
+// shards, leaves it untouched. Taken BEFORE candidate lookup: if the
+// registry churns between snapshot and selection — even if only some
+// shards had landed their updates at snapshot time — the stored
+// snapshot is already stale and the next lookup recomputes —
 // conservative, never incorrect.
 func (m *Middleware) planEpochs(dst []uint64, t *task.Task) []uint64 {
 	acts := t.Activities()

@@ -117,6 +117,22 @@ type Options struct {
 	// one /metrics endpoint covers every middleware in the process.
 	// Tests pass a fresh hub for isolated counters.
 	Obs *obs.Hub
+	// TenantID names the logical environment this instance operates in.
+	// Instances sharing a Store but bound to different tenants are fully
+	// isolated: publishes in one are invisible to the other's lookups and
+	// never invalidate its cached selection plans. The zero value is the
+	// default tenant.
+	TenantID string
+	// RegistryShards is the lock-domain count of a freshly created
+	// registry store (rounded up to a power of two; 0 means the registry
+	// default). Ignored when Store is set.
+	RegistryShards int
+	// Store, when non-nil, is a shared multi-tenant registry store this
+	// instance attaches to (via TenantID) instead of creating its own —
+	// the way many logical environments share one process. The store's
+	// ontology replaces the instance-private one, so OntologyMemoCap is
+	// ignored for shared stores.
+	Store *registry.Store
 }
 
 // Middleware is a QASOM instance: shared ontology, semantic registry,
@@ -200,9 +216,21 @@ func New(opts ...Options) (*Middleware, error) {
 	if o.ExtendedProperties {
 		ps = qos.ExtendedSet()
 	}
-	onto := semantics.PervasiveWithScenarios()
-	onto.SetMemoCap(o.OntologyMemoCap)
-	reg := registry.New(onto)
+	store := o.Store
+	var onto *semantics.Ontology
+	if store != nil {
+		// Shared store: its ontology is the instance's semantic model so
+		// every tenant matches against the same concept hierarchy.
+		onto = store.Ontology()
+	} else {
+		onto = semantics.PervasiveWithScenarios()
+		onto.SetMemoCap(o.OntologyMemoCap)
+		store = registry.NewStore(onto, registry.StoreOptions{
+			Shards: o.RegistryShards,
+			Obs:    o.Obs.Metrics,
+		})
+	}
+	reg := store.Tenant(registry.TenantID(o.TenantID))
 	m := &Middleware{
 		ontology: onto,
 		props:    ps,

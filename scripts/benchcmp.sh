@@ -25,6 +25,10 @@ cd "$(dirname "$0")/.."
 
 BASE="${BASE:-BENCH_qassa.json}"
 BENCH="${BENCH:-BenchmarkQASSA_RepairHeavy|BenchmarkEvalProbe|BenchmarkQASSA_Services|BenchmarkExhaustiveBaseline|BenchmarkGreedyBaseline|BenchmarkDistributedChurn}"
+# The sharded-registry benchmarks are gated at the 100k population only:
+# the 1M rigs exist for the recorded scale-out table, not for a quick
+# regression pass (component-wise -bench regex, hence a separate run).
+REGBENCH="${REGBENCH:-BenchmarkRegistryOps/op=(lookup|churn)/s=(1|4|16)/n=100k}"
 RUNS="${RUNS:-3}"
 THRESHOLD="${THRESHOLD:-15}"
 BENCHTIME="${BENCHTIME:-0.5s}"
@@ -39,7 +43,8 @@ i=1
 while [ "$i" -le "$RUNS" ]; do
 	echo "benchcmp: counting pass $i/$RUNS" >&2
 	raw="$raw
-$(go test -run '^$' -bench "$BENCH" -benchtime "$BENCHTIME" -benchmem .)"
+$(go test -run '^$' -bench "$BENCH" -benchtime "$BENCHTIME" -benchmem .)
+$(go test -run '^$' -bench "$REGBENCH" -benchtime "$BENCHTIME" -benchmem .)"
 	i=$((i + 1))
 done
 
