@@ -597,6 +597,7 @@ func BenchmarkThroughput(b *testing.B) {
 	b.ReportMetric(float64(res.P50)/float64(time.Millisecond), "p50-ms")
 	b.ReportMetric(float64(res.P99)/float64(time.Millisecond), "p99-ms")
 	b.ReportMetric(res.HitRate*100, "hit%")
+	b.ReportMetric(res.SLOAttainment*100, "slo%")
 }
 
 // BenchmarkComposeFacade measures the full public-API composition path

@@ -32,9 +32,10 @@ echo "== go test ./..."
 go test ./...
 
 if [ "${1:-}" = "quick" ]; then
-	# Quick still races the telemetry layer: its lock-free counters and
-	# span ring are the code most likely to regress under concurrency,
-	# and these packages race-test in a couple of seconds.
+	# Quick still races the telemetry layer: its lock-free counters,
+	# span ring, flight-recorder ring and SLO bucket ring are the code
+	# most likely to regress under concurrency, and these packages
+	# race-test in a couple of seconds.
 	echo "== go test -race ./internal/obs (quick)"
 	go test -race ./internal/obs
 	# The evaluator differential suite is the correctness gate for the

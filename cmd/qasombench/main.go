@@ -136,9 +136,11 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 
 // dumpMetrics writes the process-wide telemetry registry — which every
 // middleware instance the experiments created reported into — in
-// Prometheus text format.
+// Prometheus text format, stamped with the build identity so archived
+// dumps stay attributable to the binary that produced them.
 func dumpMetrics(path string, stdout io.Writer) error {
 	reg := obs.Default().Metrics
+	obs.RegisterBuildInfo(reg)
 	if path == "-" {
 		fmt.Fprintln(stdout, "### telemetry registry")
 		return reg.WritePrometheus(stdout)

@@ -10,7 +10,11 @@
 //
 // With -debug-addr the node serves its telemetry over HTTP: /metrics
 // (Prometheus text format, e.g. qasom_device_localselect_total),
-// /healthz, /debug/spans and /debug/pprof.
+// /healthz, /debug/spans, /debug/requests and /debug/pprof. Remote
+// LocalSelect spans adopt the requester's trace ID from the wire, so a
+// node's /debug/spans stitches into the requester's trace. The -slo
+// flags attach a burn-rate engine: /healthz degrades to 503 when the
+// fast-burn window exceeds its threshold.
 //
 // Catalog format (one entry per service):
 //
@@ -66,6 +70,8 @@ func run() int {
 		faultDrop   = flag.Float64("fault-drop", 0, "fault injection: probability of dropping a request without replying (the client sees a truncated exchange)")
 		faultStall  = flag.Duration("fault-stall", 0, "fault injection: extra delay before every reply")
 		faultSeed   = flag.Int64("fault-seed", 1, "fault injection: seed for the drop draws")
+		sloTarget   = flag.Float64("slo-availability", 0, "SLO availability target in (0,1) for served LocalSelects (0: SLO engine disabled)")
+		sloLatency  = flag.Duration("slo-latency", 50*time.Millisecond, "SLO per-request latency objective (with -slo-availability)")
 	)
 	flag.Parse()
 	if *catalog == "" {
@@ -91,6 +97,14 @@ func run() int {
 	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stopSignals()
 	hub := obs.Default()
+	obs.RegisterBuildInfo(hub.Metrics)
+	if *sloTarget > 0 {
+		hub.SLO = obs.NewSLOEngine(obs.SLOConfig{
+			Name:             "localselect",
+			Availability:     *sloTarget,
+			LatencyObjective: *sloLatency,
+		}, hub.Metrics)
+	}
 	// The hub rides the serve context, so every LocalSelect handled by
 	// the TCP server reports spans and counters into it.
 	ctx = obs.WithHub(ctx, hub)
@@ -113,6 +127,11 @@ func run() int {
 		}
 		fmt.Printf("qasomnode: fault injection enabled (drop=%.2f stall=%s seed=%d)\n",
 			*faultDrop, *faultStall, *faultSeed)
+	}
+	if hub.SLO != nil {
+		sel = &sloSelector{inner: sel, slo: hub.SLO}
+		fmt.Printf("qasomnode: SLO engine enabled (availability=%.4f latency=%s)\n",
+			*sloTarget, *sloLatency)
 	}
 	idle := *idleTimeout
 	if idle <= 0 {
@@ -158,6 +177,21 @@ func (f *faultySelector) LocalSelect(ctx context.Context, req core.LocalRequest)
 		return nil, core.ErrDropExchange
 	}
 	return f.inner.LocalSelect(ctx, req)
+}
+
+// sloSelector feeds every served LocalSelect into the node's SLO
+// engine, so /healthz degrades when the error or latency budget burns
+// too fast.
+type sloSelector struct {
+	inner core.LocalSelector
+	slo   *obs.SLOEngine
+}
+
+func (s *sloSelector) LocalSelect(ctx context.Context, req core.LocalRequest) (*core.LocalResult, error) {
+	start := time.Now()
+	res, err := s.inner.LocalSelect(ctx, req)
+	s.slo.Observe(time.Since(start), err)
+	return res, err
 }
 
 // buildDevice converts catalog entries into a hosted DeviceNode. The

@@ -72,31 +72,47 @@ func (m *Middleware) ComposeContext(ctx context.Context, req Request) (*Composit
 	ctx, span := obs.StartSpan(ctx, "compose")
 	defer span.End()
 	m.met.composeTotal.Inc()
+	m.met.tenantRequests.Inc()
 	start := time.Now()
-	comp, err := m.compose(ctx, req)
-	m.met.composeSeconds.Observe(time.Since(start).Seconds())
+	rec := obs.RequestRecord{
+		Kind:    "compose",
+		TraceID: span.TraceID(),
+		Tenant:  m.tenant,
+		Start:   start,
+	}
+	comp, err := m.compose(ctx, req, &rec)
+	rec.Duration = time.Since(start)
+	m.met.composeSeconds.ObserveExemplar(rec.Duration.Seconds(), rec.TraceID)
 	if err != nil {
 		m.met.composeErrors.Inc()
 		span.Annotate("error", err.Error())
+		rec.Err = err.Error()
+		m.obs.Flight.Record(rec)
 		return nil, err
 	}
 	if !comp.Feasible() {
 		m.met.composeInfeasible.Inc()
 	}
+	m.obs.Flight.Record(rec)
 	return comp, nil
 }
 
 // compose is the body of ComposeContext, with the per-call telemetry
-// (root span, outcome counters, end-to-end latency) applied around it.
-func (m *Middleware) compose(ctx context.Context, req Request) (*Composition, error) {
+// (root span, outcome counters, end-to-end latency, flight record)
+// applied around it. rec is filled in as the pipeline progresses so a
+// failed call still documents how far it got.
+func (m *Middleware) compose(ctx context.Context, req Request, rec *obs.RequestRecord) (*Composition, error) {
 	resolveStart := time.Now()
 	_, resolveSpan := obs.StartSpan(ctx, "compose.resolve")
 	t, err := m.resolveTask(req.Task)
 	resolveSpan.End()
-	m.met.phaseSeconds.With("resolve").ObserveDuration(time.Since(resolveStart))
+	resolveDur := time.Since(resolveStart)
+	rec.Phases.Resolve = resolveDur
+	m.met.phaseSeconds.With("resolve").ObserveDuration(resolveDur)
 	if err != nil {
 		return nil, err
 	}
+	rec.Task = fmt.Sprintf("%016x", t.Fingerprint())
 	coreReq := &core.Request{
 		Task:       t,
 		Properties: m.props,
@@ -141,10 +157,14 @@ func (m *Middleware) compose(ctx context.Context, req Request) (*Composition, er
 		}
 		planKey = planCacheKey(t, coreReq)
 		planEpochSnap = m.planEpochs(nil, t)
-		if res := m.plans.get(planKey, planEpochSnap); res != nil {
+		res, outcome := m.plans.lookup(planKey, planEpochSnap)
+		if res != nil {
 			res.Stats.CacheHit = true
+			rec.CacheHit = true
+			fillSelectionRecord(rec, res)
 			return m.wrapComposition(coreReq, res), nil
 		}
+		rec.CacheMiss = outcome.missCause()
 	}
 
 	cacheBefore := m.ontology.Stats()
@@ -190,10 +210,29 @@ func (m *Middleware) compose(ctx context.Context, req Request) (*Composition, er
 	res.Stats.MatchCacheMisses = cacheDelta.MatchMisses
 	m.met.phaseSeconds.With("local").ObserveDuration(res.Stats.LocalDuration)
 	m.met.phaseSeconds.With("global").ObserveDuration(res.Stats.GlobalDuration)
+	rec.Phases.Lookup = lookupDur
+	fillSelectionRecord(rec, res)
 	if cacheable {
 		m.plans.put(planKey, planEpochSnap, res)
 	}
 	return m.wrapComposition(coreReq, res), nil
+}
+
+// fillSelectionRecord copies the selection outcome into the flight
+// record: phase timings, resilience/degradation counters and the final
+// bindings with their per-activity utility contributions.
+func fillSelectionRecord(rec *obs.RequestRecord, res *core.Result) {
+	rec.Phases.Local = res.Stats.LocalDuration
+	rec.Phases.Global = res.Stats.GlobalDuration
+	rec.Degraded = res.Degraded
+	rec.DegradedCauses = res.Stats.DegradedCauses
+	rec.Retries = res.Stats.Retries
+	rec.Hedges = res.Stats.Hedges
+	rec.BreakerSkips = res.Stats.BreakerSkips
+	rec.Fallbacks = res.Stats.Fallbacks
+	rec.Feasible = res.Feasible
+	rec.Utility = res.Utility
+	rec.Bindings = res.BindingRecords()
 }
 
 // wrapComposition attaches the adaptation runtime and manager to a
@@ -358,11 +397,36 @@ func (m *Middleware) Execute(ctx context.Context, c *Composition) (*Report, erro
 	var retErr error
 	defer func() {
 		report.Duration = time.Since(start)
-		m.met.executeSeconds.Observe(report.Duration.Seconds())
+		m.met.executeSeconds.ObserveExemplar(report.Duration.Seconds(), span.TraceID())
 		if retErr != nil {
 			m.met.executeErrors.Inc()
 			span.Annotate("error", retErr.Error())
 		}
+		rec := obs.RequestRecord{
+			Kind:     "execute",
+			TraceID:  span.TraceID(),
+			Tenant:   m.tenant,
+			Task:     fmt.Sprintf("%016x", c.runtime.Behaviour.Fingerprint()),
+			Start:    start,
+			Duration: report.Duration,
+			Feasible: report.Completed,
+			Events: []string{
+				fmt.Sprintf("invocations=%d", report.Invocations),
+			},
+		}
+		if report.Failures > 0 {
+			rec.Events = append(rec.Events, fmt.Sprintf("failures=%d", report.Failures))
+		}
+		if report.Substitutions > 0 {
+			rec.Events = append(rec.Events, fmt.Sprintf("substitutions=%d", report.Substitutions))
+		}
+		if report.BehaviourSwitches > 0 {
+			rec.Events = append(rec.Events, fmt.Sprintf("behaviour-switches=%d", report.BehaviourSwitches))
+		}
+		if retErr != nil {
+			rec.Err = retErr.Error()
+		}
+		m.obs.Flight.Record(rec)
 		span.End()
 	}()
 

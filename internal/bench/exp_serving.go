@@ -49,6 +49,10 @@ type ThroughputResult struct {
 	P50, P99 time.Duration
 	// HitRate is the fraction of compositions served from the plan cache.
 	HitRate float64
+	// SLOAttainment is the fraction of compositions inside the rig's
+	// serving SLO (latency under servingSLOLatency and no error), as
+	// reported by the hub's burn-rate engine.
+	SLOAttainment float64
 	// Partial reports that Ctx was cancelled before the run finished.
 	Partial bool
 }
@@ -60,10 +64,17 @@ type ThroughputResult struct {
 type ThroughputRig struct {
 	mw      *qasom.Middleware
 	req     qasom.Request
+	slo     *obs.SLOEngine
 	clients int
 	churn   bool
 	ctx     context.Context
 }
+
+// servingSLOLatency is the per-composition latency objective of the
+// serving SLO: generous against the warm-cache path (tens of µs) yet
+// tight enough that a fresh selection under churn registers as a slow
+// request when the machine is loaded.
+const servingSLOLatency = 250 * time.Microsecond
 
 const servingTask = `<process name="serving-shopping" concept="Shopping">
   <sequence>
@@ -85,7 +96,14 @@ func NewThroughputRig(cfg ThroughputConfig) (*ThroughputRig, error) {
 	if cfg.Ctx == nil {
 		cfg.Ctx = context.Background()
 	}
-	mw, err := qasom.New(qasom.Options{Seed: cfg.Seed, Obs: obs.NewHub()})
+	hub := obs.NewHub()
+	slo := obs.NewSLOEngine(obs.SLOConfig{
+		Name:             "serving",
+		Availability:     0.999,
+		LatencyObjective: servingSLOLatency,
+	}, hub.Metrics)
+	hub.SLO = slo
+	mw, err := qasom.New(qasom.Options{Seed: cfg.Seed, Obs: hub})
 	if err != nil {
 		return nil, err
 	}
@@ -107,7 +125,8 @@ func NewThroughputRig(cfg ThroughputConfig) (*ThroughputRig, error) {
 		}
 	}
 	return &ThroughputRig{
-		mw: mw,
+		mw:  mw,
+		slo: slo,
 		req: qasom.Request{
 			Task:        servingTask,
 			Constraints: []qasom.Constraint{{Property: "responseTime", Bound: 300}},
@@ -189,6 +208,7 @@ func (r *ThroughputRig) Run(ops int) (ThroughputResult, error) {
 				}
 				opStart := time.Now()
 				comp, err := r.mw.ComposeContext(r.ctx, r.req)
+				r.slo.Observe(time.Since(opStart), err)
 				if err != nil {
 					if r.ctx.Err() != nil {
 						cancelled.Store(true)
@@ -233,6 +253,7 @@ func (r *ThroughputRig) Run(ops int) (ThroughputResult, error) {
 		res.P50 = all[len(all)/2]
 		res.P99 = all[min(len(all)-1, len(all)*99/100)]
 		res.HitRate = float64(hits.Load()) / float64(res.Ops)
+		res.SLOAttainment = r.slo.Attainment()
 	}
 	return res, nil
 }
@@ -252,7 +273,7 @@ func expServingThroughput() *Experiment {
 		Run: func(cfg Config) (*Table, error) {
 			cfg = cfg.withDefaults()
 			tbl := NewTable("Serving throughput (closed loop)",
-				"clients", "ops", "ops/sec", "p50 (ms)", "p99 (ms)", "cache hit rate")
+				"clients", "ops", "ops/sec", "p50 (ms)", "p99 (ms)", "cache hit rate", "slo attainment")
 			ops := pick(cfg, 200, 2000)
 			for _, clients := range pick(cfg, []int{1, 4}, []int{1, 2, 4, 8}) {
 				rig, err := NewThroughputRig(ThroughputConfig{
@@ -271,7 +292,7 @@ func expServingThroughput() *Experiment {
 				tbl.AddRow(clients, res.Ops, res.OpsPerSec,
 					float64(res.P50)/float64(time.Millisecond),
 					float64(res.P99)/float64(time.Millisecond),
-					res.HitRate)
+					res.HitRate, res.SLOAttainment)
 				if res.Partial {
 					tbl.AddNote("interrupted at %d clients: partial results above", clients)
 					break

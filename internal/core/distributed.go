@@ -262,10 +262,12 @@ func distMetricsFor(hub *obs.Hub) distMetrics {
 	}
 }
 
-// observer adapts the metric handles to the resilience attempt hook.
-func (m distMetrics) observer() resilience.AttemptObserver {
+// observer adapts the metric handles to the resilience attempt hook;
+// traceID (when non-empty) tags the per-peer latency series with the
+// selection's trace as an exemplar.
+func (m distMetrics) observer(traceID string) resilience.AttemptObserver {
 	return func(peer string, d time.Duration, err error) {
-		m.exchange.With(peer).ObserveDuration(d)
+		m.exchange.With(peer).ObserveExemplar(d.Seconds(), traceID)
 		if err != nil {
 			m.exchangeErrs.With(peer).Inc()
 		}
@@ -289,7 +291,10 @@ func (d *DistributedSelector) Select(ctx context.Context, req *Request) (*Result
 	}
 	ctx, span := obs.StartSpan(ctx, "qassa.distributed")
 	defer span.End()
-	met := distMetricsFor(obs.HubFrom(ctx))
+	hub := obs.HubFrom(ctx)
+	met := distMetricsFor(hub)
+	traceID := span.TraceID()
+	observer := met.observer(traceID)
 
 	startLocal := time.Now()
 	type reply struct {
@@ -332,7 +337,7 @@ func (d *DistributedSelector) Select(ctx context.Context, req *Request) (*Result
 			var rst resilience.Stats
 			var err error
 			if len(targets) > 0 {
-				lr, rst, err = resilience.Execute(ctx, d.policy, d.breakers, rng, targets, met.observer())
+				lr, rst, err = resilience.Execute(ctx, d.policy, d.breakers, rng, targets, observer)
 			} else {
 				err = resilience.AsRetryable(fmt.Errorf("core: no coordinator holds activity %q", id))
 			}
@@ -404,6 +409,29 @@ func (d *DistributedSelector) Select(ctx context.Context, req *Request) (*Result
 	res.Degraded = degraded > 0
 	if degraded > 0 {
 		span.Annotate("degraded", fmt.Sprint(degraded))
+	}
+	if hub != nil && hub.Flight != nil {
+		// The core-layer flight record explains the distributed decision
+		// itself (phase split, resilience work, fallback causes, final
+		// bindings); a façade compose over this selection adds its own
+		// record under the same trace ID.
+		hub.Flight.Record(obs.RequestRecord{
+			Kind:           "dist-select",
+			TraceID:        traceID,
+			Task:           fmt.Sprintf("%016x", req.Task.Fingerprint()),
+			Start:          startLocal,
+			Duration:       time.Since(startLocal),
+			Phases:         obs.PhaseTimings{Local: localDur, Global: res.Stats.GlobalDuration},
+			Degraded:       res.Degraded,
+			DegradedCauses: res.Stats.DegradedCauses,
+			Retries:        rst.Retries,
+			Hedges:         rst.Hedges,
+			BreakerSkips:   rst.BreakerSkips,
+			Fallbacks:      degraded,
+			Feasible:       res.Feasible,
+			Utility:        res.Utility,
+			Bindings:       res.BindingRecords(),
+		})
 	}
 	return res, nil
 }

@@ -337,6 +337,13 @@ func (g *globalState) finish(feasible bool) *Result {
 		Utility:    g.eng.Utility(),
 		Feasible:   feasible,
 		Violation:  g.eng.Violation(),
+		Breakdown:  make(map[string]float64, len(g.acts)),
+	}
+	for a, id := range g.acts {
+		// Per-service utility contribution through the same kernel the
+		// selection ranked with (bit-identical across naive/incremental
+		// engines — the differential tests rely on it).
+		res.Breakdown[id] = g.eng.CandidateUtility(a, g.eng.Current(a))
 	}
 	for a, id := range g.acts {
 		// Alternates draw from the FULL ranked shortlist, not just the

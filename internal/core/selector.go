@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 	"time"
 
@@ -129,6 +130,12 @@ type Result struct {
 	Aggregated qos.Vector
 	// Utility is the composition utility F in [0,1].
 	Utility float64
+	// Breakdown maps every activity to the per-candidate utility of its
+	// selected service (the score QASSA ranked it by) — the per-service
+	// contribution view the flight recorder reports. Computed through
+	// the same evaluation kernel as the selection, so it is bit-identical
+	// across the naive and incremental engines.
+	Breakdown map[string]float64
 	// Feasible reports whether all global constraints hold; when false
 	// the assignment is the best-effort minimum-violation composition.
 	Feasible bool
@@ -167,6 +174,12 @@ func (r *Result) Clone() *Result {
 		cp.Alternates[id] = cl
 	}
 	cp.Aggregated = r.Aggregated.Clone()
+	if r.Breakdown != nil {
+		cp.Breakdown = make(map[string]float64, len(r.Breakdown))
+		for k, v := range r.Breakdown {
+			cp.Breakdown[k] = v
+		}
+	}
 	if r.Stats.DegradedCauses != nil {
 		m := make(map[string]string, len(r.Stats.DegradedCauses))
 		for k, v := range r.Stats.DegradedCauses {
@@ -175,6 +188,25 @@ func (r *Result) Clone() *Result {
 		cp.Stats.DegradedCauses = m
 	}
 	return &cp
+}
+
+// BindingRecords renders the result's assignment as flight-recorder
+// binding records (activity, service, per-service utility), sorted by
+// activity for deterministic output.
+func (r *Result) BindingRecords() []obs.BindingRecord {
+	if r == nil {
+		return nil
+	}
+	out := make([]obs.BindingRecord, 0, len(r.Assignment))
+	for id, c := range r.Assignment {
+		out = append(out, obs.BindingRecord{
+			Activity: id,
+			Service:  string(c.Service.ID),
+			Utility:  r.Breakdown[id],
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Activity < out[j].Activity })
+	return out
 }
 
 // Selector runs QASSA. Create with NewSelector; safe for sequential

@@ -1,0 +1,156 @@
+package core
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"qasom/internal/obs"
+)
+
+// findSnapshot walks a span tree for the first span with the name.
+func findSnapshot(s *obs.SpanSnapshot, name string) *obs.SpanSnapshot {
+	if s.Name == name {
+		return s
+	}
+	for i := range s.Children {
+		if m := findSnapshot(&s.Children[i], name); m != nil {
+			return m
+		}
+	}
+	return nil
+}
+
+// TestDistributedTraceStitching runs a distributed selection over real
+// TCP with requester and coordinators reporting into one hub, and
+// checks the wire propagation produces ONE stitched trace: every
+// coordinator-side local phase adopts the requester's trace ID and
+// nests under its dist.exchange span in the snapshot.
+func TestDistributedTraceStitching(t *testing.T) {
+	tk := seqTask("a", "b")
+	cands := genCandidates(tk, 6)
+	req := &Request{Task: tk, Properties: twoProps()}
+
+	hub := obs.NewHub()
+	serveCtx := obs.WithHub(context.Background(), hub)
+	replicas := make(map[string][]Transport, 2)
+	for id, list := range cands {
+		dev := NewDeviceNode("dev-"+id, 0)
+		dev.Host(id, list)
+		addr, stop, err := ServeTCP(serveCtx, "127.0.0.1:0", dev)
+		if err != nil {
+			t.Fatalf("ServeTCP: %v", err)
+		}
+		defer stop()
+		replicas[id] = []Transport{&TCPTransport{Addr: addr}}
+	}
+
+	sel := NewResilientDistributedSelector(Options{}, replicas, DistConfig{})
+	res, err := sel.Select(obs.WithHub(context.Background(), hub), req)
+	if err != nil {
+		t.Fatalf("distributed select over TCP: %v", err)
+	}
+	if !res.Feasible {
+		t.Fatalf("selection infeasible: %+v", res)
+	}
+
+	snap := hub.Tracer.Snapshot()
+	if len(snap) != 1 {
+		names := make([]string, len(snap))
+		for i, s := range snap {
+			names[i] = s.Name + "(remote_parent=" + s.RemoteParent + ")"
+		}
+		t.Fatalf("want 1 stitched trace, got %d roots: %v", len(snap), names)
+	}
+	root := snap[0]
+	if root.Name != "qassa.distributed" {
+		t.Fatalf("stitched root = %q, want qassa.distributed", root.Name)
+	}
+	// The coordinator-side local phase crossed the wire: it must appear
+	// INSIDE the requester's tree, carrying the requester's trace ID,
+	// nested under the exchange that carried it.
+	local := findSnapshot(&root, "device.localselect")
+	if local == nil {
+		t.Fatalf("no device.localselect span in the stitched trace: %+v", root)
+	}
+	if local.TraceID != root.TraceID {
+		t.Fatalf("coordinator span trace %s != requester trace %s", local.TraceID, root.TraceID)
+	}
+	exchange := findSnapshot(&root, "dist.exchange")
+	if exchange == nil {
+		t.Fatal("no dist.exchange span in the stitched trace")
+	}
+	if under := findSnapshot(exchange, "device.localselect"); under == nil {
+		t.Fatalf("device.localselect not nested under dist.exchange: %+v", exchange)
+	}
+
+	// The wire format carried the IDs — nothing depended on requester and
+	// coordinator sharing process state (the shared hub only collects).
+	if local.RemoteParent == "" {
+		t.Fatal("coordinator span lost its remote parent")
+	}
+}
+
+// TestDistributedDegradedFlightRecord fault-injects every coordinator
+// of one activity and checks /debug/requests explains the degraded
+// request: the dist-select record names the degraded activity, its
+// cause, and the fallback's phase timings.
+func TestDistributedDegradedFlightRecord(t *testing.T) {
+	req, cands := singleActivityRequest()
+	replicas := map[string][]Transport{"a": {
+		&TCPTransport{Addr: closedPort(t), DialTimeout: 100 * time.Millisecond},
+	}}
+	sel := NewResilientDistributedSelector(Options{}, replicas, DistConfig{
+		Policy:   fastPolicy(),
+		Fallback: cands,
+	})
+	hub := obs.NewHub()
+	res, err := sel.Select(obs.WithHub(context.Background(), hub), req)
+	if err != nil {
+		t.Fatalf("degraded select: %v", err)
+	}
+	if !res.Degraded {
+		t.Fatalf("selection against a dead coordinator should degrade: %+v", res.Stats)
+	}
+
+	srv := httptest.NewServer(hub.Handler())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/debug/requests?degraded=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var recs []obs.RequestRecord
+	if err := json.NewDecoder(resp.Body).Decode(&recs); err != nil {
+		t.Fatalf("/debug/requests not JSON: %v", err)
+	}
+	if len(recs) != 1 {
+		t.Fatalf("want 1 degraded record, got %d", len(recs))
+	}
+	rec := recs[0]
+	if rec.Kind != "dist-select" || !rec.Degraded {
+		t.Fatalf("record = %+v", rec)
+	}
+	cause, ok := rec.DegradedCauses["a"]
+	if !ok || !strings.Contains(cause, "refused") {
+		t.Fatalf("degraded cause for activity a missing or vague: %q (all: %v)", cause, rec.DegradedCauses)
+	}
+	if rec.Fallbacks == 0 || rec.Retries == 0 {
+		t.Fatalf("resilience counters empty: %+v", rec)
+	}
+	// The requester ran the local phase itself — the fallback's phase
+	// timings must be on the record.
+	if rec.Phases.Local <= 0 {
+		t.Fatalf("fallback local-phase timing missing: %+v", rec.Phases)
+	}
+	if rec.TraceID == "" || rec.Task == "" {
+		t.Fatalf("record not linkable to its trace/task: %+v", rec)
+	}
+	if len(rec.Bindings) == 0 {
+		t.Fatalf("degraded record lost its bindings: %+v", rec)
+	}
+}

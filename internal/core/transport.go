@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"qasom/internal/obs"
 	"qasom/internal/resilience"
 )
 
@@ -48,9 +49,13 @@ func (t *InProcessTransport) Exchange(ctx context.Context, req LocalRequest) (*L
 
 // --- TCP transport -------------------------------------------------------
 
-// rpcEnvelope frames one LocalSelect exchange over the wire.
+// rpcEnvelope frames one LocalSelect exchange over the wire. Trace
+// carries the requester's span context so the coordinator-side local
+// phase records into the requester's trace (zero value: no trace; old
+// and new peers interoperate because gob tolerates the extra field).
 type rpcEnvelope struct {
 	Request LocalRequest
+	Trace   obs.SpanContext
 }
 
 type rpcReply struct {
@@ -118,7 +123,7 @@ func (t *TCPTransport) exchange(ctx context.Context, conn net.Conn, req LocalReq
 			return nil, resilience.AsRetryable(fmt.Errorf("core: set deadline: %w", err))
 		}
 	}
-	if err := gob.NewEncoder(conn).Encode(&rpcEnvelope{Request: req}); err != nil {
+	if err := gob.NewEncoder(conn).Encode(&rpcEnvelope{Request: req, Trace: obs.ContextFrom(ctx)}); err != nil {
 		return nil, t.wireErr(ctx, "send to", err)
 	}
 	var reply rpcReply
@@ -144,16 +149,28 @@ func (t *TCPTransport) wireErr(ctx context.Context, verb string, err error) erro
 	return resilience.AsRetryable(fmt.Errorf("core: %s %s: %w", verb, t.Addr, err))
 }
 
-// Exchange implements Transport: dial, then one request/response.
+// Exchange implements Transport: dial, then one request/response. The
+// exchange runs under its own span, and the span's context travels in
+// the envelope so the coordinator's spans nest under it when both
+// sides' traces are snapshotted together.
 func (t *TCPTransport) Exchange(ctx context.Context, req LocalRequest) (*LocalResult, error) {
+	ctx, span := obs.StartSpan(ctx, "dist.exchange")
+	span.Annotate("peer", t.Addr)
+	span.Annotate("activity", req.ActivityID)
+	defer span.End()
 	conn, err := t.dial(ctx)
 	if err != nil {
+		span.Annotate("error", err.Error())
 		return nil, err
 	}
 	defer func() {
 		_ = conn.Close()
 	}()
-	return t.exchange(ctx, conn, req)
+	lr, err := t.exchange(ctx, conn, req)
+	if err != nil {
+		span.Annotate("error", err.Error())
+	}
+	return lr, err
 }
 
 // TCPClient is a LocalSelector that forwards requests to a remote
@@ -260,6 +277,10 @@ func serveConn(ctx context.Context, conn net.Conn, sel LocalSelector, idle time.
 	if err := gob.NewDecoder(conn).Decode(&env); err != nil {
 		return
 	}
+	// Adopt the requester's trace: the local phase's root span joins the
+	// remote TraceID instead of opening its own, so /debug/spans can
+	// stitch the coordinator-side work under the requester's exchange.
+	ctx = obs.WithRemoteParent(ctx, env.Trace)
 	lr, err := sel.LocalSelect(ctx, env.Request)
 	if errors.Is(err, ErrDropExchange) {
 		return // sever without replying: the client sees a truncated stream

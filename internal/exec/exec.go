@@ -180,11 +180,12 @@ func (e *Executor) Run(ctx context.Context, t *task.Task) (*Trace, error) {
 	ctx, span := obs.StartSpan(ctx, "exec.run")
 	defer span.End()
 	run := &runState{
-		exec:  e,
-		opts:  opts,
-		trace: trace,
-		met:   execMetricsFor(obs.HubFrom(ctx)),
-		rng:   randx.New(opts.Seed),
+		exec:    e,
+		opts:    opts,
+		trace:   trace,
+		met:     execMetricsFor(obs.HubFrom(ctx)),
+		traceID: span.TraceID(),
+		rng:     randx.New(opts.Seed),
 	}
 	err := run.node(ctx, t.Root)
 	trace.Duration = time.Since(start)
@@ -230,6 +231,9 @@ type runState struct {
 	opts  Options
 	trace *Trace
 	met   execMetrics
+	// traceID tags the invoke-latency histogram with this run's trace
+	// as an exemplar (empty when tracing is off).
+	traceID string
 
 	mu  sync.Mutex
 	rng *rand.Rand
@@ -368,7 +372,7 @@ func (r *runState) activity(ctx context.Context, act *task.Activity) error {
 			r.met.substitutions.Inc()
 		}
 		if res.Latency > 0 {
-			r.met.latency.ObserveDuration(res.Latency)
+			r.met.latency.ObserveExemplar(res.Latency.Seconds(), r.traceID)
 		}
 		var class resilience.Class
 		if !rec.Success {

@@ -1,0 +1,27 @@
+package obs
+
+import (
+	"runtime"
+	"runtime/debug"
+)
+
+// RegisterBuildInfo exposes the process's build metadata as the
+// conventional constant-1 info gauge:
+//
+//	qasom_build_info{version="...",goversion="..."} 1
+//
+// version is the main module's version from the embedded build info
+// ("(devel)" for a plain `go build`). Safe to call more than once; the
+// same labels resolve to the same child gauge.
+func RegisterBuildInfo(r *Registry) {
+	if r == nil {
+		return
+	}
+	version := "(devel)"
+	if bi, ok := debug.ReadBuildInfo(); ok && bi.Main.Version != "" {
+		version = bi.Main.Version
+	}
+	r.GaugeVec("qasom_build_info",
+		"Build metadata of the running binary (value is always 1).",
+		"version", "goversion").With(version, runtime.Version()).Set(1)
+}

@@ -1,0 +1,95 @@
+package obs
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+)
+
+func TestHistogramExemplar(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_seconds", "latency", nil)
+	if _, ok := h.Exemplar(); ok {
+		t.Fatal("fresh histogram reports an exemplar")
+	}
+	h.ObserveExemplar(0.05, "00000000000000ab")
+	ex, ok := h.Exemplar()
+	if !ok || ex.TraceID != "00000000000000ab" || ex.Value != 0.05 {
+		t.Fatalf("exemplar = %+v ok=%v", ex, ok)
+	}
+	// An empty trace ID observes without replacing the exemplar.
+	h.ObserveExemplar(0.2, "")
+	if ex, _ = h.Exemplar(); ex.TraceID != "00000000000000ab" {
+		t.Fatalf("empty-trace observation replaced the exemplar: %+v", ex)
+	}
+	snap := h.Snapshot()
+	if snap.Count != 2 {
+		t.Fatalf("count = %d, want 2 (exemplar observations must still count)", snap.Count)
+	}
+	if snap.Exemplar == nil || snap.Exemplar.TraceID != "00000000000000ab" {
+		t.Fatalf("snapshot exemplar = %+v", snap.Exemplar)
+	}
+
+	var nilH *Histogram
+	nilH.ObserveExemplar(1, "ff") // nil-safe
+	if _, ok := nilH.Exemplar(); ok {
+		t.Fatal("nil histogram reports an exemplar")
+	}
+}
+
+func TestExemplarExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Histogram("lat_seconds", "latency", []float64{0.1}).ObserveExemplar(0.05, "00000000000000ab")
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	var sawExemplar bool
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "# EXEMPLAR") {
+			sawExemplar = true
+			if !strings.Contains(line, "trace_id=00000000000000ab") {
+				t.Fatalf("exemplar line lacks trace id: %q", line)
+			}
+			continue
+		}
+		// Every non-comment line must stay parseable: "name{labels} value".
+		if line != "" && !strings.HasPrefix(line, "#") && len(strings.Fields(line)) != 2 {
+			t.Fatalf("unparseable exposition line: %q", line)
+		}
+	}
+	if !sawExemplar {
+		t.Fatalf("no # EXEMPLAR line in:\n%s", out)
+	}
+}
+
+func TestRegisterBuildInfo(t *testing.T) {
+	RegisterBuildInfo(nil) // nil-safe
+	r := NewRegistry()
+	RegisterBuildInfo(r)
+	RegisterBuildInfo(r) // idempotent: same labels, same child
+	var found bool
+	for _, fam := range r.Snapshot() {
+		if fam.Name != "qasom_build_info" {
+			continue
+		}
+		found = true
+		if len(fam.Series) != 1 {
+			t.Fatalf("build info has %d series, want 1", len(fam.Series))
+		}
+		s := fam.Series[0]
+		if s.Value != 1 {
+			t.Fatalf("build info value = %g, want 1", s.Value)
+		}
+		if s.Labels["goversion"] != runtime.Version() {
+			t.Fatalf("goversion label = %q, want %q", s.Labels["goversion"], runtime.Version())
+		}
+		if s.Labels["version"] == "" {
+			t.Fatal("version label empty")
+		}
+	}
+	if !found {
+		t.Fatal("qasom_build_info not registered")
+	}
+}

@@ -1,0 +1,193 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// PhaseTimings splits one request's wall time across the composition
+// pipeline phases. Zero fields mean "phase did not run" (e.g. a
+// plan-cache hit skips lookup/local/global).
+type PhaseTimings struct {
+	Resolve time.Duration `json:"resolve,omitempty"`
+	Lookup  time.Duration `json:"lookup,omitempty"`
+	Local   time.Duration `json:"local,omitempty"`
+	Global  time.Duration `json:"global,omitempty"`
+}
+
+// BindingRecord is one activity→service binding of a selection, with
+// the bound service's contribution to the composition utility (the
+// per-candidate utility QASSA ranked it by).
+type BindingRecord struct {
+	Activity string  `json:"activity"`
+	Service  string  `json:"service"`
+	Utility  float64 `json:"utility"`
+}
+
+// RequestRecord is one entry of the flight recorder: everything needed
+// to explain after the fact why a request was slow, degraded, or bound
+// the way it was — without re-running it.
+type RequestRecord struct {
+	// Kind tags the pipeline stage that produced the record: "compose",
+	// "execute", or "dist-select" (a distributed selection observed at
+	// the core layer; a distributed compose emits both).
+	Kind string `json:"kind"`
+	// TraceID links the record to its span tree in /debug/spans.
+	TraceID string `json:"trace_id,omitempty"`
+	// Tenant is the logical environment the request ran in ("default"
+	// for the zero tenant; empty when the layer has no tenant notion).
+	Tenant string `json:"tenant,omitempty"`
+	// Task is the task-tree fingerprint (hex) or task name.
+	Task     string        `json:"task,omitempty"`
+	Start    time.Time     `json:"start"`
+	Duration time.Duration `json:"duration"`
+	Phases   PhaseTimings  `json:"phases"`
+	// CacheHit marks a selection served from the plan cache; CacheMiss
+	// names the miss cause otherwise ("cold" — no entry; "epoch" — entry
+	// invalidated by registry churn; empty for uncacheable requests).
+	CacheHit  bool   `json:"cache_hit,omitempty"`
+	CacheMiss string `json:"cache_miss,omitempty"`
+	// Degraded and DegradedCauses mirror the selection result: activities
+	// whose coordinator exhausted the resilience policy and fell back to
+	// requester-side selection, with the exhausting failure.
+	Degraded       bool              `json:"degraded,omitempty"`
+	DegradedCauses map[string]string `json:"degraded_causes,omitempty"`
+	// Resilience work of a distributed selection.
+	Retries      int `json:"retries,omitempty"`
+	Hedges       int `json:"hedges,omitempty"`
+	BreakerSkips int `json:"breaker_skips,omitempty"`
+	Fallbacks    int `json:"fallbacks,omitempty"`
+	// Selection outcome.
+	Feasible bool            `json:"feasible,omitempty"`
+	Utility  float64         `json:"utility,omitempty"`
+	Bindings []BindingRecord `json:"bindings,omitempty"`
+	// Events lists adaptation/substitution activity ("substitutions=2",
+	// "behaviour-switches=1", ...).
+	Events []string `json:"events,omitempty"`
+	// Err is the request's failure, if it failed.
+	Err string `json:"error,omitempty"`
+}
+
+// clone deep-copies the record's reference fields so ring entries never
+// alias caller-owned state.
+func (r RequestRecord) clone() RequestRecord {
+	cp := r
+	if r.DegradedCauses != nil {
+		cp.DegradedCauses = make(map[string]string, len(r.DegradedCauses))
+		for k, v := range r.DegradedCauses {
+			cp.DegradedCauses[k] = v
+		}
+	}
+	if r.Bindings != nil {
+		cp.Bindings = append([]BindingRecord(nil), r.Bindings...)
+	}
+	if r.Events != nil {
+		cp.Events = append([]string(nil), r.Events...)
+	}
+	return cp
+}
+
+// DefaultFlightCapacity is the record retention a FlightRecorder gets
+// when NewFlightRecorder is called with capacity 0 (the NewHub
+// default).
+const DefaultFlightCapacity = 256
+
+// FlightRecorder keeps a bounded ring of the most recent request
+// records, mirroring the Tracer's ring semantics: Record overwrites the
+// oldest entry beyond capacity, Total counts every record ever taken.
+// All methods are nil-safe and safe for concurrent use.
+type FlightRecorder struct {
+	mu    sync.Mutex
+	ring  []RequestRecord
+	next  int
+	full  bool
+	total uint64
+}
+
+// NewFlightRecorder creates a recorder retaining the last capacity
+// records; 0 means DefaultFlightCapacity. Negative capacities are a
+// programmer error and panic.
+func NewFlightRecorder(capacity int) *FlightRecorder {
+	if capacity < 0 {
+		panic(fmt.Sprintf("obs: NewFlightRecorder capacity must be >= 0, got %d", capacity))
+	}
+	if capacity == 0 {
+		capacity = DefaultFlightCapacity
+	}
+	return &FlightRecorder{ring: make([]RequestRecord, capacity)}
+}
+
+// Record appends one request record (deep-copied) to the ring.
+func (f *FlightRecorder) Record(rec RequestRecord) {
+	if f == nil {
+		return
+	}
+	cp := rec.clone()
+	f.mu.Lock()
+	f.ring[f.next] = cp
+	f.next = (f.next + 1) % len(f.ring)
+	if f.next == 0 {
+		f.full = true
+	}
+	f.total++
+	f.mu.Unlock()
+}
+
+// Total counts every record ever taken (monotonic; the ring only
+// retains the most recent ones).
+func (f *FlightRecorder) Total() uint64 {
+	if f == nil {
+		return 0
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.total
+}
+
+// FlightQuery filters a Snapshot (the /debug/requests query surface).
+type FlightQuery struct {
+	// Tenant keeps only records of that tenant when TenantSet is true
+	// (the two-field shape because the default tenant renders as
+	// "default", and an empty filter must mean "all tenants").
+	Tenant    string
+	TenantSet bool
+	// Degraded keeps only degraded records.
+	Degraded bool
+	// Slowest returns only the N longest-running matching records,
+	// slowest first; 0 returns every match oldest-first.
+	Slowest int
+}
+
+// Snapshot returns deep copies of the retained records matching q,
+// oldest first (or slowest first under q.Slowest).
+func (f *FlightRecorder) Snapshot(q FlightQuery) []RequestRecord {
+	if f == nil {
+		return nil
+	}
+	f.mu.Lock()
+	recs := make([]RequestRecord, 0, len(f.ring))
+	if f.full {
+		recs = append(recs, f.ring[f.next:]...)
+	}
+	recs = append(recs, f.ring[:f.next]...)
+	f.mu.Unlock()
+	out := make([]RequestRecord, 0, len(recs))
+	for _, r := range recs {
+		if q.TenantSet && r.Tenant != q.Tenant {
+			continue
+		}
+		if q.Degraded && !r.Degraded {
+			continue
+		}
+		out = append(out, r.clone())
+	}
+	if q.Slowest > 0 {
+		sort.SliceStable(out, func(i, j int) bool { return out[i].Duration > out[j].Duration })
+		if len(out) > q.Slowest {
+			out = out[:q.Slowest]
+		}
+	}
+	return out
+}

@@ -124,6 +124,19 @@ type Histogram struct {
 	counts []atomic.Uint64
 	sum    atomicFloat
 	count  atomic.Uint64
+	ex     atomic.Pointer[Exemplar]
+}
+
+// Exemplar ties a recent observation of a histogram to the trace that
+// produced it, so a scraped latency distribution links back to one
+// concrete request in /debug/spans and /debug/requests.
+type Exemplar struct {
+	// TraceID is the hex trace ID of the request (SpanContext.TraceIDString).
+	TraceID string
+	// Value is the observed value.
+	Value float64
+	// Time is when the observation was taken.
+	Time time.Time
 }
 
 func newHistogram(bounds []float64) *Histogram {
@@ -149,6 +162,30 @@ func (h *Histogram) Observe(v float64) {
 // ObserveDuration records a duration in seconds.
 func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
 
+// ObserveExemplar records one value and tags the histogram with the
+// trace that produced it (last writer wins; an empty traceID degrades
+// to a plain Observe).
+func (h *Histogram) ObserveExemplar(v float64, traceID string) {
+	if h == nil {
+		return
+	}
+	h.Observe(v)
+	if traceID != "" {
+		h.ex.Store(&Exemplar{TraceID: traceID, Value: v, Time: time.Now()})
+	}
+}
+
+// Exemplar returns the most recent trace-tagged observation, if any.
+func (h *Histogram) Exemplar() (Exemplar, bool) {
+	if h == nil {
+		return Exemplar{}, false
+	}
+	if e := h.ex.Load(); e != nil {
+		return *e, true
+	}
+	return Exemplar{}, false
+}
+
 // HistogramSnapshot is a point-in-time copy of a histogram.
 type HistogramSnapshot struct {
 	// Bounds are the bucket upper bounds; Counts has one extra final
@@ -157,6 +194,9 @@ type HistogramSnapshot struct {
 	Counts []uint64
 	Sum    float64
 	Count  uint64
+	// Exemplar is the most recent trace-tagged observation (nil when
+	// the histogram never saw one).
+	Exemplar *Exemplar
 }
 
 // Snapshot copies the histogram's current state.
@@ -172,6 +212,10 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 	}
 	for i := range h.counts {
 		s.Counts[i] = h.counts[i].Load()
+	}
+	if e := h.ex.Load(); e != nil {
+		cp := *e
+		s.Exemplar = &cp
 	}
 	return s
 }

@@ -110,9 +110,22 @@ func writeHistogram(w io.Writer, name string, labels, values []string, s Histogr
 		name, labelString(labels, values, "", ""), formatFloat(s.Sum)); err != nil {
 		return err
 	}
-	_, err := fmt.Fprintf(w, "%s_count%s %d\n",
-		name, labelString(labels, values, "", ""), s.Count)
-	return err
+	if _, err := fmt.Fprintf(w, "%s_count%s %d\n",
+		name, labelString(labels, values, "", ""), s.Count); err != nil {
+		return err
+	}
+	// Exemplars render as plain comments: text-format 0.0.4 has no
+	// exemplar syntax, and scrapers skip every # line that is not
+	// HELP/TYPE, so the trace link is visible to humans without
+	// breaking any parser.
+	if s.Exemplar != nil {
+		if _, err := fmt.Fprintf(w, "# EXEMPLAR %s%s trace_id=%s value=%s\n",
+			name, labelString(labels, values, "", ""),
+			s.Exemplar.TraceID, formatFloat(s.Exemplar.Value)); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 func writeHeader(w io.Writer, name, help, typ string) error {

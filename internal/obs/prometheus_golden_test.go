@@ -39,6 +39,11 @@ func goldenRegistry() *Registry {
 	hv.With("local").Observe(0.002)
 	hv.With("global").Observe(0.2)
 	r.Func("qasom_registry_services", "Published services (live).", func() float64 { return 42 })
+	// Fixed-label build info (RegisterBuildInfo itself stamps the live
+	// toolchain version, which a golden file cannot pin).
+	r.GaugeVec("qasom_build_info",
+		"Build metadata of the running binary (value is always 1).",
+		"version", "goversion").With("v1.2.3", "go1.x").Set(1)
 	return r
 }
 

@@ -7,15 +7,20 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"strconv"
 	"time"
 )
 
 // Handler returns the hub's debug mux:
 //
-//	/metrics      Prometheus text exposition of the metrics registry
-//	/healthz      liveness probe ("ok")
-//	/debug/spans  JSON snapshot of the recent span trees
-//	/debug/pprof  the standard Go profiling endpoints
+//	/metrics         Prometheus text exposition of the metrics registry
+//	/healthz         liveness probe: "ok", or 503 when the hub's SLO
+//	                 engine reports a fast error-budget burn
+//	/debug/spans     JSON snapshot of the recent span trees (stitched
+//	                 across processes by trace ID)
+//	/debug/requests  JSON snapshot of the flight recorder; query params
+//	                 tenant=<id>, degraded=1, slowest=<n> filter it
+//	/debug/pprof     the standard Go profiling endpoints
 func (h *Hub) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
@@ -27,6 +32,11 @@ func (h *Hub) Handler() http.Handler {
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if h.SLO.FastBurn() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintln(w, "degraded: "+h.SLO.Status())
+			return
+		}
 		fmt.Fprintln(w, "ok")
 	})
 	mux.HandleFunc("/debug/spans", func(w http.ResponseWriter, _ *http.Request) {
@@ -38,6 +48,29 @@ func (h *Hub) Handler() http.Handler {
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
 		_ = enc.Encode(spans)
+	})
+	mux.HandleFunc("/debug/requests", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		params := r.URL.Query()
+		q := FlightQuery{}
+		if params.Has("tenant") {
+			q.TenantSet = true
+			q.Tenant = params.Get("tenant")
+		}
+		switch params.Get("degraded") {
+		case "1", "true", "yes":
+			q.Degraded = true
+		}
+		if n, err := strconv.Atoi(params.Get("slowest")); err == nil && n > 0 {
+			q.Slowest = n
+		}
+		recs := h.Flight.Snapshot(q)
+		if recs == nil {
+			recs = []RequestRecord{}
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(recs)
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

@@ -1,6 +1,7 @@
 package registry
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -379,7 +380,23 @@ func (b *Branch) Pending() int {
 // for. The cursor advances only after the pulled deltas have been
 // applied, so a failed round is simply retried.
 func (b *Branch) Sync(c *Central, caps ...semantics.ConceptID) (SyncStats, error) {
+	return b.SyncContext(context.Background(), c, caps...)
+}
+
+// SyncContext is Sync under a context: the round runs inside a
+// "federation.sync" span, so a sync triggered on behalf of a traced
+// request (e.g. a pull warming a branch before a selection) nests into
+// the requester's trace — including across processes, when the context
+// carries a remote parent from the TCP transport.
+func (b *Branch) SyncContext(ctx context.Context, c *Central, caps ...semantics.ConceptID) (SyncStats, error) {
+	_, span := obs.StartSpan(ctx, "federation.sync")
+	span.Annotate("branch", b.name)
 	var stats SyncStats
+	defer func() {
+		span.Annotate("pushed", fmt.Sprint(stats.Pushed))
+		span.Annotate("pulled", fmt.Sprint(stats.Pulled))
+		span.End()
+	}()
 	b.mu.Lock()
 	pending := b.log.after(b.acked, nil)
 	cursor := b.cursor

@@ -1,0 +1,60 @@
+package registry
+
+import (
+	"context"
+	"testing"
+
+	"qasom/internal/obs"
+)
+
+// TestSyncContextSpan checks a federation sync run on behalf of a
+// traced request nests a "federation.sync" span — with the branch name
+// and push/pull stats annotated — under the caller's span, so the sync
+// shows up inside the request's trace on /debug/spans.
+func TestSyncContextSpan(t *testing.T) {
+	central, b1, _ := newHierarchy(t)
+	if err := b1.Publish(bookService("book-1", 40)); err != nil {
+		t.Fatal(err)
+	}
+	if err := b1.Publish(bookService("book-2", 60)); err != nil {
+		t.Fatal(err)
+	}
+
+	hub := obs.NewHub()
+	ctx, parent := obs.StartSpan(obs.WithHub(context.Background(), hub), "request")
+	stats, err := b1.SyncContext(ctx, central)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Pushed != 2 {
+		t.Fatalf("sync stats = %+v, want 2 pushed", stats)
+	}
+	parent.End()
+
+	snap := hub.Tracer.Snapshot()
+	if len(snap) != 1 || snap[0].Name != "request" {
+		t.Fatalf("want the request as the single trace root, got %+v", snap)
+	}
+	if len(snap[0].Children) != 1 {
+		t.Fatalf("sync span not nested under the request: %+v", snap[0])
+	}
+	sync := snap[0].Children[0]
+	if sync.Name != "federation.sync" {
+		t.Fatalf("child span = %q, want federation.sync", sync.Name)
+	}
+	if sync.TraceID != snap[0].TraceID {
+		t.Fatal("sync span broke out of the request's trace")
+	}
+	if sync.Attrs["branch"] != "site-1" || sync.Attrs["pushed"] != "2" || sync.Attrs["pulled"] != "0" {
+		t.Fatalf("sync span attrs = %v", sync.Attrs)
+	}
+
+	// Plain Sync stays traceable but rootless: with no hub in scope it
+	// must not record anything.
+	if _, err := b1.Sync(central); err != nil {
+		t.Fatal(err)
+	}
+	if got := hub.Tracer.Snapshot(); len(got) != 1 {
+		t.Fatalf("hub-less Sync leaked a trace: %d roots", len(got))
+	}
+}

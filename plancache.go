@@ -80,19 +80,48 @@ func (c *planCache) len() int {
 	return c.ll.Len()
 }
 
+// planOutcome classifies one cache probe for the flight recorder:
+// served from cache, missed because no entry existed, or missed because
+// the stored epoch snapshot went stale (registry churn).
+type planOutcome int
+
+const (
+	planHit planOutcome = iota
+	planMissCold
+	planMissEpoch
+)
+
+// missCause renders the outcome as the flight-record CacheMiss cause.
+func (o planOutcome) missCause() string {
+	switch o {
+	case planMissCold:
+		return "cold"
+	case planMissEpoch:
+		return "epoch"
+	default:
+		return ""
+	}
+}
+
 // get returns a deep copy of the entry under key when its stored epoch
-// snapshot equals now, and nil otherwise. A stale entry (epoch
-// mismatch) is removed on sight.
+// snapshot equals now, and nil otherwise.
 func (c *planCache) get(key string, now []uint64) *core.Result {
+	res, _ := c.lookup(key, now)
+	return res
+}
+
+// lookup is get with the probe outcome attached. A stale entry (epoch
+// mismatch) is removed on sight and reported as planMissEpoch.
+func (c *planCache) lookup(key string, now []uint64) (*core.Result, planOutcome) {
 	if c == nil {
-		return nil
+		return nil, planMissCold
 	}
 	c.mu.Lock()
 	el, ok := c.items[key]
 	if !ok {
 		c.mu.Unlock()
 		c.misses.Inc()
-		return nil
+		return nil, planMissCold
 	}
 	e := el.Value.(*planEntry)
 	if !equalEpochs(e.epochs, now) {
@@ -101,13 +130,13 @@ func (c *planCache) get(key string, now []uint64) *core.Result {
 		c.mu.Unlock()
 		c.invalidations.Inc()
 		c.misses.Inc()
-		return nil
+		return nil, planMissEpoch
 	}
 	c.ll.MoveToFront(el)
 	res := e.res // immutable once stored; safe to clone outside the lock
 	c.mu.Unlock()
 	c.hits.Inc()
-	return res.Clone()
+	return res.Clone(), planHit
 }
 
 // put stores a deep copy of res under key with its epoch snapshot,

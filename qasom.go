@@ -159,6 +159,7 @@ type Middleware struct {
 	met       composeMetrics
 	plans     *planCache
 	opts      Options
+	tenant    string // tenant label on metrics and flight records ("default" for the zero tenant)
 }
 
 // composeMetrics bundles the façade's registry handles, created once in
@@ -172,9 +173,10 @@ type composeMetrics struct {
 	executeTotal      *obs.Counter
 	executeErrors     *obs.Counter
 	executeSeconds    *obs.Histogram
+	tenantRequests    *obs.Counter
 }
 
-func composeMetricsFor(hub *obs.Hub) composeMetrics {
+func composeMetricsFor(hub *obs.Hub, tenant string) composeMetrics {
 	r := hub.Metrics
 	return composeMetrics{
 		composeTotal: r.Counter("qasom_compose_total",
@@ -194,7 +196,18 @@ func composeMetricsFor(hub *obs.Hub) composeMetrics {
 			"Execute calls that failed (unrecoverable or non-convergent)."),
 		executeSeconds: r.Histogram("qasom_execute_seconds",
 			"End-to-end Execute latency (including adaptation rounds).", nil),
+		tenantRequests: r.CounterVec("qasom_tenant_requests_total",
+			"Compose calls attributed to the tenant the middleware instance is bound to.",
+			"tenant").With(tenant),
 	}
+}
+
+// tenantLabel maps the zero tenant to a stable metric label.
+func tenantLabel(id string) string {
+	if id == "" {
+		return "default"
+	}
+	return id
 }
 
 // New creates a middleware instance.
@@ -240,10 +253,12 @@ func New(opts ...Options) (*Middleware, error) {
 		selector: core.NewSelector(core.Options{K: o.K, MaxAlternates: o.MaxAlternates, Seed: o.Seed, Workers: o.Workers}),
 		mon:      monitor.New(ps, monitor.Options{Obs: o.Obs}),
 		obs:      o.Obs,
-		met:      composeMetricsFor(o.Obs),
+		met:      composeMetricsFor(o.Obs, tenantLabel(o.TenantID)),
 		plans:    newPlanCache(o.SelectionCacheSize, o.Obs.Metrics),
 		opts:     o,
+		tenant:   tenantLabel(o.TenantID),
 	}
+	obs.RegisterBuildInfo(o.Obs.Metrics)
 	o.Obs.Metrics.Func("qasom_plan_cache_entries",
 		"Live entries in the selection-plan cache.",
 		func() float64 { return float64(m.plans.len()) })

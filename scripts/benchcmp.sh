@@ -24,7 +24,11 @@ set -eu
 cd "$(dirname "$0")/.."
 
 BASE="${BASE:-BENCH_qassa.json}"
-BENCH="${BENCH:-BenchmarkQASSA_RepairHeavy|BenchmarkEvalProbe|BenchmarkQASSA_Services|BenchmarkExhaustiveBaseline|BenchmarkGreedyBaseline|BenchmarkDistributedChurn}"
+# BenchmarkThroughput rides the gate as the tracing-overhead check: the
+# serving hot path carries a span, a flight record and an SLO
+# observation per composition, and the alloc/byte budgets keep that
+# instrumentation honest.
+BENCH="${BENCH:-BenchmarkQASSA_RepairHeavy|BenchmarkEvalProbe|BenchmarkQASSA_Services|BenchmarkExhaustiveBaseline|BenchmarkGreedyBaseline|BenchmarkDistributedChurn|BenchmarkThroughput}"
 # The sharded-registry benchmarks are gated at the 100k population only:
 # the 1M rigs exist for the recorded scale-out table, not for a quick
 # regression pass (component-wise -bench regex, hence a separate run).
