@@ -568,6 +568,36 @@ func newBenchMall(b *testing.B) *qasom.Middleware {
 	return mw
 }
 
+// BenchmarkFailover measures one service-death recovery per iteration
+// at ℓ=300 with 50-candidate alternate sets, 80% of them dead (60%
+// withdrawn, 20% health-demoted — the prefix every failover must get
+// past). ns/op is the whole steady-state round (kill the binding,
+// substitute, redeploy); the sub-p50-us/sub-p99-us metrics isolate the
+// Substitute call itself, reactive alternate scan vs index lookup.
+func BenchmarkFailover(b *testing.B) {
+	for _, mode := range []struct {
+		name    string
+		indexed bool
+	}{{"reactive", false}, {"index", true}} {
+		b.Run("mode="+mode.name, func(b *testing.B) {
+			rig, err := bench.NewFailoverRig(bench.FailoverConfig{Indexed: mode.indexed})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer rig.Close()
+			b.ReportAllocs()
+			b.ResetTimer()
+			res, err := rig.Rounds(b.N)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(res.P50)/float64(time.Microsecond), "sub-p50-us")
+			b.ReportMetric(float64(res.P99)/float64(time.Microsecond), "sub-p99-us")
+		})
+	}
+}
+
 // BenchmarkThroughput is the closed-loop serving benchmark: GOMAXPROCS
 // concurrent clients compose the same task against one middleware with a
 // warm selection-plan cache while the registry churns underneath (mostly

@@ -47,6 +47,13 @@ if [ "${1:-}" = "quick" ]; then
 	# differentials under raced churn.
 	echo "== go test -race -run TestDifferential . ./internal/core ./internal/baseline ./internal/registry (quick)"
 	go test -race -run 'TestDifferential' . ./internal/core ./internal/baseline ./internal/registry
+	# The failover suite races the substitution index: lock-free
+	# lookups against watch/health churn in subidx, and the adapt
+	# package's concurrent-substitution exactly-once, differential
+	# decision-identity and churn-during-failover tests.
+	echo "== go test -race failover suite (quick)"
+	go test -race ./internal/subidx
+	go test -race -run 'TestDifferential|TestIndex|TestConcurrent|TestExecutor|TestStaged|TestResult' ./internal/adapt
 	# The distributed failure matrix exercises the resilience layer's
 	# concurrency (hedged requests, breaker state, prompt cancellation);
 	# -shuffle=on catches order-dependent breaker/fault state.

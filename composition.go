@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"sync"
 	"time"
 
 	"qasom/internal/adapt"
@@ -14,6 +15,7 @@ import (
 	"qasom/internal/obs"
 	"qasom/internal/qos"
 	"qasom/internal/registry"
+	"qasom/internal/subidx"
 	"qasom/internal/task"
 )
 
@@ -48,6 +50,29 @@ type Composition struct {
 	mw      *Middleware
 	runtime *adapt.Runtime
 	manager *adapt.Manager
+	// trackOnce defers substitution-index registration to the first
+	// Execute: compose-only workloads (the serving hot path) never touch
+	// the tracker.
+	trackOnce sync.Once
+}
+
+// track registers the runtime with the substitution-index tracker and
+// wires the behavioural-alternate stager. Idempotent; called at the top
+// of Execute so a ranked replacement list is warm before the first
+// invocation.
+func (c *Composition) track() {
+	if c.mw.subst == nil {
+		return
+	}
+	c.trackOnce.Do(func() {
+		manager, runtime := c.manager, c.runtime
+		idx := c.mw.subst.Track(runtime)
+		idx.SetStager(
+			func() string { return manager.FrontierKey(runtime) },
+			func() *subidx.StagedBehaviours { return manager.StageBehaviours(runtime) },
+		)
+		manager.Index = idx
+	})
 }
 
 // Compose resolves the request: it parses the task, gathers candidate
@@ -237,6 +262,8 @@ func fillSelectionRecord(rec *obs.RequestRecord, res *core.Result) {
 
 // wrapComposition attaches the adaptation runtime and manager to a
 // selection result (freshly computed or replayed from the plan cache).
+// Substitution-index registration is deferred to the first Execute (see
+// Composition.track) so the compose hot path pays nothing for it.
 func (m *Middleware) wrapComposition(coreReq *core.Request, res *core.Result) *Composition {
 	manager := &adapt.Manager{
 		Registry: m.reg,
@@ -308,61 +335,80 @@ type SelectionStats struct {
 // SelectionStats returns the work profile of this composition's
 // selection run.
 func (c *Composition) SelectionStats() SelectionStats {
-	s := c.runtime.Result().Stats
-	return SelectionStats{
-		CandidateLookup:  s.CandidateLookup,
-		LocalPhase:       s.LocalDuration,
-		GlobalPhase:      s.GlobalDuration,
-		Workers:          s.Workers,
-		PeakWorkersBusy:  s.PeakWorkersBusy,
-		LevelsExplored:   s.LevelsExplored,
-		Evaluations:      s.Evaluations,
-		RepairSwaps:      s.RepairSwaps,
-		MatchCacheHits:   s.MatchCacheHits,
-		MatchCacheMisses: s.MatchCacheMisses,
-		Retries:          s.Retries,
-		Hedges:           s.Hedges,
-		BreakerSkips:     s.BreakerSkips,
-		Fallbacks:        s.Fallbacks,
-		Degraded:         c.runtime.Result().Degraded,
-		CacheHit:         s.CacheHit,
-	}
+	var out SelectionStats
+	// View instead of Result: this accessor sits on the serving hot path
+	// and must not pay for a deep copy of the selection.
+	c.runtime.View(func(res *core.Result) {
+		s := res.Stats
+		out = SelectionStats{
+			CandidateLookup:  s.CandidateLookup,
+			LocalPhase:       s.LocalDuration,
+			GlobalPhase:      s.GlobalDuration,
+			Workers:          s.Workers,
+			PeakWorkersBusy:  s.PeakWorkersBusy,
+			LevelsExplored:   s.LevelsExplored,
+			Evaluations:      s.Evaluations,
+			RepairSwaps:      s.RepairSwaps,
+			MatchCacheHits:   s.MatchCacheHits,
+			MatchCacheMisses: s.MatchCacheMisses,
+			Retries:          s.Retries,
+			Hedges:           s.Hedges,
+			BreakerSkips:     s.BreakerSkips,
+			Fallbacks:        s.Fallbacks,
+			Degraded:         res.Degraded,
+			CacheHit:         s.CacheHit,
+		}
+	})
+	return out
 }
 
 // Feasible reports whether the selection satisfies every constraint.
-func (c *Composition) Feasible() bool { return c.runtime.Result().Feasible }
+func (c *Composition) Feasible() bool {
+	var ok bool
+	c.runtime.View(func(res *core.Result) { ok = res.Feasible })
+	return ok
+}
 
 // Utility returns the composition utility F in [0,1].
-func (c *Composition) Utility() float64 { return c.runtime.Result().Utility }
+func (c *Composition) Utility() float64 {
+	var u float64
+	c.runtime.View(func(res *core.Result) { u = res.Utility })
+	return u
+}
 
 // Bindings maps activity IDs to the selected service IDs.
 func (c *Composition) Bindings() map[string]string {
-	res := c.runtime.Result()
-	out := make(map[string]string, len(res.Assignment))
-	for act, cand := range res.Assignment {
-		out[act] = string(cand.Service.ID)
-	}
+	var out map[string]string
+	c.runtime.View(func(res *core.Result) {
+		out = make(map[string]string, len(res.Assignment))
+		for act, cand := range res.Assignment {
+			out[act] = string(cand.Service.ID)
+		}
+	})
 	return out
 }
 
 // Alternates returns the ranked substitute service IDs for an activity.
 func (c *Composition) Alternates(activityID string) []string {
-	res := c.runtime.Result()
-	alts := res.Alternates[activityID]
-	out := make([]string, len(alts))
-	for i, a := range alts {
-		out[i] = string(a.Service.ID)
-	}
+	var out []string
+	c.runtime.View(func(res *core.Result) {
+		alts := res.Alternates[activityID]
+		out = make([]string, len(alts))
+		for i, a := range alts {
+			out[i] = string(a.Service.ID)
+		}
+	})
 	return out
 }
 
 // AggregatedQoS returns the composition's aggregated QoS per property.
 func (c *Composition) AggregatedQoS() map[string]float64 {
-	res := c.runtime.Result()
 	out := make(map[string]float64, c.mw.props.Len())
-	for j, name := range c.mw.props.Names() {
-		out[name] = res.Aggregated[j]
-	}
+	c.runtime.View(func(res *core.Result) {
+		for j, name := range c.mw.props.Names() {
+			out[name] = res.Aggregated[j]
+		}
+	})
 	return out
 }
 
@@ -423,6 +469,22 @@ func (m *Middleware) Execute(ctx context.Context, c *Composition) (*Report, erro
 		if report.BehaviourSwitches > 0 {
 			rec.Events = append(rec.Events, fmt.Sprintf("behaviour-switches=%d", report.BehaviourSwitches))
 		}
+		// Failover accounting: how the substitutions of this (and
+		// previous) executions of the composition were served.
+		fs := c.runtime.FailoverStats()
+		if fs.IndexHits > 0 {
+			rec.Events = append(rec.Events, fmt.Sprintf("failover-index-hits=%d", fs.IndexHits))
+		}
+		if len(fs.Fallbacks) > 0 {
+			causes := make([]string, 0, len(fs.Fallbacks))
+			for cause := range fs.Fallbacks {
+				causes = append(causes, cause)
+			}
+			sort.Strings(causes)
+			for _, cause := range causes {
+				rec.Events = append(rec.Events, fmt.Sprintf("failover-fallback-%s=%d", cause, fs.Fallbacks[cause]))
+			}
+		}
 		if retErr != nil {
 			rec.Err = retErr.Error()
 		}
@@ -434,6 +496,15 @@ func (m *Middleware) Execute(ctx context.Context, c *Composition) (*Report, erro
 	// (repeated runs of the same task, e.g. streaming segments).
 	if _, ok := c.remainingTask(); !ok {
 		c.runtime.ResetProgress()
+	}
+
+	// Warm the substitution index before the first invocation: the first
+	// Execute registers the composition with the tracker, and a cold or
+	// evicted index builds synchronously here (off the failure path), so
+	// failures during this execution resolve with a lock-free lookup.
+	c.track()
+	if c.manager.Index != nil {
+		c.manager.Index.BuildNow()
 	}
 
 	for round := 0; round < 4; round++ {
@@ -481,14 +552,16 @@ func (m *Middleware) Execute(ctx context.Context, c *Composition) (*Report, erro
 // the abstract process with every activity bound to its selected concrete
 // service (Chapter VI §2.4).
 func (c *Composition) ExecutableBPEL() ([]byte, error) {
-	res := c.runtime.Result()
-	bindings := make(map[string]bpel.Binding, len(res.Assignment))
-	for act, cand := range res.Assignment {
-		bindings[act] = bpel.Binding{
-			Service: string(cand.Service.ID),
-			Address: cand.Service.Address,
+	var bindings map[string]bpel.Binding
+	c.runtime.View(func(res *core.Result) {
+		bindings = make(map[string]bpel.Binding, len(res.Assignment))
+		for act, cand := range res.Assignment {
+			bindings[act] = bpel.Binding{
+				Service: string(cand.Service.ID),
+				Address: cand.Service.Address,
+			}
 		}
-	}
+	})
 	return bpel.MarshalExecutable(c.runtime.Behaviour, bindings)
 }
 
@@ -515,13 +588,16 @@ func (a Assessment) Healthy() bool {
 // falling back to advertised values) and proactively (linear-trend
 // prediction `horizon` observations ahead).
 func (c *Composition) Assess(horizon int) Assessment {
-	res := c.runtime.Result()
-	advertised := make(map[string]qos.Vector, len(res.Assignment))
-	binding := make(map[string]registry.ServiceID, len(res.Assignment))
-	for act, cand := range res.Assignment {
-		advertised[act] = cand.Vector
-		binding[act] = cand.Service.ID
-	}
+	var advertised map[string]qos.Vector
+	var binding map[string]registry.ServiceID
+	c.runtime.View(func(res *core.Result) {
+		advertised = make(map[string]qos.Vector, len(res.Assignment))
+		binding = make(map[string]registry.ServiceID, len(res.Assignment))
+		for act, cand := range res.Assignment {
+			advertised[act] = cand.Vector
+			binding[act] = cand.Service.ID
+		}
+	})
 	cm := monitor.NewCompositionMonitor(c.runtime.Behaviour, c.mw.props,
 		c.runtime.Req.Constraints, c.runtime.Req.EffectiveApproach(), advertised, binding)
 	a := cm.Assess(c.mw.mon, horizon)
@@ -628,14 +704,27 @@ func (c *Composition) contributorsByImpact(a Assessment) []string {
 		return nil
 	}
 	p := c.mw.props.At(j)
-	res := c.runtime.Result()
 	type scored struct {
 		act     string
 		value   float64
 		pending bool
 	}
-	list := make([]scored, 0, len(res.Assignment))
-	for act, cand := range res.Assignment {
+	// Snapshot the bindings under View (the monitor and completion
+	// lookups below take their own locks, so they run outside it).
+	type bindingRow struct {
+		act  string
+		cand registry.Candidate
+	}
+	var rows []bindingRow
+	c.runtime.View(func(res *core.Result) {
+		rows = make([]bindingRow, 0, len(res.Assignment))
+		for act, cand := range res.Assignment {
+			rows = append(rows, bindingRow{act: act, cand: cand})
+		}
+	})
+	list := make([]scored, 0, len(rows))
+	for _, row := range rows {
+		act, cand := row.act, row.cand
 		est, has := c.mw.mon.Estimate(cand.Service.ID)
 		if !has {
 			continue // unobserved: trust the advertisement

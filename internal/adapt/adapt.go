@@ -5,11 +5,21 @@
 // an equivalent behaviour from the task-class repository, found through
 // subgraph-homeomorphism matching, then re-run QASSA on the remaining
 // subtask under residual constraints).
+//
+// Failover is index-first: when the manager carries a substitution index
+// (internal/subidx), Substitute resolves the replacement with one
+// lock-free lookup — zero registry or monitor calls on the failure path —
+// and falls back to the reactive alternate scan only when the index is
+// cold, drained, exhausted or raced by a concurrent commit. The reactive
+// scan itself snapshots its decision inputs outside the runtime lock, so
+// even the fallback no longer serializes parallel-branch failovers
+// against the registry and monitor locks.
 package adapt
 
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"qasom/internal/core"
 	"qasom/internal/exec"
@@ -19,6 +29,7 @@ import (
 	"qasom/internal/qos"
 	"qasom/internal/registry"
 	"qasom/internal/resilience"
+	"qasom/internal/subidx"
 	"qasom/internal/task"
 )
 
@@ -32,6 +43,12 @@ type Runtime struct {
 	// Req.Task; replaced by behavioural adaptation).
 	Behaviour *task.Task
 
+	// version counts selection mutations (substitution commits and
+	// behaviour switches). Bumped under mu, read lock-free: the
+	// substitution index uses it to discard rebuilds whose snapshot a
+	// concurrent commit made stale.
+	version atomic.Uint64
+
 	mu sync.Mutex
 	// result is the current selection (assignment + alternates).
 	result *core.Result
@@ -42,6 +59,10 @@ type Runtime struct {
 	observed map[string]qos.Vector
 	// substitutions counts applied service substitutions.
 	substitutions int
+	// failoverHits counts substitutions served by the index;
+	// failoverFallbacks counts reactive fallbacks by cause.
+	failoverHits      int
+	failoverFallbacks map[string]int
 }
 
 // NewRuntime wraps a fresh selection into a runtime.
@@ -55,11 +76,24 @@ func NewRuntime(req *core.Request, res *core.Result) *Runtime {
 	}
 }
 
-// Result returns the current selection result.
+// Result returns a deep copy of the current selection result. The copy
+// is detached: Substitute and behaviour switches mutate the runtime's
+// internal result in place, and the returned value never observes those
+// mutations. Callers that only need a cheap read under the runtime lock
+// use View instead.
 func (rt *Runtime) Result() *core.Result {
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
-	return rt.result
+	return rt.result.Clone()
+}
+
+// View runs f with the live selection result while holding the runtime
+// lock. The pointer aliases internal state that concurrent substitutions
+// mutate: f must not retain it past its return and must not mutate it.
+func (rt *Runtime) View(f func(*core.Result)) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	f(rt.result)
 }
 
 // Substitutions counts the service substitutions applied so far.
@@ -68,6 +102,70 @@ func (rt *Runtime) Substitutions() int {
 	defer rt.mu.Unlock()
 	return rt.substitutions
 }
+
+// FailoverStats summarizes how this runtime's failovers were served.
+type FailoverStats struct {
+	// IndexHits counts substitutions resolved by the substitution index
+	// (lock-free, zero registry/monitor calls).
+	IndexHits int
+	// Fallbacks counts reactive-scan fallbacks by cause ("cold",
+	// "drained", "exhausted", "raced", "disabled").
+	Fallbacks map[string]int
+}
+
+// FailoverStats returns a copy of the failover accounting.
+func (rt *Runtime) FailoverStats() FailoverStats {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	out := FailoverStats{IndexHits: rt.failoverHits}
+	if len(rt.failoverFallbacks) > 0 {
+		out.Fallbacks = make(map[string]int, len(rt.failoverFallbacks))
+		for k, v := range rt.failoverFallbacks {
+			out.Fallbacks[k] = v
+		}
+	}
+	return out
+}
+
+// noteFallback records one reactive fallback by cause.
+func (rt *Runtime) noteFallback(cause string) {
+	rt.mu.Lock()
+	if rt.failoverFallbacks == nil {
+		rt.failoverFallbacks = make(map[string]int, 4)
+	}
+	rt.failoverFallbacks[cause]++
+	rt.mu.Unlock()
+}
+
+// SelectionVersion returns the runtime's mutation counter without taking
+// the runtime lock (safe to call while the index lock is held).
+func (rt *Runtime) SelectionVersion() uint64 { return rt.version.Load() }
+
+// SelectionSnapshot captures the current selection state for the
+// substitution index: fresh map/slice copies of the assignment and the
+// alternate lists in their current rotation order (candidate values share
+// immutable backing data).
+func (rt *Runtime) SelectionSnapshot() subidx.Snapshot {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	snap := subidx.Snapshot{
+		Version:    rt.version.Load(),
+		Activities: append([]*task.Activity(nil), rt.Behaviour.Activities()...),
+		Assignment: make(map[string]registry.Candidate, len(rt.result.Assignment)),
+		Alternates: make(map[string][]registry.Candidate, len(rt.result.Alternates)),
+		Weights:    rt.Req.EffectiveWeights(),
+		Properties: rt.Req.Properties,
+	}
+	for k, v := range rt.result.Assignment {
+		snap.Assignment[k] = v
+	}
+	for k, v := range rt.result.Alternates {
+		snap.Alternates[k] = append([]registry.Candidate(nil), v...)
+	}
+	return snap
+}
+
+var _ subidx.Source = (*Runtime)(nil)
 
 // ResetProgress clears completion tracking so the behaviour can run
 // again (repeated executions of the same composition, e.g. streaming
@@ -138,6 +236,7 @@ func (rt *Runtime) switchBehaviour(newBehaviour *task.Task, sel *core.Result) {
 	defer rt.mu.Unlock()
 	rt.Behaviour = newBehaviour
 	rt.result = sel
+	rt.version.Add(1)
 	// Completed activities of the old behaviour do not exist in the new
 	// one: keep only observations (for consumed QoS the old behaviour's
 	// aggregate was already folded into the residual constraints), and
@@ -153,7 +252,9 @@ func (rt *Runtime) switchBehaviour(newBehaviour *task.Task, sel *core.Result) {
 // Options tune the adaptation manager.
 type Options struct {
 	// MinSuccessRate disqualifies substitutes the monitor has seen
-	// failing more often than this; 0 means 0.5.
+	// failing more often than this; 0 means 0.5. Must match the
+	// substitution index's threshold when an index is attached (the
+	// facade wires both from the same knob).
 	MinSuccessRate float64
 	// Match configures the homeomorphism search of behavioural
 	// adaptation (the manager fills in the registry's ontology when the
@@ -183,8 +284,12 @@ type Manager struct {
 	Selector *core.Selector
 	// Monitor, when set, filters substitutes by observed health.
 	Monitor *monitor.Monitor
+	// Index, when set, serves failovers from the substitution index;
+	// nil keeps the fully reactive behaviour.
+	Index *subidx.Index
 	// Obs, when set, exports adaptation counters (substitutions,
-	// behaviour switches) into the hub's metrics registry.
+	// behaviour switches, failover causes) into the hub's metrics
+	// registry.
 	Obs *obs.Hub
 	// Options tune the strategies.
 	Options Options
@@ -193,6 +298,21 @@ type Manager struct {
 const (
 	behaviourSwitchMetric = "qasom_adapt_behaviour_switches_total"
 	behaviourSwitchHelp   = "Behavioural adaptations applied (behaviour switched to an equivalent task)."
+
+	substitutionMetric = "qasom_adapt_substitutions_total"
+	substitutionHelp   = "Service substitutions applied by the adaptation manager."
+
+	failoverHitMetric = "qasom_adapt_failover_index_hits_total"
+	failoverHitHelp   = "Failovers resolved by a lock-free substitution-index lookup."
+
+	failoverFallbackMetric = "qasom_adapt_failover_fallbacks_total"
+	failoverFallbackHelp   = "Failovers that fell back to the reactive alternate scan, by cause."
+
+	failoverRegistryChecksMetric = "qasom_adapt_failover_registry_checks_total"
+	failoverRegistryChecksHelp   = "Registry liveness probes performed on the failover path (zero on index hits)."
+
+	failoverMonitorChecksMetric = "qasom_adapt_failover_monitor_checks_total"
+	failoverMonitorChecksHelp   = "Monitor health probes performed on the failover path (zero on index hits)."
 )
 
 // counter fetches a registry counter; nil (a no-op) without a hub.
@@ -203,45 +323,246 @@ func (m *Manager) counter(name, help string) *obs.Counter {
 	return m.Obs.Metrics.Counter(name, help)
 }
 
+// fallbackCounter fetches the per-cause fallback counter; nil without a
+// hub.
+func (m *Manager) fallbackCounter(cause string) *obs.Counter {
+	if m.Obs == nil {
+		return nil
+	}
+	return m.Obs.Metrics.CounterVec(failoverFallbackMetric, failoverFallbackHelp, "cause").With(cause)
+}
+
 // ErrNoSubstitute is wrapped when no alternate can replace a service.
 var ErrNoSubstitute = fmt.Errorf("adapt: no substitute available")
 
 // Substitute replaces the service bound to an activity by the best
 // alternate that is still published, healthy and not excluded. It
 // updates the runtime's assignment and returns the substitute.
+//
+// With an index attached the replacement is resolved by one lock-free
+// lookup (no registry or monitor calls); the reactive scan runs only
+// when the index is cold, drained, exhausted, or its pick was raced by a
+// concurrent selection change. Both paths commit the same rotation: the
+// chosen alternate leaves the list, the displaced binding rejoins it at
+// the tail.
 func (m *Manager) Substitute(rt *Runtime, activityID string, exclude map[registry.ServiceID]bool) (registry.Candidate, error) {
-	opts := m.Options.withDefaults()
+	if m.Index != nil {
+		cand, out := m.Index.Lookup(activityID, exclude)
+		if out == subidx.Hit {
+			if m.commitIndexed(rt, activityID, cand) {
+				m.counter(failoverHitMetric, failoverHitHelp).Inc()
+				return cand, nil
+			}
+			rt.noteFallback("raced")
+			m.fallbackCounter("raced").Inc()
+		} else {
+			rt.noteFallback(out.String())
+			m.fallbackCounter(out.String()).Inc()
+		}
+	}
+	return m.substituteReactive(rt, activityID, exclude)
+}
+
+// commitIndexed applies an index-resolved substitution to the runtime,
+// keeping the alternate rotation in lockstep with the index. It fails
+// (returning false, caller falls back to the reactive scan) when the
+// runtime no longer matches the lookup: the activity is unbound (a
+// behaviour switch raced us) or the pick is already bound.
+func (m *Manager) commitIndexed(rt *Runtime, activityID string, chosen registry.Candidate) bool {
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
+	old, bound := rt.result.Assignment[activityID]
+	if !bound || old.Service.ID == chosen.Service.ID {
+		return false
+	}
 	alts := rt.result.Alternates[activityID]
-	for i, alt := range alts {
+	pos := -1
+	for i := range alts {
+		if alts[i].Service.ID == chosen.Service.ID {
+			pos = i
+			break
+		}
+	}
+	if pos >= 0 {
+		chosen = alts[pos]
+		// Rotate in place: drop the chosen alternate, displaced binding
+		// rejoins at the tail. No reallocation on the failure path.
+		copy(alts[pos:], alts[pos+1:])
+		if old.Service.ID != "" {
+			alts[len(alts)-1] = old
+		} else {
+			alts = alts[:len(alts)-1]
+		}
+		rt.result.Alternates[activityID] = alts
+	} else {
+		// The pick is an index-inserted extra (published after
+		// selection): nothing to remove, the displaced binding still
+		// rejoins the rotation.
+		if old.Service.ID != "" {
+			rt.result.Alternates[activityID] = append(alts, old)
+		}
+	}
+	rt.result.Assignment[activityID] = chosen
+	rt.substitutions++
+	rt.failoverHits++
+	rt.version.Add(1)
+	m.Index.Commit(activityID, chosen.Service.ID, old)
+	m.counter(substitutionMetric, substitutionHelp).Inc()
+	return true
+}
+
+// maxReactiveRetries bounds optimistic rescans of the reactive path
+// before it degrades to the fully locked scan.
+const maxReactiveRetries = 4
+
+// idScratch pools the candidate-ID snapshot slices of the reactive scan.
+var idScratch = sync.Pool{
+	New: func() any {
+		s := make([]registry.ServiceID, 0, 16)
+		return &s
+	},
+}
+
+// substituteReactive is the fallback scan. Unlike the pre-index
+// implementation it does NOT hold the runtime lock while probing the
+// registry and monitor: it snapshots the candidate IDs (and the
+// runtime's mutation version) under the lock, probes outside it, then
+// revalidates and commits. A concurrent commit triggers a bounded
+// rescan; past the bound the scan runs fully locked, which guarantees
+// termination at the cost of the old serialization.
+func (m *Manager) substituteReactive(rt *Runtime, activityID string, exclude map[registry.ServiceID]bool) (registry.Candidate, error) {
+	opts := m.Options.withDefaults()
+	ids := idScratch.Get().(*[]registry.ServiceID)
+	defer func() {
+		*ids = (*ids)[:0]
+		idScratch.Put(ids)
+	}()
+	for attempt := 0; attempt < maxReactiveRetries; attempt++ {
+		rt.mu.Lock()
+		version := rt.version.Load()
+		alts := rt.result.Alternates[activityID]
+		*ids = (*ids)[:0]
+		for i := range alts {
+			*ids = append(*ids, alts[i].Service.ID)
+		}
+		rt.mu.Unlock()
+
+		pick := m.scanEligible(*ids, exclude, opts.MinSuccessRate)
+		if pick == "" {
+			return registry.Candidate{}, fmt.Errorf("%w for activity %q", ErrNoSubstitute, activityID)
+		}
+		if cand, ok := m.commitReactive(rt, activityID, pick, version); ok {
+			return cand, nil
+		}
+		// A concurrent commit moved the selection: rescan from the
+		// current rotation order.
+	}
+	return m.substituteLocked(rt, activityID, exclude, opts)
+}
+
+// scanEligible walks the candidate IDs in rotation order and returns the
+// first one that is not excluded, still published and healthy. Runs
+// without the runtime lock; every probe is counted so tests can assert
+// the index path performs none.
+func (m *Manager) scanEligible(ids []registry.ServiceID, exclude map[registry.ServiceID]bool, minRate float64) registry.ServiceID {
+	for _, id := range ids {
+		if exclude[id] {
+			continue
+		}
+		if m.Registry != nil {
+			m.counter(failoverRegistryChecksMetric, failoverRegistryChecksHelp).Inc()
+			if _, ok := m.Registry.Get(id); !ok {
+				continue // withdrawn from the environment
+			}
+		}
+		if m.Monitor != nil {
+			m.counter(failoverMonitorChecksMetric, failoverMonitorChecksHelp).Inc()
+			if m.Monitor.SuccessRate(id) < minRate {
+				continue
+			}
+		}
+		return id
+	}
+	return ""
+}
+
+// commitReactive validates that no selection change raced the unlocked
+// probe phase and commits the rotation. The version guard is coarse (any
+// activity's commit bumps it) but cheap; a false positive just rescans.
+func (m *Manager) commitReactive(rt *Runtime, activityID string, pick registry.ServiceID, version uint64) (registry.Candidate, bool) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if rt.version.Load() != version {
+		return registry.Candidate{}, false
+	}
+	return m.commitLocked(rt, activityID, pick), true
+}
+
+// commitLocked rotates pick into the binding. Caller holds rt.mu and has
+// established that pick is a current alternate.
+func (m *Manager) commitLocked(rt *Runtime, activityID string, pick registry.ServiceID) registry.Candidate {
+	alts := rt.result.Alternates[activityID]
+	pos := -1
+	for i := range alts {
+		if alts[i].Service.ID == pick {
+			pos = i
+			break
+		}
+	}
+	if pos < 0 {
+		return registry.Candidate{}
+	}
+	chosen := alts[pos]
+	old := rt.result.Assignment[activityID]
+	copy(alts[pos:], alts[pos+1:])
+	if old.Service.ID != "" {
+		alts[len(alts)-1] = old
+	} else {
+		alts = alts[:len(alts)-1]
+	}
+	rt.result.Alternates[activityID] = alts
+	rt.result.Assignment[activityID] = chosen
+	rt.substitutions++
+	rt.version.Add(1)
+	if m.Index != nil {
+		m.Index.Commit(activityID, pick, old)
+	}
+	m.counter(substitutionMetric, substitutionHelp).Inc()
+	return chosen
+}
+
+// substituteLocked is the pre-index algorithm: scan and commit in one
+// critical section. Kept as the termination guarantee of the optimistic
+// reactive path under pathological commit churn.
+func (m *Manager) substituteLocked(rt *Runtime, activityID string, exclude map[registry.ServiceID]bool, opts Options) (registry.Candidate, error) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	for _, alt := range rt.result.Alternates[activityID] {
 		if exclude[alt.Service.ID] {
 			continue
 		}
 		if m.Registry != nil {
+			m.counter(failoverRegistryChecksMetric, failoverRegistryChecksHelp).Inc()
 			if _, ok := m.Registry.Get(alt.Service.ID); !ok {
-				continue // withdrawn from the environment
+				continue
 			}
 		}
-		if m.Monitor != nil && m.Monitor.SuccessRate(alt.Service.ID) < opts.MinSuccessRate {
-			continue
+		if m.Monitor != nil {
+			m.counter(failoverMonitorChecksMetric, failoverMonitorChecksHelp).Inc()
+			if m.Monitor.SuccessRate(alt.Service.ID) < opts.MinSuccessRate {
+				continue
+			}
 		}
-		// Commit: swap assignments and rotate the alternate out.
-		old := rt.result.Assignment[activityID]
-		rt.result.Assignment[activityID] = alt
-		rest := make([]registry.Candidate, 0, len(alts))
-		rest = append(rest, alts[:i]...)
-		rest = append(rest, alts[i+1:]...)
-		if old.Service.ID != "" {
-			rest = append(rest, old)
-		}
-		rt.result.Alternates[activityID] = rest
-		rt.substitutions++
-		m.counter("qasom_adapt_substitutions_total",
-			"Service substitutions applied by the adaptation manager.").Inc()
-		return alt, nil
+		return m.commitLocked(rt, activityID, alt.Service.ID), nil
 	}
 	return registry.Candidate{}, fmt.Errorf("%w for activity %q", ErrNoSubstitute, activityID)
+}
+
+// excludeScratch pools the per-failover exclusion snapshots built by
+// FailureHandler (one map per in-flight failover instead of one per
+// call).
+var excludeScratch = sync.Pool{
+	New: func() any { return make(map[registry.ServiceID]bool, 8) },
 }
 
 // FailureHandler wires substitution into the executor as the
@@ -256,11 +577,12 @@ func (m *Manager) FailureHandler(rt *Runtime) exec.FailureHandler {
 	excluded := make(map[registry.ServiceID]bool)
 	var mu sync.Mutex
 	return func(act *task.Activity, failed registry.Candidate, attempt int, class resilience.Class) (registry.Candidate, error) {
+		snapshot := excludeScratch.Get().(map[registry.ServiceID]bool)
+		clear(snapshot)
 		mu.Lock()
 		if class != resilience.Retryable {
 			excluded[failed.Service.ID] = true
 		}
-		snapshot := make(map[registry.ServiceID]bool, len(excluded)+1)
 		for k, v := range excluded {
 			snapshot[k] = v
 		}
@@ -268,7 +590,10 @@ func (m *Manager) FailureHandler(rt *Runtime) exec.FailureHandler {
 		// exclude it from THIS substitution without remembering it.
 		snapshot[failed.Service.ID] = true
 		mu.Unlock()
-		return m.Substitute(rt, act.ID, snapshot)
+		cand, err := m.Substitute(rt, act.ID, snapshot)
+		clear(snapshot)
+		excludeScratch.Put(snapshot)
+		return cand, err
 	}
 }
 

@@ -3,11 +3,14 @@ package adapt
 import (
 	"errors"
 	"fmt"
+	"sort"
+	"strings"
 
 	"qasom/internal/core"
 	"qasom/internal/graph"
 	"qasom/internal/qos"
 	"qasom/internal/registry"
+	"qasom/internal/subidx"
 	"qasom/internal/task"
 )
 
@@ -32,6 +35,10 @@ type BehaviouralPlan struct {
 	// MatchSteps counts homeomorphism search steps spent on the accepted
 	// alternative.
 	MatchSteps int
+	// Staged reports whether the homeomorphism match came from the
+	// substitution index's pre-staged alternates instead of a
+	// failure-time search.
+	Staged bool
 }
 
 // AdaptBehaviour runs the behavioural adaptation strategy of Chapter V:
@@ -45,7 +52,14 @@ type BehaviouralPlan struct {
 //     constraints by the QoS already consumed, and re-run QASSA on it;
 //  5. return the first feasible plan (or the best-effort one).
 //
-// On success the runtime is switched to the new behaviour.
+// When the substitution index has pre-staged the match search for the
+// current progress frontier, step 3 is skipped entirely: the staged
+// matches are consumed and only the re-selection (which depends on the
+// QoS consumed up to the failure) runs at failure time.
+//
+// On success the runtime is switched to the new behaviour and the
+// substitution index (if any) is marked cold for rebuild against the new
+// selection.
 func (m *Manager) AdaptBehaviour(rt *Runtime) (*BehaviouralPlan, error) {
 	if m.Repo == nil {
 		return nil, fmt.Errorf("adapt: manager has no task-class repository")
@@ -53,18 +67,26 @@ func (m *Manager) AdaptBehaviour(rt *Runtime) (*BehaviouralPlan, error) {
 	if m.Selector == nil {
 		return nil, fmt.Errorf("adapt: manager has no selector")
 	}
-	rt.mu.Lock()
-	completed := make(map[string]bool, len(rt.completed))
-	for k, v := range rt.completed {
-		completed[k] = v
-	}
-	behaviour := rt.Behaviour
-	rt.mu.Unlock()
+	behaviour, completed := rt.progress()
 
 	remaining, ok := behaviour.Remaining(completed)
 	if !ok {
 		return nil, fmt.Errorf("adapt: task already completed, nothing to adapt")
 	}
+	residual := ResidualConstraints(rt.Req.Properties, rt.Req.Constraints, rt.Consumed())
+
+	// Staged fast path: the index pre-computed the homeomorphism matches
+	// for this exact progress frontier on its background goroutine.
+	if m.Index != nil {
+		if staged := m.Index.Staged(frontierKey(behaviour, completed)); staged != nil && len(staged.Matches) > 0 {
+			if plan, err := m.planFromStaged(rt, staged, residual); err == nil {
+				return plan, nil
+			}
+			// The staged alternatives no longer select (services
+			// vanished since staging): fall through to the full search.
+		}
+	}
+
 	// Homeomorphism matching reconciles *partial progress* with an
 	// alternative's structure. With no progress at all, every behaviour
 	// of the class is acceptable by definition (they are declared
@@ -79,32 +101,25 @@ func (m *Manager) AdaptBehaviour(rt *Runtime) (*BehaviouralPlan, error) {
 		}
 	}
 
-	class := m.Repo.ClassOf(behaviour.Name)
+	class := m.classOf(behaviour)
 	if class == nil {
-		classes := m.Repo.ByConcept(behaviour.Concept)
-		if len(classes) == 0 {
-			return nil, fmt.Errorf("adapt: no task class for behaviour %q (concept %q)",
-				behaviour.Name, behaviour.Concept)
-		}
-		class = classes[0]
+		return nil, fmt.Errorf("adapt: no task class for behaviour %q (concept %q)",
+			behaviour.Name, behaviour.Concept)
 	}
-
-	matchOpts := m.Options.Match
-	if matchOpts.Ontology == nil && m.Registry != nil {
-		matchOpts.Ontology = m.Registry.Ontology()
-	}
-
-	residual := ResidualConstraints(rt.Req.Properties, rt.Req.Constraints, rt.Consumed())
+	matchOpts := m.matchOptions()
 
 	var fallback *BehaviouralPlan
 	for _, alt := range class.Alternatives(behaviour.Name) {
-		plan, err := m.planAlternative(rt, alt, pattern, matchOpts, residual)
+		newTask, steps, err := matchAlternative(alt, pattern, matchOpts)
+		if err != nil {
+			continue
+		}
+		plan, err := m.buildPlan(rt, alt, newTask, steps, residual)
 		if err != nil {
 			continue
 		}
 		if plan.Selection.Feasible {
-			rt.switchBehaviour(plan.Alternative, plan.Selection)
-			m.counter(behaviourSwitchMetric, behaviourSwitchHelp).Inc()
+			m.installPlan(rt, plan)
 			return plan, nil
 		}
 		if fallback == nil {
@@ -112,70 +127,203 @@ func (m *Manager) AdaptBehaviour(rt *Runtime) (*BehaviouralPlan, error) {
 		}
 	}
 	if fallback != nil && !m.Options.RequireFeasible {
-		rt.switchBehaviour(fallback.Alternative, fallback.Selection)
-		m.counter(behaviourSwitchMetric, behaviourSwitchHelp).Inc()
+		m.installPlan(rt, fallback)
 		return fallback, nil
 	}
 	return nil, fmt.Errorf("%w (behaviour %q, %d alternatives tried)",
 		ErrNoAlternative, behaviour.Name, len(class.Alternatives(behaviour.Name)))
 }
 
-// planAlternative checks one alternative behaviour and, on a match,
-// builds the re-selection plan.
-func (m *Manager) planAlternative(rt *Runtime, alt *task.Task, pattern *graph.Graph,
-	matchOpts graph.MatchOptions, residual qos.Constraints) (*BehaviouralPlan, error) {
-	var newTask *task.Task
-	matchSteps := 0
+// planFromStaged replays the pre-staged matches through re-selection,
+// applying the same feasible-first/best-effort policy as the full
+// search.
+func (m *Manager) planFromStaged(rt *Runtime, staged *subidx.StagedBehaviours, residual qos.Constraints) (*BehaviouralPlan, error) {
+	var fallback *BehaviouralPlan
+	for _, sm := range staged.Matches {
+		plan, err := m.buildPlan(rt, sm.Alternative, sm.NewTask.Clone(), sm.MatchSteps, residual)
+		if err != nil {
+			continue
+		}
+		plan.Staged = true
+		if plan.Selection.Feasible {
+			m.installPlan(rt, plan)
+			return plan, nil
+		}
+		if fallback == nil {
+			fallback = plan
+		}
+	}
+	if fallback != nil && !m.Options.RequireFeasible {
+		m.installPlan(rt, fallback)
+		return fallback, nil
+	}
+	return nil, fmt.Errorf("%w (staged, %d alternatives tried)", ErrNoAlternative, len(staged.Matches))
+}
+
+// installPlan switches the runtime to the plan's behaviour and
+// invalidates the substitution index (the new selection has entirely new
+// replacement lists).
+func (m *Manager) installPlan(rt *Runtime, plan *BehaviouralPlan) {
+	rt.switchBehaviour(plan.Alternative, plan.Selection)
+	m.counter(behaviourSwitchMetric, behaviourSwitchHelp).Inc()
+	if m.Index != nil {
+		m.Index.MarkCold()
+	}
+}
+
+// progress snapshots the current behaviour and completed set.
+func (rt *Runtime) progress() (*task.Task, map[string]bool) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	completed := make(map[string]bool, len(rt.completed))
+	for k, v := range rt.completed {
+		completed[k] = v
+	}
+	return rt.Behaviour, completed
+}
+
+// classOf resolves the task class of a behaviour, falling back to the
+// concept lookup.
+func (m *Manager) classOf(behaviour *task.Task) *task.Class {
+	class := m.Repo.ClassOf(behaviour.Name)
+	if class == nil {
+		if classes := m.Repo.ByConcept(behaviour.Concept); len(classes) > 0 {
+			class = classes[0]
+		}
+	}
+	return class
+}
+
+// matchOptions fills the registry's ontology into the configured match
+// options when unset.
+func (m *Manager) matchOptions() graph.MatchOptions {
+	matchOpts := m.Options.Match
+	if matchOpts.Ontology == nil && m.Registry != nil {
+		matchOpts.Ontology = m.Registry.Ontology()
+	}
+	return matchOpts
+}
+
+// FrontierKey identifies the current progress frontier: the behaviour
+// plus the (order-insensitive) set of completed activities. Staged
+// behavioural alternates are valid exactly while this key is unchanged.
+func (m *Manager) FrontierKey(rt *Runtime) string {
+	behaviour, completed := rt.progress()
+	return frontierKey(behaviour, completed)
+}
+
+func frontierKey(behaviour *task.Task, completed map[string]bool) string {
+	ids := make([]string, 0, len(completed))
+	for id, done := range completed {
+		if done {
+			ids = append(ids, id)
+		}
+	}
+	sort.Strings(ids)
+	return behaviour.Name + "|" + strings.Join(ids, ",")
+}
+
+// StageBehaviours pre-computes the homeomorphism matches that
+// AdaptBehaviour would otherwise search at failure time, for the current
+// progress frontier. It runs on the substitution index's tracker
+// goroutine, off the failure path. Re-selection is deliberately NOT
+// staged: residual constraints depend on the QoS consumed up to the
+// failure, which is unknown until it happens. A nil-Matches result means
+// staging could not run (no repository, no class, task finished) and the
+// consumer falls back to the full search.
+func (m *Manager) StageBehaviours(rt *Runtime) *subidx.StagedBehaviours {
+	behaviour, completed := rt.progress()
+	out := &subidx.StagedBehaviours{Key: frontierKey(behaviour, completed)}
+	if m.Repo == nil {
+		return out
+	}
+	remaining, ok := behaviour.Remaining(completed)
+	if !ok {
+		return out
+	}
+	var pattern *graph.Graph
+	if remaining.Size() < behaviour.Size() {
+		p, err := graph.FromTask(remaining)
+		if err != nil {
+			return out
+		}
+		pattern = p
+	}
+	class := m.classOf(behaviour)
+	if class == nil {
+		return out
+	}
+	matchOpts := m.matchOptions()
+	for _, alt := range class.Alternatives(behaviour.Name) {
+		newTask, steps, err := matchAlternative(alt, pattern, matchOpts)
+		if err != nil {
+			continue
+		}
+		out.Matches = append(out.Matches, subidx.StagedMatch{
+			Alternative: alt, NewTask: newTask, MatchSteps: steps,
+		})
+	}
+	return out
+}
+
+// matchAlternative decides whether the remaining work (pattern) embeds
+// into one alternative behaviour and derives the alternative's
+// still-needed portion. Pure graph work — no registry, monitor or
+// runtime access — so it can run either at failure time or pre-staged on
+// the index's background goroutine.
+func matchAlternative(alt *task.Task, pattern *graph.Graph, matchOpts graph.MatchOptions) (*task.Task, int, error) {
 	if pattern == nil {
 		// Fresh start: the whole alternative runs.
-		newTask = alt.Clone()
-	} else {
-		host, err := graph.FromTask(alt)
-		if err != nil {
-			return nil, err
-		}
-		res, found, err := graph.FindHomeomorphism(pattern, host, matchOpts)
-		if err != nil {
-			return nil, err
-		}
-		if !found {
-			return nil, fmt.Errorf("adapt: behaviour %q does not host the remaining task", alt.Name)
-		}
-		matchSteps = res.Steps
+		return alt.Clone(), 0, nil
+	}
+	host, err := graph.FromTask(alt)
+	if err != nil {
+		return nil, 0, err
+	}
+	res, found, err := graph.FindHomeomorphism(pattern, host, matchOpts)
+	if err != nil {
+		return nil, 0, err
+	}
+	if !found {
+		return nil, 0, fmt.Errorf("adapt: behaviour %q does not host the remaining task", alt.Name)
+	}
 
-		// The matched part of the alternative (vertex images + path
-		// interiors) is the work still to do; everything else of the
-		// alternative corresponds to already-completed work and is pruned.
-		needed := make(map[string]bool)
-		for _, hv := range res.Mapping {
+	// The matched part of the alternative (vertex images + path
+	// interiors) is the work still to do; everything else of the
+	// alternative corresponds to already-completed work and is pruned.
+	needed := make(map[string]bool)
+	for _, hv := range res.Mapping {
+		if v := host.Vertex(hv); v != nil && v.Kind == graph.KindActivity {
+			needed[v.ActivityID] = true
+		}
+	}
+	for _, path := range res.Paths {
+		if len(path) < 3 {
+			continue // direct edge or merged (empty) path: no interior
+		}
+		for _, hv := range path[1 : len(path)-1] {
 			if v := host.Vertex(hv); v != nil && v.Kind == graph.KindActivity {
 				needed[v.ActivityID] = true
 			}
 		}
-		for _, path := range res.Paths {
-			if len(path) < 3 {
-				continue // direct edge or merged (empty) path: no interior
-			}
-			for _, hv := range path[1 : len(path)-1] {
-				if v := host.Vertex(hv); v != nil && v.Kind == graph.KindActivity {
-					needed[v.ActivityID] = true
-				}
-			}
-		}
-		doneB := make(map[string]bool)
-		for _, a := range alt.Activities() {
-			if !needed[a.ID] {
-				doneB[a.ID] = true
-			}
-		}
-		var ok bool
-		newTask, ok = alt.Remaining(doneB)
-		if !ok {
-			return nil, fmt.Errorf("adapt: behaviour %q has no remaining work", alt.Name)
+	}
+	doneB := make(map[string]bool)
+	for _, a := range alt.Activities() {
+		if !needed[a.ID] {
+			doneB[a.ID] = true
 		}
 	}
-	newTask.Name = alt.Name
+	newTask, ok := alt.Remaining(doneB)
+	if !ok {
+		return nil, 0, fmt.Errorf("adapt: behaviour %q has no remaining work", alt.Name)
+	}
+	return newTask, res.Steps, nil
+}
 
+// buildPlan runs the re-selection over an alternative's remaining work
+// under the residual constraints.
+func (m *Manager) buildPlan(rt *Runtime, alt *task.Task, newTask *task.Task, matchSteps int, residual qos.Constraints) (*BehaviouralPlan, error) {
+	newTask.Name = alt.Name
 	newReq := &core.Request{
 		Task:        newTask,
 		Properties:  rt.Req.Properties,

@@ -12,7 +12,7 @@ func TestInventoryComplete(t *testing.T) {
 		"qosagg", // Table IV.1
 		"vi5a", "vi5b", "vi6a", "vi6b", "vi7", "vi8", "vi9",
 		"vi10", "vi11", "vi12", "vi13",
-		"v7", "adapt",
+		"v7", "adapt", "failover",
 		"ablation-k", "ablation-global", "ablation-seeding", "ablation-preverify",
 		"ablation-pareto", "baselines", "mobility",
 		"serving", "shards", // ROADMAP artefacts: steady-state serving, registry scale-out

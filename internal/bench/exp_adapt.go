@@ -17,7 +17,7 @@ import (
 )
 
 func adaptationExperiments() []*Experiment {
-	return []*Experiment{expAdapt()}
+	return []*Experiment{expAdapt(), expFailover()}
 }
 
 // adaptFixture wires a full middleware stack over the simulated

@@ -90,6 +90,13 @@ func monitorMetricsFor(hub *obs.Hub) monitorMetrics {
 	}
 }
 
+// healthListener is one SubscribeHealth registration: a success-rate
+// threshold and the callback fired when a service crosses it.
+type healthListener struct {
+	threshold float64
+	fn        func(id registry.ServiceID, healthy bool)
+}
+
 // Monitor collects run-time QoS observations per service. Safe for
 // concurrent use.
 type Monitor struct {
@@ -98,6 +105,9 @@ type Monitor struct {
 	opts    Options
 	met     monitorMetrics
 	windows map[registry.ServiceID]*window
+
+	nextListener int
+	listeners    map[int]healthListener
 }
 
 // New creates a monitor for the given property set.
@@ -110,6 +120,30 @@ func New(ps *qos.PropertySet, opts Options) *Monitor {
 	}
 }
 
+// SubscribeHealth registers a callback fired whenever a service's
+// observed success rate crosses the threshold in either direction
+// (healthy ⇔ rate ≥ threshold, matching the adaptation manager's
+// MinSuccessRate filter). The unobserved prior counts as healthy, so the
+// very first failing observations of a service do notify. Callbacks run
+// synchronously on the Report goroutine but outside the monitor's lock —
+// they may call back into the monitor, but should return quickly. The
+// returned cancel function unsubscribes.
+func (m *Monitor) SubscribeHealth(threshold float64, fn func(id registry.ServiceID, healthy bool)) (cancel func()) {
+	m.mu.Lock()
+	if m.listeners == nil {
+		m.listeners = make(map[int]healthListener)
+	}
+	key := m.nextListener
+	m.nextListener++
+	m.listeners[key] = healthListener{threshold: threshold, fn: fn}
+	m.mu.Unlock()
+	return func() {
+		m.mu.Lock()
+		delete(m.listeners, key)
+		m.mu.Unlock()
+	}
+}
+
 // Report records one observation. Vectors of the wrong arity are
 // rejected.
 func (m *Monitor) Report(obs Observation) error {
@@ -117,12 +151,12 @@ func (m *Monitor) Report(obs Observation) error {
 		return fmt.Errorf("monitor: observation arity %d, want %d", len(obs.Vector), m.ps.Len())
 	}
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	w := m.windows[obs.Service]
 	if w == nil {
 		w = &window{obs: make([]Observation, m.opts.WindowSize)}
 		m.windows[obs.Service] = w
 	}
+	rateBefore := w.successRate()
 	w.obs[w.next] = obs
 	w.next = (w.next + 1) % len(w.obs)
 	if w.next == 0 {
@@ -140,6 +174,16 @@ func (m *Monitor) Report(obs Observation) error {
 			w.ewma[j] = a*obs.Vector[j] + (1-a)*w.ewma[j]
 		}
 	}
+	rateAfter := w.successRate()
+	// Collect threshold crossings under the lock, notify outside it: a
+	// listener may itself read the monitor (or fan out into substitution
+	// indexes) without deadlocking Report.
+	var crossed []healthListener
+	for _, l := range m.listeners {
+		if (rateBefore >= l.threshold) != (rateAfter >= l.threshold) {
+			crossed = append(crossed, l)
+		}
+	}
 	m.met.observations.Inc()
 	if !obs.Success {
 		m.met.failures.Inc()
@@ -149,7 +193,19 @@ func (m *Monitor) Report(obs Observation) error {
 			m.met.ewma.With(string(obs.Service), name).Set(w.ewma[j])
 		}
 	}
+	m.mu.Unlock()
+	for _, l := range crossed {
+		l.fn(obs.Service, rateAfter >= l.threshold)
+	}
 	return nil
+}
+
+// successRate is SuccessRate for one window (1 when unobserved).
+func (w *window) successRate() float64 {
+	if w == nil || w.total == 0 {
+		return 1
+	}
+	return 1 - float64(w.failures)/float64(w.total)
 }
 
 // Len returns the number of observations held for a service (capped at
@@ -184,11 +240,7 @@ func (m *Monitor) Estimate(id registry.ServiceID) (qos.Vector, bool) {
 func (m *Monitor) SuccessRate(id registry.ServiceID) float64 {
 	m.mu.RLock()
 	defer m.mu.RUnlock()
-	w := m.windows[id]
-	if w == nil || w.total == 0 {
-		return 1
-	}
-	return 1 - float64(w.failures)/float64(w.total)
+	return m.windows[id].successRate()
 }
 
 // ordered returns the window's observations oldest-first.

@@ -22,6 +22,7 @@ package qasom
 
 import (
 	"fmt"
+	"time"
 
 	"qasom/internal/contract"
 	"qasom/internal/core"
@@ -31,6 +32,7 @@ import (
 	"qasom/internal/registry"
 	"qasom/internal/semantics"
 	"qasom/internal/simenv"
+	"qasom/internal/subidx"
 	"qasom/internal/task"
 )
 
@@ -133,6 +135,21 @@ type Options struct {
 	// ontology replaces the instance-private one, so OntologyMemoCap is
 	// ignored for shared stores.
 	Store *registry.Store
+	// DisableSubstitutionIndex turns off the per-composition substitution
+	// index (internal/subidx). Default on: failover resolves replacements
+	// with one lock-free index lookup and falls back to the reactive
+	// alternate scan only when the index is cold, drained or exhausted.
+	// Disabling keeps the fully reactive pre-index behaviour.
+	DisableSubstitutionIndex bool
+	// SubstitutionIndexRefresh is the background refresh interval of the
+	// substitution index (re-rank after registry churn, re-stage
+	// behavioural alternates); 0 means the subidx default (250ms).
+	SubstitutionIndexRefresh time.Duration
+	// SubstitutionIndexCompositions bounds how many compositions keep a
+	// warm substitution index at once (an LRU over actively executing
+	// compositions — evicted indexes rebuild at their next Execute); 0
+	// means the subidx default (64).
+	SubstitutionIndexCompositions int
 }
 
 // Middleware is a QASOM instance: shared ontology, semantic registry,
@@ -158,6 +175,7 @@ type Middleware struct {
 	obs       *obs.Hub
 	met       composeMetrics
 	plans     *planCache
+	subst     *subidx.Tracker // nil when DisableSubstitutionIndex
 	opts      Options
 	tenant    string // tenant label on metrics and flight records ("default" for the zero tenant)
 }
@@ -258,6 +276,13 @@ func New(opts ...Options) (*Middleware, error) {
 		opts:     o,
 		tenant:   tenantLabel(o.TenantID),
 	}
+	if !o.DisableSubstitutionIndex {
+		m.subst = subidx.NewTracker(reg, m.mon, subidx.Options{
+			RefreshInterval: o.SubstitutionIndexRefresh,
+			MaxTracked:      o.SubstitutionIndexCompositions,
+			Metrics:         o.Obs.Metrics,
+		})
+	}
 	obs.RegisterBuildInfo(o.Obs.Metrics)
 	o.Obs.Metrics.Func("qasom_plan_cache_entries",
 		"Live entries in the selection-plan cache.",
@@ -287,6 +312,16 @@ func New(opts ...Options) (*Middleware, error) {
 			return float64(s.MatchEvictions + s.DistanceEvictions)
 		})
 	return m, nil
+}
+
+// Close releases the middleware's background resources: the substitution
+// index tracker's maintenance goroutine and its registry/monitor
+// subscriptions. The instance stays usable afterwards — failover simply
+// reverts to the reactive scan. Safe to call more than once.
+func (m *Middleware) Close() {
+	if m.subst != nil {
+		m.subst.Close()
+	}
 }
 
 // Observability returns the middleware's telemetry hub: the metrics

@@ -17,7 +17,7 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
-BENCH="${BENCH:-BenchmarkQASSA_RepairHeavy|BenchmarkEvalProbe|BenchmarkQASSA_Services|BenchmarkExhaustiveBaseline|BenchmarkGreedyBaseline|BenchmarkDistributedChurn|BenchmarkThroughput|BenchmarkRegistryOps}"
+BENCH="${BENCH:-BenchmarkFailover|BenchmarkQASSA_RepairHeavy|BenchmarkEvalProbe|BenchmarkQASSA_Services|BenchmarkExhaustiveBaseline|BenchmarkGreedyBaseline|BenchmarkDistributedChurn|BenchmarkThroughput|BenchmarkRegistryOps}"
 OUT="${OUT:-BENCH_qassa.json}"
 
 raw=$(go test -run '^$' -bench "$BENCH" -benchmem .)
@@ -28,7 +28,7 @@ BEGIN { print "{"; first = 1 }
 /^Benchmark/ {
     name = $1
     sub(/-[0-9]+$/, "", name)
-    ns = ""; bytes = ""; allocs = ""; ops = ""; p50 = ""; p99 = ""
+    ns = ""; bytes = ""; allocs = ""; ops = ""; p50 = ""; p99 = ""; sp50 = ""; sp99 = ""
     for (i = 2; i <= NF; i++) {
         if ($i == "ns/op")     ns = $(i - 1)
         if ($i == "B/op")      bytes = $(i - 1)
@@ -36,12 +36,15 @@ BEGIN { print "{"; first = 1 }
         if ($i == "ops/sec")   ops = $(i - 1)
         if ($i == "p50-ms")    p50 = $(i - 1)
         if ($i == "p99-ms")    p99 = $(i - 1)
+        if ($i == "sub-p50-us") sp50 = $(i - 1)
+        if ($i == "sub-p99-us") sp99 = $(i - 1)
     }
     if (ns == "") next
     if (!first) printf ",\n"
     first = 0
     printf "  \"%s\": {\"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s", name, ns, bytes, allocs
     if (ops != "") printf ", \"ops_per_sec\": %s, \"p50_ms\": %s, \"p99_ms\": %s", ops, p50, p99
+    if (sp99 != "") printf ", \"sub_p50_us\": %s, \"sub_p99_us\": %s", sp50, sp99
     printf "}"
 }
 END { print "\n}" }

@@ -27,8 +27,11 @@ BASE="${BASE:-BENCH_qassa.json}"
 # BenchmarkThroughput rides the gate as the tracing-overhead check: the
 # serving hot path carries a span, a flight record and an SLO
 # observation per composition, and the alloc/byte budgets keep that
-# instrumentation honest.
-BENCH="${BENCH:-BenchmarkQASSA_RepairHeavy|BenchmarkEvalProbe|BenchmarkQASSA_Services|BenchmarkExhaustiveBaseline|BenchmarkGreedyBaseline|BenchmarkDistributedChurn|BenchmarkThroughput}"
+# instrumentation honest. BenchmarkFailover gates the recovery path the
+# same way: mode=index must stay a lock-free lookup (its ns/op and
+# alloc budgets are the index-hit fast path plus the steady-state round
+# overhead), mode=reactive keeps the fallback scan honest.
+BENCH="${BENCH:-BenchmarkFailover|BenchmarkQASSA_RepairHeavy|BenchmarkEvalProbe|BenchmarkQASSA_Services|BenchmarkExhaustiveBaseline|BenchmarkGreedyBaseline|BenchmarkDistributedChurn|BenchmarkThroughput}"
 # The sharded-registry benchmarks are gated at the 100k population only:
 # the 1M rigs exist for the recorded scale-out table, not for a quick
 # regression pass (component-wise -bench regex, hence a separate run).
