@@ -216,6 +216,67 @@ func BenchmarkEvalProbe(b *testing.B) {
 	})
 }
 
+// BenchmarkParetoProbe isolates one vector probe — what a candidate
+// swap would do to the whole aggregated QoS vector, not just the scalar
+// violation — against the committed-swap scalar probe of
+// BenchmarkEvalProbe. Both refold only the swapped leaf's root path;
+// the probe budget is zero allocations (the caller owns the buffer).
+func BenchmarkParetoProbe(b *testing.B) {
+	req, cands := benchInstance(10, 50, 3, workload.ShapeMixed,
+		workload.AtMean, qos.Pessimistic)
+	eval, err := core.NewEvaluator(req, cands)
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng, err := core.NewEvalEngine(eval, cands)
+	if err != nil {
+		b.Fatal(err)
+	}
+	buf := req.Properties.NewVector()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a := i % eng.Activities()
+		buf = eng.ProbeVector(a, i%eng.PoolSize(a), buf)
+		if buf[0] <= 0 {
+			b.Fatal("degenerate probe vector")
+		}
+	}
+}
+
+// BenchmarkParetoSelect measures the Pareto-front selection mode in both
+// regimes: exact enumeration on a small instance (pool product under the
+// exhaustive bound) and the archive-guided sweep on a QASSA-sized one.
+// The front-size metric documents how much of the cost is archive
+// maintenance versus probing.
+func BenchmarkParetoSelect(b *testing.B) {
+	for _, mode := range []struct {
+		name           string
+		acts, services int
+	}{
+		{"regime=exhaustive", 5, 4},
+		{"regime=sweep", 10, 50},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			req, cands := benchInstance(mode.acts, mode.services, 3,
+				workload.ShapeMixed, workload.AtMeanPlusSigma, qos.Pessimistic)
+			req.Objectives = []string{"responseTime", "price"}
+			sel := core.NewSelector(core.Options{ParetoMode: true})
+			b.ReportAllocs()
+			b.ResetTimer()
+			var frontSum int
+			for i := 0; i < b.N; i++ {
+				res, err := sel.Select(req, cands)
+				if err != nil {
+					b.Fatal(err)
+				}
+				frontSum += res.Stats.FrontSize
+			}
+			b.ReportMetric(float64(frontSum)/float64(b.N), "front-size")
+		})
+	}
+}
+
 // BenchmarkQASSA_Distributed covers Fig. VI.12 (in-process transport, no
 // artificial link latency so the benchmark measures computation).
 func BenchmarkQASSA_Distributed(b *testing.B) {

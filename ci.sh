@@ -44,7 +44,9 @@ if [ "${1:-}" = "quick" ]; then
 	# enough to race on every quick pass. The root package carries the
 	# plan-cache churn differentials (including the multi-tenant shared
 	# store), the registry package the sharded-store epoch/candidate
-	# differentials under raced churn.
+	# differentials under raced churn. The core and baseline packages
+	# also carry the dependency-repair and Pareto-front differentials
+	# (QASSA vs the exhaustive reference front, both eval kernels).
 	echo "== go test -race -run TestDifferential . ./internal/core ./internal/baseline ./internal/registry (quick)"
 	go test -race -run 'TestDifferential' . ./internal/core ./internal/baseline ./internal/registry
 	# The failover suite races the substitution index: lock-free

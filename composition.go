@@ -138,9 +138,23 @@ func (m *Middleware) compose(ctx context.Context, req Request, rec *obs.RequestR
 		return nil, err
 	}
 	rec.Task = fmt.Sprintf("%016x", t.Fingerprint())
+	if m.opts.ParetoMode && req.Distributed {
+		return nil, fmt.Errorf("qasom: ParetoMode selections are centralized-only: per-coordinator fronts cannot be merged by the distributed protocol")
+	}
+	if !m.opts.ParetoMode && len(req.Objectives) > 0 {
+		return nil, fmt.Errorf("qasom: Objectives require a middleware created with Options.ParetoMode")
+	}
 	coreReq := &core.Request{
 		Task:       t,
 		Properties: m.props,
+		Objectives: req.Objectives,
+	}
+	for _, d := range req.Dependencies {
+		cd, err := d.toCore()
+		if err != nil {
+			return nil, err
+		}
+		coreReq.Dependencies = append(coreReq.Dependencies, cd)
 	}
 	for _, c := range req.Constraints {
 		coreReq.Constraints = append(coreReq.Constraints, qos.Constraint{Property: c.Property, Bound: c.Bound})
@@ -171,7 +185,11 @@ func (m *Middleware) compose(ctx context.Context, req Request, rec *obs.RequestR
 	// completed plan can be replayed verbatim as long as no capability the
 	// task touches has changed — which the registry epochs certify. The
 	// snapshot is taken before candidate lookup (see planEpochs).
-	cacheable := m.plans != nil && !req.Distributed
+	// Dependency-carrying requests bypass the cache: rules are not part
+	// of the plan key, so two requests differing only in rules would
+	// collide. (Pareto mode never reaches here with a live cache — New
+	// disables it.)
+	cacheable := m.plans != nil && !req.Distributed && len(req.Dependencies) == 0
 	var planKey string
 	var planEpochSnap []uint64
 	if cacheable {
@@ -237,6 +255,10 @@ func (m *Middleware) compose(ctx context.Context, req Request, rec *obs.RequestR
 	m.met.phaseSeconds.With("global").ObserveDuration(res.Stats.GlobalDuration)
 	rec.Phases.Lookup = lookupDur
 	fillSelectionRecord(rec, res)
+	if m.opts.ParetoMode {
+		m.met.paretoFrontSize.Observe(float64(res.Stats.FrontSize))
+		rec.Events = append(rec.Events, fmt.Sprintf("pareto-front-size=%d", res.Stats.FrontSize))
+	}
 	if cacheable {
 		m.plans.put(planKey, planEpochSnap, res)
 	}
@@ -330,6 +352,9 @@ type SelectionStats struct {
 	// selection at the same registry epoch, but the durations and work
 	// counters describe the original run that populated the cache.
 	CacheHit bool
+	// FrontSize is the number of non-dominated compositions the
+	// Pareto-front mode returned (0 in scalar mode).
+	FrontSize int
 }
 
 // SelectionStats returns the work profile of this composition's
@@ -357,6 +382,7 @@ func (c *Composition) SelectionStats() SelectionStats {
 			Fallbacks:        s.Fallbacks,
 			Degraded:         res.Degraded,
 			CacheHit:         s.CacheHit,
+			FrontSize:        s.FrontSize,
 		}
 	})
 	return out
@@ -383,6 +409,47 @@ func (c *Composition) Bindings() map[string]string {
 		out = make(map[string]string, len(res.Assignment))
 		for act, cand := range res.Assignment {
 			out[act] = string(cand.Service.ID)
+		}
+	})
+	return out
+}
+
+// FrontMember is one non-dominated composition of a Pareto-mode
+// selection: a complete binding with its aggregated QoS and scalarized
+// utility. Members are mutually non-dominated over the request's
+// Objectives — picking between them is the caller's trade-off to make.
+type FrontMember struct {
+	// Bindings maps activity IDs to service IDs.
+	Bindings map[string]string
+	// QoS is the aggregated end-to-end QoS per property name.
+	QoS map[string]float64
+	// Utility is the member's scalarized utility F in [0,1] under the
+	// request's weights.
+	Utility float64
+}
+
+// Front returns the Pareto front of this composition's selection,
+// best-scalarized member first; the first member is the binding the
+// composition itself carries. Empty in scalar mode and for infeasible
+// Pareto selections.
+func (c *Composition) Front() []FrontMember {
+	var out []FrontMember
+	names := c.mw.props.Names()
+	c.runtime.View(func(res *core.Result) {
+		out = make([]FrontMember, len(res.Front))
+		for i, m := range res.Front {
+			fm := FrontMember{
+				Bindings: make(map[string]string, len(m.Assignment)),
+				QoS:      make(map[string]float64, len(names)),
+				Utility:  m.Utility,
+			}
+			for act, cand := range m.Assignment {
+				fm.Bindings[act] = string(cand.Service.ID)
+			}
+			for j, name := range names {
+				fm.QoS[name] = m.Aggregated[j]
+			}
+			out[i] = fm
 		}
 	})
 	return out

@@ -49,6 +49,12 @@ type Runtime struct {
 	// concurrent commit made stale.
 	version atomic.Uint64
 
+	// deps is the request's compiled dependency rule set (nil when the
+	// request declares none). Every substitution path — indexed, reactive
+	// and locked — consults it, so failover can never install a binding
+	// that violates a dependency rule.
+	deps *core.DependencySet
+
 	mu sync.Mutex
 	// result is the current selection (assignment + alternates).
 	result *core.Result
@@ -67,13 +73,31 @@ type Runtime struct {
 
 // NewRuntime wraps a fresh selection into a runtime.
 func NewRuntime(req *core.Request, res *core.Result) *Runtime {
+	// The request was validated at selection time, so a compile failure
+	// here can only mean the caller mutated it since; running without the
+	// guard (nil set) is the best-effort answer either way.
+	ds, _ := req.CompiledDependencies()
 	return &Runtime{
 		Req:       req,
 		Behaviour: req.Task,
+		deps:      ds,
 		result:    res,
 		completed: make(map[string]bool),
 		observed:  make(map[string]qos.Vector),
 	}
+}
+
+// depAdmissibleLocked reports whether binding cand to the activity keeps
+// every dependency rule satisfied under the rest of the current
+// assignment. Caller holds rt.mu. Always true without rules.
+func (rt *Runtime) depAdmissibleLocked(activityID string, cand registry.Candidate) bool {
+	if rt.deps == nil {
+		return true
+	}
+	return rt.deps.Admissible(activityID, cand, func(id string) (registry.Candidate, bool) {
+		c, ok := rt.result.Assignment[id]
+		return c, ok
+	})
 }
 
 // Result returns a deep copy of the current selection result. The copy
@@ -155,6 +179,9 @@ func (rt *Runtime) SelectionSnapshot() subidx.Snapshot {
 		Alternates: make(map[string][]registry.Candidate, len(rt.result.Alternates)),
 		Weights:    rt.Req.EffectiveWeights(),
 		Properties: rt.Req.Properties,
+	}
+	if rt.deps != nil {
+		snap.Mask = rt.deps
 	}
 	for k, v := range rt.result.Assignment {
 		snap.Assignment[k] = v
@@ -349,12 +376,13 @@ func (m *Manager) Substitute(rt *Runtime, activityID string, exclude map[registr
 	if m.Index != nil {
 		cand, out := m.Index.Lookup(activityID, exclude)
 		if out == subidx.Hit {
-			if m.commitIndexed(rt, activityID, cand) {
+			if applied, cause := m.commitIndexed(rt, activityID, cand); applied {
 				m.counter(failoverHitMetric, failoverHitHelp).Inc()
 				return cand, nil
+			} else {
+				rt.noteFallback(cause)
+				m.fallbackCounter(cause).Inc()
 			}
-			rt.noteFallback("raced")
-			m.fallbackCounter("raced").Inc()
 		} else {
 			rt.noteFallback(out.String())
 			m.fallbackCounter(out.String()).Inc()
@@ -365,15 +393,22 @@ func (m *Manager) Substitute(rt *Runtime, activityID string, exclude map[registr
 
 // commitIndexed applies an index-resolved substitution to the runtime,
 // keeping the alternate rotation in lockstep with the index. It fails
-// (returning false, caller falls back to the reactive scan) when the
-// runtime no longer matches the lookup: the activity is unbound (a
-// behaviour switch raced us) or the pick is already bound.
-func (m *Manager) commitIndexed(rt *Runtime, activityID string, chosen registry.Candidate) bool {
+// (returning false with a fallback cause, caller runs the reactive scan)
+// when the runtime no longer matches the lookup — the activity is
+// unbound (a behaviour switch raced us) or the pick is already bound —
+// or when the pick would violate a dependency rule under the CURRENT
+// assignment (the index filtered against the assignment it was built
+// from; an adjacent substitution may have shifted the admissible set
+// since).
+func (m *Manager) commitIndexed(rt *Runtime, activityID string, chosen registry.Candidate) (bool, string) {
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
 	old, bound := rt.result.Assignment[activityID]
 	if !bound || old.Service.ID == chosen.Service.ID {
-		return false
+		return false, "raced"
+	}
+	if !rt.depAdmissibleLocked(activityID, chosen) {
+		return false, "dependency"
 	}
 	alts := rt.result.Alternates[activityID]
 	pos := -1
@@ -407,8 +442,14 @@ func (m *Manager) commitIndexed(rt *Runtime, activityID string, chosen registry.
 	rt.failoverHits++
 	rt.version.Add(1)
 	m.Index.Commit(activityID, chosen.Service.ID, old)
+	if rt.deps.Touches(activityID) {
+		// The swap may have shifted which replacements are admissible for
+		// dependency-adjacent activities: schedule a refilter off the
+		// failure path (stale lists stay safe — commits revalidate here).
+		m.Index.MarkDirty()
+	}
 	m.counter(substitutionMetric, substitutionHelp).Inc()
-	return true
+	return true, ""
 }
 
 // maxReactiveRetries bounds optimistic rescans of the reactive path
@@ -443,6 +484,12 @@ func (m *Manager) substituteReactive(rt *Runtime, activityID string, exclude map
 		alts := rt.result.Alternates[activityID]
 		*ids = (*ids)[:0]
 		for i := range alts {
+			// Dependency-inadmissible alternates never reach the probe
+			// phase; the version guard at commit time keeps the check
+			// valid (any assignment change forces a rescan).
+			if !rt.depAdmissibleLocked(activityID, alts[i]) {
+				continue
+			}
 			*ids = append(*ids, alts[i].Service.ID)
 		}
 		rt.mu.Unlock()
@@ -526,6 +573,9 @@ func (m *Manager) commitLocked(rt *Runtime, activityID string, pick registry.Ser
 	rt.version.Add(1)
 	if m.Index != nil {
 		m.Index.Commit(activityID, pick, old)
+		if rt.deps.Touches(activityID) {
+			m.Index.MarkDirty()
+		}
 	}
 	m.counter(substitutionMetric, substitutionHelp).Inc()
 	return chosen
@@ -539,6 +589,9 @@ func (m *Manager) substituteLocked(rt *Runtime, activityID string, exclude map[r
 	defer rt.mu.Unlock()
 	for _, alt := range rt.result.Alternates[activityID] {
 		if exclude[alt.Service.ID] {
+			continue
+		}
+		if !rt.depAdmissibleLocked(activityID, alt) {
 			continue
 		}
 		if m.Registry != nil {

@@ -330,6 +330,10 @@ func (m *Manager) buildPlan(rt *Runtime, alt *task.Task, newTask *task.Task, mat
 		Constraints: residual,
 		Weights:     rt.Req.Weights,
 		Approach:    rt.Req.Approach,
+		// Dependency rules survive the behaviour switch when both their
+		// endpoints still exist in the remaining work; rules on pruned or
+		// already-completed activities no longer constrain anything.
+		Dependencies: retainedDeps(rt.Req.Dependencies, newTask),
 	}
 	candidates, err := m.candidatesFor(newTask, rt.Req.Properties)
 	if err != nil {
@@ -346,6 +350,21 @@ func (m *Manager) buildPlan(rt *Runtime, alt *task.Task, newTask *task.Task, mat
 		Residual:    residual,
 		MatchSteps:  matchSteps,
 	}, nil
+}
+
+// retainedDeps keeps the dependency rules whose activities all exist in
+// the new behaviour's remaining work.
+func retainedDeps(rules []core.Dependency, t *task.Task) []core.Dependency {
+	if len(rules) == 0 {
+		return nil
+	}
+	var out []core.Dependency
+	for _, r := range rules {
+		if t.ActivityByID(r.From) != nil && t.ActivityByID(r.To) != nil {
+			out = append(out, r)
+		}
+	}
+	return out
 }
 
 func (m *Manager) candidatesFor(t *task.Task, ps *qos.PropertySet) (map[string][]registry.Candidate, error) {

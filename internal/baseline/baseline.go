@@ -12,6 +12,7 @@ import (
 	"math/rand"
 
 	"qasom/internal/core"
+	"qasom/internal/qos"
 	"qasom/internal/registry"
 )
 
@@ -62,6 +63,10 @@ func Exhaustive(req *core.Request, candidates map[string][]registry.Candidate, o
 	if err != nil {
 		return nil, err
 	}
+	deps, err := depCounter(req, eng)
+	if err != nil {
+		return nil, err
+	}
 
 	n := len(acts)
 	var bestFeasible []int
@@ -75,6 +80,9 @@ func Exhaustive(req *core.Request, candidates map[string][]registry.Candidate, o
 		if i == n {
 			evaluations++
 			v := eng.Violation()
+			if deps != nil {
+				v += float64(deps())
+			}
 			if v == 0 {
 				if u := eng.Utility(); u > bestUtility {
 					bestUtility = u
@@ -99,7 +107,144 @@ func Exhaustive(req *core.Request, candidates map[string][]registry.Candidate, o
 		chosen = bestInfeasible
 		feasible = false
 	}
-	return finalize(eval, assignmentOf(eng, chosen), feasible, evaluations), nil
+	res := finalize(eval, assignmentOf(eng, chosen), feasible, evaluations)
+	if deps != nil {
+		// Match the core's combined semantics: one violation unit per
+		// violated dependency rule on top of the QoS excess.
+		eng.Load(chosen)
+		res.Violation = eng.Violation() + float64(deps())
+	}
+	return res, nil
+}
+
+// depCounter compiles the request's dependency rules and returns a
+// closure counting the rule violations of the engine's CURRENT
+// assignment (nil when the request declares no rules). Baselines count
+// a dependency-violating composition as infeasible, exactly like the
+// QASSA global phase, so optimality ratios stay comparable.
+func depCounter(req *core.Request, eng *core.EvalEngine) (func() int, error) {
+	ds, err := req.CompiledDependencies()
+	if err != nil {
+		return nil, err
+	}
+	if ds == nil {
+		return nil, nil
+	}
+	idx := make(map[string]int, eng.Activities())
+	for a := 0; a < eng.Activities(); a++ {
+		idx[eng.ActivityID(a)] = a
+	}
+	bound := func(id string) (registry.Candidate, bool) {
+		a, ok := idx[id]
+		if !ok {
+			return registry.Candidate{}, false
+		}
+		return eng.Candidate(a, eng.Current(a)), true
+	}
+	return func() int { return ds.Violations(bound) }, nil
+}
+
+// ExhaustiveFront enumerates every composition and returns the EXACT
+// non-dominated front of the feasible ones over the request's effective
+// objectives — the reference the Pareto-front selection mode is
+// differentially tested against (set equality on aggregated vectors).
+// Entries are slim results (assignment, aggregated QoS, utility, no
+// alternates) in archive insertion order; exact-duplicate objective
+// vectors keep the first composition encountered, mirroring
+// qos.ParetoFront. Dependency rules make a composition infeasible
+// exactly as in Exhaustive.
+func ExhaustiveFront(req *core.Request, candidates map[string][]registry.Candidate, opts ExhaustiveOptions) ([]core.Result, error) {
+	candidates, err := filterLocal(req, candidates)
+	if err != nil {
+		return nil, err
+	}
+	eval, err := core.NewEvaluator(req, candidates)
+	if err != nil {
+		return nil, err
+	}
+	objIdx := req.EffectiveObjectives()
+	if len(objIdx) < 2 {
+		return nil, fmt.Errorf("baseline: Pareto front needs at least 2 objectives, got %d", len(objIdx))
+	}
+	if opts.MaxCombinations <= 0 {
+		opts.MaxCombinations = 20_000_000
+	}
+	acts := req.Task.Activities()
+	total := 1
+	for _, a := range acts {
+		n := len(candidates[a.ID])
+		if n == 0 {
+			return nil, fmt.Errorf("baseline: activity %q has no candidates", a.ID)
+		}
+		if total > opts.MaxCombinations/n {
+			return nil, fmt.Errorf("%w: >%d combinations", ErrTooLarge, opts.MaxCombinations)
+		}
+		total *= n
+	}
+	eng, err := core.NewEvalEngine(eval, candidates)
+	if err != nil {
+		return nil, err
+	}
+	deps, err := depCounter(req, eng)
+	if err != nil {
+		return nil, err
+	}
+	props := make([]*qos.Property, len(objIdx))
+	for i, j := range objIdx {
+		props[i] = req.Properties.At(j)
+	}
+	arch := qos.NewArchive(props)
+	snaps := make(map[int][]int)
+	nextID := 0
+	aggBuf := make(qos.Vector, req.Properties.Len())
+	objBuf := make(qos.Vector, len(objIdx))
+
+	n := len(acts)
+	var rec func(i int)
+	rec = func(i int) {
+		if i == n {
+			if eng.Violation() != 0 || (deps != nil && deps() != 0) {
+				return
+			}
+			agg := eng.AggregateInto(aggBuf)
+			for x, j := range objIdx {
+				objBuf[x] = agg[j]
+			}
+			if arch.Dominated(objBuf) {
+				return
+			}
+			obj := append(qos.Vector(nil), objBuf...)
+			inserted, removed := arch.Insert(obj, nextID)
+			if !inserted {
+				return
+			}
+			snaps[nextID] = eng.Snapshot(nil)
+			nextID++
+			for _, rid := range removed {
+				delete(snaps, rid)
+			}
+			return
+		}
+		for k := 0; k < eng.PoolSize(i); k++ {
+			eng.Assign(i, k)
+			rec(i + 1)
+		}
+	}
+	rec(0)
+
+	pts := arch.Points()
+	front := make([]core.Result, len(pts))
+	for i, pt := range pts {
+		snap := snaps[pt.ID]
+		eng.Load(snap)
+		front[i] = core.Result{
+			Assignment: assignmentOf(eng, snap),
+			Aggregated: eng.Aggregate(),
+			Utility:    eng.Utility(),
+			Feasible:   true,
+		}
+	}
+	return front, nil
 }
 
 // assignmentOf materialises a per-activity candidate-index snapshot as

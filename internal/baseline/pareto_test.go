@@ -1,0 +1,195 @@
+package baseline
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+
+	"qasom/internal/core"
+	"qasom/internal/qos"
+	"qasom/internal/registry"
+	"qasom/internal/workload"
+)
+
+// stampDevices assigns provider dev(k mod 3) to every pool's k-th
+// candidate so co-location dependencies have substance.
+func stampDevices(cands map[string][]registry.Candidate) {
+	for _, list := range cands {
+		for k := range list {
+			list[k].Service.Provider = registry.DeviceID(fmt.Sprintf("dev%d", k%3))
+		}
+	}
+}
+
+// paretoDeps builds a satisfiable mixed rule set over the generator's
+// naming scheme (activities a1..an, services <act>-s<k>).
+func paretoDeps(nActs int) []core.Dependency {
+	deps := []core.Dependency{
+		{Kind: core.DepRequires, From: "a1", To: "a2",
+			ToServices: []registry.ServiceID{"a2-s0", "a2-s1", "a2-s2"}},
+		{Kind: core.DepExcludes, From: "a2", To: "a3", FromService: "a2-s0",
+			ToServices: []registry.ServiceID{"a3-s1"}},
+	}
+	if nActs >= 5 {
+		deps = append(deps, core.Dependency{Kind: core.DepColocated, From: "a4", To: "a5"})
+	}
+	return deps
+}
+
+// objKey canonicalises an aggregated vector projected on the objectives
+// for set comparison.
+func objKey(v qos.Vector, objIdx []int) string {
+	parts := make([]string, len(objIdx))
+	for i, j := range objIdx {
+		parts[i] = fmt.Sprintf("%x", v[j])
+	}
+	return strings.Join(parts, "/")
+}
+
+// frontKeys returns the sorted multiset of objective-projected vectors.
+func frontKeys(front []core.Result, objIdx []int) []string {
+	keys := make([]string, len(front))
+	for i, m := range front {
+		keys[i] = objKey(m.Aggregated, objIdx)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// TestDifferentialParetoFront is the acceptance differential of the
+// Pareto-front selection mode: on small instances (pool product under
+// the exhaustive bound) the front QASSA returns must EQUAL, as a set of
+// objective vectors, the exhaustive-enumeration reference front —
+// across 2- and 3-objective requests, with and without dependency
+// rules, through both evaluation kernels.
+func TestDifferentialParetoFront(t *testing.T) {
+	ps := qos.StandardSet()
+	laws := workload.DefaultLaws(ps)
+	objSets := [][]string{
+		{"responseTime", "price"},
+		{"responseTime", "availability", "price"},
+	}
+	type dims struct{ acts, pool int }
+	sizes := []dims{{5, 4}, {3, 8}}
+	for seed := int64(1); seed <= 4; seed++ {
+		for oi, objectives := range objSets {
+			for _, sz := range sizes {
+				for _, withDeps := range []bool{false, true} {
+					name := fmt.Sprintf("seed=%d/obj=%d/acts=%d/pool=%d/deps=%v",
+						seed, oi, sz.acts, sz.pool, withDeps)
+					t.Run(name, func(t *testing.T) {
+						g := workload.NewGenerator(seed)
+						tk := g.Task("F", sz.acts, workload.ShapeMixed)
+						cands := g.Candidates(tk, sz.pool, ps, laws)
+						stampDevices(cands)
+						req := &core.Request{
+							Task:        tk,
+							Properties:  ps,
+							Constraints: g.Constraints(tk, ps, laws, workload.AtMeanPlusSigma, 2),
+							Objectives:  objectives,
+						}
+						if withDeps {
+							req.Dependencies = paretoDeps(sz.acts)
+						}
+						want, err := ExhaustiveFront(req, cands, ExhaustiveOptions{})
+						if err != nil {
+							t.Fatalf("reference front: %v", err)
+						}
+						objIdx := req.EffectiveObjectives()
+						wantKeys := frontKeys(want, objIdx)
+						for _, naive := range []bool{false, true} {
+							res, err := core.NewSelector(core.Options{
+								Workers: 1, ParetoMode: true, NaiveEvaluation: naive,
+							}).Select(req, cands)
+							if err != nil {
+								t.Fatalf("select (naive=%v): %v", naive, err)
+							}
+							if len(want) == 0 {
+								if res.Feasible || len(res.Front) != 0 {
+									t.Fatalf("no feasible composition exists, but selection returned feasible=%v front=%d",
+										res.Feasible, len(res.Front))
+								}
+								continue
+							}
+							gotKeys := frontKeys(res.Front, objIdx)
+							if len(gotKeys) != len(wantKeys) {
+								t.Fatalf("naive=%v: front size %d, reference %d\ngot:  %v\nwant: %v",
+									naive, len(gotKeys), len(wantKeys), gotKeys, wantKeys)
+							}
+							for i := range wantKeys {
+								if gotKeys[i] != wantKeys[i] {
+									t.Fatalf("naive=%v: front differs at %d\ngot:  %v\nwant: %v",
+										naive, i, gotKeys, wantKeys)
+								}
+							}
+							// The scalarized pick must be the best-utility
+							// front member.
+							for _, m := range res.Front {
+								if m.Utility > res.Utility {
+									t.Fatalf("front member utility %v exceeds returned best %v", m.Utility, res.Utility)
+								}
+							}
+						}
+					})
+				}
+			}
+		}
+	}
+}
+
+// TestDifferentialExhaustiveDependencies checks the dependency-aware
+// exhaustive search against QASSA under the same rules: the exhaustive
+// feasible optimum never violates a rule, dominates QASSA's utility,
+// and both agree on feasibility for satisfiable rule sets.
+func TestDifferentialExhaustiveDependencies(t *testing.T) {
+	ps := qos.StandardSet()
+	laws := workload.DefaultLaws(ps)
+	for seed := int64(1); seed <= 5; seed++ {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			g := workload.NewGenerator(seed)
+			tk := g.Task("X", 5, workload.ShapeMixed)
+			cands := g.Candidates(tk, 4, ps, laws)
+			stampDevices(cands)
+			req := &core.Request{
+				Task:         tk,
+				Properties:   ps,
+				Constraints:  g.Constraints(tk, ps, laws, workload.AtMeanPlusSigma, 2),
+				Dependencies: paretoDeps(5),
+			}
+			opt, err := Exhaustive(req, cands, ExhaustiveOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			ds, err := req.CompiledDependencies()
+			if err != nil {
+				t.Fatal(err)
+			}
+			bound := func(res *core.Result) func(string) (registry.Candidate, bool) {
+				return func(id string) (registry.Candidate, bool) {
+					c, ok := res.Assignment[id]
+					return c, ok
+				}
+			}
+			if opt.Feasible {
+				if n := ds.Violations(bound(opt)); n != 0 {
+					t.Fatalf("exhaustive feasible optimum violates %d dependency rules", n)
+				}
+				if opt.Violation != 0 {
+					t.Fatalf("feasible optimum reports violation %v", opt.Violation)
+				}
+			}
+			heur, err := core.NewSelector(core.Options{Workers: 1}).Select(req, cands)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if heur.Feasible && !opt.Feasible {
+				t.Fatal("QASSA found a feasible composition the exhaustive search missed")
+			}
+			const eps = 1e-9
+			if heur.Feasible && opt.Feasible && heur.Utility > opt.Utility+eps {
+				t.Fatalf("QASSA utility %v exceeds the exhaustive optimum %v", heur.Utility, opt.Utility)
+			}
+		})
+	}
+}

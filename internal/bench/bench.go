@@ -171,6 +171,7 @@ var experiments = func() map[string]*Experiment {
 		mobilityExperiments(),
 		servingExperiments(),
 		registryExperiments(),
+		paretoExperiments(),
 	} {
 		for _, e := range group {
 			if _, dup := m[e.ID]; dup {

@@ -1,0 +1,174 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"qasom/internal/baseline"
+	"qasom/internal/core"
+	"qasom/internal/qos"
+	"qasom/internal/workload"
+)
+
+// paretoExperiments returns the multi-objective selection experiments
+// (DESIGN.md §4j).
+func paretoExperiments() []*Experiment {
+	return []*Experiment{expParetoFront()}
+}
+
+// expParetoFront measures the Pareto-front selection mode: front size
+// and hypervolume against the exhaustive reference front, plus the
+// select-latency quantiles, in both regimes (exact enumeration under
+// the exhaustive bound, archive-guided sweep above it — here forced by
+// shrinking the bound so the same instance has a reference).
+func expParetoFront() *Experiment {
+	return &Experiment{
+		ID:    "pareto",
+		Paper: "multi-objective extension (DESIGN.md §4j)",
+		Title: "Pareto-front selection: front quality and cost",
+		Expected: "The exact regime reproduces the exhaustive reference front " +
+			"(hypervolume ratio 100%); the sweep regime recovers most of the " +
+			"reference hypervolume at a fraction of the enumeration cost.",
+		Run: func(cfg Config) (*Table, error) {
+			cfg = cfg.withDefaults()
+			ps := qos.StandardSet()
+			objSets := [][]string{
+				{"responseTime", "price"},
+				{"responseTime", "price", "availability"},
+			}
+			regimes := []struct {
+				name  string
+				bound int // ParetoExhaustiveBound override (0 = default)
+			}{
+				{"exact", 0},
+				{"sweep", 1}, // force the archive sweep on the same instance
+			}
+			t := NewTable("Pareto-front selection (n=5 activities, 4 services/activity, c=2)",
+				"regime", "objectives", "front_size", "ref_size", "hv_ratio_pct", "p50_ms", "p99_ms")
+			seeds := pick(cfg, 2, 6)
+			for _, regime := range regimes {
+				for _, objs := range objSets {
+					var frontSum, refSum, counted int
+					var hvSum float64
+					var lats []time.Duration
+					for s := 0; s < seeds; s++ {
+						inst := genInstance(cfg.Seed+int64(s), 5, 4, 2, ps,
+							workload.ShapeMixed, workload.AtMeanPlusSigma, qos.Pessimistic)
+						inst.req.Objectives = objs
+						ref, err := baseline.ExhaustiveFront(inst.req, inst.cands, baseline.ExhaustiveOptions{})
+						if err != nil {
+							return nil, err
+						}
+						opts := core.Options{ParetoMode: true, ParetoExhaustiveBound: regime.bound}
+						var res *core.Result
+						for r := 0; r < cfg.Repetitions; r++ {
+							start := time.Now()
+							res, err = runQASSA(inst, opts)
+							lats = append(lats, time.Since(start))
+							if err != nil {
+								return nil, err
+							}
+						}
+						if len(ref) == 0 || len(res.Front) == 0 {
+							continue // infeasible instance: quality undefined
+						}
+						ratio, err := hvRatio(inst.req, ref, res.Front)
+						if err != nil {
+							return nil, err
+						}
+						counted++
+						frontSum += len(res.Front)
+						refSum += len(ref)
+						hvSum += ratio
+					}
+					if counted == 0 {
+						return nil, fmt.Errorf("pareto: no feasible instance in the sweep")
+					}
+					t.AddRow(regime.name, len(objs),
+						fmt.Sprintf("%.1f", float64(frontSum)/float64(counted)),
+						fmt.Sprintf("%.1f", float64(refSum)/float64(counted)),
+						100*hvSum/float64(counted),
+						durQuantile(lats, 0.50), durQuantile(lats, 0.99))
+				}
+			}
+			t.AddNote("hv_ratio is the selection front's hypervolume relative to the exhaustive reference front, shared reference point")
+			t.AddNote("the exact regime enumerates (ratio 100 by construction); sweep forces the archive heuristic on the same instance")
+			return t, nil
+		},
+	}
+}
+
+// hvRatio compares the hypervolume of the returned front against the
+// exhaustive reference front over the request's objectives, under a
+// shared reference point (the componentwise worst of both fronts).
+func hvRatio(req *core.Request, ref, got []core.Result) (float64, error) {
+	objIdx := req.EffectiveObjectives()
+	props := make([]*qos.Property, len(objIdx))
+	for i, j := range objIdx {
+		props[i] = req.Properties.At(j)
+	}
+	project := func(front []core.Result) []qos.Vector {
+		out := make([]qos.Vector, len(front))
+		for i, m := range front {
+			v := make(qos.Vector, len(objIdx))
+			for k, j := range objIdx {
+				v[k] = m.Aggregated[j]
+			}
+			out[i] = v
+		}
+		return out
+	}
+	refVecs, gotVecs := project(ref), project(got)
+	// Shared reference point: strictly worse than every member of either
+	// front so each member contributes volume.
+	worst := make(qos.Vector, len(props))
+	copy(worst, refVecs[0])
+	for _, vs := range [][]qos.Vector{refVecs, gotVecs} {
+		for _, v := range vs {
+			for j, p := range props {
+				if p.Worse(v[j], worst[j]) {
+					worst[j] = v[j]
+				}
+			}
+		}
+	}
+	for j, p := range props {
+		pad := 0.05 * worst[j]
+		if pad < 0 {
+			pad = -pad
+		}
+		if pad == 0 {
+			pad = 1
+		}
+		if p.Direction == qos.Minimized {
+			worst[j] += pad
+		} else {
+			worst[j] -= pad
+		}
+	}
+	hvRef, err := qos.Hypervolume(props, refVecs, worst)
+	if err != nil {
+		return 0, err
+	}
+	hvGot, err := qos.Hypervolume(props, gotVecs, worst)
+	if err != nil {
+		return 0, err
+	}
+	if hvRef <= 0 {
+		return 1, nil
+	}
+	return hvGot / hvRef, nil
+}
+
+// durQuantile returns the q-quantile of the collected durations.
+func durQuantile(lats []time.Duration, q float64) time.Duration {
+	if len(lats) == 0 {
+		return 0
+	}
+	sorted := make([]time.Duration, len(lats))
+	copy(sorted, lats)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i]
+}

@@ -58,6 +58,10 @@ type evalKernel interface {
 	Violation() float64
 	Feasible() bool
 	Aggregate() qos.Vector
+	// AggregateInto copies the current aggregated vector into dst
+	// (len = property arity) and returns it — the allocation-free read
+	// the vector-valued probes of the Pareto-front mode use.
+	AggregateInto(dst qos.Vector) qos.Vector
 	// Utility scores the current assignment with the evaluator's F.
 	Utility() float64
 	// CandidateUtility scores one pool member on the evaluator's scale.
@@ -460,6 +464,25 @@ func (e *EvalEngine) Aggregate() qos.Vector {
 	return out
 }
 
+// AggregateInto copies the current aggregated vector into dst and
+// returns it: the zero-allocation read behind ProbeVector. dst must have
+// the property-set arity.
+func (e *EvalEngine) AggregateInto(dst qos.Vector) qos.Vector {
+	copy(dst, e.val(e.root))
+	return dst
+}
+
+// ProbeVector binds candidate cand of activity act and returns the
+// resulting aggregated QoS vector in dst (len = property arity): the
+// vector-valued probe of the multi-objective mode. It is Assign plus a
+// root read — the same leaf-to-root prefix-array re-fold, O(path·p) per
+// swap with zero allocations — so Pareto search pays the same per-probe
+// cost as the scalar search. The binding persists, exactly like Assign.
+func (e *EvalEngine) ProbeVector(act, cand int, dst qos.Vector) qos.Vector {
+	e.Assign(act, cand)
+	return e.AggregateInto(dst)
+}
+
 // Violation measures the total relative constraint excess of the
 // current assignment — same accumulation order and operations as
 // qos.Constraints.Violation, without the map lookups.
@@ -551,6 +574,14 @@ func (k *naiveKernel) Violation() float64    { return k.eval.Violation(k.assign)
 func (k *naiveKernel) Feasible() bool        { return k.eval.Feasible(k.assign) }
 func (k *naiveKernel) Aggregate() qos.Vector { return k.eval.Aggregate(k.assign) }
 func (k *naiveKernel) Utility() float64      { return k.eval.Utility(k.assign) }
+
+// AggregateInto re-aggregates through the reference Evaluator and copies
+// into dst — allocating, like every naive probe; the differential tests
+// only need the same bits, not the same cost.
+func (k *naiveKernel) AggregateInto(dst qos.Vector) qos.Vector {
+	copy(dst, k.eval.Aggregate(k.assign))
+	return dst
+}
 
 func (k *naiveKernel) CandidateUtility(act, cand int) float64 {
 	return k.eval.CandidateUtility(k.acts[act], k.pools[act][cand])

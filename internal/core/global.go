@@ -31,6 +31,13 @@ type globalState struct {
 	acts   []string            // dense activity index → ID, task order
 	ranked [][]RankedCandidate // per activity: full ranked shortlist
 	eng    evalKernel
+
+	// depSet/deps carry the request's compiled dependency rules (nil when
+	// none are declared — the scalar hot path is untouched then). deps is
+	// the pool-bound form: per-probe admissibility and violation checks
+	// over pool-index bitmaps, allocation-free.
+	depSet *DependencySet
+	deps   *boundDeps
 }
 
 // init resolves the dense activity indexing and builds the evaluation
@@ -44,6 +51,12 @@ func (g *globalState) init() error {
 		g.acts[i] = a.ID
 		g.ranked[i] = g.locals[a.ID].Ranked
 	}
+	ds, err := g.req.CompiledDependencies()
+	if err != nil {
+		return err
+	}
+	g.depSet = ds
+	g.deps = bindDeps(ds, g.ranked)
 	if g.opts.NaiveEvaluation {
 		pools := make(map[string][]registry.Candidate, len(acts))
 		for i, a := range acts {
@@ -224,10 +237,26 @@ func (g *globalState) bestUtilityStart(limits []int) []int {
 }
 
 // violation measures the current assignment's constraint excess,
-// counting the logical aggregate evaluation.
+// counting the logical aggregate evaluation. With dependency rules in
+// force it adds one unit per violated rule, so the repair loop drives
+// QoS excess and dependency violations down through the same greedy
+// swaps; without rules the scalar path is bit-identical to before.
 func (g *globalState) violation() float64 {
 	g.stats.Evaluations++
-	return g.eng.Violation()
+	v := g.eng.Violation()
+	if g.deps != nil {
+		v += float64(g.deps.violations(g.eng))
+	}
+	return v
+}
+
+// feasibleNow reports combined feasibility: every global constraint and
+// every dependency rule holds for the current assignment.
+func (g *globalState) feasibleNow() bool {
+	if !g.eng.Feasible() {
+		return false
+	}
+	return g.deps == nil || g.deps.violations(g.eng) == 0
 }
 
 // repair drives the assignment toward feasibility: each pass applies the
@@ -279,8 +308,58 @@ func (g *globalState) repair(limits []int) (bool, error) {
 		if cur == 0 {
 			return true, nil
 		}
+		// Dependency-aware repair: a swap that leaves (or creates) a
+		// violated dependency edge immediately re-opens the activities
+		// adjacent to the swapped one, rebinding each to its best
+		// admissible candidate before the next full pass — the targeted
+		// fix for "binding A restricts candidates for B".
+		if g.deps != nil && g.deps.violations(g.eng) > 0 {
+			cur = g.reopenDependents(bestAct, limits, cur)
+			if cur == 0 {
+				return true, nil
+			}
+		}
 	}
 	return g.violation() == 0, nil
+}
+
+// reopenDependents revisits the dependency-adjacent activities of a
+// just-swapped binding, greedily rebinding each to the pool candidate
+// that lowers the combined violation the most (utility breaks ties).
+// Returns the resulting combined violation.
+func (g *globalState) reopenDependents(act int, limits []int, cur float64) float64 {
+	for _, b := range g.deps.adjacentIdx[act] {
+		prev := g.eng.Current(b)
+		bestCand := -1
+		bestViol := cur
+		bestUtil := math.Inf(-1)
+		for i := 0; i < limits[b]; i++ {
+			if i == prev {
+				continue
+			}
+			g.eng.Assign(b, i)
+			v := g.violation()
+			if v > bestViol || (v == bestViol && bestCand < 0) {
+				continue
+			}
+			u := g.eng.CandidateUtility(b, i)
+			if v < bestViol || u > bestUtil {
+				bestViol, bestUtil = v, u
+				bestCand = i
+			}
+		}
+		if bestCand >= 0 && bestViol < cur {
+			g.eng.Assign(b, bestCand)
+			g.stats.RepairSwaps++
+			cur = bestViol
+			if cur == 0 {
+				return 0
+			}
+		} else {
+			g.eng.Assign(b, prev)
+		}
+	}
+	return cur
 }
 
 // improve hill-climbs utility while preserving feasibility. Utility is
@@ -302,9 +381,14 @@ func (g *globalState) improve(limits []int) {
 				if u <= bestUtil {
 					continue
 				}
+				// The dependency mask gates the probe: an inadmissible
+				// candidate cannot be part of a feasible climb step.
+				if g.deps != nil && !g.deps.admissible(a, i, g.eng) {
+					continue
+				}
 				g.eng.Assign(a, i)
 				g.stats.Evaluations++
-				if g.eng.Feasible() {
+				if g.feasibleNow() {
 					bestUtil = u
 					bestCand = i
 				}
@@ -330,13 +414,17 @@ func (g *globalState) finish(feasible bool) *Result {
 	for a, id := range g.acts {
 		assign[id] = g.ranked[a][g.eng.Current(a)].Candidate()
 	}
+	viol := g.eng.Violation()
+	if g.deps != nil {
+		viol += float64(g.deps.violations(g.eng))
+	}
 	res := &Result{
 		Assignment: assign,
 		Alternates: make(map[string][]registry.Candidate, len(g.acts)),
 		Aggregated: g.eng.Aggregate(),
 		Utility:    g.eng.Utility(),
 		Feasible:   feasible,
-		Violation:  g.eng.Violation(),
+		Violation:  viol,
 		Breakdown:  make(map[string]float64, len(g.acts)),
 	}
 	for a, id := range g.acts {
@@ -378,11 +466,19 @@ func (g *globalState) alternatesFor(a int) []registry.Candidate {
 		if pool[i].Service.ID == chosen {
 			continue
 		}
+		// The dependency mask removes inadmissible candidates outright:
+		// alternates feed run-time failover, which must never be handed a
+		// substitution that breaks a dependency rule.
+		if g.deps != nil && !g.deps.admissible(a, i, g.eng) {
+			continue
+		}
 		g.eng.Assign(a, i)
 		g.stats.Evaluations++
 		alts = append(alts, altEntry{
-			idx:     i,
-			keepsOK: g.eng.Feasible(),
+			idx: i,
+			// A substitution must keep the constraints AND the dependency
+			// rules intact to count as feasibility-preserving.
+			keepsOK: g.feasibleNow(),
 			utility: g.eng.CandidateUtility(a, i),
 		})
 	}

@@ -49,6 +49,16 @@ type Request struct {
 	// global set U; see the taxonomy of constraint scopes in the related
 	// work, Ch. II §4.2).
 	Local map[string]qos.Constraints
+	// Dependencies declares inter-service dependency constraints between
+	// activities (requires/excludes/co-location edges). They are compiled
+	// and validated by Validate (typed errors, see dependency.go) and
+	// enforced by the global phase, the alternate ranking and run-time
+	// failover: no returned or substituted binding violates them.
+	Dependencies []Dependency
+	// Objectives names the properties the Pareto-front selection mode
+	// optimizes over (2–3 names from Properties); nil means the full
+	// property set. Ignored in scalar mode.
+	Objectives []string
 }
 
 // Validate checks the request is complete and internally consistent.
@@ -78,7 +88,55 @@ func (r *Request) Validate() error {
 			return fmt.Errorf("core: local constraints on %q: %w", id, err)
 		}
 	}
+	if len(r.Dependencies) > 0 {
+		if _, err := CompileDependencies(r.Task, r.Dependencies); err != nil {
+			return err
+		}
+	}
+	if len(r.Objectives) > 0 {
+		seen := make(map[string]bool, len(r.Objectives))
+		for _, name := range r.Objectives {
+			if _, ok := r.Properties.Index(name); !ok {
+				return fmt.Errorf("core: objective %q is not in the property set", name)
+			}
+			if seen[name] {
+				return fmt.Errorf("core: duplicate objective %q", name)
+			}
+			seen[name] = true
+		}
+	}
 	return nil
+}
+
+// CompiledDependencies compiles the request's dependency rules (nil when
+// the request declares none). The rules were already validated by
+// Validate, so errors here indicate the request was mutated since.
+func (r *Request) CompiledDependencies() (*DependencySet, error) {
+	return CompileDependencies(r.Task, r.Dependencies)
+}
+
+// EffectiveObjectives returns the property indices the Pareto-front
+// mode optimizes over (every property when Objectives is unset) — the
+// projection baselines use to build the exhaustive reference front.
+func (r *Request) EffectiveObjectives() []int { return r.objectiveIndices() }
+
+// objectiveIndices resolves the Pareto objectives to property indices
+// (the full set when none were named).
+func (r *Request) objectiveIndices() []int {
+	if len(r.Objectives) == 0 {
+		idx := make([]int, r.Properties.Len())
+		for i := range idx {
+			idx[i] = i
+		}
+		return idx
+	}
+	idx := make([]int, 0, len(r.Objectives))
+	for _, name := range r.Objectives {
+		if j, ok := r.Properties.Index(name); ok {
+			idx = append(idx, j)
+		}
+	}
+	return idx
 }
 
 // FilterLocal removes, per activity, the candidates whose advertised QoS

@@ -55,6 +55,28 @@ type Options struct {
 	// bit-identical either way — the differential tests enforce it —
 	// only the evaluation cost changes).
 	NaiveEvaluation bool
+	// ParetoMode switches the global phase from scalar selection to
+	// Pareto-front selection: the deterministic search runs against a
+	// non-dominated archive instead of a single incumbent and the Result
+	// carries the feasible trade-off front over Request.Objectives
+	// (Result.Front; first element = scalarized-best front member, and
+	// the Result's own fields describe that element). Scalar mode is
+	// bit-identical with this off.
+	ParetoMode bool
+	// ParetoExhaustiveBound: when the product of the candidate pool
+	// sizes is at or below this bound, front mode enumerates the whole
+	// space through the incremental engine, so the returned front is the
+	// exact non-dominated set (the regime the exhaustive-reference tests
+	// and the front-quality experiment run in). 0 means 4096.
+	ParetoExhaustiveBound int
+	// ParetoSweepBudget caps the swap probes of the archive sweep used
+	// beyond the exhaustive bound (Pareto local search seeded from the
+	// scalar incumbent, explored to closure or budget). 0 means 100000.
+	ParetoSweepBudget int
+	// ParetoMaxFront caps the returned front size; when the archive is
+	// larger, crowding-distance pruning keeps the best-spread members
+	// (boundary points survive). 0 means unbounded.
+	ParetoMaxFront int
 }
 
 func (o Options) withDefaults(activities int) Options {
@@ -75,6 +97,12 @@ func (o Options) withDefaults(activities int) Options {
 	}
 	if o.Workers <= 0 {
 		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.ParetoExhaustiveBound <= 0 {
+		o.ParetoExhaustiveBound = 4096
+	}
+	if o.ParetoSweepBudget <= 0 {
+		o.ParetoSweepBudget = 100000
 	}
 	return o
 }
@@ -116,6 +144,9 @@ type Stats struct {
 	// registry epoch, but the durations and work counters above describe
 	// the original run that populated the cache, not this request.
 	CacheHit bool
+	// FrontSize is the number of non-dominated members the Pareto-front
+	// mode returned (0 in scalar mode).
+	FrontSize int
 }
 
 // Result is the outcome of a selection run.
@@ -146,7 +177,18 @@ type Result struct {
 	// and as good as the requester's registry view allows.
 	Degraded bool
 	// Violation is the residual constraint violation (0 when feasible).
+	// When the request declares dependency rules it additionally counts
+	// one unit per violated rule, so a dependency-violating best-effort
+	// assignment is never reported as Violation 0.
 	Violation float64
+	// Front is the feasible non-dominated trade-off surface over the
+	// request's objectives, populated only in Pareto-front mode. The
+	// first element is the scalarized-best front member — the Result's
+	// own Assignment/Aggregated/Utility describe it — and the remainder
+	// is ordered by descending crowding distance (best-spread first).
+	// Front members carry Assignment, Aggregated, Utility and Breakdown;
+	// Alternates are computed for the returned best member only.
+	Front []Result
 	// Stats reports the algorithm's work.
 	Stats Stats
 }
@@ -186,6 +228,16 @@ func (r *Result) Clone() *Result {
 			m[k] = v
 		}
 		cp.Stats.DegradedCauses = m
+	}
+	if r.Front != nil {
+		cp.Front = make([]Result, len(r.Front))
+		for i := range r.Front {
+			fc := r.Front[i].Clone()
+			if r.Front[i].Alternates == nil {
+				fc.Alternates = nil
+			}
+			cp.Front[i] = *fc
+		}
 	}
 	return &cp
 }
@@ -393,7 +445,15 @@ func (s *Selector) selectGlobal(ctx context.Context, req *Request, eval *Evaluat
 	}
 	start := time.Now()
 	g := &globalState{ctx: ctx, req: req, eval: eval, locals: locals, opts: opts}
-	res, err := g.run()
+	var (
+		res *Result
+		err error
+	)
+	if opts.ParetoMode {
+		res, err = g.runPareto()
+	} else {
+		res, err = g.run()
+	}
 	if err != nil {
 		return nil, err
 	}

@@ -1,5 +1,11 @@
 package qos
 
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
 // Dominates reports whether vector a Pareto-dominates vector b under the
 // property set's directions: a is at least as good on every property and
 // strictly better on at least one.
@@ -20,9 +26,48 @@ func Dominates(ps *PropertySet, a, b Vector) bool {
 	return strict
 }
 
+// DominatesOver is Dominates over an explicit property slice, so callers
+// working on an objective subset of a set (Pareto-front selection projects
+// aggregated vectors onto 2–3 chosen objectives) can reuse the same
+// dominance relation without building a PropertySet.
+func DominatesOver(props []*Property, a, b Vector) bool {
+	if len(a) != len(props) || len(b) != len(props) {
+		return false
+	}
+	strict := false
+	for j, p := range props {
+		switch {
+		case p.Better(b[j], a[j]):
+			return false
+		case p.Better(a[j], b[j]):
+			strict = true
+		}
+	}
+	return strict
+}
+
 // ParetoFront returns the indices of the non-dominated vectors, in input
-// order. It is O(n²) — fine at candidate-set scale.
+// order.
+//
+// Duplicate handling is EXACT float equality (Vector.Equal with eps 0):
+// among bit-identical vectors only the first occurrence is kept, while
+// vectors that differ by any nonzero amount — however small — are distinct
+// points and may both sit on the front. Near-duplicates are therefore kept
+// deterministically (both survive, in input order); callers that want
+// epsilon-coalescing must quantize before calling.
+//
+// The 2-property case runs as an O(n log n) sort-based sweep; other
+// arities use the O(n²) pairwise scan — fine at candidate-set scale.
 func ParetoFront(ps *PropertySet, vectors []Vector) []int {
+	if ps.Len() == 2 {
+		return paretoFront2(ps, vectors)
+	}
+	return paretoFrontGeneral(ps, vectors)
+}
+
+// paretoFrontGeneral is the O(n²) pairwise scan, the reference semantics
+// for any arity.
+func paretoFrontGeneral(ps *PropertySet, vectors []Vector) []int {
 	out := make([]int, 0, len(vectors))
 	for i, v := range vectors {
 		dominated := false
@@ -34,7 +79,7 @@ func ParetoFront(ps *PropertySet, vectors []Vector) []int {
 				dominated = true
 				break
 			}
-			// Among duplicates keep only the first occurrence.
+			// Among exact duplicates keep only the first occurrence.
 			if k < i && w.Equal(v, 0) {
 				dominated = true
 				break
@@ -45,4 +90,233 @@ func ParetoFront(ps *PropertySet, vectors []Vector) []int {
 		}
 	}
 	return out
+}
+
+// paretoFront2 is the sort-based sweep for the 2-property case: sort
+// best-first on property 0 (ties broken best-first on property 1, then
+// input order via the stable sort), then keep exactly the points whose
+// property-1 value strictly improves on the best seen so far. A point
+// that fails that test is dominated by, or an exact duplicate of, an
+// earlier kept point. Output is remapped to input order so the result is
+// element-identical to the general scan.
+func paretoFront2(ps *PropertySet, vectors []Vector) []int {
+	p0, p1 := ps.At(0), ps.At(1)
+	out := make([]int, 0, len(vectors))
+	order := make([]int, 0, len(vectors))
+	for i, v := range vectors {
+		if len(v) != 2 {
+			// Arity-mismatched vectors neither dominate nor are dominated
+			// (see Dominates); the general scan keeps them, so must we.
+			out = append(out, i)
+			continue
+		}
+		if math.IsNaN(v[0]) || math.IsNaN(v[1]) {
+			// NaN breaks the strict weak ordering the sweep relies on;
+			// defer to the reference scan for bit-identical behaviour.
+			return paretoFrontGeneral(ps, vectors)
+		}
+		order = append(order, i)
+	}
+	sort.SliceStable(order, func(x, y int) bool {
+		a, b := vectors[order[x]], vectors[order[y]]
+		if a[0] != b[0] {
+			return p0.Better(a[0], b[0])
+		}
+		if a[1] != b[1] {
+			return p1.Better(a[1], b[1])
+		}
+		return false // exact duplicates: stable sort preserves input order
+	})
+	have := false
+	best1 := 0.0
+	for _, i := range order {
+		v := vectors[i]
+		if !have || p1.Better(v[1], best1) {
+			have, best1 = true, v[1]
+			out = append(out, i)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// FrontPoint is one member of an Archive: an objective vector plus the
+// caller's identifier for whatever the vector evaluates (an assignment
+// snapshot, a candidate index, ...).
+type FrontPoint struct {
+	Vector Vector
+	ID     int
+}
+
+// Archive is an incrementally maintained non-dominated set: the archive
+// the Pareto-front selection mode searches against instead of a single
+// scalar incumbent. Insert is O(|archive|) per offered vector; membership
+// order is insertion order, which keeps the archive deterministic for a
+// deterministic offer sequence.
+type Archive struct {
+	props []*Property
+	pts   []FrontPoint
+}
+
+// NewArchive returns an empty archive over the given objective
+// properties.
+func NewArchive(props []*Property) *Archive {
+	return &Archive{props: props}
+}
+
+// Len returns the number of non-dominated members.
+func (a *Archive) Len() int { return len(a.pts) }
+
+// Points returns the archive members in insertion order. The slice is the
+// archive's own backing store; callers must not mutate it.
+func (a *Archive) Points() []FrontPoint { return a.pts }
+
+// Dominated reports whether v would be rejected by Insert: some member
+// dominates it or equals it exactly.
+func (a *Archive) Dominated(v Vector) bool {
+	for _, pt := range a.pts {
+		if DominatesOver(a.props, pt.Vector, v) || pt.Vector.Equal(v, 0) {
+			return true
+		}
+	}
+	return false
+}
+
+// Insert offers (v, id) to the archive. If some member dominates v or is
+// an exact duplicate of it, the archive is unchanged and inserted is
+// false. Otherwise v joins the archive, every member it dominates is
+// evicted, and the evicted IDs are returned (in membership order). The
+// vector is stored as given — the caller must not mutate it afterwards.
+func (a *Archive) Insert(v Vector, id int) (inserted bool, removed []int) {
+	if a.Dominated(v) {
+		return false, nil
+	}
+	kept := a.pts[:0]
+	for _, pt := range a.pts {
+		if DominatesOver(a.props, v, pt.Vector) {
+			removed = append(removed, pt.ID)
+			continue
+		}
+		kept = append(kept, pt)
+	}
+	a.pts = append(kept, FrontPoint{Vector: v, ID: id})
+	return true, removed
+}
+
+// CrowdingDistance returns the NSGA-II crowding distance of each vector
+// within the (assumed mutually non-dominated) set: boundary points on any
+// objective get +Inf, interior points the sum over objectives of the
+// normalized gap between their neighbours. Larger is less crowded;
+// ordering a front by descending crowding distance puts the extremes and
+// the best-spread points first.
+func CrowdingDistance(props []*Property, vectors []Vector) []float64 {
+	n := len(vectors)
+	dist := make([]float64, n)
+	if n == 0 {
+		return dist
+	}
+	idx := make([]int, n)
+	for j := range props {
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.SliceStable(idx, func(x, y int) bool {
+			return vectors[idx[x]][j] < vectors[idx[y]][j]
+		})
+		lo, hi := vectors[idx[0]][j], vectors[idx[n-1]][j]
+		dist[idx[0]] = math.Inf(1)
+		dist[idx[n-1]] = math.Inf(1)
+		if hi == lo {
+			continue
+		}
+		for k := 1; k < n-1; k++ {
+			dist[idx[k]] += (vectors[idx[k+1]][j] - vectors[idx[k-1]][j]) / (hi - lo)
+		}
+	}
+	return dist
+}
+
+// Hypervolume returns the hypervolume dominated by the given (mutually
+// non-dominated) vectors relative to the reference point ref, which must
+// be at least as bad as every vector on every objective; coordinates
+// outside the reference box are clamped to it. Supports 2 and 3
+// objectives — the front sizes the selection stack produces.
+func Hypervolume(props []*Property, vectors []Vector, ref Vector) (float64, error) {
+	m := len(props)
+	if m != 2 && m != 3 {
+		return 0, fmt.Errorf("qos: hypervolume supports 2 or 3 objectives, got %d", m)
+	}
+	if len(ref) != m {
+		return 0, fmt.Errorf("qos: hypervolume reference has arity %d, want %d", len(ref), m)
+	}
+	// Transform every objective into a gain over the reference point so
+	// the dominated region is the union of axis-aligned boxes anchored at
+	// the origin.
+	gains := make([]Vector, 0, len(vectors))
+	for _, v := range vectors {
+		if len(v) != m {
+			return 0, fmt.Errorf("qos: hypervolume vector has arity %d, want %d", len(v), m)
+		}
+		g := make(Vector, m)
+		for j, p := range props {
+			d := v[j] - ref[j]
+			if p.Direction == Minimized {
+				d = ref[j] - v[j]
+			}
+			if d < 0 {
+				d = 0
+			}
+			g[j] = d
+		}
+		gains = append(gains, g)
+	}
+	if m == 2 {
+		return hv2(gains), nil
+	}
+	// 3 objectives: slice along the third gain axis ("hypervolume by
+	// slicing objectives"). Sorted by descending gain on axis 2, the
+	// volume is the sum over slices [g2(k+1), g2(k)] of the slab depth
+	// times the 2D hypervolume of the first k+1 points' projections.
+	sort.SliceStable(gains, func(x, y int) bool { return gains[x][2] > gains[y][2] })
+	var vol float64
+	proj := make([]Vector, 0, len(gains))
+	for k, g := range gains {
+		proj = append(proj, Vector{g[0], g[1]})
+		next := 0.0
+		if k+1 < len(gains) {
+			next = gains[k+1][2]
+		}
+		if depth := g[2] - next; depth > 0 {
+			vol += depth * hv2(proj)
+		}
+	}
+	return vol, nil
+}
+
+// hv2 returns the area of the union of origin-anchored boxes [0,g0]×[0,g1].
+// Tolerates dominated/duplicate points (it computes the union regardless).
+func hv2(gains []Vector) float64 {
+	if len(gains) == 0 {
+		return 0
+	}
+	idx := make([]int, len(gains))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(x, y int) bool { return gains[idx[x]][0] > gains[idx[y]][0] })
+	var area, prev1 float64
+	for k, i := range idx {
+		g := gains[i]
+		next0 := 0.0
+		if k+1 < len(idx) {
+			next0 = gains[idx[k+1]][0]
+		}
+		if g[1] > prev1 {
+			prev1 = g[1]
+		}
+		if w := g[0] - next0; w > 0 {
+			area += w * prev1
+		}
+	}
+	return area
 }

@@ -1,6 +1,8 @@
 package qos
 
 import (
+	"fmt"
+	"math"
 	"testing"
 	"testing/quick"
 )
@@ -99,5 +101,238 @@ func TestQuickParetoFrontInvariants(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
 		t.Error(err)
+	}
+}
+
+func pareto3PS() *PropertySet {
+	return MustNewPropertySet(
+		&Property{Name: "rt", Direction: Minimized, Kind: KindTime},
+		&Property{Name: "av", Direction: Maximized, Kind: KindProbability},
+		&Property{Name: "pr", Direction: Minimized, Kind: KindCost},
+	)
+}
+
+// TestQuickParetoSweepMatchesGeneral is the permutation-invariance
+// property test for the 2-property sort-based sweep: under every random
+// permutation of a random input, the sweep must return exactly the
+// indices the O(n²) reference scan returns, and the selected vector set
+// must be invariant across permutations.
+func TestQuickParetoSweepMatchesGeneral(t *testing.T) {
+	ps := paretoPS()
+	f := func(raw [10][2]float64, perm [10]uint8) bool {
+		base := make([]Vector, 0, len(raw))
+		for _, r := range raw {
+			// Quantize so duplicates actually occur.
+			base = append(base, Vector{float64(int(clampProb(r[0]) * 8)), float64(int(clampProb(r[1]) * 8))})
+		}
+		refFront := func(vs []Vector) map[string]bool {
+			set := make(map[string]bool)
+			for _, i := range paretoFrontGeneral(ps, vs) {
+				set[fmt.Sprintf("%v", vs[i])] = true
+			}
+			return set
+		}
+		want := refFront(base)
+		// Fisher–Yates from the fuzzed bytes: a deterministic permutation
+		// per quick case.
+		vs := make([]Vector, len(base))
+		copy(vs, base)
+		for i := len(vs) - 1; i > 0; i-- {
+			j := int(perm[i]) % (i + 1)
+			vs[i], vs[j] = vs[j], vs[i]
+		}
+		sweep := paretoFront2(ps, vs)
+		general := paretoFrontGeneral(ps, vs)
+		if len(sweep) != len(general) {
+			return false
+		}
+		for k := range sweep {
+			if sweep[k] != general[k] {
+				return false
+			}
+		}
+		// The front as a vector set is permutation-invariant.
+		got := make(map[string]bool)
+		for _, i := range sweep {
+			got[fmt.Sprintf("%v", vs[i])] = true
+		}
+		if len(got) != len(want) {
+			return false
+		}
+		for k := range got {
+			if !want[k] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestParetoFrontEpsilonDuplicates pins the duplicate rule: only EXACT
+// float equality coalesces vectors. Near-duplicates differing by any
+// nonzero epsilon are distinct points and both stay on the front,
+// deterministically, in input order.
+func TestParetoFrontEpsilonDuplicates(t *testing.T) {
+	ps := paretoPS()
+	const eps = 1e-12
+	vectors := []Vector{
+		{10, 0.9},
+		{10, 0.9 + eps},  // better av: on the front, does NOT coalesce with 0
+		{10 + eps, 0.9},  // worse rt, worse-or-equal av: dominated by 0
+		{10, 0.9},        // exact duplicate of 0: dropped
+		{10 - eps, 0.89}, // tradeoff with 0: on the front
+	}
+	want := []int{1, 4}
+	// Vector 0 is dominated by 1 (equal rt, strictly better av).
+	for _, impl := range []struct {
+		name string
+		fn   func(*PropertySet, []Vector) []int
+	}{{"sweep", paretoFront2}, {"general", paretoFrontGeneral}, {"dispatch", ParetoFront}} {
+		got := impl.fn(ps, vectors)
+		if len(got) != len(want) {
+			t.Fatalf("%s: front = %v, want %v", impl.name, got, want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("%s: front = %v, want %v", impl.name, got, want)
+			}
+		}
+	}
+	// Exact duplicates keep the first occurrence only — and which index
+	// survives is stable across both implementations.
+	dups := []Vector{{10, 0.9}, {20, 0.95}, {10, 0.9}}
+	for _, impl := range []func(*PropertySet, []Vector) []int{paretoFront2, paretoFrontGeneral} {
+		got := impl(ps, dups)
+		if len(got) != 2 || got[0] != 0 || got[1] != 1 {
+			t.Fatalf("duplicate front = %v, want [0 1]", got)
+		}
+	}
+}
+
+func TestParetoFrontGeneralFallback(t *testing.T) {
+	ps := pareto3PS()
+	vectors := []Vector{
+		{10, 0.9, 5},  // front
+		{20, 0.95, 4}, // front
+		{30, 0.8, 6},  // dominated by 0
+		{10, 0.9, 5},  // duplicate of 0
+	}
+	front := ParetoFront(ps, vectors)
+	if len(front) != 2 || front[0] != 0 || front[1] != 1 {
+		t.Errorf("front = %v, want [0 1]", front)
+	}
+}
+
+func TestArchiveInsert(t *testing.T) {
+	props := paretoPS().Properties()
+	a := NewArchive(props)
+	if ins, _ := a.Insert(Vector{20, 0.8}, 1); !ins {
+		t.Fatal("first insert rejected")
+	}
+	if ins, _ := a.Insert(Vector{10, 0.9}, 2); !ins {
+		t.Fatal("dominating insert rejected")
+	}
+	// {20, 0.8} was dominated and must be gone.
+	if a.Len() != 1 || a.Points()[0].ID != 2 {
+		t.Fatalf("archive = %+v, want single ID 2", a.Points())
+	}
+	if ins, _ := a.Insert(Vector{15, 0.85}, 3); ins {
+		t.Fatal("dominated insert accepted")
+	}
+	if ins, _ := a.Insert(Vector{10, 0.9}, 4); ins {
+		t.Fatal("exact duplicate insert accepted")
+	}
+	if !a.Dominated(Vector{10, 0.9}) || !a.Dominated(Vector{12, 0.9}) {
+		t.Fatal("Dominated() missed covered vectors")
+	}
+	if a.Dominated(Vector{5, 0.5}) {
+		t.Fatal("Dominated() rejected a tradeoff vector")
+	}
+	if ins, _ := a.Insert(Vector{5, 0.5}, 5); !ins {
+		t.Fatal("tradeoff insert rejected")
+	}
+	// A vector dominating both members evicts both, reporting their IDs.
+	ins, removed := a.Insert(Vector{1, 0.99}, 6)
+	if !ins || len(removed) != 2 || removed[0] != 2 || removed[1] != 5 {
+		t.Fatalf("Insert = (%v, %v), want (true, [2 5])", ins, removed)
+	}
+	if a.Len() != 1 {
+		t.Fatalf("archive length = %d, want 1", a.Len())
+	}
+}
+
+func TestCrowdingDistance(t *testing.T) {
+	props := paretoPS().Properties()
+	vectors := []Vector{{10, 0.9}, {20, 0.95}, {15, 0.93}}
+	d := CrowdingDistance(props, vectors)
+	if !math.IsInf(d[0], 1) || !math.IsInf(d[1], 1) {
+		t.Fatalf("boundary points not infinite: %v", d)
+	}
+	if math.IsInf(d[2], 1) || d[2] <= 0 {
+		t.Fatalf("interior point distance = %v, want finite positive", d[2])
+	}
+	// A single point is a boundary on every objective.
+	d = CrowdingDistance(props, []Vector{{1, 1}})
+	if !math.IsInf(d[0], 1) {
+		t.Fatalf("single point distance = %v, want +Inf", d[0])
+	}
+}
+
+func TestHypervolume2D(t *testing.T) {
+	props := paretoPS().Properties() // rt minimized, av maximized
+	ref := Vector{100, 0}
+	// Single point: gains (100-10, 0.9-0) → area 90 × 0.9 = 81.
+	hv, err := Hypervolume(props, []Vector{{10, 0.9}}, ref)
+	if err != nil || math.Abs(hv-81) > 1e-9 {
+		t.Fatalf("hv = %v, %v; want 81", hv, err)
+	}
+	// Two tradeoff points: boxes 90×0.9 and 80×0.95 → union
+	// 80×0.95 + (90-80)×0.9 = 76 + 9 = 85.
+	hv, err = Hypervolume(props, []Vector{{10, 0.9}, {20, 0.95}}, ref)
+	if err != nil || math.Abs(hv-85) > 1e-9 {
+		t.Fatalf("hv = %v, %v; want 85", hv, err)
+	}
+	// Order must not matter.
+	hv2v, _ := Hypervolume(props, []Vector{{20, 0.95}, {10, 0.9}}, ref)
+	if math.Abs(hv-hv2v) > 1e-12 {
+		t.Fatalf("hypervolume not permutation-invariant: %v vs %v", hv, hv2v)
+	}
+	// A point outside the reference box contributes nothing.
+	hv, err = Hypervolume(props, []Vector{{200, 0.5}}, ref)
+	if err != nil || hv != 0 {
+		t.Fatalf("out-of-box hv = %v, %v; want 0", hv, err)
+	}
+}
+
+func TestHypervolume3D(t *testing.T) {
+	props := pareto3PS().Properties() // rt min, av max, pr min
+	ref := Vector{100, 0, 10}
+	// Single point: (100-10) × 0.9 × (10-5) = 405.
+	hv, err := Hypervolume(props, []Vector{{10, 0.9, 5}}, ref)
+	if err != nil || math.Abs(hv-405) > 1e-9 {
+		t.Fatalf("hv = %v, %v; want 405", hv, err)
+	}
+	// Two disjoint-ish points; verify against inclusion-exclusion:
+	// A = (90, 0.9, 5), B = (80, 0.95, 6) as gains.
+	// vol(A)=405, vol(B)=456, vol(A∩B)=80×0.9×5=360 → union 501.
+	hv, err = Hypervolume(props, []Vector{{10, 0.9, 5}, {20, 0.95, 4}}, ref)
+	if err != nil || math.Abs(hv-501) > 1e-9 {
+		t.Fatalf("hv = %v, %v; want 501", hv, err)
+	}
+}
+
+func TestHypervolumeErrors(t *testing.T) {
+	props := paretoPS().Properties()
+	if _, err := Hypervolume(props[:1], nil, Vector{1}); err == nil {
+		t.Fatal("1-objective hypervolume must error")
+	}
+	if _, err := Hypervolume(props, []Vector{{1, 2}}, Vector{1}); err == nil {
+		t.Fatal("short reference must error")
+	}
+	if _, err := Hypervolume(props, []Vector{{1}}, Vector{1, 2}); err == nil {
+		t.Fatal("short vector must error")
 	}
 }

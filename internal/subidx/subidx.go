@@ -112,6 +112,22 @@ type Snapshot struct {
 	// Weights and Properties steer replacement scoring.
 	Weights    qos.Weights
 	Properties *qos.PropertySet
+	// Mask, when set, filters replacement candidates by inter-service
+	// dependency admissibility against the snapshot's assignment, so the
+	// index never publishes a replacement that would violate a dependency
+	// rule under the selection it was built from.
+	Mask DependencyMask
+}
+
+// DependencyMask is the narrow dependency-admissibility view the index
+// consults at rebuild time. core.DependencySet satisfies it; declaring
+// the interface here keeps subidx free of a core import.
+type DependencyMask interface {
+	// Touches reports whether any rule constrains the activity.
+	Touches(activityID string) bool
+	// Admissible reports whether binding cand to the activity keeps every
+	// rule satisfied, with the other endpoints read through bound.
+	Admissible(activityID string, cand registry.Candidate, bound func(string) (registry.Candidate, bool)) bool
 }
 
 // Source exposes the selection state of a running composition to the
@@ -325,6 +341,22 @@ func (x *Index) zeroDelta() qos.Vector {
 		}
 	}
 	return nil
+}
+
+// MarkDirty schedules a rebuild without dropping the published lists.
+// Used when a substitution on a dependency-constrained activity shifted
+// which replacements are admissible for its adjacent activities: the
+// stale lists stay safe in the meantime (the adapt commit paths
+// revalidate admissibility under the runtime lock), they are merely
+// over- or under-filtered until the refresh lands.
+func (x *Index) MarkDirty() {
+	if State(x.state.Load()) != StateBuilt {
+		return
+	}
+	x.dirty.Store(true)
+	if x.t != nil {
+		x.t.poke()
+	}
 }
 
 // MarkCold drops the index back to the cold state (a behaviour switch
@@ -556,6 +588,16 @@ func (x *Index) rebuild(reg *registry.Registry, mon *monitor.Monitor, opts Optio
 		}
 		concepts[act.Concept] = true
 		alts := snap.Alternates[act.ID]
+		var admissible func(registry.Candidate) bool
+		if snap.Mask != nil && snap.Mask.Touches(act.ID) {
+			boundFn := func(id string) (registry.Candidate, bool) {
+				c, ok := snap.Assignment[id]
+				return c, ok
+			}
+			admissible = func(c registry.Candidate) bool {
+				return snap.Mask.Admissible(act.ID, c, boundFn)
+			}
+		}
 		present := make(map[registry.ServiceID]bool, len(alts)+1)
 		present[bound.Service.ID] = true
 		for _, a := range alts {
@@ -594,6 +636,9 @@ func (x *Index) rebuild(reg *registry.Registry, mon *monitor.Monitor, opts Optio
 		}
 		list := make([]*entry, 0, len(alts)+len(extras))
 		for _, a := range alts {
+			if admissible != nil && !admissible(a) {
+				continue
+			}
 			list = append(list, mk(a, false))
 		}
 		sort.SliceStable(extras, func(i, j int) bool {
@@ -606,6 +651,9 @@ func (x *Index) rebuild(reg *registry.Registry, mon *monitor.Monitor, opts Optio
 		for _, c := range extras {
 			if len(list) >= opts.MaxReplacements {
 				break
+			}
+			if admissible != nil && !admissible(c) {
+				continue
 			}
 			list = append(list, mk(c, true))
 		}

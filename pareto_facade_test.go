@@ -1,0 +1,240 @@
+package qasom_test
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+
+	"qasom"
+	"qasom/internal/obs"
+)
+
+// paretoShopTask is a two-step task whose buy step has a clean
+// response-time/price trade-off across the published bookshops.
+const paretoShopTask = `<process name="pareto-shop" concept="Shopping">
+  <sequence>
+    <invoke activity="browse" concept="BrowseCatalog"/>
+    <invoke activity="buy" concept="BookSale"/>
+  </sequence>
+</process>`
+
+// publishParetoShop deploys one catalog and four mutually non-dominated
+// bookshops (faster is pricier), so the exact Pareto front over
+// {responseTime, price} has four members.
+func publishParetoShop(t *testing.T, mw *qasom.Middleware) {
+	t.Helper()
+	qosOf := func(rt, price float64) map[string]float64 {
+		return map[string]float64{
+			"responseTime": rt, "price": price, "availability": 0.95,
+			"reliability": 0.92, "throughput": 50,
+		}
+	}
+	services := []qasom.Service{
+		{ID: "catalog-0", Capability: "BrowseCatalog", Device: "devA", QoS: qosOf(40, 0)},
+		{ID: "bookshop-0", Capability: "BookSale", Device: "devA", QoS: qosOf(40, 10)},
+		{ID: "bookshop-1", Capability: "BookSale", Device: "devB", QoS: qosOf(60, 6)},
+		{ID: "bookshop-2", Capability: "BookSale", Device: "devC", QoS: qosOf(80, 3)},
+		{ID: "bookshop-3", Capability: "BookSale", Device: "devD", QoS: qosOf(100, 1)},
+	}
+	for _, s := range services {
+		if err := mw.Publish(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestFacadeParetoCompose drives the Pareto-front mode through the
+// public API: the front is the exact non-dominated set, the composition
+// binds its scalarized-best member, and the selection is documented in
+// the front-size metric and the flight recorder.
+func TestFacadeParetoCompose(t *testing.T) {
+	hub := obs.NewHub()
+	mw, err := qasom.New(qasom.Options{Seed: 7, ParetoMode: true, Obs: hub})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mw.Close()
+	publishParetoShop(t, mw)
+
+	comp, err := mw.Compose(qasom.Request{
+		Task: paretoShopTask,
+		Constraints: []qasom.Constraint{
+			{Property: "responseTime", Bound: 500},
+			{Property: "price", Bound: 100},
+		},
+		Objectives: []string{"responseTime", "price"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !comp.Feasible() {
+		t.Fatal("pareto composition should be feasible")
+	}
+	front := comp.Front()
+	if len(front) != 4 {
+		t.Fatalf("front size %d, want 4 (one per bookshop trade-off point)", len(front))
+	}
+	if got := comp.SelectionStats().FrontSize; got != len(front) {
+		t.Fatalf("SelectionStats.FrontSize = %d, front has %d members", got, len(front))
+	}
+	if !reflect.DeepEqual(front[0].Bindings, comp.Bindings()) {
+		t.Fatalf("front[0] bindings %v differ from the composition's %v", front[0].Bindings, comp.Bindings())
+	}
+	if front[0].Utility != comp.Utility() {
+		t.Fatalf("front[0] utility %v, composition utility %v", front[0].Utility, comp.Utility())
+	}
+	seen := map[string]bool{}
+	for _, m := range front {
+		if m.Utility > comp.Utility() {
+			t.Fatalf("front member utility %v exceeds the scalarized best %v", m.Utility, comp.Utility())
+		}
+		seen[m.Bindings["buy"]] = true
+	}
+	if len(seen) != 4 {
+		t.Fatalf("front members bind %d distinct bookshops, want 4: %v", len(seen), seen)
+	}
+
+	snap := hub.Metrics.Histogram("qasom_pareto_front_size", "", nil).Snapshot()
+	if snap.Count != 1 || snap.Sum != 4 {
+		t.Fatalf("qasom_pareto_front_size: count=%d sum=%v, want one observation of 4", snap.Count, snap.Sum)
+	}
+	recs := hub.Flight.Snapshot(obs.FlightQuery{})
+	found := false
+	for _, rec := range recs {
+		for _, ev := range rec.Events {
+			if ev == fmt.Sprintf("pareto-front-size=%d", len(front)) {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("no pareto-front-size event in flight records: %+v", recs)
+	}
+}
+
+// TestFacadeParetoOptionConflicts pins the option-validation surface:
+// Pareto + plan cache, Pareto + distributed, objectives without Pareto
+// mode and unknown objective names are all rejected with clear errors.
+func TestFacadeParetoOptionConflicts(t *testing.T) {
+	if _, err := qasom.New(qasom.Options{ParetoMode: true, SelectionCacheSize: 64}); err == nil ||
+		!strings.Contains(err.Error(), "SelectionCacheSize") {
+		t.Fatalf("ParetoMode + SelectionCacheSize: got %v, want a cache-conflict error", err)
+	}
+
+	hub := obs.NewHub()
+	mw, err := qasom.New(qasom.Options{Seed: 3, ParetoMode: true, Obs: hub})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mw.Close()
+	publishParetoShop(t, mw)
+
+	if _, err := mw.Compose(qasom.Request{Task: paretoShopTask, Distributed: true}); err == nil ||
+		!strings.Contains(err.Error(), "centralized-only") {
+		t.Fatalf("ParetoMode + Distributed: got %v, want centralized-only error", err)
+	}
+	if _, err := mw.Compose(qasom.Request{
+		Task:       paretoShopTask,
+		Objectives: []string{"responseTime", "karma"},
+	}); err == nil || !strings.Contains(err.Error(), "karma") {
+		t.Fatalf("unknown objective: got %v, want an error naming it", err)
+	}
+
+	scalar, err := qasom.New(qasom.Options{Seed: 3, Obs: obs.NewHub()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer scalar.Close()
+	publishParetoShop(t, scalar)
+	if _, err := scalar.Compose(qasom.Request{
+		Task:       paretoShopTask,
+		Objectives: []string{"responseTime", "price"},
+	}); err == nil || !strings.Contains(err.Error(), "ParetoMode") {
+		t.Fatalf("objectives without ParetoMode: got %v, want an error pointing at the option", err)
+	}
+	if comp, err := scalar.Compose(qasom.Request{Task: paretoShopTask}); err != nil {
+		t.Fatal(err)
+	} else if len(comp.Front()) != 0 {
+		t.Fatal("scalar composition must have an empty front")
+	}
+}
+
+// TestFacadeDependencies checks the dependency surface of the public
+// API: rules steer the selection, malformed rules error, and
+// dependency-carrying requests bypass the plan cache (rules are not
+// part of the plan key).
+func TestFacadeDependencies(t *testing.T) {
+	mw, err := qasom.New(qasom.Options{Seed: 11, Obs: obs.NewHub()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mw.Close()
+	publishParetoShop(t, mw)
+
+	req := qasom.Request{
+		Task: paretoShopTask,
+		Dependencies: []qasom.Dependency{
+			// Whatever browse binds, buy must take the slow cheap shop —
+			// away from the scalar optimum, so the rule's effect shows.
+			{Kind: "requires", From: "browse", To: "buy", ToServices: []string{"bookshop-3"}},
+		},
+	}
+	comp, err := mw.Compose(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := comp.Bindings()["buy"]; got != "bookshop-3" {
+		t.Fatalf("requires rule ignored: buy bound to %s, want bookshop-3", got)
+	}
+	if !comp.Feasible() {
+		t.Fatal("dependency-constrained composition should be feasible")
+	}
+
+	// Same request again: no cache hit — dependency requests always run
+	// a fresh selection.
+	again, err := mw.Compose(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.SelectionStats().CacheHit {
+		t.Fatal("dependency-carrying request was served from the plan cache")
+	}
+
+	// The dependency-free twin still uses the cache (second call hits).
+	free := qasom.Request{Task: paretoShopTask}
+	if _, err := mw.Compose(free); err != nil {
+		t.Fatal(err)
+	}
+	cached, err := mw.Compose(free)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cached.SelectionStats().CacheHit {
+		t.Fatal("dependency-free repeat compose should hit the plan cache")
+	}
+
+	// Colocated rule: browse is on devA, so buy must land on devA's
+	// bookshop regardless of QoS.
+	coloc, err := mw.Compose(qasom.Request{
+		Task: paretoShopTask,
+		Dependencies: []qasom.Dependency{
+			{Kind: "colocated", From: "browse", To: "buy"},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := coloc.Bindings()["buy"]; got != "bookshop-0" {
+		t.Fatalf("colocated rule ignored: buy bound to %s, want bookshop-0 (devA)", got)
+	}
+
+	if _, err := mw.Compose(qasom.Request{
+		Task: paretoShopTask,
+		Dependencies: []qasom.Dependency{
+			{Kind: "needs", From: "browse", To: "buy", ToServices: []string{"bookshop-1"}},
+		},
+	}); err == nil || !strings.Contains(err.Error(), "unknown dependency kind") {
+		t.Fatalf("bad kind: got %v, want unknown-kind error", err)
+	}
+}

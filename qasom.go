@@ -85,6 +85,53 @@ type Request struct {
 	// device per activity (the ad hoc mode of Fig. IV.4) instead of
 	// centrally on the requester's device.
 	Distributed bool
+	// Objectives names the properties the Pareto-front mode trades off
+	// (at least two; empty means every property of the middleware's
+	// set). Ignored — and rejected with an error — unless the middleware
+	// was created with Options.ParetoMode.
+	Objectives []string
+	// Dependencies are inter-service compatibility rules the selection
+	// (and every later failover substitution) must honour.
+	Dependencies []Dependency
+}
+
+// Dependency is one inter-service compatibility rule between two
+// activities of the task. Kind is "requires" (binding From to
+// FromService — or to anything, when FromService is empty — forces To
+// onto one of ToServices), "excludes" (…forbids every ToServices
+// binding for To) or "colocated" (From and To must be hosted on the
+// same device; FromService/ToServices are ignored).
+type Dependency struct {
+	Kind        string
+	From, To    string
+	FromService string
+	ToServices  []string
+}
+
+// toCore maps the facade rule onto the core representation.
+func (d Dependency) toCore() (core.Dependency, error) {
+	var kind core.DependencyKind
+	switch d.Kind {
+	case "requires":
+		kind = core.DepRequires
+	case "excludes":
+		kind = core.DepExcludes
+	case "colocated":
+		kind = core.DepColocated
+	default:
+		return core.Dependency{}, fmt.Errorf("qasom: unknown dependency kind %q (want requires|excludes|colocated)", d.Kind)
+	}
+	to := make([]registry.ServiceID, len(d.ToServices))
+	for i, s := range d.ToServices {
+		to[i] = registry.ServiceID(s)
+	}
+	return core.Dependency{
+		Kind:        kind,
+		From:        d.From,
+		To:          d.To,
+		FromService: registry.ServiceID(d.FromService),
+		ToServices:  to,
+	}, nil
 }
 
 // Options configure the middleware.
@@ -150,6 +197,15 @@ type Options struct {
 	// compositions — evicted indexes rebuild at their next Execute); 0
 	// means the subidx default (64).
 	SubstitutionIndexCompositions int
+	// ParetoMode switches every selection of this instance from scalar
+	// (single best-utility composition) to multi-objective: the
+	// composition still binds the scalarized-best member, and
+	// Composition.Front exposes the whole non-dominated set over the
+	// request's Objectives. Pareto selections are centralized-only
+	// (Distributed requests error) and never plan-cached, so combining
+	// ParetoMode with an explicit SelectionCacheSize > 0 is rejected by
+	// New.
+	ParetoMode bool
 }
 
 // Middleware is a QASOM instance: shared ontology, semantic registry,
@@ -192,6 +248,7 @@ type composeMetrics struct {
 	executeErrors     *obs.Counter
 	executeSeconds    *obs.Histogram
 	tenantRequests    *obs.Counter
+	paretoFrontSize   *obs.Histogram
 }
 
 func composeMetricsFor(hub *obs.Hub, tenant string) composeMetrics {
@@ -217,6 +274,9 @@ func composeMetricsFor(hub *obs.Hub, tenant string) composeMetrics {
 		tenantRequests: r.CounterVec("qasom_tenant_requests_total",
 			"Compose calls attributed to the tenant the middleware instance is bound to.",
 			"tenant").With(tenant),
+		paretoFrontSize: r.Histogram("qasom_pareto_front_size",
+			"Non-dominated set sizes returned by Pareto-mode selections.",
+			[]float64{1, 2, 4, 8, 16, 32, 64}),
 	}
 }
 
@@ -239,6 +299,14 @@ func New(opts ...Options) (*Middleware, error) {
 	}
 	if o.Seed == 0 {
 		o.Seed = 1
+	}
+	if o.ParetoMode && o.SelectionCacheSize > 0 {
+		return nil, fmt.Errorf("qasom: ParetoMode cannot be combined with SelectionCacheSize %d: the selection-plan cache stores scalar plans without their fronts; leave SelectionCacheSize at 0 (ParetoMode disables the cache)", o.SelectionCacheSize)
+	}
+	if o.ParetoMode {
+		// No front-caching: a replayed scalar plan would come back with
+		// an empty Front, silently changing the API's answer.
+		o.SelectionCacheSize = -1
 	}
 	if o.Obs == nil {
 		o.Obs = obs.Default()
@@ -268,7 +336,7 @@ func New(opts ...Options) (*Middleware, error) {
 		reg:      reg,
 		repo:     task.NewRepository(onto),
 		env:      simenv.New(ps, reg, simenv.Options{Seed: o.Seed}),
-		selector: core.NewSelector(core.Options{K: o.K, MaxAlternates: o.MaxAlternates, Seed: o.Seed, Workers: o.Workers}),
+		selector: core.NewSelector(core.Options{K: o.K, MaxAlternates: o.MaxAlternates, Seed: o.Seed, Workers: o.Workers, ParetoMode: o.ParetoMode}),
 		mon:      monitor.New(ps, monitor.Options{Obs: o.Obs}),
 		obs:      o.Obs,
 		met:      composeMetricsFor(o.Obs, tenantLabel(o.TenantID)),

@@ -17,18 +17,26 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
-BENCH="${BENCH:-BenchmarkFailover|BenchmarkQASSA_RepairHeavy|BenchmarkEvalProbe|BenchmarkQASSA_Services|BenchmarkExhaustiveBaseline|BenchmarkGreedyBaseline|BenchmarkDistributedChurn|BenchmarkThroughput|BenchmarkRegistryOps}"
+BENCH="${BENCH:-BenchmarkFailover|BenchmarkQASSA_RepairHeavy|BenchmarkEvalProbe|BenchmarkParetoProbe|BenchmarkParetoSelect|BenchmarkQASSA_Services|BenchmarkExhaustiveBaseline|BenchmarkGreedyBaseline|BenchmarkDistributedChurn|BenchmarkThroughput|BenchmarkRegistryOps}"
 OUT="${OUT:-BENCH_qassa.json}"
 
 raw=$(go test -run '^$' -bench "$BENCH" -benchmem .)
 echo "$raw"
 
-echo "$raw" | awk '
+# The front-quality table (front size, hypervolume vs the exhaustive
+# reference, select p50/p99) comes from the experiment harness — the
+# numbers a -benchmem line cannot carry.
+paretodir=$(mktemp -d)
+trap 'rm -rf "$paretodir"' EXIT
+go run ./cmd/qasombench -exp pareto -csv "$paretodir" >/dev/null
+
+{
+	echo "$raw" | awk '
 BEGIN { print "{"; first = 1 }
 /^Benchmark/ {
     name = $1
     sub(/-[0-9]+$/, "", name)
-    ns = ""; bytes = ""; allocs = ""; ops = ""; p50 = ""; p99 = ""; sp50 = ""; sp99 = ""
+    ns = ""; bytes = ""; allocs = ""; ops = ""; p50 = ""; p99 = ""; sp50 = ""; sp99 = ""; fs = ""
     for (i = 2; i <= NF; i++) {
         if ($i == "ns/op")     ns = $(i - 1)
         if ($i == "B/op")      bytes = $(i - 1)
@@ -38,6 +46,7 @@ BEGIN { print "{"; first = 1 }
         if ($i == "p99-ms")    p99 = $(i - 1)
         if ($i == "sub-p50-us") sp50 = $(i - 1)
         if ($i == "sub-p99-us") sp99 = $(i - 1)
+        if ($i == "front-size") fs = $(i - 1)
     }
     if (ns == "") next
     if (!first) printf ",\n"
@@ -45,9 +54,18 @@ BEGIN { print "{"; first = 1 }
     printf "  \"%s\": {\"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s", name, ns, bytes, allocs
     if (ops != "") printf ", \"ops_per_sec\": %s, \"p50_ms\": %s, \"p99_ms\": %s", ops, p50, p99
     if (sp99 != "") printf ", \"sub_p50_us\": %s, \"sub_p99_us\": %s", sp50, sp99
+    if (fs != "") printf ", \"front_size\": %s", fs
     printf "}"
 }
-END { print "\n}" }
-' >"$OUT"
+END { }
+'
+	# One JSON entry per front-quality row, keyed by regime and
+	# objective count (csv: regime,objectives,front_size,ref_size,
+	# hv_ratio_pct,p50_ms,p99_ms).
+	awk -F, 'NR > 1 {
+    printf ",\n  \"ExpPareto/regime=%s/m=%s\": {\"front_size\": %s, \"ref_size\": %s, \"hv_ratio_pct\": %s, \"p50_ms\": %s, \"p99_ms\": %s}", $1, $2, $3, $4, $5, $6, $7
+}' "$paretodir/pareto.csv"
+	printf '\n}\n'
+} >"$OUT"
 
 echo "bench: wrote $OUT"

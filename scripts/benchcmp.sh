@@ -31,7 +31,10 @@ BASE="${BASE:-BENCH_qassa.json}"
 # same way: mode=index must stay a lock-free lookup (its ns/op and
 # alloc budgets are the index-hit fast path plus the steady-state round
 # overhead), mode=reactive keeps the fallback scan honest.
-BENCH="${BENCH:-BenchmarkFailover|BenchmarkQASSA_RepairHeavy|BenchmarkEvalProbe|BenchmarkQASSA_Services|BenchmarkExhaustiveBaseline|BenchmarkGreedyBaseline|BenchmarkDistributedChurn|BenchmarkThroughput}"
+# BenchmarkParetoProbe gates the multi-objective vector probe (must stay
+# O(path) and zero-alloc, within a few x of the scalar EvalProbe);
+# BenchmarkParetoSelect gates both front-mode regimes end to end.
+BENCH="${BENCH:-BenchmarkFailover|BenchmarkQASSA_RepairHeavy|BenchmarkEvalProbe|BenchmarkParetoProbe|BenchmarkParetoSelect|BenchmarkQASSA_Services|BenchmarkExhaustiveBaseline|BenchmarkGreedyBaseline|BenchmarkDistributedChurn|BenchmarkThroughput}"
 # The sharded-registry benchmarks are gated at the 100k population only:
 # the 1M rigs exist for the recorded scale-out table, not for a quick
 # regression pass (component-wise -bench regex, hence a separate run).
