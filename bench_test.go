@@ -691,6 +691,38 @@ func BenchmarkThroughput(b *testing.B) {
 	b.ReportMetric(res.SLOAttainment*100, "slo%")
 }
 
+// BenchmarkOpenLoop is the open-loop serving benchmark: arrivals are
+// scheduled from a clock at a fixed rate (10k/s, constant process, no
+// churn) and every latency is measured from the scheduled arrival — the
+// coordinated-omission-safe regime. ns/op is pinned near the arrival
+// period by construction, so the gated signal is B/op and allocs/op
+// (the per-arrival cost of the whole open-loop path); the custom
+// metrics report goodput, shed arrivals and the tail quantiles.
+func BenchmarkOpenLoop(b *testing.B) {
+	rig, err := bench.NewOpenLoopRig(bench.OpenLoopConfig{
+		Rate:    10000,
+		Process: bench.OpenLoopConstant,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := rig.Warm(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	res, err := rig.Run(b.N)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.StopTimer()
+	b.ReportMetric(res.Achieved, "arrv/sec")
+	b.ReportMetric(float64(res.Dropped), "ol-drops")
+	b.ReportMetric(float64(res.P50)/float64(time.Microsecond), "ol-p50-us")
+	b.ReportMetric(float64(res.P99)/float64(time.Microsecond), "ol-p99-us")
+	b.ReportMetric(float64(res.P999)/float64(time.Microsecond), "ol-p999-us")
+}
+
 // BenchmarkComposeFacade measures the full public-API composition path
 // (registry resolution + QASSA).
 func BenchmarkComposeFacade(b *testing.B) {

@@ -56,6 +56,13 @@ if [ "${1:-}" = "quick" ]; then
 	echo "== go test -race failover suite (quick)"
 	go test -race ./internal/subidx
 	go test -race -run 'TestDifferential|TestIndex|TestConcurrent|TestExecutor|TestStaged|TestResult' ./internal/adapt
+	# The multicore hot-path suite: raced RCU snapshot reads in the
+	# registry (torn-publish check), raced per-segment eviction + epoch
+	# invalidation in the sharded plan cache, and the mutex-profile
+	# assertion that the warm read paths acquire zero locks.
+	echo "== go test -race hot-path suite (quick)"
+	go test -race -run 'TestRacedSnapshotReads' ./internal/registry
+	go test -race -run 'TestPlanCacheShardedRaced|TestHotPathsAcquireNoMutexes' .
 	# The distributed failure matrix exercises the resilience layer's
 	# concurrency (hedged requests, breaker state, prompt cancellation);
 	# -shuffle=on catches order-dependent breaker/fault state.

@@ -170,6 +170,7 @@ var experiments = func() map[string]*Experiment {
 		baselineExperiments(),
 		mobilityExperiments(),
 		servingExperiments(),
+		openloopExperiments(),
 		registryExperiments(),
 		paretoExperiments(),
 	} {

@@ -16,7 +16,8 @@ func TestInventoryComplete(t *testing.T) {
 		"ablation-k", "ablation-global", "ablation-seeding", "ablation-preverify",
 		"ablation-pareto", "baselines", "mobility",
 		"serving", "shards", // ROADMAP artefacts: steady-state serving, registry scale-out
-		"pareto", // multi-objective front quality (DESIGN.md §4j)
+		"openloop", // open-loop (arrival-rate driven) serving latency
+		"pareto",   // multi-objective front quality (DESIGN.md §4j)
 	}
 	for _, id := range want {
 		if ByID(id) == nil {

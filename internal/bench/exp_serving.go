@@ -84,17 +84,18 @@ const servingTask = `<process name="serving-shopping" concept="Shopping">
   </sequence>
 </process>`
 
-// NewThroughputRig builds the serving workload. The middleware reports
-// into a private hub so runs do not pollute the process-wide registry.
-func NewThroughputRig(cfg ThroughputConfig) (*ThroughputRig, error) {
-	if cfg.Clients <= 0 {
-		cfg.Clients = runtime.GOMAXPROCS(0)
+// newServingEnv builds the shared serving workload both load rigs
+// (closed-loop ThroughputRig, open-loop OpenLoopRig) measure: a
+// middleware reporting into a private hub (so runs do not pollute the
+// process-wide registry), the shopping environment published, an
+// attached serving SLO, and the fixed feasible request.
+func newServingEnv(seed int64) (*qasom.Middleware, *obs.SLOEngine, qasom.Request, error) {
+	if seed == 0 {
+		seed = 1
 	}
-	if cfg.Seed == 0 {
-		cfg.Seed = 1
-	}
-	if cfg.Ctx == nil {
-		cfg.Ctx = context.Background()
+	req := qasom.Request{
+		Task:        servingTask,
+		Constraints: []qasom.Constraint{{Property: "responseTime", Bound: 300}},
 	}
 	hub := obs.NewHub()
 	slo := obs.NewSLOEngine(obs.SLOConfig{
@@ -103,9 +104,9 @@ func NewThroughputRig(cfg ThroughputConfig) (*ThroughputRig, error) {
 		LatencyObjective: servingSLOLatency,
 	}, hub.Metrics)
 	hub.SLO = slo
-	mw, err := qasom.New(qasom.Options{Seed: cfg.Seed, Obs: hub})
+	mw, err := qasom.New(qasom.Options{Seed: seed, Obs: hub})
 	if err != nil {
-		return nil, err
+		return nil, nil, req, err
 	}
 	for _, spec := range []struct{ prefix, capability string }{
 		{"browse", "BrowseCatalog"}, {"order", "OrderItem"}, {"pay", "CardPayment"},
@@ -120,17 +121,67 @@ func NewThroughputRig(cfg ThroughputConfig) (*ThroughputRig, error) {
 				},
 			})
 			if err != nil {
-				return nil, err
+				return nil, nil, req, err
 			}
 		}
 	}
+	return mw, slo, req, nil
+}
+
+// startServingChurn runs the background publisher/withdrawer of the
+// serving rigs until the returned stop function is called: mostly
+// capabilities the task does not touch (the cache must keep hitting),
+// with every 32nd cycle churning a touched capability to force an epoch
+// invalidation and a fresh selection.
+func startServingChurn(mw *qasom.Middleware) (stop func()) {
+	stopCh := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stopCh:
+				return
+			default:
+			}
+			capability, id := "LabAnalysis", fmt.Sprintf("churn-lab-%d", i%4)
+			if i%32 == 31 {
+				capability, id = "OrderItem", fmt.Sprintf("churn-order-%d", i%4)
+			}
+			_ = mw.Publish(qasom.Service{
+				ID: id, Capability: capability,
+				QoS: map[string]float64{
+					"responseTime": 35, "price": 4,
+					"availability": 0.96, "reliability": 0.92, "throughput": 45,
+				},
+			})
+			mw.Withdraw(id)
+			time.Sleep(100 * time.Microsecond)
+		}
+	}()
+	return func() {
+		close(stopCh)
+		wg.Wait()
+	}
+}
+
+// NewThroughputRig builds the closed-loop serving workload.
+func NewThroughputRig(cfg ThroughputConfig) (*ThroughputRig, error) {
+	if cfg.Clients <= 0 {
+		cfg.Clients = runtime.GOMAXPROCS(0)
+	}
+	if cfg.Ctx == nil {
+		cfg.Ctx = context.Background()
+	}
+	mw, slo, req, err := newServingEnv(cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
 	return &ThroughputRig{
-		mw:  mw,
-		slo: slo,
-		req: qasom.Request{
-			Task:        servingTask,
-			Constraints: []qasom.Constraint{{Property: "responseTime", Bound: 300}},
-		},
+		mw:      mw,
+		slo:     slo,
+		req:     req,
 		clients: cfg.Clients,
 		churn:   cfg.Churn,
 		ctx:     cfg.Ctx,
@@ -153,36 +204,9 @@ func (r *ThroughputRig) Run(ops int) (ThroughputResult, error) {
 	if ops < 1 {
 		ops = 1
 	}
-	stopChurn := make(chan struct{})
-	var churnWG sync.WaitGroup
+	var stopChurn func()
 	if r.churn {
-		churnWG.Add(1)
-		go func() {
-			defer churnWG.Done()
-			for i := 0; ; i++ {
-				select {
-				case <-stopChurn:
-					return
-				default:
-				}
-				// Mostly unrelated churn (MedicalService branch, outside the
-				// task's capability closure); every 32nd cycle churns a
-				// capability the task touches, forcing an epoch invalidation.
-				capability, id := "LabAnalysis", fmt.Sprintf("churn-lab-%d", i%4)
-				if i%32 == 31 {
-					capability, id = "OrderItem", fmt.Sprintf("churn-order-%d", i%4)
-				}
-				_ = r.mw.Publish(qasom.Service{
-					ID: id, Capability: capability,
-					QoS: map[string]float64{
-						"responseTime": 35, "price": 4,
-						"availability": 0.96, "reliability": 0.92, "throughput": 45,
-					},
-				})
-				r.mw.Withdraw(id)
-				time.Sleep(100 * time.Microsecond)
-			}
-		}()
+		stopChurn = startServingChurn(r.mw)
 	}
 
 	var next atomic.Int64
@@ -228,9 +252,8 @@ func (r *ThroughputRig) Run(ops int) (ThroughputResult, error) {
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
-	if r.churn {
-		close(stopChurn)
-		churnWG.Wait()
+	if stopChurn != nil {
+		stopChurn()
 	}
 	for _, err := range errs {
 		if err != nil {

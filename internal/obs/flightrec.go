@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -97,13 +98,17 @@ const DefaultFlightCapacity = 256
 // FlightRecorder keeps a bounded ring of the most recent request
 // records, mirroring the Tracer's ring semantics: Record overwrites the
 // oldest entry beyond capacity, Total counts every record ever taken.
+// Record never blocks: when the ring is busy (a /debug/requests
+// snapshot in flight, or a concurrent writer) the record is dropped and
+// counted instead — diagnostics must not be able to stall serving.
 // All methods are nil-safe and safe for concurrent use.
 type FlightRecorder struct {
-	mu    sync.Mutex
-	ring  []RequestRecord
-	next  int
-	full  bool
-	total uint64
+	mu      sync.Mutex
+	ring    []RequestRecord
+	next    int
+	full    bool
+	total   atomic.Uint64
+	dropped atomic.Uint64
 }
 
 // NewFlightRecorder creates a recorder retaining the last capacity
@@ -119,31 +124,44 @@ func NewFlightRecorder(capacity int) *FlightRecorder {
 	return &FlightRecorder{ring: make([]RequestRecord, capacity)}
 }
 
-// Record appends one request record (deep-copied) to the ring.
+// Record appends one request record (deep-copied) to the ring. It is
+// drop-don't-block: a contended ring (a slow snapshot reader, or a
+// concurrent Record) costs one failed TryLock and a counter bump, never
+// a wait on the serving path.
 func (f *FlightRecorder) Record(rec RequestRecord) {
 	if f == nil {
 		return
 	}
 	cp := rec.clone()
-	f.mu.Lock()
+	if !f.mu.TryLock() {
+		f.dropped.Add(1)
+		return
+	}
 	f.ring[f.next] = cp
 	f.next = (f.next + 1) % len(f.ring)
 	if f.next == 0 {
 		f.full = true
 	}
-	f.total++
+	f.total.Add(1)
 	f.mu.Unlock()
 }
 
 // Total counts every record ever taken (monotonic; the ring only
-// retains the most recent ones).
+// retains the most recent ones). Dropped records are not included.
 func (f *FlightRecorder) Total() uint64 {
 	if f == nil {
 		return 0
 	}
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	return f.total
+	return f.total.Load()
+}
+
+// Dropped counts records discarded because the ring was contended when
+// Record arrived (monotonic).
+func (f *FlightRecorder) Dropped() uint64 {
+	if f == nil {
+		return 0
+	}
+	return f.dropped.Load()
 }
 
 // FlightQuery filters a Snapshot (the /debug/requests query surface).

@@ -127,8 +127,32 @@ func TestFlightRecorderConcurrent(t *testing.T) {
 		}()
 	}
 	wg.Wait()
-	if f.Total() != 8*200 {
-		t.Fatalf("Total = %d, want %d", f.Total(), 8*200)
+	// Record is drop-don't-block: contended records are counted, not
+	// taken, so recorded + dropped must account for every call.
+	if got := f.Total() + f.Dropped(); got != 8*200 {
+		t.Fatalf("Total+Dropped = %d (%d recorded, %d dropped), want %d",
+			got, f.Total(), f.Dropped(), 8*200)
+	}
+	if f.Total() == 0 {
+		t.Fatal("every record was dropped — TryLock fast path never won")
+	}
+}
+
+// TestFlightRecorderDropsWhenContended pins the drop-don't-block
+// contract directly: a held ring lock makes Record drop and count.
+func TestFlightRecorderDropsWhenContended(t *testing.T) {
+	f := NewFlightRecorder(4)
+	f.Record(RequestRecord{Kind: "compose"})
+	f.mu.Lock()
+	f.Record(RequestRecord{Kind: "compose"})
+	f.mu.Unlock()
+	if f.Total() != 1 || f.Dropped() != 1 {
+		t.Fatalf("Total=%d Dropped=%d, want 1 and 1", f.Total(), f.Dropped())
+	}
+	// Uncontended again: records land.
+	f.Record(RequestRecord{Kind: "compose"})
+	if f.Total() != 2 {
+		t.Fatalf("Total=%d after uncontended record, want 2", f.Total())
 	}
 }
 

@@ -29,10 +29,21 @@ import (
 //
 // Epoch semantics are unchanged from the single-lock registry but are
 // now per shard: the epoch of capability key k is bumped under shard(k)'s
-// write lock, atomically with the index change for k, so a snapshot
-// taken before a lookup still certifies "no candidate this lookup could
-// see has changed" — CapabilityEpochs takes each touched shard's read
-// lock exactly once, not a global lock.
+// write lock, before the index change for k, so a snapshot taken before
+// a lookup still certifies "no candidate this lookup could see has
+// changed".
+//
+// Read path (RCU): each shard publishes an immutable capKey→capState
+// directory through an atomic.Pointer, and each capState carries an
+// atomic epoch plus an epoch-tagged published candidate slice. Steady-
+// state Candidates and CapabilityEpochs therefore acquire no locks at
+// all — a reader loads the view, loads the published slice, and checks
+// its epoch tag against the live epoch (writers bump the epoch and nil
+// the slice before touching the index, so a tag match proves the slice
+// is current). Only the first lookup after a mutation takes a shard
+// read lock, to rebuild the published slice from the writer-truth index
+// maps. Writers copy-on-write the view in amortized batches so bulk
+// loads stay O(1) per publish.
 //
 // Mutations of one service (same tenant + ID) are serialized on a
 // striped mutex so a Publish/Withdraw race on the same ID cannot
@@ -72,6 +83,13 @@ type StoreOptions struct {
 	Obs *obs.Registry
 }
 
+// paddedMutex keeps adjacent stripe locks on separate cache lines so
+// unrelated concurrent mutations never false-share a lock word.
+type paddedMutex struct {
+	sync.Mutex
+	_ [56]byte
+}
+
 // svcKey is the tenant-scoped directory key of a service.
 type svcKey struct {
 	tenant TenantID
@@ -101,19 +119,127 @@ type storedService struct {
 	home uint32
 }
 
+// capState is the lock-free read-path state of one capability key: the
+// generation counter readers snapshot, and the epoch-tagged candidate
+// slice they resolve against. The struct is shared by reference between
+// successive views, so a key's epoch survives view swaps and rebuilds.
+type capState struct {
+	epoch atomic.Uint64
+	// pub is the published candidate slice, tagged with the epoch it was
+	// built at; writers nil it (before the index change, after the epoch
+	// bump) so a tag match certifies the slice is current. Readers that
+	// find it stale rebuild it from the index under the shard read lock.
+	pub atomic.Pointer[capPublished]
+}
+
+// capPublished is one immutable snapshot of the services filed under a
+// capability key. list is never mutated after the atomic store; readers
+// copy before filtering or sorting.
+type capPublished struct {
+	epoch uint64
+	list  []*storedService
+}
+
+// capView is the immutable capKey→capState directory a shard's readers
+// navigate without locks. Swapped wholesale through shard.view.
+type capView map[capKey]*capState
+
 // shard is one lock domain of the store.
 type shard struct {
+	// view is the RCU side of the shard: an immutable directory of
+	// capability states, atomically swapped by writers. Never nil after
+	// NewStore. First field: it is the hottest word of the struct.
+	view atomic.Pointer[capView]
+	// extraN mirrors len(extra) so lock-free readers can skip the
+	// extra-map fallback (and its read lock) when nothing is pending.
+	extraN atomic.Int32
+
 	mu sync.RWMutex
 	// services holds the directory entries homed here (routed by
 	// (tenant, id)).
 	services map[svcKey]*storedService
 	// index maps each capability key owned by this shard (routed by
 	// (tenant, concept)) to the services filed under it, across all home
-	// shards.
+	// shards. Writer truth; readers consume it only through capState.pub
+	// or under mu.
 	index map[capKey]map[ServiceID]*storedService
-	// capEpochs holds the per-capability generation counters owned by
-	// this shard, bumped under mu together with the index change.
-	capEpochs map[capKey]uint64
+	// extra holds capStates created since the last view swap, guarded by
+	// mu. Folding them into the view in batches keeps bulk loads O(1)
+	// amortized per publish instead of O(view) each.
+	extra map[capKey]*capState
+
+	// _ pads the shard past a cache line so adjacent shards' hot fields
+	// (view pointer, lock word) never false-share.
+	_ [64]byte
+}
+
+// capStateLocked returns the shard's state for ck, creating it in extra
+// when absent. Callers hold the shard's write lock. The second result
+// reports whether the state is newly created.
+func (sh *shard) capStateLocked(ck capKey) (*capState, bool) {
+	if st, ok := (*sh.view.Load())[ck]; ok {
+		return st, false
+	}
+	if st, ok := sh.extra[ck]; ok {
+		return st, false
+	}
+	st := &capState{}
+	sh.extra[ck] = st
+	sh.extraN.Store(int32(len(sh.extra)))
+	return st, true
+}
+
+// mergeExtraLocked folds extra into a freshly copied view and publishes
+// it. Callers hold the shard's write lock.
+func (sh *shard) mergeExtraLocked() {
+	if len(sh.extra) == 0 {
+		return
+	}
+	old := *sh.view.Load()
+	next := make(capView, len(old)+len(sh.extra))
+	for k, v := range old {
+		next[k] = v
+	}
+	for k, v := range sh.extra {
+		next[k] = v
+	}
+	sh.view.Store(&next)
+	sh.extra = make(map[capKey]*capState)
+	sh.extraN.Store(0)
+}
+
+// capStateOf returns the capState for ck without any lock on the fast
+// path, or nil when the key has never been filed or bumped. Keys still
+// waiting in extra (a bulk load in flight) fall back to the read lock.
+func (sh *shard) capStateOf(ck capKey) *capState {
+	if st, ok := (*sh.view.Load())[ck]; ok {
+		return st
+	}
+	if sh.extraN.Load() == 0 {
+		return nil
+	}
+	sh.mu.RLock()
+	st := sh.extra[ck]
+	sh.mu.RUnlock()
+	return st
+}
+
+// republish rebuilds the epoch-tagged candidate slice for ck from the
+// writer-truth index and installs it for subsequent lock-free readers.
+// The epoch is read under the read lock, where it is stable (writers
+// bump it only under the write lock), so the tag can never claim a
+// newer index state than the slice carries.
+func (sh *shard) republish(ck capKey, st *capState) []*storedService {
+	sh.mu.RLock()
+	e := st.epoch.Load()
+	set := sh.index[ck]
+	list := make([]*storedService, 0, len(set))
+	for _, ss := range set {
+		list = append(list, ss)
+	}
+	sh.mu.RUnlock()
+	st.pub.Store(&capPublished{epoch: e, list: list})
+	return list
 }
 
 // watcher is one Watch subscription, tenant-filtered at notify time.
@@ -129,7 +255,7 @@ type Store struct {
 	ontology *semantics.Ontology
 	shards   []shard
 	mask     uint32
-	stripes  [mutationStripes]sync.Mutex
+	stripes  [mutationStripes]paddedMutex
 
 	// gen is the store-global generation, bumped on every mutation of any
 	// tenant; readers poll it with one atomic load.
@@ -181,7 +307,9 @@ func NewStore(o *semantics.Ontology, opts StoreOptions) *Store {
 	}
 	for i := range s.shards {
 		s.shards[i].services = make(map[svcKey]*storedService)
-		s.shards[i].capEpochs = make(map[capKey]uint64)
+		s.shards[i].extra = make(map[capKey]*capState)
+		empty := make(capView)
+		s.shards[i].view.Store(&empty)
 	}
 	s.indexing.Store(true)
 	if opts.Obs != nil {
@@ -237,6 +365,14 @@ func (s *Store) SetIndexing(enabled bool) {
 			sh := &s.shards[i]
 			sh.mu.Lock()
 			sh.index = nil
+			// Published slices alias the dropped index; clear them so
+			// nothing holds candidate lists past the ablation switch.
+			for _, st := range *sh.view.Load() {
+				st.pub.Store(nil)
+			}
+			for _, st := range sh.extra {
+				st.pub.Store(nil)
+			}
 			sh.mu.Unlock()
 		}
 	}
@@ -275,7 +411,7 @@ func (s *Store) shardOfID(t TenantID, id ServiceID) uint32 {
 }
 
 func (s *Store) stripeFor(t TenantID, id ServiceID) *sync.Mutex {
-	return &s.stripes[fnvPair(string(t), string(id))%mutationStripes]
+	return &s.stripes[fnvPair(string(t), string(id))%mutationStripes].Mutex
 }
 
 // lockShard takes the shard's write lock, feeding the contended-wait
@@ -406,12 +542,23 @@ func (s *Store) applyIndexDelta(t TenantID, id ServiceID, ss *storedService, old
 	process := func(idx uint32) {
 		s.lockShard(idx)
 		sh := &s.shards[idx]
+		added := false
+		// bump invalidates the key for lock-free readers *before* the
+		// index change: the epoch moves and the published slice is nilled
+		// first, so a reader whose tag still matches is guaranteed to be
+		// looking at the pre-mutation index state.
+		bump := func(ck capKey) {
+			st, fresh := sh.capStateLocked(ck)
+			added = added || fresh
+			st.epoch.Add(1)
+			st.pub.Store(nil)
+		}
 		for _, k := range oldKeys {
 			if s.shardOfCap(t, k) != idx {
 				continue
 			}
 			ck := capKey{t, k}
-			sh.capEpochs[ck]++
+			bump(ck)
 			if !maintain || (ss != nil && containsConcept(newKeys, k)) {
 				continue // key kept: the newKeys pass below overwrites the filing
 			}
@@ -428,7 +575,7 @@ func (s *Store) applyIndexDelta(t TenantID, id ServiceID, ss *storedService, old
 					continue
 				}
 				ck := capKey{t, k}
-				sh.capEpochs[ck]++
+				bump(ck)
 				if !maintain {
 					continue
 				}
@@ -442,6 +589,14 @@ func (s *Store) applyIndexDelta(t TenantID, id ServiceID, ss *storedService, old
 				}
 				set[id] = ss
 			}
+		}
+		// Fold freshly created capStates into the immutable view:
+		// immediately once a mutation stops minting new keys (flushes the
+		// tail a bulk load leaves behind), and in amortized batches of
+		// view/8 while one is in flight — populating k fresh capabilities
+		// costs O(k) total copying, not O(k²).
+		if n := len(sh.extra); n > 0 && (!added || n > len(*sh.view.Load())/8) {
+			sh.mergeExtraLocked()
 		}
 		sh.mu.Unlock()
 	}
@@ -509,45 +664,25 @@ func (s *Store) all(t TenantID) []Description {
 }
 
 // capabilityEpochs fills dst, in concepts order, with the current epoch
-// of each capability key for the tenant, taking each touched shard's
-// read lock exactly once, and appends the ontology version when one is
-// attached.
+// of each capability key for the tenant — one atomic load per key, no
+// locks — and appends the ontology version when one is attached. Each
+// position is individually monotonic, which is all the plan cache's
+// snapshot-before-lookup protocol needs: any mutation between snapshot
+// and validation makes some position differ.
 func (s *Store) capabilityEpochs(t TenantID, dst []uint64, concepts ...semantics.ConceptID) []uint64 {
 	if dst != nil {
 		dst = dst[:0]
 	}
-	n := len(concepts)
-	var keyBuf [16]capKey
-	var shardBuf [16]uint32
-	keys := keyBuf[:0]
-	route := shardBuf[:0]
 	for _, c := range concepts {
 		if s.ontology != nil {
 			c = s.ontology.Canonical(c)
 		}
-		keys = append(keys, capKey{t, c})
-		route = append(route, s.shardOfCap(t, c))
-	}
-	base := len(dst)
-	for range concepts {
-		dst = append(dst, 0)
-	}
-	const done = ^uint32(0)
-	for i := 0; i < n; i++ {
-		if route[i] == done {
-			continue
+		sh := &s.shards[s.shardOfCap(t, c)]
+		var e uint64
+		if st := sh.capStateOf(capKey{t, c}); st != nil {
+			e = st.epoch.Load()
 		}
-		idx := route[i]
-		sh := &s.shards[idx]
-		sh.mu.RLock()
-		for j := i; j < n; j++ {
-			if route[j] != idx {
-				continue
-			}
-			dst[base+j] = sh.capEpochs[keys[j]]
-			route[j] = done
-		}
-		sh.mu.RUnlock()
+		dst = append(dst, e)
 	}
 	if s.ontology != nil {
 		dst = append(dst, s.ontology.Version())
@@ -597,6 +732,33 @@ func (s *Store) ensureIndex() {
 			}
 		}
 	}
+	// Republish each shard's view: existing capStates keep their epochs
+	// (a rebuild is not a mutation — the ontology version, appended to
+	// every epoch snapshot, is what certifies closure changes), new index
+	// keys minted by a moved ontology get zero-epoch states, and every
+	// published slice is cleared because index contents changed under
+	// unchanged epoch values.
+	for i := range s.shards {
+		sh := &s.shards[i]
+		old := *sh.view.Load()
+		next := make(capView, len(old)+len(sh.extra)+len(sh.index))
+		for k, st := range old {
+			st.pub.Store(nil)
+			next[k] = st
+		}
+		for k, st := range sh.extra {
+			st.pub.Store(nil)
+			next[k] = st
+		}
+		for ck := range sh.index {
+			if _, ok := next[ck]; !ok {
+				next[ck] = &capState{}
+			}
+		}
+		sh.view.Store(&next)
+		sh.extra = make(map[capKey]*capState)
+		sh.extraN.Store(0)
+	}
 	s.indexVersion.Store(version)
 	s.built.Store(true)
 	s.indexRebuilds.Add(1)
@@ -606,22 +768,25 @@ func (s *Store) ensureIndex() {
 }
 
 // collect gathers the stored-service pointers a candidate lookup must
-// consider: one shard's index entry on the indexed path, every shard's
-// tenant directory on the scan path. Descriptions are immutable, so the
-// pointers are safe to use outside the locks.
+// consider: the capability's published slice on the indexed path (lock-
+// free when its epoch tag is current, one shard read lock to republish
+// after a mutation), every shard's tenant directory on the scan path.
+// The indexed result may be a shared snapshot — callers must treat it
+// as immutable and copy before filtering or sorting.
 func (s *Store) collect(t TenantID, canon semantics.ConceptID) []*storedService {
 	if s.indexing.Load() {
 		s.ensureIndex()
 		s.indexedLookups.Add(1)
 		sh := &s.shards[s.shardOfCap(t, canon)]
-		sh.mu.RLock()
-		set := sh.index[capKey{t, canon}]
-		out := make([]*storedService, 0, len(set))
-		for _, ss := range set {
-			out = append(out, ss)
+		ck := capKey{t, canon}
+		st := sh.capStateOf(ck)
+		if st == nil {
+			return nil // key never filed or bumped: nothing to find
 		}
-		sh.mu.RUnlock()
-		return out
+		if p := st.pub.Load(); p != nil && p.epoch == st.epoch.Load() {
+			return p.list
+		}
+		return sh.republish(ck, st)
 	}
 	s.scanLookups.Add(1)
 	var out []*storedService

@@ -359,3 +359,105 @@ func TestShardTelemetry(t *testing.T) {
 		t.Error("lock-wait histogram not registered")
 	}
 }
+
+// TestRacedSnapshotReads hammers the lock-free read path (Candidates +
+// CapabilityEpochs) against publish/withdraw churn on the same
+// capability and asserts readers never observe a torn publish: whenever
+// two epoch snapshots bracketing a candidate lookup are equal, the
+// candidate set is a function of that epoch alone — a second lookup
+// bracketed by the same epoch value must return the identical list.
+// This is exactly the stability contract the plan cache builds on. Run
+// under -race it also proves the RCU publication discipline.
+func TestRacedSnapshotReads(t *testing.T) {
+	s := NewStore(semantics.PervasiveWithScenarios(), StoreOptions{Shards: 4})
+	r := s.Tenant(DefaultTenant)
+	ps := qos.StandardSet()
+	for i := 0; i < 4; i++ {
+		if err := r.Publish(bookService(fmt.Sprintf("base-%d", i), 20+float64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Warm the index so readers start on the indexed path.
+	if got := candidateIDs(r.Candidates(semantics.BookSale, ps)); len(got) != 4 {
+		t.Fatalf("warm lookup returned %v", got)
+	}
+
+	stop := make(chan struct{})
+	var churners, readers sync.WaitGroup
+	for c := 0; c < 2; c++ {
+		churners.Add(1)
+		go func(c int) {
+			defer churners.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				id := fmt.Sprintf("churn-%d-%d", c, i%3)
+				_ = r.Publish(bookService(id, 30+float64(i%7)))
+				r.Withdraw(ServiceID(id))
+			}
+		}(c)
+	}
+
+	var torn atomic.Int32
+	for g := 0; g < 4; g++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for i := 0; i < 400; i++ {
+				e1 := r.CapabilityEpochs(nil, semantics.BookSale)
+				ids1 := candidateIDs(r.Candidates(semantics.BookSale, ps))
+				e2 := r.CapabilityEpochs(nil, semantics.BookSale)
+				// Any individual read must be a consistent set: the four
+				// base services exactly once, churners at most once.
+				seen := make(map[string]int, len(ids1))
+				for _, id := range ids1 {
+					seen[id]++
+					if seen[id] > 1 {
+						torn.Add(1)
+						t.Errorf("duplicate candidate %q in %v", id, ids1)
+						return
+					}
+				}
+				for b := 0; b < 4; b++ {
+					if seen[fmt.Sprintf("base-%d", b)] != 1 {
+						torn.Add(1)
+						t.Errorf("base service missing from %v", ids1)
+						return
+					}
+				}
+				if len(e1) != len(e2) || e1[0] != e2[0] {
+					continue // churn landed mid-probe: no stability claim
+				}
+				// Equal epochs bracketing the lookup: a re-read under the
+				// same epoch must be bit-identical.
+				ids2 := candidateIDs(r.Candidates(semantics.BookSale, ps))
+				e3 := r.CapabilityEpochs(nil, semantics.BookSale)
+				if e3[0] != e1[0] {
+					continue
+				}
+				if len(ids1) != len(ids2) {
+					torn.Add(1)
+					t.Errorf("torn read: same epoch %d but %v != %v", e1[0], ids1, ids2)
+					return
+				}
+				for j := range ids1 {
+					if ids1[j] != ids2[j] {
+						torn.Add(1)
+						t.Errorf("torn read: same epoch %d but %v != %v", e1[0], ids1, ids2)
+						return
+					}
+				}
+			}
+		}()
+	}
+	// Churn runs for the readers' whole duration, then drains.
+	readers.Wait()
+	close(stop)
+	churners.Wait()
+	if torn.Load() != 0 {
+		t.Fatalf("%d torn reads observed", torn.Load())
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 )
 
 // ConceptID names a concept in an ontology. IDs are case-sensitive and
@@ -139,35 +140,74 @@ type Ontology struct {
 	// memoCap bounds each memo table; 0 means memoCapDefault, negative
 	// means unbounded (see SetMemoCap).
 	memoCap int
-	stats   CacheStats
+	stats   cacheCounters
 	// version counts hierarchy/alias mutations; dependents (e.g. the
 	// registry's capability index) use it to detect staleness.
 	version uint64
+	// snap is the immutable alias/version snapshot Canonical and Version
+	// read without taking mu — both sit on every candidate-lookup and
+	// plan-cache-validation path, where an RLock would serialize readers
+	// against reasoning-memo writers. Republished by invalidateLocked.
+	snap atomic.Pointer[aliasTable]
+}
+
+// cacheCounters are the reasoning-cache counters as atomics, so the memo
+// hit paths never take the ontology lock. Stats assembles a snapshot
+// from individual loads — approximate under concurrent reasoners, which
+// is all CacheStats.Delta promises anyway.
+type cacheCounters struct {
+	matchHits, matchMisses            atomic.Uint64
+	distanceHits, distanceMisses      atomic.Uint64
+	matchEvictions, distanceEvictions atomic.Uint64
+}
+
+// aliasTable is one immutable alias-resolution snapshot, paired with the
+// version it was published at.
+type aliasTable struct {
+	aliases map[ConceptID]ConceptID
+	version uint64
+}
+
+// publishSnapLocked copies the live alias table into a fresh snapshot;
+// callers hold the write lock (or own the ontology exclusively, as New
+// does).
+func (o *Ontology) publishSnapLocked() {
+	aliases := make(map[ConceptID]ConceptID, len(o.aliases))
+	for a, c := range o.aliases {
+		aliases[a] = c
+	}
+	o.snap.Store(&aliasTable{aliases: aliases, version: o.version})
 }
 
 // New creates an empty ontology with the given name.
 func New(name string) *Ontology {
-	return &Ontology{
+	o := &Ontology{
 		name:     name,
 		concepts: make(map[ConceptID]*conceptNode),
 		aliases:  make(map[ConceptID]ConceptID),
 	}
+	o.publishSnapLocked()
+	return o
 }
 
 // Version returns a counter incremented on every mutation of the
 // concept hierarchy or alias table. Derived structures cache it to
-// detect when they must be rebuilt.
+// detect when they must be rebuilt. Lock-free: one atomic load.
 func (o *Ontology) Version() uint64 {
-	o.mu.RLock()
-	defer o.mu.RUnlock()
-	return o.version
+	return o.snap.Load().version
 }
 
-// Stats returns a snapshot of the reasoning-cache counters.
+// Stats returns a snapshot of the reasoning-cache counters
+// (approximate under concurrent reasoners).
 func (o *Ontology) Stats() CacheStats {
-	o.mu.RLock()
-	defer o.mu.RUnlock()
-	return o.stats
+	return CacheStats{
+		MatchHits:         o.stats.matchHits.Load(),
+		MatchMisses:       o.stats.matchMisses.Load(),
+		DistanceHits:      o.stats.distanceHits.Load(),
+		DistanceMisses:    o.stats.distanceMisses.Load(),
+		MatchEvictions:    o.stats.matchEvictions.Load(),
+		DistanceEvictions: o.stats.distanceEvictions.Load(),
+	}
 }
 
 // memoCapDefault bounds each reasoning memo table (Match and Distance)
@@ -201,18 +241,23 @@ func (o *Ontology) memoCapLocked() int {
 // themselves are kept). Benchmark harnesses call it between runs so
 // each run's Stats snapshot stands alone.
 func (o *Ontology) ResetStats() {
-	o.mu.Lock()
-	defer o.mu.Unlock()
-	o.stats = CacheStats{}
+	o.stats.matchHits.Store(0)
+	o.stats.matchMisses.Store(0)
+	o.stats.distanceHits.Store(0)
+	o.stats.distanceMisses.Store(0)
+	o.stats.matchEvictions.Store(0)
+	o.stats.distanceEvictions.Store(0)
 }
 
-// invalidateLocked drops every derived cache; callers hold the write
-// lock.
+// invalidateLocked drops every derived cache and republishes the
+// alias/version snapshot; callers hold the write lock with the alias
+// table already in its post-mutation state.
 func (o *Ontology) invalidateLocked() {
 	o.ancestors = nil
 	o.matchMemo = nil
 	o.distMemo = nil
 	o.version++
+	o.publishSnapLocked()
 }
 
 // Name returns the ontology name.
@@ -343,11 +388,12 @@ func (o *Ontology) Objects(subject ConceptID, predicate string) []ConceptID {
 }
 
 // Canonical resolves aliases to their canonical concept; unknown IDs are
-// returned unchanged.
+// returned unchanged. Lock-free: reads the published alias snapshot.
 func (o *Ontology) Canonical(id ConceptID) ConceptID {
-	o.mu.RLock()
-	defer o.mu.RUnlock()
-	return o.resolveLocked(id)
+	if c, ok := o.snap.Load().aliases[id]; ok {
+		return c
+	}
+	return id
 }
 
 func (o *Ontology) resolveLocked(id ConceptID) ConceptID {
@@ -496,7 +542,7 @@ func (o *Ontology) Match(required, offered ConceptID) MatchLevel {
 	key := conceptPair{required, offered}
 	if level, ok := o.matchMemo[key]; ok {
 		o.mu.RUnlock()
-		o.hit(&o.stats.MatchHits)
+		o.stats.matchHits.Add(1)
 		return level
 	}
 	version := o.version
@@ -515,7 +561,7 @@ func (o *Ontology) Match(required, offered ConceptID) MatchLevel {
 	}
 
 	o.mu.Lock()
-	o.stats.MatchMisses++
+	o.stats.matchMisses.Add(1)
 	if o.version == version { // don't cache across a concurrent mutation
 		if o.matchMemo == nil {
 			o.matchMemo = make(map[conceptPair]MatchLevel)
@@ -537,21 +583,13 @@ func (o *Ontology) putMatchLocked(key conceptPair, level MatchLevel) {
 			for len(o.matchMemo) >= cap {
 				for victim := range o.matchMemo {
 					delete(o.matchMemo, victim)
-					o.stats.MatchEvictions++
+					o.stats.matchEvictions.Add(1)
 					break
 				}
 			}
 		}
 	}
 	o.matchMemo[key] = level
-}
-
-// hit bumps a cache-hit counter under the write lock (counters share the
-// ontology lock rather than atomics to keep Stats a consistent snapshot).
-func (o *Ontology) hit(counter *uint64) {
-	o.mu.Lock()
-	*counter++
-	o.mu.Unlock()
 }
 
 // Distance returns the length of the shortest directed specialisation
@@ -567,7 +605,7 @@ func (o *Ontology) Distance(a, b ConceptID) (int, bool) {
 	key := conceptPair{a, b}
 	if e, ok := o.distMemo[key]; ok {
 		o.mu.RUnlock()
-		o.hit(&o.stats.DistanceHits)
+		o.stats.distanceHits.Add(1)
 		return e.d, e.ok
 	}
 	version := o.version
@@ -583,7 +621,7 @@ func (o *Ontology) Distance(a, b ConceptID) (int, bool) {
 	}
 
 	o.mu.Lock()
-	o.stats.DistanceMisses++
+	o.stats.distanceMisses.Add(1)
 	if o.version == version {
 		if o.distMemo == nil {
 			o.distMemo = make(map[conceptPair]distEntry)
@@ -605,7 +643,7 @@ func (o *Ontology) putDistLocked(key conceptPair, entry distEntry) {
 			for len(o.distMemo) >= cap {
 				for victim := range o.distMemo {
 					delete(o.distMemo, victim)
-					o.stats.DistanceEvictions++
+					o.stats.distanceEvictions.Add(1)
 					break
 				}
 			}

@@ -1,12 +1,12 @@
 package qasom
 
 import (
-	"container/list"
 	"fmt"
 	"math"
+	"strconv"
 	"strings"
-
 	"sync"
+	"sync/atomic"
 
 	"qasom/internal/core"
 	"qasom/internal/obs"
@@ -24,41 +24,93 @@ import (
 // are deterministic per seed and the epochs certify that no candidate
 // the request could see has changed. An epoch mismatch drops the entry
 // (the registry churned underneath it); capacity overflow evicts the
-// least-recently-used entry.
+// least-recently-touched entry of the overflowing segment.
+//
+// The cache is lock-striped: keys hash (FNV-1a) to one of a power-of-two
+// number of segments, each an atomically-swapped immutable map with its
+// own writer mutex and capacity share. The hit path — map load, epoch
+// compare, recency stamp, deep copy — acquires no mutex at all, so
+// concurrent tenants hitting warm plans never serialize; only writers
+// (put, stale-entry removal, eviction) take their segment's lock.
+// Recency is an approximate LRU over per-entry atomic touch ticks; with
+// a single segment it degenerates to exact LRU, which the unit tests
+// pin.
 //
 // Both put and get deep-copy the Result, so cached state is never
 // aliased by a live Composition (the adaptation runtime mutates its
 // Result during substitution).
 type planCache struct {
-	mu    sync.Mutex
-	cap   int
-	ll    *list.List // front = most recently used
-	items map[string]*list.Element
+	segMask uint32
+	segCap  int
+	segs    []planSegment
 
 	hits, misses, evictions, invalidations *obs.Counter
+	// segHits are the per-segment hit counters, label pre-resolved so the
+	// hit path never formats.
+	segHits []*obs.Counter
 }
 
+// planSegment is one lock domain of the cache. Padded so adjacent
+// segments' tick counters and map pointers never false-share a cache
+// line.
+type planSegment struct {
+	// items is the segment's immutable key→entry map, swapped wholesale
+	// by writers. Never nil after newPlanCache.
+	items atomic.Pointer[map[string]*planEntry]
+	// tick is the segment's recency clock; every hit and insert stamps
+	// the entry with the next tick.
+	tick atomic.Uint64
+	mu   sync.Mutex
+	_    [64]byte
+}
+
+// planEntry is immutable after publication except for the touch stamp;
+// put replaces an entry wholesale rather than mutating it in place.
 type planEntry struct {
 	key    string
 	epochs []uint64
 	res    *core.Result
+	touch  atomic.Uint64
 }
 
 // defaultPlanCacheSize bounds the cache when Options.SelectionCacheSize
 // is zero.
 const defaultPlanCacheSize = 128
 
-func newPlanCache(capacity int, r *obs.Registry) *planCache {
+// maxPlanCacheSegments bounds the stripe count: beyond ~16 segments the
+// per-segment capacity share gets too small to behave like an LRU, and
+// the hit path is already lock-free so more stripes buy nothing.
+const maxPlanCacheSegments = 16
+
+// planSegments resolves the effective segment count: an explicit request
+// is rounded up to a power of two; 0 auto-sizes so each segment keeps a
+// useful capacity share (≥8 entries) up to maxPlanCacheSegments.
+func planSegments(capacity, requested int) int {
+	n := 1
+	if requested > 0 {
+		for n < requested && n < maxPlanCacheSegments {
+			n <<= 1
+		}
+		return n
+	}
+	for n < maxPlanCacheSegments && capacity/(n*2) >= 8 {
+		n <<= 1
+	}
+	return n
+}
+
+func newPlanCache(capacity, segments int, r *obs.Registry) *planCache {
 	if capacity == 0 {
 		capacity = defaultPlanCacheSize
 	}
 	if capacity < 0 {
 		return nil // caching disabled
 	}
-	return &planCache{
-		cap:   capacity,
-		ll:    list.New(),
-		items: make(map[string]*list.Element),
+	n := planSegments(capacity, segments)
+	c := &planCache{
+		segMask: uint32(n - 1),
+		segCap:  (capacity + n - 1) / n,
+		segs:    make([]planSegment, n),
 		hits: r.Counter("qasom_plan_cache_hits_total",
 			"Selections served from the plan cache (zero selection work)."),
 		misses: r.Counter("qasom_plan_cache_misses_total",
@@ -67,17 +119,46 @@ func newPlanCache(capacity int, r *obs.Registry) *planCache {
 			"Plan-cache entries evicted by the LRU capacity bound."),
 		invalidations: r.Counter("qasom_plan_cache_epoch_invalidations_total",
 			"Plan-cache entries dropped because a capability epoch moved (registry churn)."),
+		segHits: make([]*obs.Counter, n),
 	}
+	segHits := r.CounterVec("qasom_plan_cache_segment_hits_total",
+		"Plan-cache hits per lock-striped segment (distribution check).", "segment")
+	for i := range c.segs {
+		empty := make(map[string]*planEntry)
+		c.segs[i].items.Store(&empty)
+		c.segHits[i] = segHits.With(strconv.Itoa(i))
+	}
+	return c
 }
 
-// len returns the number of live entries.
+// fnvKey hashes a cache key for segment routing (FNV-1a).
+func fnvKey(key string) uint32 {
+	const prime = 16777619
+	h := uint32(2166136261)
+	for i := 0; i < len(key); i++ {
+		h = (h ^ uint32(key[i])) * prime
+	}
+	return h
+}
+
+// len returns the number of live entries across all segments.
 func (c *planCache) len() int {
 	if c == nil {
 		return 0
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.ll.Len()
+	n := 0
+	for i := range c.segs {
+		n += len(*c.segs[i].items.Load())
+	}
+	return n
+}
+
+// segments reports the stripe count (test hook).
+func (c *planCache) segments() int {
+	if c == nil {
+		return 0
+	}
+	return len(c.segs)
 }
 
 // planOutcome classifies one cache probe for the flight recorder:
@@ -111,59 +192,86 @@ func (c *planCache) get(key string, now []uint64) *core.Result {
 }
 
 // lookup is get with the probe outcome attached. A stale entry (epoch
-// mismatch) is removed on sight and reported as planMissEpoch.
+// mismatch) is removed on sight and reported as planMissEpoch. The hit
+// path takes no locks.
 func (c *planCache) lookup(key string, now []uint64) (*core.Result, planOutcome) {
 	if c == nil {
 		return nil, planMissCold
 	}
-	c.mu.Lock()
-	el, ok := c.items[key]
-	if !ok {
-		c.mu.Unlock()
+	idx := fnvKey(key) & c.segMask
+	seg := &c.segs[idx]
+	e := (*seg.items.Load())[key]
+	if e == nil {
 		c.misses.Inc()
 		return nil, planMissCold
 	}
-	e := el.Value.(*planEntry)
 	if !equalEpochs(e.epochs, now) {
-		c.ll.Remove(el)
-		delete(c.items, key)
-		c.mu.Unlock()
+		seg.remove(key, e)
 		c.invalidations.Inc()
 		c.misses.Inc()
 		return nil, planMissEpoch
 	}
-	c.ll.MoveToFront(el)
-	res := e.res // immutable once stored; safe to clone outside the lock
-	c.mu.Unlock()
+	e.touch.Store(seg.tick.Add(1))
 	c.hits.Inc()
-	return res.Clone(), planHit
+	c.segHits[idx].Inc()
+	return e.res.Clone(), planHit
+}
+
+// remove drops the entry under key, but only if it still is victim (a
+// concurrent put of a fresh entry under the same key must win).
+func (seg *planSegment) remove(key string, victim *planEntry) {
+	seg.mu.Lock()
+	cur := *seg.items.Load()
+	if cur[key] == victim {
+		next := make(map[string]*planEntry, len(cur))
+		for k, v := range cur {
+			if k != key {
+				next[k] = v
+			}
+		}
+		seg.items.Store(&next)
+	}
+	seg.mu.Unlock()
 }
 
 // put stores a deep copy of res under key with its epoch snapshot,
-// evicting the least-recently-used entry beyond capacity.
+// evicting the segment's least-recently-touched entry beyond the
+// segment's capacity share.
 func (c *planCache) put(key string, epochs []uint64, res *core.Result) {
 	if c == nil {
 		return
 	}
-	cp := res.Clone()
-	c.mu.Lock()
-	if el, ok := c.items[key]; ok {
-		e := el.Value.(*planEntry)
-		e.epochs = epochs
-		e.res = cp
-		c.ll.MoveToFront(el)
-		c.mu.Unlock()
-		return
-	}
-	c.items[key] = c.ll.PushFront(&planEntry{key: key, epochs: epochs, res: cp})
+	seg := &c.segs[fnvKey(key)&c.segMask]
+	e := &planEntry{key: key, epochs: epochs, res: res.Clone()}
+	e.touch.Store(seg.tick.Add(1))
 	evicted := false
-	if c.ll.Len() > c.cap {
-		last := c.ll.Back()
-		c.ll.Remove(last)
-		delete(c.items, last.Value.(*planEntry).key)
+	seg.mu.Lock()
+	cur := *seg.items.Load()
+	next := make(map[string]*planEntry, len(cur)+1)
+	for k, v := range cur {
+		next[k] = v
+	}
+	next[key] = e
+	if len(next) > c.segCap {
+		// Evict the minimum touch stamp. Stamps are unique per segment
+		// (every hit and insert takes a fresh tick), so the victim is
+		// deterministic.
+		var victim string
+		minTouch := ^uint64(0)
+		for k, v := range next {
+			if k == key {
+				continue
+			}
+			if tv := v.touch.Load(); tv < minTouch {
+				minTouch = tv
+				victim = k
+			}
+		}
+		delete(next, victim)
 		evicted = true
 	}
-	c.mu.Unlock()
+	seg.items.Store(&next)
+	seg.mu.Unlock()
 	if evicted {
 		c.evictions.Inc()
 	}

@@ -156,6 +156,13 @@ type Options struct {
 	// run. 0 means the default (128 entries); negative disables caching.
 	// Distributed selections are never cached.
 	SelectionCacheSize int
+	// SelectionCacheSegments sets the plan cache's lock-stripe count
+	// (rounded up to a power of two, capped at 16). 0 auto-sizes from
+	// SelectionCacheSize; 1 forces a single segment, whose eviction
+	// order is exact global LRU. Lookups are lock-free at any setting —
+	// segments only bound writer (put/invalidate) contention and split
+	// the capacity into per-segment LRU shares.
+	SelectionCacheSegments int
 	// OntologyMemoCap bounds each of the ontology's Match/Distance memo
 	// tables so long-running nodes cannot grow them without limit. 0
 	// means the semantics-layer default (8192 entries per table);
@@ -340,7 +347,7 @@ func New(opts ...Options) (*Middleware, error) {
 		mon:      monitor.New(ps, monitor.Options{Obs: o.Obs}),
 		obs:      o.Obs,
 		met:      composeMetricsFor(o.Obs, tenantLabel(o.TenantID)),
-		plans:    newPlanCache(o.SelectionCacheSize, o.Obs.Metrics),
+		plans:    newPlanCache(o.SelectionCacheSize, o.SelectionCacheSegments, o.Obs.Metrics),
 		opts:     o,
 		tenant:   tenantLabel(o.TenantID),
 	}
@@ -355,6 +362,9 @@ func New(opts ...Options) (*Middleware, error) {
 	o.Obs.Metrics.Func("qasom_plan_cache_entries",
 		"Live entries in the selection-plan cache.",
 		func() float64 { return float64(m.plans.len()) })
+	o.Obs.Metrics.Func("qasom_flight_records_dropped_total",
+		"Flight records discarded because the ring was contended (Record is drop-don't-block).",
+		func() float64 { return float64(o.Obs.Flight.Dropped()) })
 	// Live-state gauges: evaluated at scrape time, so the registry stays
 	// the one source of truth for cumulative cache/size telemetry that
 	// the per-composition SelectionStats only samples windows of.
