@@ -95,18 +95,32 @@ func (r RequestRecord) clone() RequestRecord {
 // default).
 const DefaultFlightCapacity = 256
 
+// flightSlot is one ring entry with its own lock. The ticket counter
+// spreads concurrent writers across distinct slots, so writers never
+// contend with each other in steady state; a slot is busy only while a
+// snapshot copies it, or when a writer was lapped by a full ring of
+// newer records while stalled.
+type flightSlot struct {
+	mu sync.Mutex
+	// seq is the 1-based ticket of the stored record (0 = empty). It
+	// orders snapshots oldest-first and keeps a lapped straggler from
+	// overwriting a newer record.
+	seq uint64
+	rec RequestRecord
+}
+
 // FlightRecorder keeps a bounded ring of the most recent request
 // records, mirroring the Tracer's ring semantics: Record overwrites the
 // oldest entry beyond capacity, Total counts every record ever taken.
-// Record never blocks: when the ring is busy (a /debug/requests
-// snapshot in flight, or a concurrent writer) the record is dropped and
-// counted instead — diagnostics must not be able to stall serving.
-// All methods are nil-safe and safe for concurrent use.
+// Record never blocks: writers take an atomic ticket and land on that
+// ticket's slot, so concurrent Records go to different slots and all
+// succeed; only a record whose slot is momentarily held — by a
+// /debug/requests snapshot, or by a writer lapped a whole ring — is
+// dropped and counted instead. Diagnostics must not be able to stall
+// serving. All methods are nil-safe and safe for concurrent use.
 type FlightRecorder struct {
-	mu      sync.Mutex
-	ring    []RequestRecord
-	next    int
-	full    bool
+	ring    []flightSlot
+	tickets atomic.Uint64
 	total   atomic.Uint64
 	dropped atomic.Uint64
 }
@@ -121,29 +135,36 @@ func NewFlightRecorder(capacity int) *FlightRecorder {
 	if capacity == 0 {
 		capacity = DefaultFlightCapacity
 	}
-	return &FlightRecorder{ring: make([]RequestRecord, capacity)}
+	return &FlightRecorder{ring: make([]flightSlot, capacity)}
 }
 
 // Record appends one request record (deep-copied) to the ring. It is
-// drop-don't-block: a contended ring (a slow snapshot reader, or a
-// concurrent Record) costs one failed TryLock and a counter bump, never
-// a wait on the serving path.
+// drop-don't-block: the slot a record's ticket routes it to is free
+// unless a snapshot is copying that exact slot (or the writer slept
+// long enough to be lapped), and a busy slot costs one failed TryLock
+// and a counter bump, never a wait on the serving path.
 func (f *FlightRecorder) Record(rec RequestRecord) {
 	if f == nil {
 		return
 	}
 	cp := rec.clone()
-	if !f.mu.TryLock() {
+	ticket := f.tickets.Add(1)
+	slot := &f.ring[(ticket-1)%uint64(len(f.ring))]
+	if !slot.mu.TryLock() {
 		f.dropped.Add(1)
 		return
 	}
-	f.ring[f.next] = cp
-	f.next = (f.next + 1) % len(f.ring)
-	if f.next == 0 {
-		f.full = true
+	if ticket < slot.seq {
+		// Lapped: a full ring of newer records landed while this writer
+		// was stalled between ticket and lock. Keep the newer record.
+		slot.mu.Unlock()
+		f.dropped.Add(1)
+		return
 	}
+	slot.seq = ticket
+	slot.rec = cp
+	slot.mu.Unlock()
 	f.total.Add(1)
-	f.mu.Unlock()
 }
 
 // Total counts every record ever taken (monotonic; the ring only
@@ -155,8 +176,9 @@ func (f *FlightRecorder) Total() uint64 {
 	return f.total.Load()
 }
 
-// Dropped counts records discarded because the ring was contended when
-// Record arrived (monotonic).
+// Dropped counts records discarded because their ring slot was busy (a
+// snapshot mid-copy, or the writer lapped by a full ring) when Record
+// arrived (monotonic).
 func (f *FlightRecorder) Dropped() uint64 {
 	if f == nil {
 		return 0
@@ -179,20 +201,32 @@ type FlightQuery struct {
 }
 
 // Snapshot returns deep copies of the retained records matching q,
-// oldest first (or slowest first under q.Slowest).
+// oldest first (or slowest first under q.Slowest). Each slot is held
+// only long enough for a shallow copy — safe because writers replace a
+// slot's record wholesale with a freshly cloned value rather than
+// mutating it in place — so a concurrent Record contends on at most one
+// slot at a time.
 func (f *FlightRecorder) Snapshot(q FlightQuery) []RequestRecord {
 	if f == nil {
 		return nil
 	}
-	f.mu.Lock()
-	recs := make([]RequestRecord, 0, len(f.ring))
-	if f.full {
-		recs = append(recs, f.ring[f.next:]...)
+	type tagged struct {
+		seq uint64
+		rec RequestRecord
 	}
-	recs = append(recs, f.ring[:f.next]...)
-	f.mu.Unlock()
+	recs := make([]tagged, 0, len(f.ring))
+	for i := range f.ring {
+		slot := &f.ring[i]
+		slot.mu.Lock()
+		if slot.seq != 0 {
+			recs = append(recs, tagged{slot.seq, slot.rec})
+		}
+		slot.mu.Unlock()
+	}
+	sort.Slice(recs, func(i, j int) bool { return recs[i].seq < recs[j].seq })
 	out := make([]RequestRecord, 0, len(recs))
-	for _, r := range recs {
+	for _, tr := range recs {
+		r := tr.rec
 		if q.TenantSet && r.Tenant != q.Tenant {
 			continue
 		}

@@ -134,18 +134,48 @@ func TestFlightRecorderConcurrent(t *testing.T) {
 			got, f.Total(), f.Dropped(), 8*200)
 	}
 	if f.Total() == 0 {
-		t.Fatal("every record was dropped — TryLock fast path never won")
+		t.Fatal("every record was dropped — slot fast path never won")
+	}
+}
+
+// TestFlightRecorderWritersDontDropEachOther pins the per-slot ring
+// guarantee: the ticket counter routes concurrent writers to distinct
+// slots, so writer-vs-writer contention cannot drop records — only a
+// snapshot holding a slot mid-copy, or a writer lapped by a full ring,
+// can. Exactly capacity records means no ticket ever revisits a slot.
+func TestFlightRecorderWritersDontDropEachOther(t *testing.T) {
+	f := NewFlightRecorder(64)
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 4; i++ {
+				f.Record(RequestRecord{Kind: "compose", Task: fmt.Sprintf("g%d-%d", g, i)})
+			}
+		}(g)
+	}
+	wg.Wait()
+	if f.Dropped() != 0 {
+		t.Fatalf("Dropped = %d, want 0: concurrent writers dropped each other", f.Dropped())
+	}
+	if f.Total() != 64 {
+		t.Fatalf("Total = %d, want 64", f.Total())
+	}
+	if got := f.Snapshot(FlightQuery{}); len(got) != 64 {
+		t.Fatalf("Snapshot kept %d records, want 64", len(got))
 	}
 }
 
 // TestFlightRecorderDropsWhenContended pins the drop-don't-block
-// contract directly: a held ring lock makes Record drop and count.
+// contract directly: a held slot lock makes the Record routed to that
+// slot drop and count, without touching records bound elsewhere.
 func TestFlightRecorderDropsWhenContended(t *testing.T) {
 	f := NewFlightRecorder(4)
+	f.Record(RequestRecord{Kind: "compose"}) // ticket 1 → slot 0
+	f.ring[1].mu.Lock()                      // ticket 2 lands on slot 1
 	f.Record(RequestRecord{Kind: "compose"})
-	f.mu.Lock()
-	f.Record(RequestRecord{Kind: "compose"})
-	f.mu.Unlock()
+	f.ring[1].mu.Unlock()
 	if f.Total() != 1 || f.Dropped() != 1 {
 		t.Fatalf("Total=%d Dropped=%d, want 1 and 1", f.Total(), f.Dropped())
 	}

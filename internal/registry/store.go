@@ -134,9 +134,14 @@ type capState struct {
 
 // capPublished is one immutable snapshot of the services filed under a
 // capability key. list is never mutated after the atomic store; readers
-// copy before filtering or sorting.
+// copy before filtering or sorting. epoch is the capability epoch the
+// slice was built at and gen the shard's index incarnation (pubGen) it
+// was built from; the fast path demands both tags match the live values,
+// because a whole-store rebuild changes index contents *without* bumping
+// epochs — the epoch tag alone cannot reject a slice built before one.
 type capPublished struct {
 	epoch uint64
+	gen   uint64
 	list  []*storedService
 }
 
@@ -153,6 +158,14 @@ type shard struct {
 	// extraN mirrors len(extra) so lock-free readers can skip the
 	// extra-map fallback (and its read lock) when nothing is pending.
 	extraN atomic.Int32
+	// pubGen is the shard's index incarnation: bumped under the shard
+	// write lock whenever index contents change without per-key epoch
+	// bumps — the whole-store rebuild and the ablation index drop.
+	// Published slices carry the incarnation they were built from, so a
+	// republisher delayed across a rebuild can never install a
+	// pre-rebuild candidate list that the (deliberately unmoved) epoch
+	// tag would otherwise accept forever.
+	pubGen atomic.Uint64
 
 	mu sync.RWMutex
 	// services holds the directory entries homed here (routed by
@@ -211,34 +224,52 @@ func (sh *shard) mergeExtraLocked() {
 // capStateOf returns the capState for ck without any lock on the fast
 // path, or nil when the key has never been filed or bumped. Keys still
 // waiting in extra (a bulk load in flight) fall back to the read lock.
+//
+// Both miss paths re-check the view before giving up: a concurrent
+// merge (mergeExtraLocked, or the rebuild republish) moves keys from
+// extra into a grown view — storing the view *before* zeroing extraN —
+// so a key can leave extra between this reader's first view load and
+// its extra probe. Views only ever grow, and Go atomics are
+// sequentially consistent, so one re-load after observing extraN==0
+// (or missing the key in extra under the lock) closes the window: a
+// key whose Publish completed before the call can never be reported
+// absent.
 func (sh *shard) capStateOf(ck capKey) *capState {
 	if st, ok := (*sh.view.Load())[ck]; ok {
 		return st
 	}
 	if sh.extraN.Load() == 0 {
-		return nil
+		return (*sh.view.Load())[ck]
 	}
 	sh.mu.RLock()
 	st := sh.extra[ck]
+	if st == nil {
+		st = (*sh.view.Load())[ck]
+	}
 	sh.mu.RUnlock()
 	return st
 }
 
 // republish rebuilds the epoch-tagged candidate slice for ck from the
 // writer-truth index and installs it for subsequent lock-free readers.
-// The epoch is read under the read lock, where it is stable (writers
-// bump it only under the write lock), so the tag can never claim a
-// newer index state than the slice carries.
+// The epoch and index generation are read under the read lock, where
+// they are stable (writers move them only under the write lock), so the
+// tag pair can never claim a newer index state than the slice carries.
+// The store itself runs outside the lock; a republisher delayed across
+// a per-key mutation installs a slice the epoch tag rejects, and one
+// delayed across a rebuild or ablation drop installs a slice the gen
+// tag rejects — stale publications are recoverable, never served.
 func (sh *shard) republish(ck capKey, st *capState) []*storedService {
 	sh.mu.RLock()
 	e := st.epoch.Load()
+	g := sh.pubGen.Load()
 	set := sh.index[ck]
 	list := make([]*storedService, 0, len(set))
 	for _, ss := range set {
 		list = append(list, ss)
 	}
 	sh.mu.RUnlock()
-	st.pub.Store(&capPublished{epoch: e, list: list})
+	st.pub.Store(&capPublished{epoch: e, gen: g, list: list})
 	return list
 }
 
@@ -365,6 +396,10 @@ func (s *Store) SetIndexing(enabled bool) {
 			sh := &s.shards[i]
 			sh.mu.Lock()
 			sh.index = nil
+			// Index contents changed without epoch bumps: retire the
+			// incarnation so a republisher delayed across the switch
+			// cannot install a slice built from the dropped index.
+			sh.pubGen.Add(1)
 			// Published slices alias the dropped index; clear them so
 			// nothing holds candidate lists past the ablation switch.
 			for _, st := range *sh.view.Load() {
@@ -737,9 +772,13 @@ func (s *Store) ensureIndex() {
 	// every epoch snapshot, is what certifies closure changes), new index
 	// keys minted by a moved ontology get zero-epoch states, and every
 	// published slice is cleared because index contents changed under
-	// unchanged epoch values.
+	// unchanged epoch values. The incarnation bump is what keeps that
+	// clearing durable: a republisher that read the old index before the
+	// rebuild may store its slice *after* these loops run, and with
+	// epochs unmoved only the gen mismatch rejects it.
 	for i := range s.shards {
 		sh := &s.shards[i]
+		sh.pubGen.Add(1)
 		old := *sh.view.Load()
 		next := make(capView, len(old)+len(sh.extra)+len(sh.index))
 		for k, st := range old {
@@ -783,7 +822,7 @@ func (s *Store) collect(t TenantID, canon semantics.ConceptID) []*storedService 
 		if st == nil {
 			return nil // key never filed or bumped: nothing to find
 		}
-		if p := st.pub.Load(); p != nil && p.epoch == st.epoch.Load() {
+		if p := st.pub.Load(); p != nil && p.epoch == st.epoch.Load() && p.gen == sh.pubGen.Load() {
 			return p.list
 		}
 		return sh.republish(ck, st)

@@ -461,3 +461,121 @@ func TestRacedSnapshotReads(t *testing.T) {
 		t.Fatalf("%d torn reads observed", torn.Load())
 	}
 }
+
+// TestRacedFreshKeyVisibility pins the capStateOf merge race: a key
+// whose Publish completed before the read began must never be invisible
+// (epoch 0, no candidates), even while concurrent publishes of
+// brand-new keys keep merging the extra overflow into the view — the
+// window where a key has just left extra (extraN observed 0) but the
+// reader's first view load predates the merged view.
+func TestRacedFreshKeyVisibility(t *testing.T) {
+	s := NewStore(nil, StoreOptions{Shards: 2})
+	r := s.Tenant(DefaultTenant)
+	ps := qos.StandardSet()
+
+	stop := make(chan struct{})
+	published := make(chan semantics.ConceptID, 64)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(published)
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			// Every publish mints a fresh capability key, so the extra
+			// overflow grows and merges continuously on both shards.
+			c := semantics.ConceptID(fmt.Sprintf("cap-%d", i))
+			d := Description{
+				ID:      ServiceID(fmt.Sprintf("svc-%d", i)),
+				Concept: c,
+				Offers:  stdOffers(40, 5, 0.95, 0.9, 40),
+			}
+			if err := r.Publish(d); err != nil {
+				t.Error(err)
+				return
+			}
+			select {
+			case published <- c:
+			default: // reader busy: skip, don't stall the merge churn
+			}
+		}
+	}()
+
+	checked := 0
+	for c := range published {
+		if checked >= 3000 {
+			select {
+			case <-stop:
+			default:
+				close(stop)
+			}
+			continue // drain until the publisher closes the channel
+		}
+		// Publish(c) happened-before this read: both probes must see it.
+		if e := r.CapabilityEpochs(nil, c); e[0] == 0 {
+			t.Fatalf("published key %s invisible to CapabilityEpochs", c)
+		}
+		if got := r.Candidates(c, ps); len(got) == 0 {
+			t.Fatalf("published key %s has no candidates", c)
+		}
+		checked++
+	}
+	wg.Wait()
+	if checked == 0 {
+		t.Fatal("reader never ran")
+	}
+}
+
+// TestRebuildInvalidatesStalePublications pins the index-generation tag
+// on published slices. A republisher delayed across a whole-store
+// rebuild installs a candidate list built from the pre-rebuild index;
+// because a rebuild deliberately leaves epochs untouched (the ontology
+// version certifies closure changes), the epoch tag alone would let the
+// fast path serve that stale list indefinitely. The gen tag must reject
+// it. The delayed store is simulated deterministically by re-installing
+// the pre-rebuild capPublished after the rebuild ran.
+func TestRebuildInvalidatesStalePublications(t *testing.T) {
+	o := semantics.New("rebuild-race")
+	o.MustAddConcept("shop")
+	o.MustAddConcept("kiosk") // not yet under "shop"
+	s := NewStore(o, StoreOptions{Shards: 4})
+	r := s.Tenant(DefaultTenant)
+	ps := qos.StandardSet()
+	for id, c := range map[string]semantics.ConceptID{"svc-shop": "shop", "svc-kiosk": "kiosk"} {
+		d := Description{ID: ServiceID(id), Concept: c, Offers: stdOffers(40, 5, 0.95, 0.9, 40)}
+		if err := r.Publish(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Warm the index and install the publication for "shop".
+	if got := candidateIDs(r.Candidates("shop", ps)); len(got) != 1 || got[0] != "svc-shop" {
+		t.Fatalf("warm lookup = %v, want [svc-shop]", got)
+	}
+	sh := &s.shards[s.shardOfCap(DefaultTenant, "shop")]
+	st := sh.capStateOf(capKey{DefaultTenant, "shop"})
+	if st == nil {
+		t.Fatal("no capState for warmed key")
+	}
+	stale := st.pub.Load()
+	if stale == nil {
+		t.Fatal("warm lookup did not publish a slice")
+	}
+
+	// Moving the ontology (kiosk ⊑ shop) forces a whole-store rebuild on
+	// the next lookup: "shop" now also covers svc-kiosk, epochs unmoved.
+	o.MustAddConcept("kiosk", "shop")
+	if got := candidateIDs(r.Candidates("shop", ps)); len(got) != 2 {
+		t.Fatalf("post-rebuild lookup = %v, want both services", got)
+	}
+
+	// The delayed republisher lands its pre-rebuild slice. Epoch matches
+	// (rebuilds don't bump), so only the generation tag can reject it.
+	st.pub.Store(stale)
+	if got := candidateIDs(r.Candidates("shop", ps)); len(got) != 2 {
+		t.Fatalf("stale publication served after rebuild: %v, want both services", got)
+	}
+}

@@ -363,7 +363,7 @@ func New(opts ...Options) (*Middleware, error) {
 		"Live entries in the selection-plan cache.",
 		func() float64 { return float64(m.plans.len()) })
 	o.Obs.Metrics.Func("qasom_flight_records_dropped_total",
-		"Flight records discarded because the ring was contended (Record is drop-don't-block).",
+		"Flight records discarded because their ring slot was busy (Record is drop-don't-block).",
 		func() float64 { return float64(o.Obs.Flight.Dropped()) })
 	// Live-state gauges: evaluated at scrape time, so the registry stays
 	// the one source of truth for cumulative cache/size telemetry that
